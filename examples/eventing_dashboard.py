@@ -1,0 +1,80 @@
+"""Discovery plus *use*: an SLP-centric dashboard for a UPnP home.
+
+The paper's §1 motivation ends at discovery, but a home dashboard needs
+the next step too: after INDISS hands the SLP client a direct SOAP
+reference, the application invokes the clock's ``GetTime`` action, and a
+native UPnP monitor subscribes to the device's GENA events to track state
+changes.
+
+Run with::
+
+    python examples/eventing_dashboard.py
+"""
+
+from repro import Indiss, IndissConfig, Network
+from repro.sdp.slp import UserAgent
+from repro.sdp.upnp import (
+    CLOCK_SERVICE_TYPE,
+    Headers,
+    build_request,
+    make_clock_device,
+    parse_response,
+    soap_action_header,
+)
+from repro.sdp.upnp.clock import CLOCK_EVENT_PATH
+from repro.sdp.upnp.gena import EventSubscriber
+from repro.sdp.upnp.httpclient import http_post
+
+
+def main() -> None:
+    net = Network()
+    dashboard_node = net.add_node("dashboard")  # speaks SLP only
+    monitor_node = net.add_node("monitor")      # speaks UPnP natively
+    device_node = net.add_node("clock")
+
+    dashboard = UserAgent(dashboard_node)
+    device = make_clock_device(device_node)
+    Indiss(device_node, IndissConfig(units=("slp", "upnp"), deployment="service"))
+
+    # 1. The SLP-only dashboard discovers the UPnP clock through INDISS.
+    searches = []
+    dashboard.find_services("service:clock", on_complete=searches.append)
+    net.run(duration_us=1_000_000)
+    url = searches[0].results[0].url
+    print(f"dashboard discovered: {url}")
+
+    # 2. ... and invokes the SOAP action at the returned endpoint.
+    soap_url = "http://" + url.split("://", 1)[1]
+    body = build_request(CLOCK_SERVICE_TYPE, "GetTime").encode()
+    headers = Headers(
+        [
+            ("CONTENT-TYPE", 'text/xml; charset="utf-8"'),
+            ("SOAPACTION", soap_action_header(CLOCK_SERVICE_TYPE, "GetTime")),
+        ]
+    )
+    results = []
+    http_post(dashboard_node, soap_url, body, headers=headers,
+              on_response=lambda r: results.append(parse_response(r.body)))
+    net.run(duration_us=500_000)
+    print(f"GetTime -> {results[0].arguments['CurrentTime']} (virtual seconds)")
+
+    # 3. Meanwhile a native UPnP monitor subscribes to GENA events.
+    subscriber = EventSubscriber(monitor_node)
+    events = []
+    subscriber.on_event = lambda sid, props: events.append(props)
+    event_url = f"http://{device_node.address}:{device.http_port}{CLOCK_EVENT_PATH}"
+    subscriber.subscribe(event_url, on_subscribed=lambda sid: print(f"subscribed: {sid}"))
+    net.run(duration_us=200_000)
+
+    # The device ticks three times; each tick notifies subscribers.
+    for tick in ("08:15:00", "08:15:01", "08:15:02"):
+        device.notify_state_change({"Time": tick})
+        net.run(duration_us=100_000)
+
+    print("GENA notifications received by the monitor:")
+    for properties in events:
+        print(f"  Time = {properties['Time']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""A networked home with three SDP islands bridged by a gateway INDISS.
+
+The paper's motivating scenario (§1): home devices from different
+manufacturers advertise with different SDPs and cannot see each other.
+This example builds:
+
+* an SLP island - a printer registered with a service agent;
+* a UPnP island - the clock device;
+* a Jini island - a media server registered with a lookup service;
+* one gateway node running INDISS with all three units (the paper's
+  Fig. 5a configuration, parsed from the actual specification text).
+
+Then clients from each island search for services hosted in the others.
+
+Run with::
+
+    python examples/home_gateway.py
+"""
+
+from repro import Indiss, Network, parse_spec
+from repro.core.config import PAPER_SPEC, build_indiss_config
+from repro.sdp.jini import LookupService, ServiceItem
+from repro.sdp.slp import ServiceAgent, ServiceType, SlpRegistration, UserAgent
+from repro.sdp.upnp import CLOCK_DEVICE_TYPE, UpnpControlPoint, make_clock_device
+
+
+def main() -> None:
+    net = Network()
+
+    # --- the SLP island -------------------------------------------------
+    slp_node = net.add_node("slp-printer")
+    printer_agent = ServiceAgent(slp_node)
+    printer_agent.register(
+        SlpRegistration(
+            url=f"service:printer:lpr://{slp_node.address}/queue",
+            service_type=ServiceType.parse("service:printer:lpr"),
+            attributes={"friendlyName": "Hall Printer", "color": "true"},
+        )
+    )
+
+    # --- the UPnP island --------------------------------------------------
+    upnp_node = net.add_node("upnp-clock")
+    make_clock_device(upnp_node)
+
+    # --- the Jini island ---------------------------------------------------
+    jini_node = net.add_node("jini-media")
+    registrar = LookupService(jini_node)
+    registrar.registry["sid-media"] = ServiceItem(
+        service_id="sid-media",
+        class_names=("org.amigo.Mediaserver",),
+        attributes={"friendlyName": "Living-room Media Server"},
+        endpoint_url=f"jini://{jini_node.address}:4161/media",
+    )
+
+    # --- the gateway, configured from the paper's own specification text ----
+    gateway_node = net.add_node("gateway")
+    spec = parse_spec(PAPER_SPEC)
+    config = build_indiss_config(spec, deployment="gateway")
+    indiss = Indiss(gateway_node, config)
+    print("gateway configuration parsed from the paper's Fig. 5a spec:")
+    print(f"  units: {', '.join(config.units)}")
+    print()
+
+    # Let the gateway hear the Jini registrar's announcements first.
+    net.run(duration_us=1_500_000)
+
+    # --- cross-protocol searches ----------------------------------------------
+    slp_client = UserAgent(net.add_node("slp-client"))
+    upnp_client = UpnpControlPoint(net.add_node("upnp-client"))
+
+    outcomes = {}
+
+    slp_client.find_services(
+        "service:clock", on_complete=lambda s: outcomes.update(slp_finds_clock=s)
+    )
+    net.run(duration_us=1_000_000)
+
+    slp_client.find_services(
+        "service:mediaserver", on_complete=lambda s: outcomes.update(slp_finds_media=s)
+    )
+    net.run(duration_us=1_000_000)
+
+    upnp_client.search(
+        CLOCK_DEVICE_TYPE,
+        wait_us=300_000,
+        on_complete=lambda s: outcomes.update(upnp_native=s),
+    )
+    net.run(duration_us=1_000_000)
+
+    upnp_client.search(
+        "urn:schemas-upnp-org:device:printer:1",
+        wait_us=300_000,
+        on_complete=lambda s: outcomes.update(upnp_finds_printer=s),
+    )
+    net.run(duration_us=1_000_000)
+
+    print("SLP client -> UPnP clock (translated by the gateway):")
+    for entry in outcomes["slp_finds_clock"].results:
+        print(f"  {entry.url}")
+    print()
+    print("SLP client -> Jini media server (translated by the gateway):")
+    for entry in outcomes["slp_finds_media"].results:
+        print(f"  {entry.url}")
+    print()
+    print("UPnP client -> UPnP clock (native path, untouched):")
+    for response in outcomes["upnp_native"].responses:
+        print(f"  {response.usn} @ {response.location}")
+    print()
+    print("UPnP client -> SLP printer (translated by the gateway):")
+    for response in outcomes["upnp_finds_printer"].responses:
+        print(f"  {response.usn} @ {response.location}")
+    print()
+    print(indiss.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy-compatible install shim.
+
+The execution environment has no network and no `wheel` package, so PEP 660
+editable installs cannot build; `pip install -e .` takes the classic
+`setup.py develop` path instead.  All metadata lives in pyproject.toml
+(read by setuptools >= 61).
+"""
+from setuptools import setup
+
+setup()

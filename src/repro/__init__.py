@@ -1,0 +1,60 @@
+"""INDISS reproduction: Interoperable Discovery System for Networked Services.
+
+Reproduces Bromberg & Issarny, *INDISS: Interoperable Discovery System for
+Networked Services*, Middleware 2005.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import Indiss, IndissConfig, Network
+    from repro.sdp.slp import ServiceAgent, UserAgent
+    from repro.sdp.upnp import make_clock_device
+
+    net = Network()
+    client = net.add_node("client")
+    service = net.add_node("service")
+    UserAgent(client)                      # a native SLP client
+    make_clock_device(service)             # a native UPnP clock device
+    Indiss(net.add_node("gateway"))        # transparent interoperability
+"""
+
+from .core import (
+    AdaptationManager,
+    Event,
+    Indiss,
+    IndissConfig,
+    IndissTimings,
+    MonitorComponent,
+    ServiceCache,
+    StateMachine,
+    StateMachineDefinition,
+    TranslationSession,
+    parse_spec,
+)
+from .net import Endpoint, LatencyModel, LossModel, Network, Node, Scheduler
+from .sdp.base import ServiceRecord, normalize_service_type
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AdaptationManager",
+    "Endpoint",
+    "Event",
+    "Indiss",
+    "IndissConfig",
+    "IndissTimings",
+    "LatencyModel",
+    "LossModel",
+    "MonitorComponent",
+    "Network",
+    "Node",
+    "Scheduler",
+    "ServiceCache",
+    "ServiceRecord",
+    "StateMachine",
+    "StateMachineDefinition",
+    "TranslationSession",
+    "normalize_service_type",
+    "parse_spec",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Evaluation harness (S7 in DESIGN.md): calibration, scenarios, sizing."""
+
+from .calibration import CostModel, PAPER_RESULTS_MS, PAPER_TABLE2, PAPER_TESTBED
+from .harness import DEFAULT_TRIALS, Measurement, measure, measure_all, run_trials
+from .reporting import format_measurements, format_table2
+from .scenarios import (
+    SCENARIOS,
+    ScenarioOutcome,
+    native_slp,
+    native_upnp,
+    slp_to_jini_gateway,
+    slp_to_upnp_client_side,
+    slp_to_upnp_gateway,
+    slp_to_upnp_service_side,
+    upnp_to_slp_client_side,
+    upnp_to_slp_service_side,
+)
+from .sizing import (
+    InteropSizing,
+    SizeReport,
+    count_classes,
+    count_ncss,
+    indiss_size_reports,
+    interop_sizing,
+    measure_path,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_TRIALS",
+    "InteropSizing",
+    "Measurement",
+    "PAPER_RESULTS_MS",
+    "PAPER_TABLE2",
+    "PAPER_TESTBED",
+    "SCENARIOS",
+    "ScenarioOutcome",
+    "SizeReport",
+    "count_classes",
+    "count_ncss",
+    "format_measurements",
+    "format_table2",
+    "indiss_size_reports",
+    "interop_sizing",
+    "measure",
+    "measure_all",
+    "measure_path",
+    "native_slp",
+    "native_upnp",
+    "run_trials",
+    "slp_to_jini_gateway",
+    "slp_to_upnp_client_side",
+    "slp_to_upnp_gateway",
+    "slp_to_upnp_service_side",
+    "upnp_to_slp_client_side",
+    "upnp_to_slp_service_side",
+]

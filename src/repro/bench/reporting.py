@@ -1,0 +1,69 @@
+"""Paper-style table rendering for benchmark output.
+
+Every table/figure benchmark prints a paper-vs-measured block through
+these helpers so EXPERIMENTS.md and the benchmark logs read the same.
+"""
+
+from __future__ import annotations
+
+from .calibration import PAPER_TABLE2
+from .harness import Measurement
+from .sizing import InteropSizing, SizeReport
+
+
+def format_measurements(measurements: list[Measurement], title: str) -> str:
+    lines = [title, "=" * len(title)]
+    header = f"{'scenario':42s} {'paper (ms)':>12s} {'measured (ms)':>14s} {'ratio':>7s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for m in measurements:
+        paper = f"{m.paper_ms:.2f}" if m.paper_ms is not None else "-"
+        ratio = f"{m.ratio_to_paper:.2f}x" if m.ratio_to_paper is not None else "-"
+        lines.append(
+            f"{m.name:42s} {paper:>12s} {m.median_ms:>14.3f} {ratio:>7s}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(reports: dict[str, SizeReport], interop: InteropSizing) -> str:
+    lines = [
+        "Table 2: size requirements (this reproduction vs paper)",
+        "========================================================",
+        f"{'component':22s} {'KB':>8s} {'classes':>8s} {'NCSS':>7s}"
+        f" | {'paper KB':>9s} {'cls':>5s} {'NCSS':>6s}",
+    ]
+    rows = [
+        ("core_framework", "core_framework"),
+        ("upnp_unit", "upnp_unit"),
+        ("slp_unit", "slp_unit"),
+        ("indiss_total", "indiss_total"),
+        ("openslp", "openslp"),
+        ("cyberlink", "cyberlink"),
+    ]
+    for ours_key, paper_key in rows:
+        ours = reports[ours_key]
+        paper = PAPER_TABLE2[paper_key]
+        lines.append(
+            f"{ours.name:22s} {ours.kb:>8.1f} {ours.classes:>8d} {ours.ncss:>7d}"
+            f" | {paper['kb']:>9d} {paper['classes']:>5d} {paper['ncss']:>6d}"
+        )
+    lines.append("")
+    lines.append("Interoperability footprints (KB):")
+    lines.append(
+        f"  dual stack, no INDISS : {interop.dual_stack_kb:8.1f}"
+        f"   (paper {PAPER_TABLE2['dual_stack_no_indiss_kb']})"
+    )
+    lines.append(
+        f"  UPnP stack + INDISS   : {interop.upnp_with_indiss_kb:8.1f}"
+        f"   overhead {interop.upnp_overhead_pct:+5.1f}%"
+        f" (paper {PAPER_TABLE2['upnp_overhead_pct']:+.1f}%)"
+    )
+    lines.append(
+        f"  SLP stack + INDISS    : {interop.slp_with_indiss_kb:8.1f}"
+        f"   overhead {interop.slp_overhead_pct:+5.1f}%"
+        f" (paper {PAPER_TABLE2['slp_overhead_pct']:+.1f}%)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["format_measurements", "format_table2"]

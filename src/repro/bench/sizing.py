@@ -1,0 +1,174 @@
+"""Code-size accounting for Table 2 (KB / classes / NCSS).
+
+The paper compares INDISS's footprint (core framework + per-SDP units)
+against the native libraries (OpenSLP, CyberLink) and derives the
+with/without-INDISS composites.  We measure our own source tree the same
+way: bytes on disk, ``class`` definitions, and NCSS computed over the AST
+(non-comment source statements: every statement node except docstring
+expressions), which is the same definition the Java NCSS tools use.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Repository layout anchors (relative to the installed package).
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class SizeReport:
+    """KB / classes / NCSS for one component (one Table 2 row)."""
+
+    name: str
+    bytes: int = 0
+    classes: int = 0
+    ncss: int = 0
+    files: int = 0
+
+    @property
+    def kb(self) -> float:
+        return self.bytes / 1024.0
+
+    def __add__(self, other: "SizeReport") -> "SizeReport":
+        return SizeReport(
+            name=f"{self.name}+{other.name}",
+            bytes=self.bytes + other.bytes,
+            classes=self.classes + other.classes,
+            ncss=self.ncss + other.ncss,
+            files=self.files + other.files,
+        )
+
+
+def _is_docstring(node: ast.stmt, parent_body: list[ast.stmt]) -> bool:
+    return (
+        isinstance(node, ast.Expr)
+        and isinstance(node.value, ast.Constant)
+        and isinstance(node.value.value, str)
+        and parent_body
+        and parent_body[0] is node
+    )
+
+
+def count_ncss(source: str) -> int:
+    """Count non-comment source statements in one module."""
+    tree = ast.parse(source)
+    count = 0
+    # ast.walk visits every block-bearing node (including ExceptHandler),
+    # so collecting each node's own body/orelse/finalbody lists covers all
+    # statements exactly once.
+    for parent in ast.walk(tree):
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(parent, attr, None)
+            if not isinstance(block, list):
+                continue
+            for node in block:
+                if isinstance(node, ast.stmt) and not _is_docstring(node, block):
+                    count += 1
+    return count
+
+
+def count_classes(source: str) -> int:
+    tree = ast.parse(source)
+    return sum(1 for node in ast.walk(tree) if isinstance(node, ast.ClassDef))
+
+
+def measure_path(name: str, *paths: "str | Path") -> SizeReport:
+    """Measure every ``.py`` under the given files/directories."""
+    report = SizeReport(name=name)
+    for path in paths:
+        path = Path(path)
+        if not path.is_absolute():
+            path = _PACKAGE_ROOT / path
+        files = [path] if path.is_file() else sorted(path.rglob("*.py"))
+        for file in files:
+            source = file.read_text()
+            report.bytes += len(source.encode("utf-8"))
+            report.classes += count_classes(source)
+            report.ncss += count_ncss(source)
+            report.files += 1
+    return report
+
+
+def indiss_size_reports() -> dict[str, SizeReport]:
+    """Table 2's rows measured over this repository.
+
+    Component mapping (DESIGN.md §3):
+
+    * core framework  -> ``repro/core`` (+ the shared record helpers)
+    * UPnP unit       -> ``repro/units/upnp_unit.py``
+    * SLP unit        -> ``repro/units/slp_unit.py``
+    * OpenSLP         -> ``repro/sdp/slp`` (our from-scratch stand-in)
+    * CyberLink UPnP  -> ``repro/sdp/upnp``
+    """
+    core = measure_path("core_framework", "core", "units/records.py", "units/__init__.py")
+    upnp_unit = measure_path("upnp_unit", "units/upnp_unit.py")
+    slp_unit = measure_path("slp_unit", "units/slp_unit.py")
+    jini_unit = measure_path("jini_unit", "units/jini_unit.py")
+    openslp = measure_path("openslp_library", "sdp/slp")
+    cyberlink = measure_path("cyberlink_library", "sdp/upnp")
+    jini_library = measure_path("jini_library", "sdp/jini")
+
+    indiss_total = SizeReport(
+        name="indiss_total",
+        bytes=core.bytes + upnp_unit.bytes + slp_unit.bytes,
+        classes=core.classes + upnp_unit.classes + slp_unit.classes,
+        ncss=core.ncss + upnp_unit.ncss + slp_unit.ncss,
+        files=core.files + upnp_unit.files + slp_unit.files,
+    )
+    return {
+        "core_framework": core,
+        "upnp_unit": upnp_unit,
+        "slp_unit": slp_unit,
+        "jini_unit": jini_unit,
+        "indiss_total": indiss_total,
+        "openslp": openslp,
+        "cyberlink": cyberlink,
+        "jini_library": jini_library,
+    }
+
+
+@dataclass
+class InteropSizing:
+    """Table 2's bottom block: footprints with and without INDISS.
+
+    A node without INDISS that must interoperate hosts *both* native stacks
+    plus a ported client for the second protocol; a node with INDISS hosts
+    its own stack plus INDISS.
+    """
+
+    dual_stack_kb: float
+    upnp_with_indiss_kb: float
+    slp_with_indiss_kb: float
+
+    @property
+    def upnp_overhead_pct(self) -> float:
+        return 100.0 * (self.upnp_with_indiss_kb - self.dual_stack_kb) / self.dual_stack_kb
+
+    @property
+    def slp_overhead_pct(self) -> float:
+        return 100.0 * (self.slp_with_indiss_kb - self.dual_stack_kb) / self.dual_stack_kb
+
+
+def interop_sizing(reports: dict[str, SizeReport] | None = None) -> InteropSizing:
+    reports = reports if reports is not None else indiss_size_reports()
+    dual_stack = reports["openslp"].kb + reports["cyberlink"].kb
+    indiss = reports["indiss_total"].kb
+    return InteropSizing(
+        dual_stack_kb=dual_stack,
+        upnp_with_indiss_kb=reports["cyberlink"].kb + indiss,
+        slp_with_indiss_kb=reports["openslp"].kb + indiss,
+    )
+
+
+__all__ = [
+    "SizeReport",
+    "InteropSizing",
+    "count_ncss",
+    "count_classes",
+    "measure_path",
+    "indiss_size_reports",
+    "interop_sizing",
+]

@@ -1,0 +1,96 @@
+"""INDISS core: the paper's contribution (S5 in DESIGN.md).
+
+Event model (Table 1), DFA engine with the AddTuple/guard specification
+language, parser/composer framework, units, monitor component, translation
+bridge, service cache, configuration DSL and the adaptation manager.
+"""
+
+from .adaptation import AdaptationEvent, AdaptationManager
+from .cache import CacheEntry, ServiceCache
+from .composer import ComposeError, OutboundMessage, SdpComposer
+from .config import (
+    ConfigError,
+    FsmSpec,
+    PAPER_SPEC,
+    SystemSpec,
+    UnitSpec,
+    build_indiss_config,
+    parse_spec,
+)
+from .events import (
+    Event,
+    EventCategory,
+    EventType,
+    EventTypeRegistry,
+    MANDATORY_EVENTS,
+    REGISTRY,
+    bracket,
+    is_bracketed,
+    payload_events,
+)
+from .fsm import (
+    FsmError,
+    StateMachine,
+    StateMachineDefinition,
+    Transition,
+    TransitionRecord,
+    WILDCARD,
+)
+from .guardlang import ALWAYS, Guard, GuardError, compile_guard
+from .indiss import Indiss, IndissConfig, SessionStats
+from .monitor import MonitorComponent, SdpSighting
+from .parser import NetworkMeta, ParseError, SdpParser
+from .registry import IanaRegistry, SdpEntry, default_registry
+from .session import TranslationSession
+from .unit import IndissTimings, Unit, UnitRuntime
+
+__all__ = [
+    "ALWAYS",
+    "AdaptationEvent",
+    "AdaptationManager",
+    "CacheEntry",
+    "ComposeError",
+    "ConfigError",
+    "Event",
+    "EventCategory",
+    "EventType",
+    "EventTypeRegistry",
+    "FsmError",
+    "FsmSpec",
+    "Guard",
+    "GuardError",
+    "IanaRegistry",
+    "Indiss",
+    "IndissConfig",
+    "IndissTimings",
+    "MANDATORY_EVENTS",
+    "MonitorComponent",
+    "NetworkMeta",
+    "OutboundMessage",
+    "PAPER_SPEC",
+    "ParseError",
+    "REGISTRY",
+    "SdpComposer",
+    "SdpEntry",
+    "SdpParser",
+    "SdpSighting",
+    "ServiceCache",
+    "SessionStats",
+    "StateMachine",
+    "StateMachineDefinition",
+    "SystemSpec",
+    "Transition",
+    "TransitionRecord",
+    "TranslationSession",
+    "Unit",
+    "UnitRuntime",
+    "UnitSpec",
+    "WILDCARD",
+    "bracket",
+    "build_indiss_config",
+    "compile_guard",
+    "default_registry",
+    "is_bracketed",
+    "parse_spec",
+    "payload_events",
+]

@@ -1,0 +1,104 @@
+"""INDISS's cross-SDP service cache.
+
+Composers and the adaptation layer need to remember services learnt from
+any protocol: passively observed advertisements, and the results of earlier
+translation sessions (the unit FSMs "record events data from previous
+states", paper §2.3 — this cache is the system-level counterpart).  Entries
+carry the advertised TTL and expire in virtual time.
+
+The cache is what makes the paper's best case (Fig. 9b, 0.12 ms) possible:
+a warm INDISS instance answers a local M-SEARCH for an SLP-hosted service
+without any network round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..sdp.base import ServiceRecord, normalize_service_type
+
+
+@dataclass
+class CacheEntry:
+    record: ServiceRecord
+    stored_at_us: int
+    expires_at_us: float
+
+
+class ServiceCache:
+    """TTL'd store of normalized service records, keyed by (type, url)."""
+
+    def __init__(self, clock: Callable[[], int]):
+        self._clock = clock
+        self._entries: dict[tuple[str, str], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        self._evict()
+        return len(self._entries)
+
+    def store(self, record: ServiceRecord) -> None:
+        now = self._clock()
+        expires = now + record.lifetime_s * 1_000_000
+        self._entries[(record.service_type, record.url)] = CacheEntry(
+            record=record, stored_at_us=now, expires_at_us=expires
+        )
+
+    def remove_url(self, url: str) -> int:
+        """Drop every record for ``url`` (byebye handling); returns count."""
+        keys = [key for key in self._entries if key[1] == url]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    def remove_type(self, service_type: str, source_sdp: str = "") -> int:
+        """Drop records of one normalized type (SSDP byebye names only the
+        NT, never a service URL); returns count."""
+        wanted = normalize_service_type(service_type)
+        keys = [
+            key
+            for key, entry in self._entries.items()
+            if entry.record.service_type == wanted
+            and (not source_sdp or entry.record.source_sdp == source_sdp)
+        ]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    def lookup(self, service_type: str) -> list[ServiceRecord]:
+        """All live records whose normalized type matches."""
+        self._evict()
+        wanted = normalize_service_type(service_type)
+        found = [
+            entry.record
+            for entry in self._entries.values()
+            if entry.record.service_type == wanted
+        ]
+        if found:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return found
+
+    def lookup_any(self) -> list[ServiceRecord]:
+        self._evict()
+        return [entry.record for entry in self._entries.values()]
+
+    def records_from(self, source_sdp: str) -> list[ServiceRecord]:
+        self._evict()
+        return [
+            entry.record
+            for entry in self._entries.values()
+            if entry.record.source_sdp == source_sdp
+        ]
+
+    def _evict(self) -> None:
+        now = self._clock()
+        expired = [key for key, entry in self._entries.items() if entry.expires_at_us <= now]
+        for key in expired:
+            del self._entries[key]
+
+
+__all__ = ["ServiceCache", "CacheEntry"]

@@ -1,0 +1,369 @@
+"""The INDISS system-specification DSL (paper §3, Figure 5a).
+
+The paper configures an instance with a textual specification::
+
+    System SDP = {
+        Component Monitor = {
+            ScanPort = { 1900; 1846; 4160; 427 }
+        }
+        Component Unit SLP(port=1846,427);
+        Component Unit UPnP(port=1900);
+        Component Unit JINI(port=4160);
+    }
+
+and units / state machines with::
+
+    Component Unit UPnP = {
+        setFSM(fsm, UPNP);
+        AddParser(component, SSDP);
+        AddComposer(component, SSDP);
+    }
+    Component UPnP-FSM = {
+        AddTuple(idle, SDP_SERVICE_REQUEST, , searching, send_msearch);
+    }
+
+This module parses that syntax into :class:`SystemSpec` /
+:class:`UnitSpec` / :class:`FsmSpec` values, from which
+:func:`build_indiss_config` derives an :class:`~repro.core.indiss.IndissConfig`
+and :meth:`FsmSpec.to_definition` builds a runnable
+:class:`~repro.core.fsm.StateMachineDefinition`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .events import REGISTRY
+from .fsm import StateMachineDefinition
+
+
+class ConfigError(Exception):
+    """Raised for malformed specification text."""
+
+
+@dataclass
+class UnitSpec:
+    name: str
+    ports: tuple[int, ...] = ()
+    fsm: str = ""
+    parsers: tuple[str, ...] = ()
+    composers: tuple[str, ...] = ()
+
+
+@dataclass
+class FsmSpec:
+    name: str
+    tuples: list[tuple[str, str, str, str, tuple[str, ...]]] = field(default_factory=list)
+    accepting: tuple[str, ...] = ()
+
+    def to_definition(self) -> StateMachineDefinition:
+        """Compile into a runnable DFA; triggers resolve via the event
+        registry, '*' is the wildcard."""
+        if not self.tuples:
+            raise ConfigError(f"FSM {self.name!r} has no AddTuple rows")
+        initial = self.tuples[0][0]
+        definition = StateMachineDefinition(self.name, initial)
+        for current, trigger, guard, new, actions in self.tuples:
+            if trigger == "*":
+                triggers = "*"
+            else:
+                names = [t.strip() for t in trigger.split("|") if t.strip()]
+                try:
+                    triggers = [REGISTRY.get(name) for name in names]
+                except KeyError as exc:
+                    raise ConfigError(str(exc)) from exc
+            definition.add_tuple(current, triggers, guard or None, new, actions)
+        if self.accepting:
+            definition.accept(*self.accepting)
+        return definition
+
+
+@dataclass
+class SystemSpec:
+    name: str = "SDP"
+    scan_ports: tuple[int, ...] = ()
+    units: dict[str, UnitSpec] = field(default_factory=dict)
+    fsms: dict[str, FsmSpec] = field(default_factory=dict)
+
+    def unit_names(self) -> tuple[str, ...]:
+        return tuple(u.lower() for u in self.units)
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<string>'[^']*')
+  | (?P<brace>[{}])
+  | (?P<semi>;)
+  | (?P<comma>,)
+  | (?P<eq>=)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<word>[A-Za-z_][A-Za-z_0-9.\-*|]*|\d+|\*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ConfigError(f"bad character at offset {pos}: {text[pos:pos+20]!r}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append((match.lastgroup, match.group()))
+    return tokens
+
+
+class _SpecParser:
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._pos = 0
+        self.spec = SystemSpec()
+
+    def _peek(self):
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else (None, None)
+
+    def _next(self):
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> str:
+        token_kind, token_value = self._next()
+        if token_kind != kind or (value is not None and token_value != value):
+            raise ConfigError(
+                f"expected {value or kind!r}, found {token_value!r} (token {self._pos - 1})"
+            )
+        return token_value
+
+    def parse(self) -> SystemSpec:
+        while self._peek() != (None, None):
+            kind, value = self._peek()
+            if kind == "word" and value == "System":
+                self._parse_system()
+            elif kind == "word" and value == "Component":
+                self._parse_component()
+            else:
+                raise ConfigError(f"unexpected top-level token {value!r}")
+        return self.spec
+
+    def _parse_system(self) -> None:
+        self._expect("word", "System")
+        _, name = self._next()
+        self.spec.name = name
+        self._expect("eq")
+        self._expect("brace", "{")
+        while self._peek() != ("brace", "}"):
+            self._parse_component()
+        self._expect("brace", "}")
+
+    def _parse_component(self) -> None:
+        self._expect("word", "Component")
+        kind_token = self._expect("word")
+        if kind_token == "Monitor":
+            self._parse_monitor()
+        elif kind_token == "Unit":
+            self._parse_unit()
+        else:
+            # Component <Name>-FSM = { AddTuple(...); ... }
+            self._parse_fsm(kind_token)
+
+    def _parse_monitor(self) -> None:
+        self._expect("eq")
+        self._expect("brace", "{")
+        self._expect("word", "ScanPort")
+        self._expect("eq")
+        self._expect("brace", "{")
+        ports = []
+        while self._peek() != ("brace", "}"):
+            kind, value = self._next()
+            if kind == "word" and value.isdigit():
+                ports.append(int(value))
+            elif kind in ("semi", "comma"):
+                continue
+            else:
+                raise ConfigError(f"bad ScanPort entry {value!r}")
+        self._expect("brace", "}")
+        self._expect("brace", "}")
+        self.spec.scan_ports = tuple(ports)
+
+    def _parse_unit(self) -> None:
+        name = self._expect("word")
+        unit = self.spec.units.setdefault(name, UnitSpec(name=name))
+        kind, value = self._peek()
+        if (kind, value) == ("lpar", "("):
+            self._next()
+            self._expect("word", "port")
+            self._expect("eq")
+            ports = []
+            while self._peek() != ("rpar", ")"):
+                token_kind, token_value = self._next()
+                if token_kind == "word" and token_value.isdigit():
+                    ports.append(int(token_value))
+                elif token_kind == "comma":
+                    continue
+                else:
+                    raise ConfigError(f"bad port list entry {token_value!r}")
+            self._expect("rpar")
+            unit.ports = tuple(ports)
+            self._consume_optional_semi()
+            return
+        if (kind, value) == ("eq", "="):
+            self._next()
+            self._expect("brace", "{")
+            while self._peek() != ("brace", "}"):
+                self._parse_unit_statement(unit)
+            self._expect("brace", "}")
+            self._consume_optional_semi()
+            return
+        self._consume_optional_semi()
+
+    def _parse_unit_statement(self, unit: UnitSpec) -> None:
+        fn = self._expect("word")
+        self._expect("lpar")
+        args = self._parse_call_args()
+        self._expect("rpar")
+        self._consume_optional_semi()
+        if fn == "setFSM":
+            unit.fsm = args[-1]
+        elif fn == "AddParser":
+            unit.parsers = unit.parsers + (args[-1],)
+        elif fn == "AddComposer":
+            unit.composers = unit.composers + (args[-1],)
+        else:
+            raise ConfigError(f"unknown unit statement {fn!r}")
+
+    def _parse_fsm(self, raw_name: str) -> None:
+        if not raw_name.endswith("-FSM"):
+            raise ConfigError(f"unknown component kind {raw_name!r}")
+        name = raw_name[: -len("-FSM")]
+        fsm = self.spec.fsms.setdefault(name, FsmSpec(name=name))
+        self._expect("eq")
+        self._expect("brace", "{")
+        while self._peek() != ("brace", "}"):
+            statement = self._expect("word")
+            self._expect("lpar")
+            args = self._parse_call_args()
+            self._expect("rpar")
+            self._consume_optional_semi()
+            if statement == "AddTuple":
+                if len(args) < 4:
+                    raise ConfigError(f"AddTuple needs >=4 arguments, got {args}")
+                current, trigger, guard, new = args[0], args[1], args[2], args[3]
+                actions = tuple(args[4:])
+                fsm.tuples.append((current, trigger, guard, new, actions))
+            elif statement == "Accept":
+                fsm.accepting = fsm.accepting + tuple(args)
+            else:
+                raise ConfigError(f"unknown FSM statement {statement!r}")
+        self._expect("brace", "}")
+        self._consume_optional_semi()
+
+    def _parse_call_args(self) -> list[str]:
+        """Comma-separated words or 'quoted strings'; elided args become ''."""
+        args: list[str] = []
+        expecting_value = True
+        while self._peek() != ("rpar", ")"):
+            kind, value = self._next()
+            if kind == "comma":
+                if expecting_value:
+                    args.append("")
+                expecting_value = True
+                continue
+            if kind == "word":
+                args.append(value)
+                expecting_value = False
+            elif kind == "string":
+                args.append(value[1:-1])
+                expecting_value = False
+            else:
+                raise ConfigError(f"bad call argument {value!r}")
+        if expecting_value and args:
+            args.append("")
+        return args
+
+    def _consume_optional_semi(self) -> None:
+        if self._peek() == ("semi", ";"):
+            self._next()
+
+
+def parse_spec(text: str) -> SystemSpec:
+    """Parse a specification document into a :class:`SystemSpec`."""
+    return _SpecParser(text).parse()
+
+
+#: The paper's own Figure 5a specification, usable as a default.
+PAPER_SPEC = """
+System SDP = {
+    Component Monitor = {
+        ScanPort = { 1900; 1846; 4160; 427 }
+    }
+    Component Unit SLP(port=1846,427);
+    Component Unit UPnP(port=1900);
+    Component Unit JINI(port=4160);
+}
+"""
+
+
+def fsm_to_spec_text(definition: StateMachineDefinition) -> str:
+    """Render a DFA back into the paper's ``Component X-FSM`` syntax.
+
+    Named actions render directly; callable actions cannot be serialized
+    and raise.  ``parse_spec(fsm_to_spec_text(d))`` compiles back to an
+    equivalent definition — the round-trip the DSL tests verify.
+    """
+    lines = [f"Component {definition.name}-FSM = {{"]
+    for transition in definition.transitions:
+        if transition.triggers == "*":
+            trigger_text = "*"
+        else:
+            trigger_text = "|".join(sorted(t.name for t in transition.triggers))
+        guard_text = f"'{transition.guard.text}'" if transition.guard.text else ""
+        action_parts = []
+        for action in transition.actions:
+            if callable(action):
+                raise ConfigError(
+                    f"FSM {definition.name!r} has a callable action; only "
+                    "named actions serialize to the DSL"
+                )
+            action_parts.append(action)
+        actions_text = ", ".join(action_parts)
+        row = f"    AddTuple({transition.state}, {trigger_text}, {guard_text}, {transition.next_state}"
+        if actions_text:
+            row += f", {actions_text}"
+        row += ");"
+        lines.append(row)
+    if definition.accepting_states:
+        accepted = ", ".join(sorted(definition.accepting_states))
+        lines.append(f"    Accept({accepted});")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def build_indiss_config(spec: SystemSpec, **overrides):
+    """Derive an :class:`~repro.core.indiss.IndissConfig` from a spec."""
+    from .indiss import IndissConfig
+
+    known = {"slp", "upnp", "jini"}
+    units = tuple(u for u in spec.unit_names() if u in known)
+    if not units:
+        raise ConfigError(f"specification {spec.name!r} declares no known units")
+    return IndissConfig(units=units, **overrides)
+
+
+__all__ = [
+    "ConfigError",
+    "FsmSpec",
+    "PAPER_SPEC",
+    "SystemSpec",
+    "UnitSpec",
+    "build_indiss_config",
+    "fsm_to_spec_text",
+    "parse_spec",
+]

@@ -1,0 +1,272 @@
+"""INDISS semantic events (paper §2.3, Table 1).
+
+Parsers translate native SDP messages into streams of these events;
+composers translate streams back into native messages.  The **mandatory
+set** is the greatest common denominator of all SDPs — every parser must be
+able to generate it, every composer must understand it.  SDP-specific
+events extend the set; composers silently discard the ones they do not
+know, which is how "the richest SDPs interact using their advanced features
+without being misunderstood by the poorest".
+
+Three open extension sets (Registration / Discovery / Advertisement,
+paper §2.3) admit new events without touching existing units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping
+
+
+class EventCategory(Enum):
+    """Table 1's event-set partitions plus the three extension sets."""
+
+    CONTROL = "SDP Control Events"
+    NETWORK = "SDP Network Events"
+    SERVICE = "SDP Service Events"
+    REQUEST = "SDP Request Events"
+    RESPONSE = "SDP Response Events"
+    REGISTRATION = "Registration Events"
+    DISCOVERY = "Discovery Events"
+    ADVERTISEMENT = "Advertisement Events"
+
+
+@dataclass(frozen=True)
+class EventType:
+    """One interned event type; compare by identity or name."""
+
+    name: str
+    category: EventCategory
+    mandatory: bool = False
+    #: Empty for common events; the owning SDP id for specific ones.
+    sdp: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return self.name
+
+
+class EventTypeRegistry:
+    """The global table of known event types (extensible at runtime)."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, EventType] = {}
+
+    def define(
+        self,
+        name: str,
+        category: EventCategory,
+        mandatory: bool = False,
+        sdp: str = "",
+    ) -> EventType:
+        """Register (or fetch, if identical) an event type.
+
+        Redefinition with different properties is an error: event names are
+        the contract between parsers and composers.
+        """
+        existing = self._by_name.get(name)
+        candidate = EventType(name=name, category=category, mandatory=mandatory, sdp=sdp)
+        if existing is not None:
+            if existing != candidate:
+                raise ValueError(
+                    f"event type {name!r} already defined with different properties"
+                )
+            return existing
+        self._by_name[name] = candidate
+        return candidate
+
+    def get(self, name: str) -> EventType:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown event type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def mandatory_set(self) -> frozenset[EventType]:
+        return frozenset(t for t in self._by_name.values() if t.mandatory)
+
+    def sdp_specific(self, sdp: str) -> frozenset[EventType]:
+        return frozenset(t for t in self._by_name.values() if t.sdp == sdp)
+
+    def all_types(self) -> list[EventType]:
+        return list(self._by_name.values())
+
+
+#: The process-wide registry (paper: one fixed common set + per-SDP sets).
+REGISTRY = EventTypeRegistry()
+
+_d = REGISTRY.define
+
+# -- Table 1: mandatory events ------------------------------------------------
+
+# SDP Control Events
+SDP_C_START = _d("SDP_C_START", EventCategory.CONTROL, mandatory=True)
+SDP_C_STOP = _d("SDP_C_STOP", EventCategory.CONTROL, mandatory=True)
+SDP_C_PARSER_SWITCH = _d("SDP_C_PARSER_SWITCH", EventCategory.CONTROL, mandatory=True)
+SDP_C_SOCKET_SWITCH = _d("SDP_C_SOCKET_SWITCH", EventCategory.CONTROL, mandatory=True)
+
+# SDP Network Events
+SDP_NET_UNICAST = _d("SDP_NET_UNICAST", EventCategory.NETWORK, mandatory=True)
+SDP_NET_MULTICAST = _d("SDP_NET_MULTICAST", EventCategory.NETWORK, mandatory=True)
+SDP_NET_SOURCE_ADDR = _d("SDP_NET_SOURCE_ADDR", EventCategory.NETWORK, mandatory=True)
+SDP_NET_DEST_ADDR = _d("SDP_NET_DEST_ADDR", EventCategory.NETWORK, mandatory=True)
+SDP_NET_TYPE = _d("SDP_NET_TYPE", EventCategory.NETWORK, mandatory=True)
+
+# SDP Service Events
+SDP_SERVICE_REQUEST = _d("SDP_SERVICE_REQUEST", EventCategory.SERVICE, mandatory=True)
+SDP_SERVICE_RESPONSE = _d("SDP_SERVICE_RESPONSE", EventCategory.SERVICE, mandatory=True)
+SDP_SERVICE_ALIVE = _d("SDP_SERVICE_ALIVE", EventCategory.SERVICE, mandatory=True)
+SDP_SERVICE_BYEBYE = _d("SDP_SERVICE_BYEBYE", EventCategory.SERVICE, mandatory=True)
+SDP_SERVICE_TYPE = _d("SDP_SERVICE_TYPE", EventCategory.SERVICE, mandatory=True)
+SDP_SERVICE_ATTR = _d("SDP_SERVICE_ATTR", EventCategory.SERVICE, mandatory=True)
+
+# SDP Request Events
+SDP_REQ_LANG = _d("SDP_REQ_LANG", EventCategory.REQUEST, mandatory=True)
+
+# SDP Response Events
+SDP_RES_OK = _d("SDP_RES_OK", EventCategory.RESPONSE, mandatory=True)
+SDP_RES_ERR = _d("SDP_RES_ERR", EventCategory.RESPONSE, mandatory=True)
+SDP_RES_TTL = _d("SDP_RES_TTL", EventCategory.RESPONSE, mandatory=True)
+SDP_RES_SERV_URL = _d("SDP_RES_SERV_URL", EventCategory.RESPONSE, mandatory=True)
+
+# -- Common extension events (paper §2.3-§2.4) ---------------------------------
+
+#: Attribute name/value carried in a response (Fig. 4: "The XML description
+#: is converted to several SDP_RES_ATTR events").
+SDP_RES_ATTR = _d("SDP_RES_ATTR", EventCategory.ADVERTISEMENT)
+
+# -- SLP-specific events (Fig. 4, step 1) -------------------------------------
+
+SDP_REQ_VERSION = _d("SDP_REQ_VERSION", EventCategory.REQUEST, sdp="slp")
+SDP_REQ_SCOPE = _d("SDP_REQ_SCOPE", EventCategory.REQUEST, sdp="slp")
+SDP_REQ_PREDICATE = _d("SDP_REQ_PREDICATE", EventCategory.REQUEST, sdp="slp")
+SDP_REQ_ID = _d("SDP_REQ_ID", EventCategory.REQUEST, sdp="slp")
+SDP_REG_SCOPE = _d("SDP_REG_SCOPE", EventCategory.REGISTRATION, sdp="slp")
+
+# -- UPnP-specific events (Fig. 4, steps 2-3) -----------------------------------
+
+#: URL of the device description document (the SSDP LOCATION header).
+SDP_DEVICE_URL_DESC = _d("SDP_DEVICE_URL_DESC", EventCategory.DISCOVERY, sdp="upnp")
+SDP_DEVICE_USN = _d("SDP_DEVICE_USN", EventCategory.DISCOVERY, sdp="upnp")
+SDP_DEVICE_MAX_AGE = _d("SDP_DEVICE_MAX_AGE", EventCategory.DISCOVERY, sdp="upnp")
+SDP_DEVICE_SERVER = _d("SDP_DEVICE_SERVER", EventCategory.DISCOVERY, sdp="upnp")
+
+# -- Jini-specific events ---------------------------------------------------------
+
+SDP_JINI_REGISTRAR = _d("SDP_JINI_REGISTRAR", EventCategory.DISCOVERY, sdp="jini")
+SDP_JINI_SERVICE_ID = _d("SDP_JINI_SERVICE_ID", EventCategory.DISCOVERY, sdp="jini")
+SDP_JINI_GROUPS = _d("SDP_JINI_GROUPS", EventCategory.DISCOVERY, sdp="jini")
+
+
+_EMPTY: Mapping = MappingProxyType({})
+
+
+@dataclass(frozen=True)
+class Event:
+    """One semantic event: a type tag plus read-only data (paper §2.3:
+    "Events are basic elements and consist of two parts: event type and
+    data")."""
+
+    type: EventType
+    data: Mapping = field(default_factory=lambda: _EMPTY)
+
+    @staticmethod
+    def of(event_type: EventType, **data) -> "Event":
+        return Event(type=event_type, data=MappingProxyType(dict(data)))
+
+    def get(self, key: str, default=None):
+        return self.data.get(key, default)
+
+    @property
+    def name(self) -> str:
+        return self.type.name
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        if not self.data:
+            return self.type.name
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"{self.type.name}({inner})"
+
+
+def bracket(events: Iterable[Event], **start_data) -> list[Event]:
+    """Wrap an event sequence with SDP_C_START / SDP_C_STOP (paper §2.4:
+    "The event stream always starts with a SDP_C_START event and ends with a
+    SDP_C_STOP event to specify the events belonging to a same message")."""
+    inner = list(events)
+    return [Event.of(SDP_C_START, **start_data), *inner, Event.of(SDP_C_STOP)]
+
+
+def is_bracketed(events: list[Event]) -> bool:
+    return (
+        len(events) >= 2
+        and events[0].type is SDP_C_START
+        and events[-1].type is SDP_C_STOP
+    )
+
+
+def payload_events(events: Iterable[Event]) -> Iterator[Event]:
+    """The events of a stream minus the START/STOP brackets."""
+    for event in events:
+        if event.type is SDP_C_START or event.type is SDP_C_STOP:
+            continue
+        yield event
+
+
+MANDATORY_EVENTS = REGISTRY.mandatory_set()
+
+
+__all__ = [
+    "Event",
+    "EventCategory",
+    "EventType",
+    "EventTypeRegistry",
+    "REGISTRY",
+    "MANDATORY_EVENTS",
+    "bracket",
+    "is_bracketed",
+    "payload_events",
+    # mandatory control
+    "SDP_C_START",
+    "SDP_C_STOP",
+    "SDP_C_PARSER_SWITCH",
+    "SDP_C_SOCKET_SWITCH",
+    # mandatory network
+    "SDP_NET_UNICAST",
+    "SDP_NET_MULTICAST",
+    "SDP_NET_SOURCE_ADDR",
+    "SDP_NET_DEST_ADDR",
+    "SDP_NET_TYPE",
+    # mandatory service
+    "SDP_SERVICE_REQUEST",
+    "SDP_SERVICE_RESPONSE",
+    "SDP_SERVICE_ALIVE",
+    "SDP_SERVICE_BYEBYE",
+    "SDP_SERVICE_TYPE",
+    "SDP_SERVICE_ATTR",
+    # mandatory request/response
+    "SDP_REQ_LANG",
+    "SDP_RES_OK",
+    "SDP_RES_ERR",
+    "SDP_RES_TTL",
+    "SDP_RES_SERV_URL",
+    # common extensions
+    "SDP_RES_ATTR",
+    # slp-specific
+    "SDP_REQ_VERSION",
+    "SDP_REQ_SCOPE",
+    "SDP_REQ_PREDICATE",
+    "SDP_REQ_ID",
+    "SDP_REG_SCOPE",
+    # upnp-specific
+    "SDP_DEVICE_URL_DESC",
+    "SDP_DEVICE_USN",
+    "SDP_DEVICE_MAX_AGE",
+    "SDP_DEVICE_SERVER",
+    # jini-specific
+    "SDP_JINI_REGISTRAR",
+    "SDP_JINI_SERVICE_ID",
+    "SDP_JINI_GROUPS",
+]

@@ -1,0 +1,305 @@
+"""Condition-guard expressions for unit state machines (paper §2.3, §3).
+
+The paper specifies FSM transitions as
+``AddTuple(CurrentState, triggers, condition-guards, NewState, actions)``
+where *condition-guards are Boolean expressions on events*.  This module
+implements that expression language safely (no ``eval``):
+
+Grammar::
+
+    expr     = or_expr
+    or_expr  = and_expr { "or" and_expr }
+    and_expr = not_expr { "and" not_expr }
+    not_expr = "not" not_expr | comparison
+    comparison = operand [ ("==" | "!=" | "<=" | ">=" | "<" | ">") operand ]
+               | "exists" "(" path ")"
+    operand  = string | number | "true" | "false" | path | "(" expr ")"
+    path     = identifier { "." identifier }
+
+Paths resolve against the evaluation context: ``event.type`` is the event's
+type name, ``data.<key>`` reads event data, ``vars.<key>`` reads the unit's
+recorded state variables (paper: "events data from previous states are
+recorded using state variables").  Missing paths resolve to ``None``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from .events import Event
+
+
+class GuardError(Exception):
+    """Raised for malformed guard expressions."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+)
+  | (?P<op>==|!=|<=|>=|<|>|\(|\))
+  | (?P<path>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "exists"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise GuardError(f"bad character at {pos} in guard {text!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "path" and value.lower() in _KEYWORDS:
+            tokens.append(("kw", value.lower()))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+@dataclass(frozen=True)
+class _Literal:
+    value: Any
+
+    def evaluate(self, context: Mapping) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class _Path:
+    parts: tuple[str, ...]
+
+    def evaluate(self, context: Mapping) -> Any:
+        current: Any = context
+        for part in self.parts:
+            if isinstance(current, Mapping):
+                current = current.get(part)
+            else:
+                current = getattr(current, part, None)
+            if current is None:
+                return None
+        return current
+
+
+@dataclass(frozen=True)
+class _Exists:
+    path: _Path
+
+    def evaluate(self, context: Mapping) -> bool:
+        return self.path.evaluate(context) is not None
+
+
+@dataclass(frozen=True)
+class _Compare:
+    op: str
+    left: Any
+    right: Any
+
+    def evaluate(self, context: Mapping) -> bool:
+        left = self.left.evaluate(context)
+        right = self.right.evaluate(context)
+        if self.op == "==":
+            return _coerce_eq(left, right)
+        if self.op == "!=":
+            return not _coerce_eq(left, right)
+        left_n, right_n = _coerce_order(left, right)
+        if left_n is None or right_n is None:
+            return False
+        if self.op == "<":
+            return left_n < right_n
+        if self.op == "<=":
+            return left_n <= right_n
+        if self.op == ">":
+            return left_n > right_n
+        if self.op == ">=":
+            return left_n >= right_n
+        raise GuardError(f"unknown operator {self.op!r}")  # pragma: no cover
+
+
+def _coerce_eq(left: Any, right: Any) -> bool:
+    if isinstance(left, str) and isinstance(right, int):
+        try:
+            return int(left) == right
+        except ValueError:
+            return False
+    if isinstance(right, str) and isinstance(left, int):
+        try:
+            return left == int(right)
+        except ValueError:
+            return False
+    return left == right
+
+
+def _coerce_order(left: Any, right: Any):
+    def as_number(value):
+        if isinstance(value, (int, float)):
+            return value
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                return None
+        return None
+
+    return as_number(left), as_number(right)
+
+
+@dataclass(frozen=True)
+class _Not:
+    child: Any
+
+    def evaluate(self, context: Mapping) -> bool:
+        return not _truthy(self.child.evaluate(context))
+
+
+@dataclass(frozen=True)
+class _And:
+    left: Any
+    right: Any
+
+    def evaluate(self, context: Mapping) -> bool:
+        return _truthy(self.left.evaluate(context)) and _truthy(self.right.evaluate(context))
+
+
+@dataclass(frozen=True)
+class _Or:
+    left: Any
+    right: Any
+
+    def evaluate(self, context: Mapping) -> bool:
+        return _truthy(self.left.evaluate(context)) or _truthy(self.right.evaluate(context))
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value)
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._pos = 0
+
+    def _peek(self):
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else (None, None)
+
+    def _next(self):
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None):
+        token_kind, token_value = self._next()
+        if token_kind != kind or (value is not None and token_value != value):
+            raise GuardError(
+                f"expected {value or kind} at token {self._pos - 1} in {self._text!r}"
+            )
+        return token_value
+
+    def parse(self):
+        node = self._or()
+        if self._pos != len(self._tokens):
+            raise GuardError(f"trailing tokens in guard {self._text!r}")
+        return node
+
+    def _or(self):
+        node = self._and()
+        while self._peek() == ("kw", "or"):
+            self._next()
+            node = _Or(node, self._and())
+        return node
+
+    def _and(self):
+        node = self._not()
+        while self._peek() == ("kw", "and"):
+            self._next()
+            node = _And(node, self._not())
+        return node
+
+    def _not(self):
+        if self._peek() == ("kw", "not"):
+            self._next()
+            return _Not(self._not())
+        return self._comparison()
+
+    def _comparison(self):
+        kind, value = self._peek()
+        if kind == "kw" and value == "exists":
+            self._next()
+            self._expect("op", "(")
+            path_kind, path_value = self._next()
+            if path_kind != "path":
+                raise GuardError(f"exists() needs a path in {self._text!r}")
+            self._expect("op", ")")
+            return _Exists(_Path(tuple(path_value.split("."))))
+        left = self._operand()
+        kind, value = self._peek()
+        if kind == "op" and value in ("==", "!=", "<=", ">=", "<", ">"):
+            self._next()
+            right = self._operand()
+            return _Compare(value, left, right)
+        return left
+
+    def _operand(self):
+        kind, value = self._next()
+        if kind == "string":
+            return _Literal(value[1:-1])
+        if kind == "number":
+            return _Literal(int(value))
+        if kind == "kw" and value in ("true", "false"):
+            return _Literal(value == "true")
+        if kind == "path":
+            return _Path(tuple(value.split(".")))
+        if kind == "op" and value == "(":
+            node = self._or()
+            self._expect("op", ")")
+            return node
+        raise GuardError(f"unexpected token {value!r} in guard {self._text!r}")
+
+
+class Guard:
+    """A compiled guard expression, evaluable against (event, vars)."""
+
+    def __init__(self, text: str):
+        self.text = text.strip()
+        if not self.text:
+            self._ast = _Literal(True)
+        else:
+            self._ast = _Parser(_tokenize(self.text), self.text).parse()
+
+    def evaluate(self, event: Event, variables: Mapping | None = None) -> bool:
+        context = {
+            "event": {"type": event.type.name, "category": event.type.category.name},
+            "data": dict(event.data),
+            "vars": dict(variables or {}),
+        }
+        return _truthy(self._ast.evaluate(context))
+
+    def __repr__(self) -> str:  # pragma: no cover - display convenience
+        return f"Guard({self.text!r})"
+
+
+ALWAYS = Guard("")
+
+
+def compile_guard(guard: "str | Guard | None") -> Guard:
+    """Accept a guard string, a pre-compiled Guard, or None (always true)."""
+    if guard is None:
+        return ALWAYS
+    if isinstance(guard, Guard):
+        return guard
+    return Guard(guard)
+
+
+__all__ = ["Guard", "GuardError", "ALWAYS", "compile_guard"]

@@ -1,0 +1,365 @@
+"""The INDISS system: monitor + units + dynamic composition (paper §2-§3).
+
+One :class:`Indiss` instance runs on a node (client host, service host, or
+gateway — paper §4.2 analyses all three placements) and is *transparent*:
+native clients and services keep using their own protocols; INDISS joins
+the SDP multicast groups beside them and translates.
+
+Message flow (Figures 2 and 3):
+
+1. the monitor detects the SDP by arrival port and hands the raw data over;
+2. the source unit's parser turns it into a bracketed event stream;
+3. request streams open a :class:`TranslationSession` routed to every other
+   instantiated unit (or answered straight from the service cache);
+4. the target unit drives its native discovery process — possibly several
+   recursive requests — and completes the session with a reply stream;
+5. the origin unit's composer renders the native reply to the requester.
+
+Advertisement streams update the cache, and — when advertisement
+translation is enabled (the Fig. 6 active mode) — are re-announced through
+the other units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..net import Node
+from ..sdp.base import ServiceRecord
+from .cache import ServiceCache
+from .events import (
+    Event,
+    SDP_REQ_ID,
+    SDP_SERVICE_ALIVE,
+    SDP_SERVICE_BYEBYE,
+    SDP_SERVICE_REQUEST,
+    SDP_SERVICE_RESPONSE,
+    SDP_SERVICE_TYPE,
+)
+from .monitor import MonitorComponent
+from .parser import NetworkMeta
+from .registry import IanaRegistry, default_registry
+from .session import TranslationSession
+from .unit import IndissTimings, Unit, UnitRuntime
+
+UnitFactory = Callable[["Indiss", UnitRuntime], Unit]
+
+
+@dataclass
+class IndissConfig:
+    """Deployment-time configuration (paper §3: "Configuration of a INDISS
+    instance is initially defined in terms of supported SDPs")."""
+
+    #: SDP units this instance supports.
+    units: tuple[str, ...] = ("slp", "upnp")
+    #: Where this instance sits; informational plus used by benchmarks.
+    deployment: str = "client"  # "client" | "service" | "gateway"
+    #: "eager" instantiates all units up front; "on-detection" instantiates
+    #: a unit the first time its SDP is detected (Fig. 5 dynamics).
+    instantiate: str = "eager"
+    #: Answer requests from the service cache when possible (Fig. 9b).
+    answer_from_cache: bool = False
+    #: Learn services from observed responses/advertisements.
+    cache_discoveries: bool = True
+    #: Re-announce foreign services through other units (Fig. 6 active mode).
+    translate_advertisements: bool = False
+    #: Suppress duplicate requests (native retransmissions) within window.
+    #: SLP user agents retransmit with the same XID well after the first
+    #: send, so the window spans whole convergence periods.
+    dedup_window_us: int = 2_000_000
+    timings: IndissTimings = field(default_factory=IndissTimings)
+    #: SSDP responder jitter window for the UPnP unit answering remote
+    #: requesters (calibration sets this to the CyberLink window).
+    upnp_responder_delay_us: tuple[int, int] = (0, 0)
+    #: UPnP unit search wait before giving up on a session.
+    upnp_wait_us: int = 150_000
+    #: SLP unit convergence wait.
+    slp_wait_us: int = 15_000
+    seed: int = 0
+
+
+@dataclass
+class SessionStats:
+    opened: int = 0
+    completed: int = 0
+    answered_from_cache: int = 0
+    timed_out: int = 0
+    duplicates_suppressed: int = 0
+
+
+class Indiss:
+    """One deployed INDISS instance."""
+
+    def __init__(
+        self,
+        node: Node,
+        config: IndissConfig | None = None,
+        registry: IanaRegistry | None = None,
+        unit_factories: dict[str, UnitFactory] | None = None,
+    ):
+        self.node = node
+        self.config = config if config is not None else IndissConfig()
+        self.registry = registry if registry is not None else default_registry()
+        self.monitor = MonitorComponent(node, self.registry, scan=self.config.units)
+        self.monitor.on_raw = self._on_raw
+        self.monitor.on_detected = self._on_detected
+        self.cache = ServiceCache(lambda: node.now_us)
+        self.units: dict[str, Unit] = {}
+        self.sessions: list[TranslationSession] = []
+        self.stats = SessionStats()
+        self.detections: list[str] = []
+        self._recent_requests: dict[tuple, int] = {}
+        self._factories = dict(unit_factories or {})
+        #: Application-layer listeners tracing every parsed stream
+        #: (paper §2.3: upper layers "trace, in real time, SDP internal
+        #: mechanisms").
+        self.stream_listeners: list[Callable[[str, list[Event], NetworkMeta], None]] = []
+
+        if self.config.instantiate == "eager":
+            for sdp_id in self.config.units:
+                self._ensure_unit(sdp_id)
+
+    @classmethod
+    def from_spec(cls, node: Node, spec_text: str, **overrides) -> "Indiss":
+        """Build an instance from the paper's textual specification DSL.
+
+        ``overrides`` are forwarded to :class:`IndissConfig` (deployment,
+        cache behaviour, timings, ...).
+        """
+        from .config import build_indiss_config, parse_spec
+
+        config = build_indiss_config(parse_spec(spec_text), **overrides)
+        return cls(node, config)
+
+    # -- unit lifecycle (Fig. 5 dynamic composition) --------------------------
+
+    def _make_runtime(self) -> UnitRuntime:
+        return UnitRuntime(
+            self.node,
+            timings=self.config.timings,
+            register_own_port=self.monitor.ignore_endpoint,
+        )
+
+    def _default_factory(self, sdp_id: str) -> Unit:
+        # Imported here: the units package builds on repro.core.
+        from ..units.jini_unit import JiniUnit
+        from ..units.slp_unit import SlpUnit
+        from ..units.upnp_unit import UpnpUnit
+
+        runtime = self._make_runtime()
+        if sdp_id == "slp":
+            return SlpUnit(runtime, wait_us=self.config.slp_wait_us)
+        if sdp_id == "upnp":
+            return UpnpUnit(
+                runtime,
+                wait_us=self.config.upnp_wait_us,
+                responder_delay_us=self.config.upnp_responder_delay_us,
+                seed=self.config.seed,
+            )
+        if sdp_id == "jini":
+            return JiniUnit(runtime, cache=self.cache)
+        raise KeyError(f"no unit factory for SDP {sdp_id!r}")
+
+    def _ensure_unit(self, sdp_id: str) -> Unit:
+        unit = self.units.get(sdp_id)
+        if unit is None:
+            factory = self._factories.get(sdp_id)
+            unit = factory(self, self._make_runtime()) if factory else self._default_factory(sdp_id)
+            self.units[sdp_id] = unit
+        return unit
+
+    @property
+    def instantiated_units(self) -> list[str]:
+        return sorted(self.units)
+
+    def _on_detected(self, sdp_id: str) -> None:
+        self.detections.append(sdp_id)
+        if self.config.instantiate == "on-detection" and sdp_id in self.config.units:
+            self._ensure_unit(sdp_id)
+
+    # -- environment traffic ---------------------------------------------------
+
+    def _on_raw(self, sdp_id: str, raw: bytes, meta: NetworkMeta) -> None:
+        if sdp_id not in self.config.units:
+            return
+        if self.config.instantiate == "on-detection" and sdp_id not in self.units:
+            self._ensure_unit(sdp_id)
+        unit = self.units.get(sdp_id)
+        if unit is None:
+            return
+        stream = unit.handle_environment_message(raw, meta)
+        if stream is None:
+            return
+        for listener in self.stream_listeners:
+            listener(sdp_id, stream, meta)
+        kinds = {event.type for event in stream}
+        if SDP_SERVICE_REQUEST in kinds:
+            self._handle_request(sdp_id, stream, meta)
+        elif SDP_SERVICE_ALIVE in kinds:
+            self._handle_advertisement(sdp_id, stream)
+        elif SDP_SERVICE_RESPONSE in kinds:
+            self._observe_response(sdp_id, stream)
+        elif SDP_SERVICE_BYEBYE in kinds:
+            self._handle_byebye(sdp_id, stream)
+
+    # -- request translation -------------------------------------------------------
+
+    def _handle_request(self, origin_sdp: str, stream: list[Event], meta: NetworkMeta) -> None:
+        service_type = ""
+        raw_type = ""
+        xid = None
+        for event in stream:
+            if event.type is SDP_SERVICE_TYPE:
+                service_type = str(event.get("normalized") or "")
+                raw_type = str(event.get("type") or "")
+            elif event.type is SDP_REQ_ID:
+                xid = event.get("xid")
+        requester = meta.source
+        dedup_key = (origin_sdp, requester, raw_type, xid)
+        now = self.node.now_us
+        self._recent_requests = {
+            key: t
+            for key, t in self._recent_requests.items()
+            if now - t <= self.config.dedup_window_us
+        }
+        if dedup_key in self._recent_requests:
+            self.stats.duplicates_suppressed += 1
+            return
+        self._recent_requests[dedup_key] = now
+
+        session = TranslationSession(
+            origin_sdp=origin_sdp,
+            requester=requester,
+            request_stream=stream,
+            created_at_us=now,
+        )
+        session.vars["service_type"] = service_type
+        session.vars["st"] = raw_type
+        if xid is not None:
+            session.vars["xid"] = xid
+        session.on_reply = self._deliver_reply
+        self.sessions.append(session)
+        self.stats.opened += 1
+        session.log(f"indiss: {origin_sdp} request for {service_type!r} entered")
+
+        if self.config.answer_from_cache:
+            records = [
+                record
+                for record in self.cache.lookup(service_type)
+                if record.source_sdp != origin_sdp
+            ]
+            if records:
+                from ..units.records import stream_from_record
+
+                session.answered_from_cache = True
+                self.stats.answered_from_cache += 1
+                session.vars["answered_by"] = "cache"
+                reply = stream_from_record(records[0], origin_sdp)
+                session.log("indiss: answered from service cache")
+                self.node.schedule(
+                    self.config.timings.cache_lookup_us,
+                    lambda: session.complete_with(reply),
+                )
+                return
+
+        targets = [unit for sdp, unit in self.units.items() if sdp != origin_sdp]
+        if not targets:
+            session.complete_with([])
+            return
+        for target in targets:
+            target.handle_foreign_request(stream, session)
+
+    def _deliver_reply(self, reply_stream: list[Event], session: TranslationSession) -> None:
+        self.stats.completed += 1
+        origin_unit = self.units.get(session.origin_sdp)
+        has_url = any(
+            event.type.name == "SDP_RES_SERV_URL" and event.get("url")
+            for event in reply_stream
+        )
+        if not has_url:
+            # Discovery protocols stay silent on fruitless multicast
+            # requests; composing an empty answer would be noise.
+            self.stats.timed_out += 1
+            session.log("indiss: no service found; staying silent")
+            return
+        if self.config.cache_discoveries:
+            from ..units.records import record_from_stream
+
+            record = record_from_stream(
+                reply_stream, source_sdp=str(session.vars.get("answered_by", ""))
+            )
+            if record is not None and not session.answered_from_cache:
+                self.cache.store(record)
+        if origin_unit is not None:
+            origin_unit.compose_reply(reply_stream, session)
+
+    # -- advertisements --------------------------------------------------------------
+
+    def _handle_advertisement(self, origin_sdp: str, stream: list[Event]) -> None:
+        from ..units.records import record_from_stream
+
+        record = record_from_stream(stream, source_sdp=origin_sdp)
+        if record is None:
+            # Advertisements like SSDP NOTIFY only name a description
+            # document; ask the unit to resolve it to a full record (an
+            # extra native request, like Fig. 4's recursive GET).
+            unit = self.units.get(origin_sdp)
+            if unit is not None:
+                unit.resolve_advertisement(stream, self._advertisement_resolved)
+            return
+        self._advertisement_resolved(record)
+
+    def _advertisement_resolved(self, record: ServiceRecord) -> None:
+        if self.config.cache_discoveries:
+            self.cache.store(record)
+        if self.config.translate_advertisements:
+            self.readvertise(record, exclude=record.source_sdp)
+
+    def readvertise(self, record: ServiceRecord, exclude: str = "") -> None:
+        """Announce a record through every unit except ``exclude``."""
+        for sdp_id, unit in self.units.items():
+            if sdp_id == exclude or sdp_id == record.source_sdp:
+                continue
+            unit.advertise_record(record)
+
+    def _observe_response(self, origin_sdp: str, stream: list[Event]) -> None:
+        """Passively learn from replies flying past the monitor."""
+        if not self.config.cache_discoveries:
+            return
+        from ..units.records import record_from_stream
+
+        record = record_from_stream(stream, source_sdp=origin_sdp)
+        if record is not None:
+            self.cache.store(record)
+
+    def _handle_byebye(self, origin_sdp: str, stream: list[Event]) -> None:
+        from ..sdp.base import normalize_service_type
+
+        for event in stream:
+            if event.type is SDP_SERVICE_BYEBYE:
+                url = str(event.get("url", ""))
+                if url:
+                    self.cache.remove_url(url)
+                    continue
+                nt = str(event.get("type", ""))
+                if nt:
+                    self.cache.remove_type(normalize_service_type(nt), origin_sdp)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def close(self) -> None:
+        self.monitor.close()
+
+    def describe(self) -> str:
+        """One-line runtime architecture summary (Fig. 5 visualization)."""
+        unit_list = ", ".join(self.instantiated_units) or "none"
+        detected = ", ".join(self.monitor.detected_sdps()) or "none"
+        return (
+            f"INDISS@{self.node.address} [{self.config.deployment}] "
+            f"units=({unit_list}) detected=({detected}) "
+            f"sessions={self.stats.opened} cache={len(self.cache)}"
+        )
+
+
+__all__ = ["Indiss", "IndissConfig", "SessionStats"]

@@ -1,0 +1,131 @@
+"""The monitor component (paper §2.1, Figure 1).
+
+Joins every configured SDP multicast group, listens on the registered
+ports, and detects which SDPs are active "upon the arrival of the data at
+the monitored ports without doing any computation, data interpretation or
+data transformation".  Raw data plus the identified SDP are handed to the
+raw handler (the INDISS bridge); detection callbacks let the adaptation
+layer react to protocols appearing and disappearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..net import Datagram, Node, UdpSocket
+from .parser import NetworkMeta
+from .registry import IanaRegistry, default_registry
+
+
+@dataclass
+class SdpSighting:
+    """Detection statistics for one SDP."""
+
+    sdp_id: str
+    first_seen_us: int
+    last_seen_us: int
+    messages: int = 0
+    bytes: int = 0
+
+
+RawHandler = Callable[[str, bytes, NetworkMeta], None]
+DetectionHandler = Callable[[str], None]
+
+
+class MonitorComponent:
+    """Passive, port-keyed SDP detection on one node."""
+
+    def __init__(
+        self,
+        node: Node,
+        registry: IanaRegistry | None = None,
+        scan: tuple[str, ...] | None = None,
+        stale_after_us: int = 30_000_000,
+    ):
+        self.node = node
+        self.registry = registry if registry is not None else default_registry()
+        self.sightings: dict[str, SdpSighting] = {}
+        self.on_detected: Optional[DetectionHandler] = None
+        self.on_raw: Optional[RawHandler] = None
+        self.unknown_port_messages = 0
+        self._stale_after_us = stale_after_us
+        self._sockets: list[UdpSocket] = []
+        #: (host, port) pairs whose outbound traffic must be ignored —
+        #: INDISS's own sockets, registered by the unit runtime so the
+        #: system never re-translates its own messages.
+        self._own_endpoints: set[tuple[str, int]] = set()
+
+        sdp_ids = scan if scan is not None else tuple(self.registry.known_sdps())
+        bound: set[int] = set()
+        for sdp_id in sdp_ids:
+            entry = self.registry.entry(sdp_id)
+            for group, port in entry.groups:
+                socket = self._listen(port, bound)
+                socket.join_group(group)
+            for port in entry.ports:
+                self._listen(port, bound)
+
+    def _listen(self, port: int, bound: set[int]) -> UdpSocket:
+        for socket in self._sockets:
+            if socket.port == port:
+                return socket
+        socket = self.node.udp.socket().bind(port, reuse=True)
+        socket.on_datagram(self._on_datagram)
+        self._sockets.append(socket)
+        bound.add(port)
+        return socket
+
+    def close(self) -> None:
+        for socket in self._sockets:
+            socket.close()
+        self._sockets.clear()
+
+    # -- self-traffic suppression -------------------------------------------
+
+    def ignore_endpoint(self, host: str, port: int) -> None:
+        self._own_endpoints.add((host, port))
+
+    def _is_own_traffic(self, datagram: Datagram) -> bool:
+        return (datagram.source.host, datagram.source.port) in self._own_endpoints
+
+    # -- detection ----------------------------------------------------------------
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        if self._is_own_traffic(datagram):
+            return
+        port = datagram.destination.port
+        sdp_id = self.registry.sdp_for_port(port)
+        if sdp_id is None:
+            self.unknown_port_messages += 1
+            return
+        now = self.node.now_us
+        sighting = self.sightings.get(sdp_id)
+        newly_detected = sighting is None or (now - sighting.last_seen_us) > self._stale_after_us
+        if sighting is None:
+            sighting = SdpSighting(sdp_id=sdp_id, first_seen_us=now, last_seen_us=now)
+            self.sightings[sdp_id] = sighting
+        sighting.last_seen_us = now
+        sighting.messages += 1
+        sighting.bytes += len(datagram.payload)
+        if newly_detected and self.on_detected is not None:
+            self.on_detected(sdp_id)
+        if self.on_raw is not None:
+            self.on_raw(sdp_id, datagram.payload, NetworkMeta.from_datagram(datagram))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def detected_sdps(self, now_us: int | None = None) -> list[str]:
+        """SDPs seen recently (within the staleness window)."""
+        now = now_us if now_us is not None else self.node.now_us
+        return sorted(
+            sdp_id
+            for sdp_id, sighting in self.sightings.items()
+            if now - sighting.last_seen_us <= self._stale_after_us
+        )
+
+    def ever_detected(self) -> list[str]:
+        return sorted(self.sightings)
+
+
+__all__ = ["MonitorComponent", "SdpSighting"]

@@ -1,0 +1,76 @@
+"""Parser side of the event-based translation (paper §2.2).
+
+A parser "extracts semantic concepts as events from syntactic details of
+the SDP detected": raw bytes in, a bracketed event stream out.  Units may
+embed several parsers and switch between them mid-session — the paper's
+UPnP unit switches from its SSDP parser to an XML parser when a reply
+carries an XML body (``SDP_C_PARSER_SWITCH``, Fig. 4 step 3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net import Endpoint
+from .events import Event
+
+
+@dataclass(frozen=True)
+class NetworkMeta:
+    """Where a raw message came from; parsers turn this into NET events."""
+
+    source: Optional[Endpoint] = None
+    destination: Optional[Endpoint] = None
+    multicast: bool = False
+    transport: str = "udp"
+
+    @classmethod
+    def from_datagram(cls, datagram) -> "NetworkMeta":
+        return cls(
+            source=datagram.source,
+            destination=datagram.destination,
+            multicast=datagram.multicast,
+            transport="udp",
+        )
+
+
+class ParseError(Exception):
+    """Raised when raw data is not a message of the parser's protocol."""
+
+
+class SdpParser(ABC):
+    """Base class for per-protocol (or per-syntax) parsers.
+
+    ``sdp_id`` names the protocol family ("slp", "upnp", "jini");
+    ``syntax`` names the concrete syntax within the family ("slp", "ssdp",
+    "xml", ...) — the handle ``SDP_C_PARSER_SWITCH`` events select by.
+    """
+
+    sdp_id: str = ""
+    syntax: str = ""
+
+    def __init__(self) -> None:
+        self.messages_parsed = 0
+        self.parse_errors = 0
+
+    @abstractmethod
+    def parse(self, raw: bytes, meta: NetworkMeta) -> list[Event]:
+        """Translate one raw message into a bracketed event stream.
+
+        Must raise :class:`ParseError` for data that is not this syntax.
+        """
+
+    def try_parse(self, raw: bytes, meta: NetworkMeta) -> list[Event] | None:
+        """Parse, returning None (and counting) instead of raising."""
+        try:
+            events = self.parse(raw, meta)
+        except ParseError:
+            self.parse_errors += 1
+            return None
+        self.messages_parsed += 1
+        return events
+
+
+__all__ = ["SdpParser", "NetworkMeta", "ParseError"]

@@ -1,0 +1,95 @@
+"""The IANA correspondence table driving SDP detection (paper §2.1).
+
+"All SDPs use a multicast group address and a UDP/TCP port that must have
+been assigned by IANA ... These two characteristics are sufficient to
+provide simple but efficient environmental SDP detection."
+
+The monitor component keys detection purely on *which port data arrived
+on* — the table below is the static correspondence the paper's Figure 2
+shows (``239.255.255.250:1900 : UPnP``, ``239.255.255.253:1848 : SLP``,
+...).  The paper's configuration example also scans 1846/1848 for SLP and
+4160 for Jini; we register those aliases too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SdpEntry:
+    """One protocol's registered identification tag(s)."""
+
+    sdp_id: str
+    #: (multicast group, port) pairs to join and watch.
+    groups: tuple[tuple[str, int], ...]
+    #: Extra ports identifying the SDP regardless of group.
+    ports: tuple[int, ...] = ()
+
+    def all_ports(self) -> frozenset[int]:
+        return frozenset(port for _, port in self.groups) | frozenset(self.ports)
+
+
+class IanaRegistry:
+    """sdp_id <-> (groups, ports) correspondence, port -> sdp lookup."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, SdpEntry] = {}
+        self._port_to_sdp: dict[int, str] = {}
+
+    def register(self, entry: SdpEntry) -> None:
+        if entry.sdp_id in self._entries:
+            raise ValueError(f"SDP {entry.sdp_id!r} already registered")
+        for port in entry.all_ports():
+            owner = self._port_to_sdp.get(port)
+            if owner is not None and owner != entry.sdp_id:
+                raise ValueError(
+                    f"port {port} already identifies {owner!r}; IANA tags are unambiguous"
+                )
+            self._port_to_sdp[port] = entry.sdp_id
+        self._entries[entry.sdp_id] = entry
+
+    def entry(self, sdp_id: str) -> SdpEntry:
+        try:
+            return self._entries[sdp_id]
+        except KeyError:
+            raise KeyError(f"unknown SDP {sdp_id!r}") from None
+
+    def sdp_for_port(self, port: int) -> str | None:
+        """The paper's detection primitive: port -> protocol, no parsing."""
+        return self._port_to_sdp.get(port)
+
+    def known_sdps(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, sdp_id: str) -> bool:
+        return sdp_id in self._entries
+
+
+def default_registry() -> IanaRegistry:
+    """The correspondence table from the paper's Figures 2 and 5."""
+    registry = IanaRegistry()
+    registry.register(
+        SdpEntry(
+            sdp_id="upnp",
+            groups=(("239.255.255.250", 1900),),
+        )
+    )
+    registry.register(
+        SdpEntry(
+            sdp_id="slp",
+            groups=(("239.255.255.253", 427),),
+            # The paper's monitor configuration also scans 1846/1848.
+            ports=(1846, 1848),
+        )
+    )
+    registry.register(
+        SdpEntry(
+            sdp_id="jini",
+            groups=(("224.0.1.84", 4160), ("224.0.1.85", 4160)),
+        )
+    )
+    return registry
+
+
+__all__ = ["IanaRegistry", "SdpEntry", "default_registry"]

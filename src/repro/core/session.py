@@ -1,0 +1,57 @@
+"""Translation sessions (paper §2.2, Figure 3).
+
+"The translation of SDP functions ... is actually achieved in terms of
+translation of processes and not simply of exchanged messages."  A session
+is one such process: it starts when a native request enters INDISS, spans
+any recursive requests the target unit must issue (Fig. 4's extra GET), and
+ends when the origin unit's composer has sent the native reply back to the
+requester.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..net import Endpoint
+from .events import Event
+
+_session_ids = itertools.count(1)
+
+
+@dataclass
+class TranslationSession:
+    """State shared by the units cooperating on one translated exchange."""
+
+    origin_sdp: str
+    requester: Optional[Endpoint]
+    request_stream: list[Event] = field(default_factory=list)
+    created_at_us: int = 0
+    session_id: int = field(default_factory=lambda: next(_session_ids))
+    #: Scratch variables recorded along the way (xid, service type, ...).
+    vars: dict[str, Any] = field(default_factory=dict)
+    #: Set by the bridge: receives the reply event stream for composition.
+    on_reply: Optional[Callable[[list[Event], "TranslationSession"], None]] = None
+    completed: bool = False
+    answered_from_cache: bool = False
+    #: Human-readable log of the translation steps (Fig. 4 reproduction).
+    steps: list[str] = field(default_factory=list)
+
+    def log(self, step: str) -> None:
+        self.steps.append(step)
+
+    def complete_with(self, reply_stream: list[Event]) -> bool:
+        """Deliver the reply stream once; duplicates are ignored.
+
+        Returns True when this call actually completed the session.
+        """
+        if self.completed:
+            return False
+        self.completed = True
+        if self.on_reply is not None:
+            self.on_reply(reply_stream, self)
+        return True
+
+
+__all__ = ["TranslationSession"]

@@ -1,0 +1,81 @@
+"""Simulated network substrate (S1 in DESIGN.md).
+
+A deterministic, virtual-time LAN with UDP + multicast + simplified TCP,
+standing in for the paper's real 10 Mb/s segment.  See DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from .addressing import (
+    ANY,
+    BROADCAST,
+    Endpoint,
+    LOOPBACK,
+    is_multicast,
+    is_valid_ipv4,
+    validate_port,
+)
+from .errors import (
+    AddressError,
+    ConnectionRefusedError,
+    NetworkError,
+    NoRouteError,
+    NotBoundError,
+    PortInUseError,
+    SocketClosedError,
+)
+from .latency import LatencyModel, LossModel
+from .network import Network, TraceRecord
+from .node import Node
+from .simclock import (
+    MILLISECOND,
+    SECOND,
+    EventHandle,
+    PeriodicTask,
+    Scheduler,
+    Timer,
+    ms_to_us,
+    us_to_ms,
+)
+from .tcp import TcpConnection, TcpListener, TcpStack
+from .tracefmt import classify_payload, format_trace
+from .traffic import TrafficMonitor
+from .udp import Datagram, UdpSocket, UdpStack
+
+__all__ = [
+    "ANY",
+    "BROADCAST",
+    "LOOPBACK",
+    "MILLISECOND",
+    "SECOND",
+    "AddressError",
+    "ConnectionRefusedError",
+    "Datagram",
+    "Endpoint",
+    "EventHandle",
+    "LatencyModel",
+    "LossModel",
+    "Network",
+    "NetworkError",
+    "NoRouteError",
+    "Node",
+    "NotBoundError",
+    "PeriodicTask",
+    "PortInUseError",
+    "Scheduler",
+    "SocketClosedError",
+    "TcpConnection",
+    "TcpListener",
+    "TcpStack",
+    "Timer",
+    "TraceRecord",
+    "TrafficMonitor",
+    "UdpSocket",
+    "UdpStack",
+    "classify_payload",
+    "format_trace",
+    "is_multicast",
+    "is_valid_ipv4",
+    "ms_to_us",
+    "us_to_ms",
+    "validate_port",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the simulated network substrate."""
+
+
+class NetworkError(Exception):
+    """Base class for all simulated-network errors."""
+
+
+class AddressError(NetworkError):
+    """Raised for malformed or unroutable addresses."""
+
+
+class PortInUseError(NetworkError):
+    """Raised when binding a port that is already bound on the node."""
+
+
+class NotBoundError(NetworkError):
+    """Raised when sending from a socket that is not bound to a port."""
+
+
+class SocketClosedError(NetworkError):
+    """Raised when using a socket or connection after it was closed."""
+
+
+class ConnectionRefusedError(NetworkError):
+    """Raised when no listener accepts a TCP connection attempt."""
+
+
+class NoRouteError(NetworkError):
+    """Raised when a unicast destination is not attached to the network."""

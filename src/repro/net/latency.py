@@ -1,0 +1,115 @@
+"""Latency, bandwidth, jitter and loss models for the simulated LAN.
+
+The paper's testbed is a 10 Mb/s LAN between workstations (§4.3).  The
+default :class:`LatencyModel` reproduces that regime: a fixed per-message
+latency (switch + OS stack), a serialization term proportional to message
+size, and optional bounded uniform jitter.  Loopback delivery (INDISS
+co-located with a client or service) uses a much smaller constant — this
+asymmetry is exactly what Figures 8 and 9 measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Paper testbed bandwidth: hosts "connected to a LAN at 10Mb/s".
+DEFAULT_BANDWIDTH_BPS = 10_000_000
+
+#: Fixed per-message LAN cost (propagation + switch + kernel) in microseconds.
+DEFAULT_LAN_LATENCY_US = 150
+
+#: Loopback per-message cost in microseconds.
+DEFAULT_LOOPBACK_LATENCY_US = 15
+
+
+@dataclass
+class LatencyModel:
+    """Computes delivery delay for a message on the simulated segment.
+
+    Parameters
+    ----------
+    lan_latency_us:
+        Fixed cost charged to every message crossing the network.
+    loopback_latency_us:
+        Fixed cost for node-local delivery.
+    bandwidth_bps:
+        Serialization rate for the size-proportional term; ``None`` disables
+        the term (infinite bandwidth).
+    jitter_us:
+        Half-width of a uniform jitter applied on top of the fixed LAN cost.
+    seed:
+        Seed for the jitter RNG; runs with equal seeds are identical.
+    """
+
+    lan_latency_us: int = DEFAULT_LAN_LATENCY_US
+    loopback_latency_us: int = DEFAULT_LOOPBACK_LATENCY_US
+    bandwidth_bps: int | None = DEFAULT_BANDWIDTH_BPS
+    jitter_us: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the jitter RNG (used to vary trials deterministically)."""
+        self._rng = random.Random(seed)
+
+    def transmission_us(self, size_bytes: int) -> int:
+        """Time to serialize ``size_bytes`` onto the wire."""
+        if self.bandwidth_bps is None or size_bytes <= 0:
+            return 0
+        return int(round(size_bytes * 8 * 1_000_000 / self.bandwidth_bps))
+
+    def delay_us(self, size_bytes: int, loopback: bool) -> int:
+        """Total delivery delay for one message."""
+        if loopback:
+            return self.loopback_latency_us
+        delay = self.lan_latency_us + self.transmission_us(size_bytes)
+        if self.jitter_us > 0:
+            delay += self._rng.randint(0, self.jitter_us)
+        return max(delay, 1)
+
+
+@dataclass
+class LossModel:
+    """Bernoulli datagram loss (applied to UDP only; the TCP abstraction is
+    reliable by construction).
+
+    ``rate`` is the probability that any single datagram copy is dropped.
+    Multicast fan-out applies loss independently per receiver, like a real
+    shared segment.
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {self.rate}")
+        self._rng = random.Random(self.seed)
+        self.dropped = 0
+        self.delivered = 0
+
+    def reseed(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def should_drop(self) -> bool:
+        if self.rate <= 0.0:
+            self.delivered += 1
+            return False
+        drop = self._rng.random() < self.rate
+        if drop:
+            self.dropped += 1
+        else:
+            self.delivered += 1
+        return drop
+
+
+__all__ = [
+    "LatencyModel",
+    "LossModel",
+    "DEFAULT_BANDWIDTH_BPS",
+    "DEFAULT_LAN_LATENCY_US",
+    "DEFAULT_LOOPBACK_LATENCY_US",
+]

@@ -1,0 +1,199 @@
+"""The simulated LAN segment: node attachment and datagram delivery.
+
+One :class:`Network` models the paper's single 10 Mb/s home-LAN segment.
+Unicast datagrams route by destination address; multicast datagrams fan out
+to every socket that joined the group and bound the destination port —
+including sockets on the sending host (``IP_MULTICAST_LOOP`` behaviour),
+which is how a co-located INDISS instance sees its host's own traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .addressing import (
+    AddressAllocator,
+    Endpoint,
+    LOOPBACK,
+    is_broadcast,
+    is_loopback,
+    is_multicast,
+    parse_ipv4,
+)
+from .errors import AddressError
+from .latency import LatencyModel, LossModel
+from .node import Node
+from .simclock import Scheduler
+from .traffic import TrafficMonitor
+from .udp import Datagram
+
+
+@dataclass
+class TraceRecord:
+    """One captured wire message (for debugging and behavioural tests)."""
+
+    time_us: int
+    transport: str
+    source: Endpoint
+    destination: Endpoint
+    size: int
+    payload: bytes
+
+
+class Network:
+    """A single simulated LAN segment."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        latency: LatencyModel | None = None,
+        loss: LossModel | None = None,
+        subnet: str = "192.168.1",
+        capture: bool = False,
+    ):
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.latency = latency if latency is not None else LatencyModel()
+        self.loss = loss
+        self._allocator = AddressAllocator(subnet)
+        self._nodes: dict[str, Node] = {}
+        self.traffic = TrafficMonitor(self.latency.bandwidth_bps)
+        self._capture = capture
+        self.trace: list[TraceRecord] = []
+        #: Unicast datagrams with no destination node (silently dropped).
+        self.unrouted = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, name: str, address: str | None = None) -> Node:
+        """Attach a host; the address is allocated from the subnet if omitted."""
+        if address is None:
+            address = self._allocator.allocate()
+        else:
+            parse_ipv4(address)
+        if address in self._nodes:
+            raise AddressError(f"address {address} already attached")
+        node = Node(self, name, address)
+        self._nodes[address] = node
+        return node
+
+    def node_at(self, address: str) -> Optional[Node]:
+        return self._nodes.get(address)
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes.values())
+
+    # -- capture --------------------------------------------------------------
+
+    def start_capture(self) -> None:
+        self._capture = True
+
+    def stop_capture(self) -> None:
+        self._capture = False
+
+    def trace_message(
+        self, transport: str, source: Endpoint, destination: Endpoint, payload: bytes
+    ) -> None:
+        if self._capture:
+            self.trace.append(
+                TraceRecord(
+                    self.scheduler.now_us, transport, source, destination, len(payload), payload
+                )
+            )
+
+    # -- datagram delivery -----------------------------------------------------
+
+    def send_datagram(
+        self, sender: Node, source: Endpoint, destination: Endpoint, payload: bytes
+    ) -> None:
+        """Route one UDP datagram (unicast, multicast, or broadcast)."""
+        size = len(payload)
+        self.traffic.record(
+            self.scheduler.now_us,
+            destination.port,
+            size,
+            "udp",
+            multicast=is_multicast(destination.host),
+        )
+        self.trace_message("udp", source, destination, payload)
+        datagram = Datagram(payload=payload, source=source, destination=destination)
+
+        if is_multicast(destination.host):
+            self._deliver_multicast(sender, datagram)
+        elif is_broadcast(destination.host):
+            self._deliver_broadcast(sender, datagram)
+        else:
+            self._deliver_unicast(sender, datagram)
+
+    def _deliver_unicast(self, sender: Node, datagram: Datagram) -> None:
+        destination = datagram.destination
+        if is_loopback(destination.host):
+            target: Optional[Node] = sender
+        else:
+            target = self._nodes.get(destination.host)
+        if target is None:
+            self.unrouted += 1
+            return
+        loopback = target is sender
+        self._schedule_delivery(target, datagram, loopback)
+
+    def _deliver_multicast(self, sender: Node, datagram: Datagram) -> None:
+        """Fan a datagram out to the group.
+
+        Group membership resolves at *delivery* time (a socket that joins
+        while the frame is in flight still receives it), matching a shared
+        segment where every NIC sees the frame simultaneously.  The sender
+        host's own members receive a loopback copy sooner.
+        """
+        group = datagram.destination.host
+        port = datagram.destination.port
+        lan_delay = self.latency.delay_us(len(datagram.payload), loopback=False)
+        loop_delay = self.latency.delay_us(len(datagram.payload), loopback=True)
+        drop = self.loss is not None and self.loss.should_drop()
+
+        def deliver_lan() -> None:
+            if drop:
+                return
+            for node in self._nodes.values():
+                if node is sender:
+                    continue
+                for sock in node.udp.sockets_for_group(group, port):
+                    sock.deliver(datagram)
+
+        def deliver_loopback() -> None:
+            for sock in sender.udp.sockets_for_group(group, port):
+                sock.deliver(datagram)
+
+        self.scheduler.schedule(lan_delay, deliver_lan, label="udp-mcast")
+        self.scheduler.schedule(loop_delay, deliver_loopback, label="udp-mcast-loop")
+
+    def _deliver_broadcast(self, sender: Node, datagram: Datagram) -> None:
+        port = datagram.destination.port
+        for node in self._nodes.values():
+            for sock in node.udp.sockets_for(port):
+                self._schedule_socket_delivery(node, sock, datagram, node is sender)
+
+    def _schedule_delivery(self, node: Node, datagram: Datagram, loopback: bool) -> None:
+        for sock in node.udp.sockets_for(datagram.destination.port):
+            self._schedule_socket_delivery(node, sock, datagram, loopback)
+
+    def _schedule_socket_delivery(
+        self, node: Node, sock, datagram: Datagram, loopback: bool
+    ) -> None:
+        if self.loss is not None and not loopback and self.loss.should_drop():
+            return
+        delay = self.latency.delay_us(len(datagram.payload), loopback=loopback)
+        self.scheduler.schedule(delay, lambda: sock.deliver(datagram), label="udp-delivery")
+
+    # -- run helpers ------------------------------------------------------------
+
+    def run(self, duration_us: int | None = None) -> None:
+        """Run the simulation until idle (or for a bounded window)."""
+        if duration_us is None:
+            self.scheduler.run_until_idle()
+        else:
+            self.scheduler.run_until(self.scheduler.now_us + duration_us)
+
+
+__all__ = ["Network", "TraceRecord", "LOOPBACK"]

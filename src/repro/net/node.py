@@ -1,0 +1,62 @@
+"""A host attached to the simulated LAN."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .simclock import EventHandle, PeriodicTask, Timer
+from .tcp import TcpStack
+from .udp import UdpStack
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+
+class Node:
+    """One host: an address plus its UDP and TCP stacks.
+
+    Application components (SDP agents, INDISS) hold a reference to their
+    node and reach the shared scheduler through it, so co-located components
+    naturally share a clock and loopback path — the property Figures 8 and 9
+    of the paper exploit.
+    """
+
+    def __init__(self, network: "Network", name: str, address: str):
+        self.network = network
+        self.name = name
+        self.address = address
+        self.udp = UdpStack(self)
+        self.tcp = TcpStack(self)
+
+    # -- scheduling conveniences -------------------------------------------
+
+    @property
+    def now_us(self) -> int:
+        return self.network.scheduler.now_us
+
+    def schedule(self, delay_us: int, callback: Callable[[], None], label: str = "") -> EventHandle:
+        return self.network.scheduler.schedule(delay_us, callback, label=label)
+
+    def timer(self, callback: Callable[[], None]) -> Timer:
+        return Timer(self.network.scheduler, callback)
+
+    def every(
+        self,
+        period_us: int,
+        callback: Callable[[], None],
+        initial_delay_us: int | None = None,
+        max_firings: int | None = None,
+    ) -> PeriodicTask:
+        return PeriodicTask(
+            self.network.scheduler,
+            period_us,
+            callback,
+            initial_delay_us=initial_delay_us,
+            max_firings=max_firings,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Node({self.name!r}, {self.address})"
+
+
+__all__ = ["Node"]

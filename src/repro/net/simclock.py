@@ -1,0 +1,287 @@
+"""Virtual time and the discrete-event scheduler.
+
+Every component of the simulated network shares one :class:`Scheduler`.
+Time is an integer number of **microseconds** so that runs are exactly
+reproducible (no floating point accumulation) and event ordering is total:
+ties on the timestamp are broken by insertion sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+#: One millisecond expressed in the scheduler's microsecond unit.
+MILLISECOND = 1_000
+#: One second expressed in the scheduler's microsecond unit.
+SECOND = 1_000_000
+
+
+def us_to_ms(micros: int) -> float:
+    """Convert integer microseconds to float milliseconds (for reporting)."""
+    return micros / 1_000.0
+
+
+def ms_to_us(millis: float) -> int:
+    """Convert float milliseconds to the integer microsecond unit."""
+    return int(round(millis * 1_000))
+
+
+class Cancelled(Exception):
+    """Raised internally when a cancelled event would have fired."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_us: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Scheduler.schedule`, usable to cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; cancelling twice is harmless."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time_us(self) -> int:
+        return self._event.time_us
+
+
+class Scheduler:
+    """A deterministic discrete-event scheduler over virtual microseconds.
+
+    Usage::
+
+        sched = Scheduler()
+        sched.schedule(1_000, lambda: print("fires at t=1ms"))
+        sched.run_until_idle()
+    """
+
+    def __init__(self) -> None:
+        self._now_us = 0
+        self._seq = 0
+        self._queue: list[_ScheduledEvent] = []
+        self._events_fired = 0
+
+    @property
+    def now_us(self) -> int:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return us_to_ms(self._now_us)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled placeholders)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self,
+        delay_us: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay_us`` after the current time.
+
+        A negative delay is clamped to zero (fires "now", after any events
+        already queued for the current instant).
+        """
+        if delay_us < 0:
+            delay_us = 0
+        event = _ScheduledEvent(self._now_us + int(delay_us), self._seq, callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self,
+        time_us: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute virtual time."""
+        return self.schedule(time_us - self._now_us, callback, label=label)
+
+    def _pop_next(self) -> _ScheduledEvent | None:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False if the queue was empty."""
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now_us = event.time_us
+        self._events_fired += 1
+        event.callback()
+        return True
+
+    def run_until(self, time_us: int) -> None:
+        """Run all events with timestamp <= ``time_us``; advance time there."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time_us > time_us:
+                break
+            self.step()
+        if self._now_us < time_us:
+            self._now_us = time_us
+
+    def run_until_idle(self, limit_us: int | None = None, max_events: int = 10_000_000) -> None:
+        """Run until no events remain, the time limit, or the event budget.
+
+        ``limit_us`` is an absolute virtual-time ceiling; events scheduled
+        beyond it stay queued.  ``max_events`` guards against runaway loops in
+        tests (periodic advertisements are the usual culprit).
+        """
+        fired = 0
+        while fired < max_events:
+            event = None
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                event = head
+                break
+            if event is None:
+                return
+            if limit_us is not None and event.time_us > limit_us:
+                self._now_us = max(self._now_us, limit_us)
+                return
+            self.step()
+            fired += 1
+        raise RuntimeError(f"run_until_idle exceeded {max_events} events; runaway timer?")
+
+    def run_for(self, delay_us: int) -> None:
+        """Run events for a relative window of virtual time."""
+        self.run_until(self._now_us + delay_us)
+
+    def drain(self, handles: Iterable[EventHandle]) -> None:
+        """Cancel a batch of handles (convenience for component teardown)."""
+        for handle in handles:
+            handle.cancel()
+
+
+class Timer:
+    """A restartable one-shot timer bound to a scheduler.
+
+    Components use this for protocol timeouts (e.g. an SLP user agent waiting
+    for unicast replies after a multicast request).
+    """
+
+    def __init__(self, scheduler: Scheduler, callback: Callable[[], None]):
+        self._scheduler = scheduler
+        self._callback = callback
+        self._handle: EventHandle | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def start(self, delay_us: int) -> None:
+        """Arm (or re-arm) the timer ``delay_us`` from now."""
+        self.cancel()
+        self._handle = self._scheduler.schedule(delay_us, self._fire, label="timer")
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Repeatedly runs a callback with a fixed virtual-time period.
+
+    Used for service advertisement loops (SSDP NOTIFY, SLP SAAdvert, Jini
+    announcements).  The first firing happens after ``initial_delay_us``.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        period_us: int,
+        callback: Callable[[], None],
+        initial_delay_us: int | None = None,
+        max_firings: int | None = None,
+    ):
+        if period_us <= 0:
+            raise ValueError("period_us must be positive")
+        self._scheduler = scheduler
+        self._period_us = period_us
+        self._callback = callback
+        self._max_firings = max_firings
+        self._firings = 0
+        self._handle: EventHandle | None = None
+        self._stopped = False
+        first = period_us if initial_delay_us is None else initial_delay_us
+        self._handle = scheduler.schedule(first, self._fire, label="periodic")
+
+    @property
+    def firings(self) -> int:
+        return self._firings
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._firings += 1
+        self._callback()
+        if self._max_firings is not None and self._firings >= self._max_firings:
+            self.stop()
+            return
+        if not self._stopped:
+            self._handle = self._scheduler.schedule(self._period_us, self._fire, label="periodic")
+
+
+__all__ = [
+    "MILLISECOND",
+    "SECOND",
+    "Scheduler",
+    "EventHandle",
+    "Timer",
+    "PeriodicTask",
+    "us_to_ms",
+    "ms_to_us",
+]

@@ -1,0 +1,238 @@
+"""A simplified, reliable, ordered TCP abstraction for the simulator.
+
+UPnP needs TCP for HTTP (description and control), and Jini's unicast
+discovery runs over TCP.  The model charges realistic costs without
+simulating segments and retransmission:
+
+* ``connect`` costs a three-message handshake (SYN, SYN-ACK, ACK) at the
+  segment's per-message latency before the connection callbacks fire;
+* each ``send`` is delivered in order after latency + serialization delay;
+* ``close`` propagates an EOF to the peer.
+
+Connections are reliable by construction; datagram loss (``LossModel``)
+applies only to UDP, as in the real protocols' assumptions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .addressing import Endpoint, validate_port
+from .errors import ConnectionRefusedError, PortInUseError, SocketClosedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+DataHandler = Callable[[bytes], None]
+CloseHandler = Callable[[], None]
+ConnectHandler = Callable[["TcpConnection"], None]
+ErrorHandler = Callable[[Exception], None]
+
+
+class TcpConnection:
+    """One endpoint of an established simulated TCP connection."""
+
+    def __init__(self, node: "Node", local: Endpoint, remote: Endpoint):
+        self._node = node
+        self.local = local
+        self.remote = remote
+        self._peer: Optional["TcpConnection"] = None
+        self._data_handler: Optional[DataHandler] = None
+        self._close_handler: Optional[CloseHandler] = None
+        self._closed = False
+        self._recv_buffer: list[bytes] = []
+        #: Virtual time at which the last inbound chunk will have arrived;
+        #: used to keep per-direction FIFO ordering.
+        self._last_arrival_us = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def _attach_peer(self, peer: "TcpConnection") -> None:
+        self._peer = peer
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def is_loopback(self) -> bool:
+        return self.local.host == self.remote.host
+
+    def on_data(self, handler: DataHandler) -> "TcpConnection":
+        """Attach the receive callback; buffered chunks are flushed to it."""
+        self._data_handler = handler
+        if self._recv_buffer:
+            pending, self._recv_buffer = self._recv_buffer, []
+            for chunk in pending:
+                handler(chunk)
+        return self
+
+    def on_close(self, handler: CloseHandler) -> "TcpConnection":
+        self._close_handler = handler
+        return self
+
+    # -- I/O -------------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Queue ``data`` for in-order delivery to the peer."""
+        if self._closed:
+            raise SocketClosedError("send on closed TCP connection")
+        if self._peer is None:
+            raise SocketClosedError("connection has no peer")
+        data = bytes(data)
+        self.bytes_sent += len(data)
+        network = self._node.network
+        delay = network.latency.delay_us(len(data), loopback=self.is_loopback)
+        peer = self._peer
+        arrival = max(network.scheduler.now_us + delay, peer._last_arrival_us + 1)
+        peer._last_arrival_us = arrival
+        network.traffic.record(
+            network.scheduler.now_us, self.remote.port, len(data), "tcp", multicast=False
+        )
+        network.trace_message("tcp", self.local, self.remote, data)
+        network.scheduler.schedule_at(
+            arrival, lambda: peer._receive(data), label="tcp-data"
+        )
+
+    def _receive(self, data: bytes) -> None:
+        if self._closed:
+            return
+        self.bytes_received += len(data)
+        if self._data_handler is not None:
+            self._data_handler(data)
+        else:
+            self._recv_buffer.append(data)
+
+    def close(self) -> None:
+        """Close this side; the peer sees EOF one latency later.
+
+        The FIN is sequenced behind any in-flight data on this direction so
+        it can never overtake bytes already sent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        peer = self._peer
+        if peer is not None and not peer._closed:
+            network = self._node.network
+            delay = network.latency.delay_us(0, loopback=self.is_loopback)
+            arrival = max(network.scheduler.now_us + delay, peer._last_arrival_us + 1)
+            peer._last_arrival_us = arrival
+            network.scheduler.schedule_at(arrival, peer._peer_closed, label="tcp-fin")
+
+    def _peer_closed(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._close_handler is not None:
+            self._close_handler()
+
+
+class TcpListener:
+    """A passive TCP endpoint accepting simulated connections."""
+
+    def __init__(self, node: "Node", port: int, on_connection: ConnectHandler):
+        self._node = node
+        self.port = port
+        self._on_connection = on_connection
+        self._closed = False
+        self.accepted = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._node.tcp.unregister(self.port)
+
+    def _accept(self, remote: Endpoint, local_port: int) -> TcpConnection:
+        local = Endpoint(self._node.address, local_port)
+        connection = TcpConnection(self._node, local, remote)
+        self.accepted += 1
+        return connection
+
+
+class TcpStack:
+    """Per-node listener table plus the connect state machine."""
+
+    EPHEMERAL_BASE = 32768
+
+    def __init__(self, node: "Node"):
+        self._node = node
+        self._listeners: dict[int, TcpListener] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+
+    def listen(self, port: int, on_connection: ConnectHandler) -> TcpListener:
+        validate_port(port)
+        if port in self._listeners:
+            raise PortInUseError(f"TCP port {port} already listening on {self._node.name}")
+        listener = TcpListener(self._node, port, on_connection)
+        self._listeners[port] = listener
+        return listener
+
+    def unregister(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def listener_for(self, port: int) -> TcpListener | None:
+        listener = self._listeners.get(port)
+        if listener is not None and listener.closed:
+            return None
+        return listener
+
+    def ephemeral_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def connect(
+        self,
+        remote: Endpoint,
+        on_connected: ConnectHandler,
+        on_error: ErrorHandler | None = None,
+    ) -> None:
+        """Open a connection; callbacks fire after the simulated handshake.
+
+        The handshake charges three per-message latencies (SYN, SYN-ACK,
+        ACK).  When nothing listens on the remote port the error callback
+        fires after one round trip, like a RST.
+        """
+        network = self._node.network
+        local = Endpoint(self._node.address, self.ephemeral_port())
+        loopback = remote.host == self._node.address
+
+        remote_node = network.node_at(remote.host)
+        one_way = network.latency.delay_us(0, loopback=loopback)
+
+        def refused() -> None:
+            error = ConnectionRefusedError(f"connection refused: {remote}")
+            if on_error is not None:
+                on_error(error)
+
+        if remote_node is None:
+            network.scheduler.schedule(2 * one_way, refused, label="tcp-noroute")
+            return
+
+        def complete_handshake() -> None:
+            listener = remote_node.tcp.listener_for(remote.port)
+            if listener is None:
+                refused()
+                return
+            client_side = TcpConnection(self._node, local, remote)
+            server_side = listener._accept(local, remote.port)
+            client_side._attach_peer(server_side)
+            server_side._attach_peer(client_side)
+            # The server learns of the connection when the final ACK lands;
+            # the client may start sending immediately after.
+            listener._on_connection(server_side)
+            on_connected(client_side)
+
+        # SYN + SYN-ACK + ACK before data can flow.
+        network.traffic.record(network.scheduler.now_us, remote.port, 40, "tcp", False)
+        network.scheduler.schedule(3 * one_way, complete_handshake, label="tcp-handshake")
+
+
+__all__ = ["TcpConnection", "TcpListener", "TcpStack"]

@@ -1,0 +1,50 @@
+"""Human-readable rendering of captured wire traffic.
+
+``Network(capture=True)`` records every message; this module renders the
+trace the way the paper's Fig. 4 presents an exchange — timestamped lines
+with a best-effort protocol tag, derived from the IANA port mapping and
+the payload's first bytes.
+"""
+
+from __future__ import annotations
+
+from .network import Network, TraceRecord
+
+
+def classify_payload(record: TraceRecord) -> str:
+    """Best-effort protocol tag for one trace record."""
+    payload = record.payload
+    port = record.destination.port
+    if payload[:1] == b"\x02":
+        return f"SLP(fn={payload[1]})" if len(payload) > 1 else "SLP"
+    if payload.startswith(b"M-SEARCH"):
+        return "SSDP M-SEARCH"
+    if payload.startswith(b"NOTIFY"):
+        return "SSDP NOTIFY" if port == 1900 else "GENA NOTIFY"
+    if payload.startswith(b"HTTP/1.1 200") and b"ST:" in payload:
+        return "SSDP 200 OK"
+    if payload.startswith(b"HTTP/"):
+        return "HTTP response"
+    if payload.startswith((b"GET", b"POST", b"SUBSCRIBE", b"UNSUBSCRIBE")):
+        return "HTTP request"
+    if port == 4160:
+        return "Jini discovery"
+    return record.transport.upper()
+
+
+def format_trace(network: Network, limit: int | None = None) -> str:
+    """Render the captured trace, one line per message."""
+    lines = []
+    records = network.trace if limit is None else network.trace[:limit]
+    for record in records:
+        tag = classify_payload(record)
+        lines.append(
+            f"{record.time_us / 1000.0:10.3f} ms  {str(record.source):>22s}"
+            f" -> {str(record.destination):<22s} {record.size:5d} B  {tag}"
+        )
+    if limit is not None and len(network.trace) > limit:
+        lines.append(f"... {len(network.trace) - limit} more")
+    return "\n".join(lines)
+
+
+__all__ = ["format_trace", "classify_payload"]

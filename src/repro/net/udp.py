@@ -1,0 +1,188 @@
+"""UDP sockets for simulated nodes, with multicast group membership.
+
+The API intentionally mirrors the small slice of the BSD socket interface
+that service discovery protocols need: bind to a port, join multicast
+groups, send datagrams, receive them through a callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .addressing import ANY, Endpoint, is_multicast, validate_port
+from .errors import NotBoundError, PortInUseError, SocketClosedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """A delivered UDP datagram."""
+
+    payload: bytes
+    source: Endpoint
+    destination: Endpoint
+
+    @property
+    def multicast(self) -> bool:
+        return is_multicast(self.destination.host)
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+DatagramHandler = Callable[[Datagram], None]
+
+
+class UdpSocket:
+    """A UDP socket bound (or bindable) on one simulated node."""
+
+    def __init__(self, node: "Node"):
+        self._node = node
+        self._port: int | None = None
+        self._groups: set[str] = set()
+        self._closed = False
+        self._handler: Optional[DatagramHandler] = None
+        #: Datagrams delivered before a handler was attached (tests read this).
+        self.inbox: list[Datagram] = []
+        self.sent_count = 0
+        self.received_count = 0
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def node(self) -> "Node":
+        return self._node
+
+    @property
+    def port(self) -> int | None:
+        return self._port
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def groups(self) -> frozenset[str]:
+        return frozenset(self._groups)
+
+    def bind(self, port: int, reuse: bool = False) -> "UdpSocket":
+        """Bind to ``port``.  ``reuse`` mirrors SO_REUSEADDR: several sockets
+        (typically multicast listeners) may share the port."""
+        self._ensure_open()
+        if self._port is not None:
+            raise PortInUseError(f"socket already bound to {self._port}")
+        validate_port(port)
+        self._node.udp.register(self, port, reuse)
+        self._port = port
+        return self
+
+    def join_group(self, group: str) -> "UdpSocket":
+        """Join a multicast group (must be a 224/4 address)."""
+        self._ensure_open()
+        if not is_multicast(group):
+            raise ValueError(f"not a multicast group: {group!r}")
+        self._groups.add(group)
+        return self
+
+    def leave_group(self, group: str) -> None:
+        self._groups.discard(group)
+
+    def on_datagram(self, handler: DatagramHandler) -> "UdpSocket":
+        """Attach the receive callback; queued datagrams are flushed to it."""
+        self._handler = handler
+        if self.inbox:
+            pending, self.inbox = self.inbox, []
+            for datagram in pending:
+                handler(datagram)
+        return self
+
+    # -- I/O ----------------------------------------------------------------
+
+    def sendto(self, payload: bytes, destination: Endpoint) -> None:
+        """Send ``payload`` to a unicast or multicast endpoint."""
+        self._ensure_open()
+        if self._port is None:
+            # Match OS behaviour: sending auto-binds to an ephemeral port.
+            self.bind(self._node.udp.ephemeral_port())
+        source = Endpoint(self._node.address, self._port)
+        self._node.network.send_datagram(self._node, source, destination, bytes(payload))
+        self.sent_count += 1
+
+    def deliver(self, datagram: Datagram) -> None:
+        """Called by the network when a datagram arrives for this socket."""
+        if self._closed:
+            return
+        self.received_count += 1
+        if self._handler is not None:
+            self._handler(datagram)
+        else:
+            self.inbox.append(datagram)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._port is not None:
+            self._node.udp.unregister(self, self._port)
+        self._groups.clear()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SocketClosedError("operation on closed UDP socket")
+
+
+class UdpStack:
+    """The per-node UDP port table."""
+
+    #: First ephemeral port handed out by :meth:`ephemeral_port`.
+    EPHEMERAL_BASE = 49152
+
+    def __init__(self, node: "Node"):
+        self._node = node
+        self._ports: dict[int, list[UdpSocket]] = {}
+        self._reusable: set[int] = set()
+        self._next_ephemeral = self.EPHEMERAL_BASE
+
+    def socket(self) -> UdpSocket:
+        return UdpSocket(self._node)
+
+    def register(self, sock: UdpSocket, port: int, reuse: bool) -> None:
+        holders = self._ports.get(port, [])
+        if holders and not (reuse and port in self._reusable):
+            raise PortInUseError(f"port {port} already bound on {self._node.name}")
+        if reuse:
+            self._reusable.add(port)
+        self._ports.setdefault(port, []).append(sock)
+
+    def unregister(self, sock: UdpSocket, port: int) -> None:
+        holders = self._ports.get(port)
+        if holders and sock in holders:
+            holders.remove(sock)
+            if not holders:
+                del self._ports[port]
+                self._reusable.discard(port)
+
+    def ephemeral_port(self) -> int:
+        while self._next_ephemeral in self._ports:
+            self._next_ephemeral += 1
+            if self._next_ephemeral > 65535:
+                raise NotBoundError("ephemeral port space exhausted")
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def sockets_for(self, port: int) -> list[UdpSocket]:
+        return list(self._ports.get(port, ()))
+
+    def sockets_for_group(self, group: str, port: int) -> list[UdpSocket]:
+        """Sockets bound to ``port`` that joined multicast ``group``."""
+        return [s for s in self._ports.get(port, ()) if group in s.groups]
+
+    def bound_ports(self) -> list[int]:
+        return sorted(self._ports)
+
+
+__all__ = ["UdpSocket", "UdpStack", "Datagram", "ANY"]

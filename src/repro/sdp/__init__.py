@@ -1,0 +1,19 @@
+"""Native service-discovery-protocol substrates (S2-S4 in DESIGN.md).
+
+Each subpackage is a from-scratch implementation of one SDP the paper's
+evaluation uses or mentions:
+
+* :mod:`repro.sdp.slp`  — Service Location Protocol v2 (RFC 2608 subset),
+  standing in for OpenSLP;
+* :mod:`repro.sdp.upnp` — UPnP (SSDP + HTTP + description XML + SOAP-lite),
+  standing in for CyberLink for Java;
+* :mod:`repro.sdp.jini` — Jini multicast discovery + lookup registrar
+  (simplified).
+
+:mod:`repro.sdp.base` defines the SDP-neutral service description model the
+INDISS translation pipeline normalizes to.
+"""
+
+from .base import ServiceRecord, normalize_service_type
+
+__all__ = ["ServiceRecord", "normalize_service_type"]

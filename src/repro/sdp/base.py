@@ -1,0 +1,116 @@
+"""SDP-neutral service description model.
+
+Every SDP names services differently (paper §2.4: an SLP client asks for
+``service:clock`` while UPnP advertises
+``urn:schemas-upnp-org:device:clock:1``).  INDISS's composers and its
+service cache work over one normalized record; the helpers here map between
+the three naming schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Marker for records whose origin protocol is unknown.
+UNKNOWN_SDP = "unknown"
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """A protocol-neutral description of one discovered service.
+
+    Attributes
+    ----------
+    service_type:
+        Normalized short type name, e.g. ``"clock"``.
+    url:
+        The access URL the client should use (SLP's "direct reference").
+    attributes:
+        Flat string attributes (friendlyName, manufacturer, ...).
+    lifetime_s:
+        Advertised time-to-live in seconds.
+    source_sdp:
+        Which protocol this record was learnt from (``"slp"``, ``"upnp"``,
+        ``"jini"``).
+    location:
+        For UPnP-origin records: the description-document URL, which a UPnP
+        client expects instead of the direct reference.
+    """
+
+    service_type: str
+    url: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    lifetime_s: int = 3600
+    source_sdp: str = UNKNOWN_SDP
+    location: str = ""
+
+    def with_attributes(self, **extra: str) -> "ServiceRecord":
+        merged = dict(self.attributes)
+        merged.update(extra)
+        return replace(self, attributes=merged)
+
+    def matches_type(self, normalized_type: str) -> bool:
+        return self.service_type == normalized_type
+
+
+def normalize_service_type(raw: str) -> str:
+    """Reduce any SDP's service-type naming to the short normalized form.
+
+    ``service:clock:soap`` (SLP), ``urn:schemas-upnp-org:device:clock:1``
+    (UPnP), ``org.example.Clock`` (Jini-style class name) all normalize to
+    ``"clock"``.
+    """
+    if not raw:
+        return ""
+    value = raw.strip()
+    lower = value.lower()
+    if lower.startswith("urn:") :
+        # urn:schemas-upnp-org:device:clock:1 / urn:...:service:timer:1
+        parts = value.split(":")
+        for marker in ("device", "service"):
+            if marker in [p.lower() for p in parts]:
+                index = [p.lower() for p in parts].index(marker)
+                if index + 1 < len(parts):
+                    return parts[index + 1].lower()
+        return parts[-1].lower()
+    if lower.startswith("service:"):
+        # service:clock, service:clock:soap, service:directory-agent
+        return value.split(":")[1].lower()
+    if lower.startswith("upnp:"):
+        return value.split(":", 1)[1].lower()
+    if "." in value and " " not in value:
+        # Java-style fully qualified class name.
+        return value.rsplit(".", 1)[-1].lower()
+    return lower
+
+
+def slp_service_type(normalized: str, abstract: str = "") -> str:
+    """Render a normalized type in SLP naming (``service:clock[:abstract]``)."""
+    base = f"service:{normalized}"
+    return f"{base}:{abstract}" if abstract else base
+
+
+def upnp_device_type(normalized: str, version: int = 1) -> str:
+    """Render a normalized type in UPnP device naming."""
+    return f"urn:schemas-upnp-org:device:{normalized}:{version}"
+
+
+def upnp_service_type(normalized: str, version: int = 1) -> str:
+    """Render a normalized type in UPnP service naming."""
+    return f"urn:schemas-upnp-org:service:{normalized}:{version}"
+
+
+def jini_class_name(normalized: str, package: str = "org.amigo") -> str:
+    """Render a normalized type as a Jini-style interface class name."""
+    return f"{package}.{normalized.capitalize()}"
+
+
+__all__ = [
+    "ServiceRecord",
+    "UNKNOWN_SDP",
+    "normalize_service_type",
+    "slp_service_type",
+    "upnp_device_type",
+    "upnp_service_type",
+    "jini_class_name",
+]

@@ -1,0 +1,50 @@
+"""Jini discovery + lookup substrate (simplified reggie-style registrar)."""
+
+from .client import LookupDiscovery, RegistrarClient, RegistrarInfo
+from .codec import StreamReader, StreamWriter
+from .constants import (
+    DEFAULT_ANNOUNCE_PERIOD_US,
+    DEFAULT_REGISTRAR_TCP_PORT,
+    JINI_ANNOUNCEMENT_GROUP,
+    JINI_PORT,
+    JINI_REQUEST_GROUP,
+    PROTOCOL_VERSION,
+    PUBLIC_GROUP,
+)
+from .discovery import (
+    MulticastAnnouncement,
+    MulticastRequest,
+    ServiceItem,
+    ServiceTemplate,
+    decode_packet,
+    groups_overlap,
+    next_service_id,
+)
+from .errors import JiniDecodeError, JiniError
+from .registrar import JiniTimings, LookupService
+
+__all__ = [
+    "DEFAULT_ANNOUNCE_PERIOD_US",
+    "DEFAULT_REGISTRAR_TCP_PORT",
+    "JINI_ANNOUNCEMENT_GROUP",
+    "JINI_PORT",
+    "JINI_REQUEST_GROUP",
+    "JiniDecodeError",
+    "JiniError",
+    "JiniTimings",
+    "LookupDiscovery",
+    "LookupService",
+    "MulticastAnnouncement",
+    "MulticastRequest",
+    "PROTOCOL_VERSION",
+    "PUBLIC_GROUP",
+    "RegistrarClient",
+    "RegistrarInfo",
+    "ServiceItem",
+    "ServiceTemplate",
+    "StreamReader",
+    "StreamWriter",
+    "decode_packet",
+    "groups_overlap",
+    "next_service_id",
+]

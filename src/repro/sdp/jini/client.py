@@ -1,0 +1,239 @@
+"""Jini discovering entities: LookupDiscovery plus a registrar client.
+
+``LookupDiscovery`` finds registrars either actively (multicast request,
+registrars connect back over TCP) or passively (listening to multicast
+announcements).  ``RegistrarClient`` then registers or looks up service
+items over the unicast protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ...net import Endpoint, Node
+from .codec import StreamReader, StreamWriter
+from .constants import (
+    JINI_ANNOUNCEMENT_GROUP,
+    JINI_PORT,
+    JINI_REQUEST_GROUP,
+    PUBLIC_GROUP,
+)
+from .discovery import (
+    MulticastAnnouncement,
+    MulticastRequest,
+    ServiceItem,
+    ServiceTemplate,
+    decode_packet,
+    groups_overlap,
+)
+from .errors import JiniDecodeError
+from .registrar import (
+    OP_ERROR,
+    OP_ITEMS,
+    OP_LOOKUP,
+    OP_OK,
+    OP_REGISTER,
+    OP_RENEW,
+    OP_UNREGISTER,
+    frame,
+)
+
+
+@dataclass(frozen=True)
+class RegistrarInfo:
+    """What discovery learns about one registrar."""
+
+    service_id: str
+    host: str
+    port: int
+    groups: tuple[str, ...]
+
+
+class LookupDiscovery:
+    """Finds lookup services on behalf of a client or service."""
+
+    def __init__(self, node: Node, groups: tuple[str, ...] = (PUBLIC_GROUP,)):
+        self.node = node
+        self.groups = groups
+        self.registrars: dict[str, RegistrarInfo] = {}
+        self.on_discovered: Optional[Callable[[RegistrarInfo], None]] = None
+
+        # Passive path: listen for announcements.
+        self._announce_socket = node.udp.socket().bind(JINI_PORT, reuse=True)
+        self._announce_socket.join_group(JINI_ANNOUNCEMENT_GROUP)
+        self._announce_socket.on_datagram(self._on_announcement)
+
+        # Active path: registrars connect back to this listener.
+        self._response_port = node.tcp.ephemeral_port()
+        self._response_listener = node.tcp.listen(self._response_port, self._on_response)
+        self._request_socket = node.udp.socket()
+
+    def close(self) -> None:
+        self._announce_socket.close()
+        self._response_listener.close()
+
+    def request(self) -> None:
+        """Multicast a discovery request (active model)."""
+        packet = MulticastRequest(
+            response_host=self.node.address,
+            response_port=self._response_port,
+            groups=self.groups,
+            heard=tuple(self.registrars),
+        )
+        self._request_socket.sendto(packet.encode(), Endpoint(JINI_REQUEST_GROUP, JINI_PORT))
+
+    def _on_announcement(self, datagram) -> None:
+        try:
+            packet = decode_packet(datagram.payload)
+        except JiniDecodeError:
+            return
+        if not isinstance(packet, MulticastAnnouncement):
+            return
+        if not groups_overlap(self.groups, packet.groups):
+            return
+        self._remember(
+            RegistrarInfo(packet.service_id, packet.host, packet.port, packet.groups)
+        )
+
+    def _on_response(self, connection) -> None:
+        buffer = bytearray()
+
+        def handle_data(chunk: bytes) -> None:
+            buffer.extend(chunk)
+            try:
+                reader = StreamReader(bytes(buffer))
+                service_id = reader.read_utf()
+                host = reader.read_utf()
+                port = reader.read_int()
+                groups = tuple(reader.read_utf_list())
+            except JiniDecodeError:
+                return  # wait for more bytes
+            self._remember(RegistrarInfo(service_id, host, port, groups))
+
+        connection.on_data(handle_data)
+
+    def _remember(self, info: RegistrarInfo) -> None:
+        is_new = info.service_id not in self.registrars
+        self.registrars[info.service_id] = info
+        if is_new and self.on_discovered is not None:
+            self.on_discovered(info)
+
+
+class RegistrarClient:
+    """Register / lookup against one discovered registrar."""
+
+    def __init__(self, node: Node, registrar: RegistrarInfo):
+        self.node = node
+        self.registrar = registrar
+
+    def register(
+        self,
+        item: ServiceItem,
+        on_registered: Callable[[str], None] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        writer = StreamWriter()
+        writer.write_byte(OP_REGISTER)
+        item.encode(writer)
+
+        def handle(payload: bytes) -> None:
+            reader = StreamReader(payload)
+            op = reader.read_byte()
+            if op == OP_OK and on_registered is not None:
+                on_registered(reader.read_utf())
+            elif op == OP_ERROR and on_error is not None:
+                on_error(JiniDecodeError(reader.read_utf()))
+
+        self._exchange(writer.getvalue(), handle, on_error)
+
+    def lookup(
+        self,
+        template: ServiceTemplate,
+        on_items: Callable[[list[ServiceItem]], None],
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        writer = StreamWriter()
+        writer.write_byte(OP_LOOKUP)
+        template.encode(writer)
+
+        def handle(payload: bytes) -> None:
+            reader = StreamReader(payload)
+            op = reader.read_byte()
+            if op != OP_ITEMS:
+                if on_error is not None:
+                    on_error(JiniDecodeError(f"unexpected reply op {op:#04x}"))
+                return
+            count = reader.read_int()
+            on_items([ServiceItem.decode(reader) for _ in range(count)])
+
+        self._exchange(writer.getvalue(), handle, on_error)
+
+    def renew_lease(
+        self,
+        service_id: str,
+        on_renewed: Callable[[str], None] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        """Renew a registration's lease (Jini join-manager behaviour)."""
+        writer = StreamWriter()
+        writer.write_byte(OP_RENEW)
+        writer.write_utf(service_id)
+
+        def handle(payload: bytes) -> None:
+            reader = StreamReader(payload)
+            op = reader.read_byte()
+            if op == OP_OK and on_renewed is not None:
+                on_renewed(reader.read_utf())
+            elif op == OP_ERROR and on_error is not None:
+                on_error(JiniDecodeError(reader.read_utf()))
+
+        self._exchange(writer.getvalue(), handle, on_error)
+
+    def unregister(
+        self, service_id: str, on_done: Callable[[str], None] | None = None
+    ) -> None:
+        writer = StreamWriter()
+        writer.write_byte(OP_UNREGISTER)
+        writer.write_utf(service_id)
+
+        def handle(payload: bytes) -> None:
+            reader = StreamReader(payload)
+            if reader.read_byte() == OP_OK and on_done is not None:
+                on_done(reader.read_utf())
+
+        self._exchange(writer.getvalue(), handle, None)
+
+    def _exchange(
+        self,
+        payload: bytes,
+        on_reply: Callable[[bytes], None],
+        on_error: Callable[[Exception], None] | None,
+    ) -> None:
+        def connected(connection) -> None:
+            buffer = bytearray()
+
+            def handle_data(chunk: bytes) -> None:
+                buffer.extend(chunk)
+                if len(buffer) < 4:
+                    return
+                length = int.from_bytes(buffer[:4], "big")
+                if len(buffer) < 4 + length:
+                    return
+                reply = bytes(buffer[4 : 4 + length])
+                connection.close()
+                on_reply(reply)
+
+            connection.on_data(handle_data)
+            connection.send(frame(payload))
+
+        def handle_error(error: Exception) -> None:
+            if on_error is not None:
+                on_error(error)
+
+        self.node.tcp.connect(
+            Endpoint(self.registrar.host, self.registrar.port), connected, on_error=handle_error
+        )
+
+
+__all__ = ["LookupDiscovery", "RegistrarClient", "RegistrarInfo"]

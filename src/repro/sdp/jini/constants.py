@@ -1,0 +1,41 @@
+"""Jini discovery protocol constants.
+
+The paper's Fig. 5 system specification includes ``Component Unit
+JINI(port=4160)``; 4160 is the IANA ``jini-announce``/``jini-request``
+port.  The Jini Discovery & Join specification uses two multicast groups:
+one for client requests, one for registrar announcements.
+"""
+
+from __future__ import annotations
+
+#: IANA-assigned Jini discovery port (both groups).
+JINI_PORT = 4160
+
+#: Multicast group for client/service *requests* (net.jini.discovery.request).
+JINI_REQUEST_GROUP = "224.0.1.84"
+
+#: Multicast group for registrar *announcements* (net.jini.discovery.announcement).
+JINI_ANNOUNCEMENT_GROUP = "224.0.1.85"
+
+#: Discovery protocol version (v1 packet format).
+PROTOCOL_VERSION = 1
+
+#: The public group (empty string, as in net.jini.discovery.LookupDiscovery).
+PUBLIC_GROUP = ""
+
+#: Default period between registrar announcements (Jini default is 120 s;
+#: scaled down to keep simulations short).
+DEFAULT_ANNOUNCE_PERIOD_US = 2_000_000
+
+#: Default TCP port registrars listen on for unicast discovery + lookup.
+DEFAULT_REGISTRAR_TCP_PORT = 4161
+
+__all__ = [
+    "JINI_PORT",
+    "JINI_REQUEST_GROUP",
+    "JINI_ANNOUNCEMENT_GROUP",
+    "PROTOCOL_VERSION",
+    "PUBLIC_GROUP",
+    "DEFAULT_ANNOUNCE_PERIOD_US",
+    "DEFAULT_REGISTRAR_TCP_PORT",
+]

@@ -1,0 +1,185 @@
+"""Jini multicast discovery packets (Discovery & Join spec, v1 format).
+
+Two packet kinds flow on port 4160:
+
+* **multicast request** — a discovering entity asks registrars to connect
+  back to its TCP ``response_port``; carries the groups it cares about and
+  the service IDs of registrars it already heard (so they stay silent);
+* **multicast announcement** — a registrar advertises its service ID,
+  groups, and unicast endpoint.
+
+This gives Jini both of the paper's §2 models: requests are the *active*
+model, announcements the *passive* one.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+
+from .codec import StreamReader, StreamWriter
+from .constants import PROTOCOL_VERSION
+from .errors import JiniDecodeError
+
+#: Packet type tags (one byte on the wire).
+_TAG_REQUEST = 0x01
+_TAG_ANNOUNCEMENT = 0x02
+
+
+def next_service_id(counter: int) -> str:
+    """Deterministic service ID derived from a counter (simulation-safe)."""
+    return str(uuid.uuid5(uuid.NAMESPACE_URL, f"jini-service-{counter}"))
+
+
+@dataclass(frozen=True)
+class MulticastRequest:
+    """A discovering entity's multicast request."""
+
+    response_host: str
+    response_port: int
+    groups: tuple[str, ...] = ("",)
+    heard: tuple[str, ...] = ()
+    protocol_version: int = PROTOCOL_VERSION
+
+    def encode(self) -> bytes:
+        writer = StreamWriter()
+        writer.write_byte(_TAG_REQUEST)
+        writer.write_int(self.protocol_version)
+        writer.write_utf(self.response_host)
+        writer.write_int(self.response_port)
+        writer.write_utf_list(self.groups)
+        writer.write_utf_list(self.heard)
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class MulticastAnnouncement:
+    """A registrar's periodic multicast announcement."""
+
+    host: str
+    port: int
+    service_id: str
+    groups: tuple[str, ...] = ("",)
+    protocol_version: int = PROTOCOL_VERSION
+
+    def encode(self) -> bytes:
+        writer = StreamWriter()
+        writer.write_byte(_TAG_ANNOUNCEMENT)
+        writer.write_int(self.protocol_version)
+        writer.write_utf(self.host)
+        writer.write_int(self.port)
+        writer.write_utf(self.service_id)
+        writer.write_utf_list(self.groups)
+        return writer.getvalue()
+
+
+def decode_packet(data: bytes) -> "MulticastRequest | MulticastAnnouncement":
+    """Decode either discovery packet kind."""
+    reader = StreamReader(data)
+    tag = reader.read_byte()
+    version = reader.read_int()
+    if version != PROTOCOL_VERSION:
+        raise JiniDecodeError(f"unsupported Jini discovery version {version}")
+    if tag == _TAG_REQUEST:
+        return MulticastRequest(
+            response_host=reader.read_utf(),
+            response_port=reader.read_int(),
+            groups=tuple(reader.read_utf_list()),
+            heard=tuple(reader.read_utf_list()),
+            protocol_version=version,
+        )
+    if tag == _TAG_ANNOUNCEMENT:
+        return MulticastAnnouncement(
+            host=reader.read_utf(),
+            port=reader.read_int(),
+            service_id=reader.read_utf(),
+            groups=tuple(reader.read_utf_list()),
+            protocol_version=version,
+        )
+    raise JiniDecodeError(f"unknown Jini packet tag {tag:#04x}")
+
+
+def groups_overlap(wanted: tuple[str, ...], offered: tuple[str, ...]) -> bool:
+    """Group matching: the empty 'public' group matches everything."""
+    if not wanted or not offered:
+        return True
+    if "" in wanted or "" in offered:
+        return True
+    return bool(set(wanted) & set(offered))
+
+
+@dataclass(frozen=True)
+class ServiceItem:
+    """A registered service: ID, implemented interfaces, attributes."""
+
+    service_id: str
+    class_names: tuple[str, ...]
+    attributes: dict[str, str] = field(default_factory=dict)
+    #: Where the service proxy points (our stand-in for the marshalled proxy).
+    endpoint_url: str = ""
+
+    def encode(self, writer: StreamWriter) -> None:
+        writer.write_utf(self.service_id)
+        writer.write_utf_list(self.class_names)
+        writer.write_str_map(self.attributes)
+        writer.write_utf(self.endpoint_url)
+
+    @classmethod
+    def decode(cls, reader: StreamReader) -> "ServiceItem":
+        return cls(
+            service_id=reader.read_utf(),
+            class_names=tuple(reader.read_utf_list()),
+            attributes=reader.read_str_map(),
+            endpoint_url=reader.read_utf(),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceTemplate:
+    """A lookup template: any field left empty is a wildcard."""
+
+    service_id: str = ""
+    class_names: tuple[str, ...] = ()
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def encode(self, writer: StreamWriter) -> None:
+        writer.write_utf(self.service_id)
+        writer.write_utf_list(self.class_names)
+        writer.write_str_map(self.attributes)
+
+    @classmethod
+    def decode(cls, reader: StreamReader) -> "ServiceTemplate":
+        return cls(
+            service_id=reader.read_utf(),
+            class_names=tuple(reader.read_utf_list()),
+            attributes=reader.read_str_map(),
+        )
+
+    def matches(self, item: ServiceItem) -> bool:
+        if self.service_id and self.service_id != item.service_id:
+            return False
+        for wanted in self.class_names:
+            if not any(_class_matches(wanted, have) for have in item.class_names):
+                return False
+        for key, value in self.attributes.items():
+            if item.attributes.get(key) != value:
+                return False
+        return True
+
+
+def _class_matches(wanted: str, have: str) -> bool:
+    """Exact match, or simple-name match (``Clock`` vs ``org.x.Clock``)."""
+    if wanted == have:
+        return True
+    return have.rsplit(".", 1)[-1].lower() == wanted.rsplit(".", 1)[-1].lower()
+
+
+__all__ = [
+    "MulticastRequest",
+    "MulticastAnnouncement",
+    "ServiceItem",
+    "ServiceTemplate",
+    "decode_packet",
+    "groups_overlap",
+    "next_service_id",
+]

@@ -1,0 +1,9 @@
+"""Jini-specific exceptions."""
+
+
+class JiniError(Exception):
+    """Base class for Jini substrate errors."""
+
+
+class JiniDecodeError(JiniError):
+    """Raised for malformed discovery packets or lookup stream data."""

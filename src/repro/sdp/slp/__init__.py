@@ -1,0 +1,101 @@
+"""Service Location Protocol v2 (RFC 2608 subset) — the OpenSLP stand-in.
+
+Public surface:
+
+* :mod:`~repro.sdp.slp.wire` — binary encode/decode;
+* :class:`~repro.sdp.slp.agent.UserAgent`,
+  :class:`~repro.sdp.slp.agent.ServiceAgent`,
+  :class:`~repro.sdp.slp.agent.DirectoryAgent` — the three RFC roles;
+* predicate and attribute-list handling.
+"""
+
+from .agent import (
+    DirectoryAgent,
+    PendingSearch,
+    ServiceAgent,
+    SlpConfig,
+    SlpRegistration,
+    SlpTimings,
+    UserAgent,
+)
+from .attributes import parse_attributes, serialize_attributes
+from .constants import (
+    DEFAULT_SCOPE,
+    ErrorCode,
+    Flags,
+    FunctionId,
+    SLP_MULTICAST_GROUP,
+    SLP_PORT,
+    SLP_VERSION,
+)
+from .errors import (
+    SlpDecodeError,
+    SlpEncodeError,
+    SlpError,
+    SlpPredicateError,
+    SlpServiceTypeError,
+)
+from .messages import (
+    AttrRply,
+    AttrRqst,
+    DAAdvert,
+    Header,
+    SAAdvert,
+    SlpMessage,
+    SrvAck,
+    SrvDeReg,
+    SrvReg,
+    SrvRply,
+    SrvRqst,
+    SrvTypeRply,
+    SrvTypeRqst,
+    UrlEntry,
+)
+from .predicate import matches as predicate_matches
+from .predicate import parse_predicate
+from .service_type import ServiceType
+from .wire import decode, decode_header, encode
+
+__all__ = [
+    "AttrRply",
+    "AttrRqst",
+    "DAAdvert",
+    "DEFAULT_SCOPE",
+    "DirectoryAgent",
+    "ErrorCode",
+    "Flags",
+    "FunctionId",
+    "Header",
+    "PendingSearch",
+    "SAAdvert",
+    "SLP_MULTICAST_GROUP",
+    "SLP_PORT",
+    "SLP_VERSION",
+    "ServiceAgent",
+    "ServiceType",
+    "SlpConfig",
+    "SlpDecodeError",
+    "SlpEncodeError",
+    "SlpError",
+    "SlpMessage",
+    "SlpPredicateError",
+    "SlpRegistration",
+    "SlpServiceTypeError",
+    "SlpTimings",
+    "SrvAck",
+    "SrvDeReg",
+    "SrvReg",
+    "SrvRply",
+    "SrvRqst",
+    "SrvTypeRply",
+    "SrvTypeRqst",
+    "UrlEntry",
+    "UserAgent",
+    "decode",
+    "decode_header",
+    "encode",
+    "parse_attributes",
+    "parse_predicate",
+    "predicate_matches",
+    "serialize_attributes",
+]

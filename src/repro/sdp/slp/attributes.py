@@ -1,0 +1,132 @@
+"""SLP attribute lists (RFC 2608 §5.3).
+
+Wire form: ``(key=value),(multi=a,b,c),keyword`` — parenthesized
+key/value pairs and bare keyword attributes, comma separated.  Values are
+kept as strings; multi-valued attributes map to lists.  A bare keyword maps
+to ``True``.
+
+A small escape scheme (``\\2c`` style, RFC 2608 §5.3) covers the reserved
+characters so round-tripping arbitrary values is safe — the property tests
+lean on this.
+"""
+
+from __future__ import annotations
+
+from .errors import SlpDecodeError
+
+AttrValue = "str | list[str] | bool"
+_RESERVED = "(),\\=!<>~;*+"
+
+
+def escape_value(value: str) -> str:
+    """Escape reserved characters as two-digit hex per RFC 2608 §5.3."""
+    out = []
+    for ch in value:
+        if ch in _RESERVED or ord(ch) < 0x20:
+            out.append(f"\\{ord(ch):02x}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def unescape_value(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\":
+            if i + 2 >= len(value) + 1 and len(value) - i < 3:
+                raise SlpDecodeError(f"truncated escape in {value!r}")
+            hex_digits = value[i + 1 : i + 3]
+            try:
+                out.append(chr(int(hex_digits, 16)))
+            except ValueError as exc:
+                raise SlpDecodeError(f"bad escape {hex_digits!r} in {value!r}") from exc
+            i += 3
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def serialize_attributes(attributes: dict) -> str:
+    """Render an attribute dict to the SLP wire string.
+
+    ``True`` values become keyword attributes; lists become multi-valued
+    attributes; everything else is stringified.
+    """
+    parts = []
+    for key, value in attributes.items():
+        escaped_key = escape_value(str(key))
+        if value is True:
+            parts.append(escaped_key)
+        elif isinstance(value, (list, tuple)):
+            rendered = ",".join(escape_value(str(v)) for v in value)
+            parts.append(f"({escaped_key}={rendered})")
+        else:
+            parts.append(f"({escaped_key}={escape_value(str(value))})")
+    return ",".join(parts)
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas that are not inside parentheses."""
+    items: list[str] = []
+    depth = 0
+    current: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 2 < len(text) + 1:
+            current.append(text[i : i + 3])
+            i += 3
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise SlpDecodeError(f"unbalanced ')' in attribute list {text!r}")
+        if ch == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if depth != 0:
+        raise SlpDecodeError(f"unbalanced '(' in attribute list {text!r}")
+    if current or items:
+        items.append("".join(current))
+    return [item for item in items if item != ""]
+
+
+def parse_attributes(text: str) -> dict:
+    """Parse the SLP attribute wire string into a dict.
+
+    Returns ``{}`` for the empty string.  Raises :class:`SlpDecodeError` for
+    malformed input (unbalanced parentheses, missing ``=``).
+    """
+    if not text:
+        return {}
+    attributes: dict = {}
+    for item in _split_top_level(text):
+        if item.startswith("("):
+            if not item.endswith(")"):
+                raise SlpDecodeError(f"malformed attribute {item!r}")
+            body = item[1:-1]
+            key, sep, raw_value = body.partition("=")
+            if not sep:
+                raise SlpDecodeError(f"attribute without '=' in {item!r}")
+            key = unescape_value(key)
+            values = [unescape_value(v) for v in raw_value.split(",")]
+            attributes[key] = values if len(values) > 1 else values[0]
+        else:
+            attributes[unescape_value(item)] = True
+    return attributes
+
+
+__all__ = [
+    "serialize_attributes",
+    "parse_attributes",
+    "escape_value",
+    "unescape_value",
+]

@@ -1,0 +1,102 @@
+"""SLPv2 protocol constants (RFC 2608).
+
+The IANA assignments here are exactly what INDISS's monitor component keys
+its detection on (paper §2.1): data arriving on the SLP multicast group and
+registered port *is* SLP, no parsing required.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: IANA-assigned SLP port (UDP and TCP).
+SLP_PORT = 427
+
+#: Administratively scoped SLP multicast group (SVRLOC).
+SLP_MULTICAST_GROUP = "239.255.255.253"
+
+#: Protocol version carried in every SLPv2 header.
+SLP_VERSION = 2
+
+#: Default scope per RFC 2608 §1.1.
+DEFAULT_SCOPE = "DEFAULT"
+
+#: Default language tag (RFC 1766).
+DEFAULT_LANGUAGE = "en"
+
+#: Default URL-entry lifetime, seconds (RFC 2608 maximum is 0xFFFF).
+DEFAULT_LIFETIME_S = 10800
+
+#: Maximum transmission unit assumed for SLP over UDP.
+SLP_MTU = 1400
+
+#: Reserved service type used by directory agents.
+DA_SERVICE_TYPE = "service:directory-agent"
+
+#: Reserved service type used by service agents advertising themselves.
+SA_SERVICE_TYPE = "service:service-agent"
+
+
+class FunctionId(IntEnum):
+    """SLPv2 message function identifiers (RFC 2608 §8)."""
+
+    SRVRQST = 1
+    SRVRPLY = 2
+    SRVREG = 3
+    SRVDEREG = 4
+    SRVACK = 5
+    ATTRRQST = 6
+    ATTRRPLY = 7
+    DAADVERT = 8
+    SRVTYPERQST = 9
+    SRVTYPERPLY = 10
+    SAADVERT = 11
+
+
+class ErrorCode(IntEnum):
+    """SLPv2 error codes (RFC 2608 §7)."""
+
+    OK = 0
+    LANGUAGE_NOT_SUPPORTED = 1
+    PARSE_ERROR = 2
+    INVALID_REGISTRATION = 3
+    SCOPE_NOT_SUPPORTED = 4
+    AUTHENTICATION_UNKNOWN = 5
+    AUTHENTICATION_ABSENT = 6
+    AUTHENTICATION_FAILED = 7
+    VER_NOT_SUPPORTED = 9
+    INTERNAL_ERROR = 10
+    DA_BUSY_NOW = 11
+    OPTION_NOT_UNDERSTOOD = 12
+    INVALID_UPDATE = 13
+    MSG_NOT_SUPPORTED = 14
+    REFRESH_REJECTED = 15
+
+
+class Flags(IntEnum):
+    """Header flag bits (only the top three of sixteen are defined)."""
+
+    OVERFLOW = 0x8000
+    FRESH = 0x4000
+    REQUEST_MCAST = 0x2000
+
+
+#: Bits that must be zero in a well-formed SLPv2 header.
+RESERVED_FLAG_MASK = 0x1FFF
+
+
+__all__ = [
+    "SLP_PORT",
+    "SLP_MULTICAST_GROUP",
+    "SLP_VERSION",
+    "SLP_MTU",
+    "DEFAULT_SCOPE",
+    "DEFAULT_LANGUAGE",
+    "DEFAULT_LIFETIME_S",
+    "DA_SERVICE_TYPE",
+    "SA_SERVICE_TYPE",
+    "FunctionId",
+    "ErrorCode",
+    "Flags",
+    "RESERVED_FLAG_MASK",
+]

@@ -1,0 +1,21 @@
+"""SLP-specific exceptions."""
+
+
+class SlpError(Exception):
+    """Base class for SLP protocol errors."""
+
+
+class SlpDecodeError(SlpError):
+    """Raised when bytes cannot be decoded as a well-formed SLPv2 message."""
+
+
+class SlpEncodeError(SlpError):
+    """Raised when a message cannot be rendered to the wire format."""
+
+
+class SlpPredicateError(SlpError):
+    """Raised for malformed LDAPv3 search filters."""
+
+
+class SlpServiceTypeError(SlpError):
+    """Raised for malformed service type strings."""

@@ -1,0 +1,202 @@
+"""SLPv2 message dataclasses (RFC 2608 §8-§10).
+
+These are the in-memory forms; :mod:`repro.sdp.slp.wire` maps them to and
+from the binary wire format.  Fields mirror the RFC's message layouts,
+omitting authentication blocks (always empty here, as in most deployments
+and in the paper's testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .constants import (
+    DEFAULT_LANGUAGE,
+    DEFAULT_LIFETIME_S,
+    DEFAULT_SCOPE,
+    ErrorCode,
+    FunctionId,
+)
+
+
+@dataclass(frozen=True)
+class Header:
+    """The SLPv2 common header (RFC 2608 §8)."""
+
+    function_id: FunctionId
+    xid: int = 0
+    flags: int = 0
+    language_tag: str = DEFAULT_LANGUAGE
+
+    def with_flags(self, flags: int) -> "Header":
+        return Header(self.function_id, self.xid, flags, self.language_tag)
+
+
+@dataclass(frozen=True)
+class UrlEntry:
+    """A URL entry: lifetime plus access URL (RFC 2608 §4.3)."""
+
+    url: str
+    lifetime_s: int = DEFAULT_LIFETIME_S
+
+
+@dataclass(frozen=True)
+class SrvRqst:
+    """Service request (function 1)."""
+
+    header: Header
+    prlist: tuple[str, ...] = ()
+    service_type: str = ""
+    scopes: tuple[str, ...] = (DEFAULT_SCOPE,)
+    predicate: str = ""
+    spi: str = ""
+
+
+@dataclass(frozen=True)
+class SrvRply:
+    """Service reply (function 2)."""
+
+    header: Header
+    error_code: ErrorCode = ErrorCode.OK
+    url_entries: tuple[UrlEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class SrvReg:
+    """Service registration (function 3)."""
+
+    header: Header
+    url_entry: UrlEntry = field(default_factory=lambda: UrlEntry(""))
+    service_type: str = ""
+    scopes: tuple[str, ...] = (DEFAULT_SCOPE,)
+    attr_list: str = ""
+
+
+@dataclass(frozen=True)
+class SrvDeReg:
+    """Service deregistration (function 4)."""
+
+    header: Header
+    scopes: tuple[str, ...] = (DEFAULT_SCOPE,)
+    url_entry: UrlEntry = field(default_factory=lambda: UrlEntry(""))
+    tag_list: str = ""
+
+
+@dataclass(frozen=True)
+class SrvAck:
+    """Service acknowledgement (function 5)."""
+
+    header: Header
+    error_code: ErrorCode = ErrorCode.OK
+
+
+@dataclass(frozen=True)
+class AttrRqst:
+    """Attribute request (function 6)."""
+
+    header: Header
+    prlist: tuple[str, ...] = ()
+    url: str = ""
+    scopes: tuple[str, ...] = (DEFAULT_SCOPE,)
+    tag_list: str = ""
+    spi: str = ""
+
+
+@dataclass(frozen=True)
+class AttrRply:
+    """Attribute reply (function 7)."""
+
+    header: Header
+    error_code: ErrorCode = ErrorCode.OK
+    attr_list: str = ""
+
+
+@dataclass(frozen=True)
+class DAAdvert:
+    """Directory agent advertisement (function 8)."""
+
+    header: Header
+    error_code: ErrorCode = ErrorCode.OK
+    boot_timestamp: int = 0
+    url: str = ""
+    scopes: tuple[str, ...] = (DEFAULT_SCOPE,)
+    attr_list: str = ""
+    spi: str = ""
+
+
+@dataclass(frozen=True)
+class SrvTypeRqst:
+    """Service type request (function 9)."""
+
+    header: Header
+    prlist: tuple[str, ...] = ()
+    naming_authority: str = ""
+    scopes: tuple[str, ...] = (DEFAULT_SCOPE,)
+
+
+@dataclass(frozen=True)
+class SrvTypeRply:
+    """Service type reply (function 10)."""
+
+    header: Header
+    error_code: ErrorCode = ErrorCode.OK
+    service_types: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SAAdvert:
+    """Service agent advertisement (function 11)."""
+
+    header: Header
+    url: str = ""
+    scopes: tuple[str, ...] = (DEFAULT_SCOPE,)
+    attr_list: str = ""
+
+
+#: Union of all message types, keyed by function id (used by the codec).
+MESSAGE_TYPES = {
+    FunctionId.SRVRQST: SrvRqst,
+    FunctionId.SRVRPLY: SrvRply,
+    FunctionId.SRVREG: SrvReg,
+    FunctionId.SRVDEREG: SrvDeReg,
+    FunctionId.SRVACK: SrvAck,
+    FunctionId.ATTRRQST: AttrRqst,
+    FunctionId.ATTRRPLY: AttrRply,
+    FunctionId.DAADVERT: DAAdvert,
+    FunctionId.SRVTYPERQST: SrvTypeRqst,
+    FunctionId.SRVTYPERPLY: SrvTypeRply,
+    FunctionId.SAADVERT: SAAdvert,
+}
+
+SlpMessage = (
+    SrvRqst
+    | SrvRply
+    | SrvReg
+    | SrvDeReg
+    | SrvAck
+    | AttrRqst
+    | AttrRply
+    | DAAdvert
+    | SrvTypeRqst
+    | SrvTypeRply
+    | SAAdvert
+)
+
+
+__all__ = [
+    "Header",
+    "UrlEntry",
+    "SrvRqst",
+    "SrvRply",
+    "SrvReg",
+    "SrvDeReg",
+    "SrvAck",
+    "AttrRqst",
+    "AttrRply",
+    "DAAdvert",
+    "SrvTypeRqst",
+    "SrvTypeRply",
+    "SAAdvert",
+    "SlpMessage",
+    "MESSAGE_TYPES",
+]

@@ -1,0 +1,224 @@
+"""LDAPv3-style search filters for SLP SrvRqst predicates (RFC 2608 §8.1).
+
+Supported grammar (a faithful subset of RFC 2254)::
+
+    filter     = "(" ( and / or / not / item ) ")"
+    and        = "&" filter *filter
+    or         = "|" filter *filter
+    not        = "!" filter
+    item       = attr ( "=" / ">=" / "<=" ) value
+               | attr "=*"                      ; presence
+
+Values compare numerically when both sides parse as integers, otherwise
+case-insensitively as strings.  ``*`` inside an equality value is a
+wildcard (substring match), as in LDAP.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from .errors import SlpPredicateError
+
+Filter = Union["And", "Or", "Not", "Comparison", "Presence"]
+
+
+@dataclass(frozen=True)
+class And:
+    children: tuple
+
+    def evaluate(self, attributes: dict) -> bool:
+        return all(child.evaluate(attributes) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Or:
+    children: tuple
+
+    def evaluate(self, attributes: dict) -> bool:
+        return any(child.evaluate(attributes) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Not:
+    child: Filter
+
+    def evaluate(self, attributes: dict) -> bool:
+        return not self.child.evaluate(attributes)
+
+
+@dataclass(frozen=True)
+class Presence:
+    attr: str
+
+    def evaluate(self, attributes: dict) -> bool:
+        return _lookup(attributes, self.attr) is not None
+
+
+@dataclass(frozen=True)
+class Comparison:
+    attr: str
+    op: str  # '=', '>=', '<='
+    value: str
+
+    def evaluate(self, attributes: dict) -> bool:
+        actual = _lookup(attributes, self.attr)
+        if actual is None:
+            return False
+        values = actual if isinstance(actual, (list, tuple)) else [actual]
+        return any(self._matches_one(v) for v in values)
+
+    def _matches_one(self, actual) -> bool:
+        if actual is True:
+            # Keyword attribute: present but valueless; only presence and
+            # wildcard-equality can match it.
+            return self.op == "=" and self.value == "*"
+        actual_text = str(actual)
+        if self.op == "=":
+            if "*" in self.value:
+                pattern = ".*".join(re.escape(part) for part in self.value.split("*"))
+                return re.fullmatch(pattern, actual_text, re.IGNORECASE) is not None
+            left, right = _coerce(actual_text, self.value)
+            return left == right
+        left, right = _coerce(actual_text, self.value)
+        if type(left) is not type(right):
+            left, right = actual_text.lower(), self.value.lower()
+        if self.op == ">=":
+            return left >= right
+        if self.op == "<=":
+            return left <= right
+        raise SlpPredicateError(f"unknown operator {self.op!r}")
+
+
+def _lookup(attributes: dict, attr: str):
+    for key, value in attributes.items():
+        if key.lower() == attr.lower():
+            return value
+    return None
+
+
+def _coerce(left: str, right: str):
+    try:
+        return int(left), int(right)
+    except ValueError:
+        return left.lower(), right.lower()
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Filter:
+        node = self._parse_filter()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise SlpPredicateError(f"trailing data after filter: {self.text[self.pos:]!r}")
+        return node
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _expect(self, ch: str) -> None:
+        if self.pos >= len(self.text) or self.text[self.pos] != ch:
+            found = self.text[self.pos] if self.pos < len(self.text) else "<end>"
+            raise SlpPredicateError(f"expected {ch!r} at {self.pos}, found {found!r}")
+        self.pos += 1
+
+    def _parse_filter(self) -> Filter:
+        self._skip_ws()
+        self._expect("(")
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            raise SlpPredicateError("unexpected end of filter")
+        ch = self.text[self.pos]
+        if ch == "&":
+            self.pos += 1
+            node: Filter = And(tuple(self._parse_filter_list()))
+        elif ch == "|":
+            self.pos += 1
+            node = Or(tuple(self._parse_filter_list()))
+        elif ch == "!":
+            self.pos += 1
+            node = Not(self._parse_filter())
+        else:
+            node = self._parse_item()
+        self._skip_ws()
+        self._expect(")")
+        return node
+
+    def _parse_filter_list(self) -> list[Filter]:
+        children = []
+        while True:
+            self._skip_ws()
+            if self.pos < len(self.text) and self.text[self.pos] == "(":
+                children.append(self._parse_filter())
+            else:
+                break
+        if not children:
+            raise SlpPredicateError("empty filter list for &/|")
+        return children
+
+    def _parse_item(self) -> Filter:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in "=<>)(":
+            self.pos += 1
+        attr = self.text[start : self.pos].strip()
+        if not attr:
+            raise SlpPredicateError(f"missing attribute name at {start}")
+        if self.pos >= len(self.text):
+            raise SlpPredicateError("unexpected end in comparison")
+        ch = self.text[self.pos]
+        if ch in "<>":
+            op = ch + "="
+            self.pos += 1
+            self._expect("=")
+        elif ch == "=":
+            op = "="
+            self.pos += 1
+        else:
+            raise SlpPredicateError(f"expected comparison operator at {self.pos}")
+        start = self.pos
+        depth = 0
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                if depth == 0:
+                    break
+                depth -= 1
+            self.pos += 1
+        value = self.text[start : self.pos].strip()
+        if op == "=" and value == "*":
+            return Presence(attr)
+        return Comparison(attr, op, value)
+
+
+def parse_predicate(text: str) -> Filter | None:
+    """Parse an SLP predicate; the empty predicate matches everything."""
+    if not text or not text.strip():
+        return None
+    return _Parser(text.strip()).parse()
+
+
+def matches(predicate_text: str, attributes: dict) -> bool:
+    """Convenience: parse and evaluate in one step."""
+    predicate = parse_predicate(predicate_text)
+    if predicate is None:
+        return True
+    return predicate.evaluate(attributes)
+
+
+__all__ = [
+    "parse_predicate",
+    "matches",
+    "And",
+    "Or",
+    "Not",
+    "Comparison",
+    "Presence",
+]

@@ -1,0 +1,139 @@
+"""Factory for the paper's running example: the CyberGarage clock device.
+
+Fig. 4 of the paper shows an SLP client discovering a UPnP clock device
+whose SSDP response carries ``ST: upnp:clock`` /
+``LOCATION: http://128.93.8.112:4004/description.xml`` and whose final SLP
+reply exposes ``service:clock:soap://.../service/timer/control`` plus
+attributes (friendlyName "CyberGarage Clock Device", etc.).  This module
+builds a device matching that description so examples, tests and benchmarks
+all exercise the identical scenario.
+"""
+
+from __future__ import annotations
+
+from ...net import Node
+from .description import (
+    Action,
+    ActionArgument,
+    DeviceDescription,
+    IconDescription,
+    ScpdDescription,
+    ServiceDescription,
+    StateVariable,
+)
+from .device import UpnpDevice, UpnpTimings
+from .soap import SoapCall
+
+CLOCK_DEVICE_TYPE = "urn:schemas-upnp-org:device:clock:1"
+CLOCK_SERVICE_TYPE = "urn:schemas-upnp-org:service:timer:1"
+CLOCK_UDN = "uuid:ClockDevice"
+CLOCK_CONTROL_PATH = "/service/timer/control"
+CLOCK_SCPD_PATH = "/service/timer/scpd.xml"
+CLOCK_EVENT_PATH = "/service/timer/event"
+CLOCK_CONTROL_PORT = 4005
+
+
+def clock_description(host: str) -> DeviceDescription:
+    """The clock device's description document (paper Fig. 4 metadata)."""
+    return DeviceDescription(
+        device_type=CLOCK_DEVICE_TYPE,
+        friendly_name="CyberGarage Clock Device",
+        udn=CLOCK_UDN,
+        manufacturer="CyberGarage",
+        manufacturer_url="http://www.cybergarage.org",
+        model_name="Clock",
+        model_description="CyberUPnP Clock Device",
+        model_number="1.0",
+        model_url="http://www.cybergarage.org",
+        presentation_url=f"http://{host}:{CLOCK_CONTROL_PORT}/presentation",
+        icons=[
+            IconDescription(width=48, height=48, url="/icon48.png"),
+            IconDescription(width=32, height=32, url="/icon32.png"),
+        ],
+        services=[
+            ServiceDescription(
+                service_type=CLOCK_SERVICE_TYPE,
+                service_id="urn:upnp-org:serviceId:timer:1",
+                scpd_url=CLOCK_SCPD_PATH,
+                control_url=CLOCK_CONTROL_PATH,
+                event_sub_url=CLOCK_EVENT_PATH,
+            )
+        ],
+    )
+
+
+def clock_scpd() -> ScpdDescription:
+    """SCPD for the timer service (GetTime/SetTime)."""
+    return ScpdDescription(
+        actions=[
+            Action(
+                name="GetTime",
+                arguments=(
+                    ActionArgument("CurrentTime", "out", "Time"),
+                ),
+            ),
+            Action(
+                name="SetTime",
+                arguments=(
+                    ActionArgument("NewTime", "in", "Time"),
+                    ActionArgument("Result", "out", "Result"),
+                ),
+            ),
+        ],
+        state_variables=[
+            StateVariable("Time", data_type="string", send_events=True),
+            StateVariable("Result", data_type="string"),
+        ],
+    )
+
+
+def make_clock_device(
+    node: Node,
+    timings: UpnpTimings | None = None,
+    http_port: int = 4004,
+    seed: int = 0,
+    advertise: bool = False,
+    notify_period_us: int | None = None,
+) -> UpnpDevice:
+    """Build the clock device on ``node``, with a working GetTime action."""
+    extra = {}
+    if notify_period_us is not None:
+        extra["notify_period_us"] = notify_period_us
+    device = UpnpDevice(
+        node,
+        clock_description(node.address),
+        http_port=http_port,
+        timings=timings,
+        scpds={"urn:upnp-org:serviceId:timer:1": clock_scpd()},
+        seed=seed,
+        advertise=advertise,
+        **extra,
+    )
+
+    def get_time(call: SoapCall) -> dict:
+        return {"CurrentTime": f"{node.now_us / 1_000_000.0:.6f}"}
+
+    def set_time(call: SoapCall) -> dict:
+        return {"Result": f"accepted:{call.arguments.get('NewTime', '')}"}
+
+    device.on_action(CLOCK_SERVICE_TYPE, "GetTime", get_time)
+    device.on_action(CLOCK_SERVICE_TYPE, "SetTime", set_time)
+    return device
+
+
+def clock_control_url(host: str) -> str:
+    """The direct SOAP reference an SLP client receives (paper Fig. 4)."""
+    return f"http://{host}:{CLOCK_CONTROL_PORT}{CLOCK_CONTROL_PATH}"
+
+
+__all__ = [
+    "CLOCK_DEVICE_TYPE",
+    "CLOCK_SERVICE_TYPE",
+    "CLOCK_UDN",
+    "CLOCK_CONTROL_PATH",
+    "CLOCK_SCPD_PATH",
+    "clock_description",
+    "clock_scpd",
+    "make_clock_device",
+    "clock_control_url",
+]

@@ -1,0 +1,59 @@
+"""UPnP / SSDP protocol constants.
+
+The SSDP multicast group and port are the second entry in INDISS's
+IANA correspondence table (paper Figure 2: ``239.255.255.250:1900 : UPnP``).
+"""
+
+from __future__ import annotations
+
+#: IANA-assigned SSDP multicast group.
+SSDP_GROUP = "239.255.255.250"
+
+#: IANA-assigned SSDP port.
+SSDP_PORT = 1900
+
+#: Default MX (maximum response wait, seconds) in M-SEARCH requests.  The
+#: paper's Fig. 4 trace uses ``MX: 0``.
+DEFAULT_MX_S = 0
+
+#: ``MAN`` header value required on M-SEARCH.
+SSDP_DISCOVER = "ssdp:discover"
+
+#: ST value matching every device and service.
+SSDP_ALL = "ssdp:all"
+
+#: ST/NT value matching root devices.
+UPNP_ROOTDEVICE = "upnp:rootdevice"
+
+#: NTS values for NOTIFY.
+SSDP_ALIVE = "ssdp:alive"
+SSDP_BYEBYE = "ssdp:byebye"
+
+#: Default advertisement validity (CACHE-CONTROL: max-age).
+DEFAULT_MAX_AGE_S = 1800
+
+#: Default period between NOTIFY bursts for an alive device.
+DEFAULT_NOTIFY_PERIOD_US = 2_000_000
+
+#: Server/user-agent string mirroring the paper's testbed stack.
+SERVER_STRING = "UPnP/1.0 CyberLink-sim/1.3.2"
+
+#: Default TCP port where devices serve description/control documents
+#: (the paper's clock device uses 4004).
+DEFAULT_HTTP_PORT = 4004
+
+
+__all__ = [
+    "SSDP_GROUP",
+    "SSDP_PORT",
+    "DEFAULT_MX_S",
+    "SSDP_DISCOVER",
+    "SSDP_ALL",
+    "UPNP_ROOTDEVICE",
+    "SSDP_ALIVE",
+    "SSDP_BYEBYE",
+    "DEFAULT_MAX_AGE_S",
+    "DEFAULT_NOTIFY_PERIOD_US",
+    "SERVER_STRING",
+    "DEFAULT_HTTP_PORT",
+]

@@ -1,0 +1,21 @@
+"""UPnP-specific exceptions."""
+
+
+class UpnpError(Exception):
+    """Base class for UPnP stack errors."""
+
+
+class HttpParseError(UpnpError):
+    """Raised for malformed HTTP/HTTPU messages."""
+
+
+class SsdpParseError(UpnpError):
+    """Raised for datagrams that are HTTP-shaped but not valid SSDP."""
+
+
+class DescriptionError(UpnpError):
+    """Raised for malformed device/service description documents."""
+
+
+class SoapError(UpnpError):
+    """Raised for malformed SOAP envelopes or action faults."""

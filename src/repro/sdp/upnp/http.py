@@ -1,0 +1,231 @@
+"""A sans-io HTTP/1.x codec.
+
+UPnP layers everything on HTTP: SSDP is "HTTPU" (HTTP-shaped datagrams over
+UDP), descriptions and SOAP control ride ordinary HTTP over TCP.  This
+module provides:
+
+* :class:`Headers` — case-insensitive header map preserving insertion order;
+* :class:`HttpRequest` / :class:`HttpResponse` — immutable-ish message
+  values with ``render()`` to bytes;
+* :func:`parse_message` — one-shot parse (for single-datagram HTTPU);
+* :class:`HttpStreamParser` — incremental parser for TCP streams, framing
+  bodies by ``Content-Length`` (the only framing UPnP 1.0 needs).
+
+Being sans-io, the codec is directly testable without any simulated
+network, and the same parser instance drives INDISS's UPnP unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from .errors import HttpParseError
+
+CRLF = b"\r\n"
+HEADER_END = b"\r\n\r\n"
+
+
+class Headers:
+    """Case-insensitive header collection preserving insertion order."""
+
+    def __init__(self, items: "list[tuple[str, str]] | dict[str, str] | None" = None):
+        self._items: list[tuple[str, str]] = []
+        if items:
+            pairs = items.items() if isinstance(items, dict) else items
+            for name, value in pairs:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((str(name), str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace any existing values for ``name``."""
+        lowered = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
+        self.add(name, value)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        lowered = name.lower()
+        for existing, value in self._items:
+            if existing.lower() == lowered:
+                return value
+        return default
+
+    def get_int(self, name: str, default: int = 0) -> int:
+        value = self.get(name)
+        if value is None:
+            return default
+        try:
+            return int(value.strip())
+        except ValueError as exc:
+            raise HttpParseError(f"non-integer {name} header: {value!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        mine = [(n.lower(), v) for n, v in self._items]
+        theirs = [(n.lower(), v) for n, v in other._items]
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Headers({self._items!r})"
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request message (also the shape of SSDP requests)."""
+
+    method: str
+    target: str
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def render(self) -> bytes:
+        lines = [f"{self.method} {self.target} {self.version}".encode("ascii")]
+        lines.extend(f"{n}: {v}".encode("latin-1") for n, v in self.headers)
+        return CRLF.join(lines) + HEADER_END + self.body
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response message (also the shape of SSDP search responses)."""
+
+    status: int
+    reason: str = "OK"
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def render(self) -> bytes:
+        lines = [f"{self.version} {self.status} {self.reason}".encode("ascii")]
+        lines.extend(f"{n}: {v}".encode("latin-1") for n, v in self.headers)
+        return CRLF.join(lines) + HEADER_END + self.body
+
+
+HttpMessage = Union[HttpRequest, HttpResponse]
+
+
+def _parse_start_line(line: str) -> HttpMessage:
+    parts = line.split(" ", 2)
+    if len(parts) < 3:
+        # Requests like "M-SEARCH * HTTP/1.1" have exactly three tokens;
+        # responses may have multi-word reasons handled below.
+        if len(parts) == 2 and parts[0].upper().startswith("HTTP/"):
+            parts = [parts[0], parts[1], ""]
+        else:
+            raise HttpParseError(f"malformed start line: {line!r}")
+    if parts[0].upper().startswith("HTTP/"):
+        version, status_text, reason = parts[0], parts[1], parts[2]
+        if not status_text.isdigit():
+            raise HttpParseError(f"malformed status code: {status_text!r}")
+        return HttpResponse(status=int(status_text), reason=reason, version=version)
+    method, target, version = parts
+    if not version.upper().startswith("HTTP/"):
+        raise HttpParseError(f"malformed HTTP version: {version!r}")
+    return HttpRequest(method=method.upper(), target=target, version=version)
+
+
+def _parse_header_block(block: str) -> Headers:
+    headers = Headers()
+    for raw_line in block.split("\r\n"):
+        if not raw_line:
+            continue
+        name, sep, value = raw_line.partition(":")
+        if not sep:
+            raise HttpParseError(f"malformed header line: {raw_line!r}")
+        headers.add(name.strip(), value.strip())
+    return headers
+
+
+def parse_message(data: bytes) -> HttpMessage:
+    """Parse a complete HTTP message held in one buffer (HTTPU datagrams).
+
+    The body is everything after the blank line, trimmed to Content-Length
+    when that header is present.
+    """
+    head, sep, body = data.partition(HEADER_END)
+    if not sep:
+        raise HttpParseError("no end-of-headers marker")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 never fails
+        raise HttpParseError(str(exc)) from exc
+    start_line, _, header_block = text.partition("\r\n")
+    message = _parse_start_line(start_line.strip())
+    message.headers = _parse_header_block(header_block)
+    length = message.headers.get_int("Content-Length", default=len(body))
+    if length > len(body):
+        raise HttpParseError(f"body shorter than Content-Length ({len(body)} < {length})")
+    message.body = body[:length]
+    return message
+
+
+class HttpStreamParser:
+    """Incremental HTTP parser for TCP byte streams.
+
+    Feed arbitrary chunks; complete messages come back in order.  Bodies are
+    framed by ``Content-Length`` (absent means empty body, which is correct
+    for the GET/response traffic UPnP description fetch generates — we do
+    not support read-until-close framing).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = b""
+        self._pending: Optional[HttpMessage] = None
+        self._body_needed = 0
+        self.messages_parsed = 0
+
+    def feed(self, data: bytes) -> list[HttpMessage]:
+        self._buffer += data
+        complete: list[HttpMessage] = []
+        while True:
+            message = self._try_extract()
+            if message is None:
+                break
+            complete.append(message)
+            self.messages_parsed += 1
+        return complete
+
+    def _try_extract(self) -> Optional[HttpMessage]:
+        if self._pending is None:
+            end = self._buffer.find(HEADER_END)
+            if end < 0:
+                return None
+            head = self._buffer[: end + len(HEADER_END)]
+            self._buffer = self._buffer[end + len(HEADER_END):]
+            text = head[:-len(HEADER_END)].decode("latin-1")
+            start_line, _, header_block = text.partition("\r\n")
+            message = _parse_start_line(start_line.strip())
+            message.headers = _parse_header_block(header_block)
+            self._pending = message
+            self._body_needed = message.headers.get_int("Content-Length", default=0)
+        if len(self._buffer) < self._body_needed:
+            return None
+        message = self._pending
+        assert message is not None
+        message.body = self._buffer[: self._body_needed]
+        self._buffer = self._buffer[self._body_needed:]
+        self._pending = None
+        self._body_needed = 0
+        return message
+
+
+__all__ = [
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpMessage",
+    "HttpStreamParser",
+    "parse_message",
+]

@@ -1,0 +1,81 @@
+"""A minimal asynchronous HTTP client over the simulated TCP stack."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...net import Endpoint, Node
+from .http import Headers, HttpRequest, HttpResponse, HttpStreamParser
+from .urls import parse_http_url
+
+ResponseHandler = Callable[[HttpResponse], None]
+ErrorHandler = Callable[[Exception], None]
+
+
+def http_request(
+    node: Node,
+    method: str,
+    url: str,
+    headers: Headers | None = None,
+    body: bytes = b"",
+    on_response: ResponseHandler | None = None,
+    on_error: ErrorHandler | None = None,
+) -> None:
+    """Open a connection, send one request, deliver the parsed response.
+
+    The connection closes after the exchange (HTTP/1.0-style one-shot, which
+    matches how UPnP stacks fetch description documents).
+    """
+    host, port, path = parse_http_url(url)
+    request_headers = headers if headers is not None else Headers()
+    if "HOST" not in request_headers:
+        request_headers.add("HOST", f"{host}:{port}")
+    if body and "CONTENT-LENGTH" not in request_headers:
+        request_headers.add("CONTENT-LENGTH", str(len(body)))
+    request = HttpRequest(method=method, target=path, headers=request_headers, body=body)
+    parser = HttpStreamParser()
+    delivered = []
+
+    def handle_connected(connection) -> None:
+        def handle_data(chunk: bytes) -> None:
+            for message in parser.feed(chunk):
+                if delivered:
+                    continue
+                delivered.append(message)
+                connection.close()
+                if on_response is not None and isinstance(message, HttpResponse):
+                    on_response(message)
+
+        connection.on_data(handle_data)
+        connection.send(request.render())
+
+    def handle_error(error: Exception) -> None:
+        if on_error is not None:
+            on_error(error)
+
+    node.tcp.connect(Endpoint(host, port), handle_connected, on_error=handle_error)
+
+
+def http_get(
+    node: Node,
+    url: str,
+    on_response: ResponseHandler,
+    on_error: ErrorHandler | None = None,
+) -> None:
+    http_request(node, "GET", url, on_response=on_response, on_error=on_error)
+
+
+def http_post(
+    node: Node,
+    url: str,
+    body: bytes,
+    headers: Headers | None = None,
+    on_response: ResponseHandler | None = None,
+    on_error: ErrorHandler | None = None,
+) -> None:
+    http_request(
+        node, "POST", url, headers=headers, body=body, on_response=on_response, on_error=on_error
+    )
+
+
+__all__ = ["http_request", "http_get", "http_post"]

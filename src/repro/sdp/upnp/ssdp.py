@@ -1,0 +1,267 @@
+"""SSDP: the Simple Service Discovery Protocol layer of UPnP.
+
+Message kinds (UPnP Device Architecture 1.0):
+
+* ``M-SEARCH`` — multicast search request, scoped by ``ST`` (search target)
+  and bounded by ``MX`` (max response jitter, seconds);
+* search **response** — unicast ``HTTP/1.1 200 OK`` carrying ``ST``, ``USN``
+  and ``LOCATION`` (URL of the device description document);
+* ``NOTIFY`` with ``NTS: ssdp:alive`` — multicast advertisement;
+* ``NOTIFY`` with ``NTS: ssdp:byebye`` — multicast retraction.
+
+The paper's Fig. 4 trace shows exactly these messages; building and parsing
+them is the job of this module, while :mod:`repro.sdp.upnp.device` and
+:mod:`repro.sdp.upnp.control_point` implement the behaviour around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from .constants import (
+    DEFAULT_MAX_AGE_S,
+    DEFAULT_MX_S,
+    SERVER_STRING,
+    SSDP_ALIVE,
+    SSDP_ALL,
+    SSDP_BYEBYE,
+    SSDP_DISCOVER,
+    SSDP_GROUP,
+    SSDP_PORT,
+    UPNP_ROOTDEVICE,
+)
+from .errors import HttpParseError, SsdpParseError
+from .http import Headers, HttpRequest, HttpResponse, parse_message
+
+
+class SsdpKind(Enum):
+    MSEARCH = "msearch"
+    RESPONSE = "response"
+    ALIVE = "alive"
+    BYEBYE = "byebye"
+
+
+@dataclass(frozen=True)
+class SsdpMessage:
+    """A parsed SSDP datagram, normalized across the four kinds."""
+
+    kind: SsdpKind
+    #: Search target (M-SEARCH / response ``ST``) or notification type
+    #: (NOTIFY ``NT``).
+    target: str = ""
+    usn: str = ""
+    location: str = ""
+    mx_s: int = DEFAULT_MX_S
+    max_age_s: int = DEFAULT_MAX_AGE_S
+    server: str = ""
+    raw_headers: Headers = None  # type: ignore[assignment]
+
+
+def build_msearch(st: str, mx_s: int = DEFAULT_MX_S) -> bytes:
+    """Render an M-SEARCH datagram (cf. the composed request in Fig. 4)."""
+    headers = Headers(
+        [
+            ("HOST", f"{SSDP_GROUP}:{SSDP_PORT}"),
+            ("MAN", f'"{SSDP_DISCOVER}"'),
+            ("MX", str(mx_s)),
+            ("ST", st),
+        ]
+    )
+    return HttpRequest(method="M-SEARCH", target="*", headers=headers).render()
+
+
+def build_search_response(
+    st: str,
+    usn: str,
+    location: str,
+    server: str = SERVER_STRING,
+    max_age_s: int = DEFAULT_MAX_AGE_S,
+) -> bytes:
+    """Render a unicast 200 OK search response."""
+    headers = Headers(
+        [
+            ("CACHE-CONTROL", f"max-age={max_age_s}"),
+            ("EXT", ""),
+            ("LOCATION", location),
+            ("SERVER", server),
+            ("ST", st),
+            ("USN", usn),
+            ("CONTENT-LENGTH", "0"),
+        ]
+    )
+    return HttpResponse(status=200, reason="OK", headers=headers).render()
+
+
+def build_notify_alive(
+    nt: str,
+    usn: str,
+    location: str,
+    server: str = SERVER_STRING,
+    max_age_s: int = DEFAULT_MAX_AGE_S,
+) -> bytes:
+    headers = Headers(
+        [
+            ("HOST", f"{SSDP_GROUP}:{SSDP_PORT}"),
+            ("CACHE-CONTROL", f"max-age={max_age_s}"),
+            ("LOCATION", location),
+            ("NT", nt),
+            ("NTS", SSDP_ALIVE),
+            ("SERVER", server),
+            ("USN", usn),
+        ]
+    )
+    return HttpRequest(method="NOTIFY", target="*", headers=headers).render()
+
+
+def build_notify_byebye(nt: str, usn: str) -> bytes:
+    headers = Headers(
+        [
+            ("HOST", f"{SSDP_GROUP}:{SSDP_PORT}"),
+            ("NT", nt),
+            ("NTS", SSDP_BYEBYE),
+            ("USN", usn),
+        ]
+    )
+    return HttpRequest(method="NOTIFY", target="*", headers=headers).render()
+
+
+def _parse_max_age(cache_control: str) -> int:
+    for part in cache_control.split(","):
+        name, sep, value = part.strip().partition("=")
+        if sep and name.strip().lower() == "max-age":
+            try:
+                return int(value.strip())
+            except ValueError:
+                break
+    return DEFAULT_MAX_AGE_S
+
+
+def parse_ssdp(data: bytes) -> SsdpMessage:
+    """Parse a datagram into an :class:`SsdpMessage`.
+
+    Raises :class:`SsdpParseError` for datagrams that are not SSDP (the
+    monitor component never calls this — detection is port-based — but the
+    UPnP unit's parser does).
+    """
+    try:
+        message = parse_message(data)
+    except HttpParseError as exc:
+        raise SsdpParseError(f"not an HTTP-shaped datagram: {exc}") from exc
+    headers = message.headers
+
+    if isinstance(message, HttpResponse):
+        if message.status != 200:
+            raise SsdpParseError(f"unexpected SSDP response status {message.status}")
+        return SsdpMessage(
+            kind=SsdpKind.RESPONSE,
+            target=headers.get("ST", ""),
+            usn=headers.get("USN", ""),
+            location=headers.get("LOCATION", ""),
+            max_age_s=_parse_max_age(headers.get("CACHE-CONTROL", "")),
+            server=headers.get("SERVER", ""),
+            raw_headers=headers,
+        )
+
+    method = message.method.upper()
+    if method == "M-SEARCH":
+        man = (headers.get("MAN") or "").strip('"')
+        if man and man != SSDP_DISCOVER:
+            raise SsdpParseError(f"M-SEARCH with unexpected MAN {man!r}")
+        try:
+            mx = int(headers.get("MX", str(DEFAULT_MX_S)))
+        except ValueError:
+            mx = DEFAULT_MX_S
+        return SsdpMessage(
+            kind=SsdpKind.MSEARCH,
+            target=headers.get("ST", ""),
+            mx_s=mx,
+            raw_headers=headers,
+        )
+    if method == "NOTIFY":
+        nts = (headers.get("NTS") or "").lower()
+        if nts == SSDP_ALIVE:
+            return SsdpMessage(
+                kind=SsdpKind.ALIVE,
+                target=headers.get("NT", ""),
+                usn=headers.get("USN", ""),
+                location=headers.get("LOCATION", ""),
+                max_age_s=_parse_max_age(headers.get("CACHE-CONTROL", "")),
+                server=headers.get("SERVER", ""),
+                raw_headers=headers,
+            )
+        if nts == SSDP_BYEBYE:
+            return SsdpMessage(
+                kind=SsdpKind.BYEBYE,
+                target=headers.get("NT", ""),
+                usn=headers.get("USN", ""),
+                raw_headers=headers,
+            )
+        raise SsdpParseError(f"NOTIFY with unknown NTS {nts!r}")
+    raise SsdpParseError(f"unknown SSDP method {method!r}")
+
+
+def _split_urn(target: str) -> Optional[tuple[str, str, str, int]]:
+    """Split ``urn:domain:kind:type:version``; None when not that shape."""
+    parts = target.split(":")
+    if len(parts) != 5 or parts[0].lower() != "urn":
+        return None
+    domain, kind, type_name, version_text = parts[1], parts[2], parts[3], parts[4]
+    try:
+        version = int(version_text)
+    except ValueError:
+        return None
+    return domain, kind.lower(), type_name.lower(), version
+
+
+def st_matches(search_target: str, offered: str, usn: str = "") -> bool:
+    """UPnP search-target matching rules.
+
+    * ``ssdp:all`` matches everything;
+    * ``upnp:rootdevice`` matches root devices (offered must advertise it);
+    * ``uuid:...`` matches the device with that UDN;
+    * ``urn:...:device/service:Type:v`` matches the same type with an
+      offered version >= the requested version.
+    """
+    st = search_target.strip()
+    if not st:
+        return False
+    if st == SSDP_ALL:
+        return True
+    if st == UPNP_ROOTDEVICE:
+        return offered == UPNP_ROOTDEVICE or UPNP_ROOTDEVICE in usn
+    if st.lower().startswith("uuid:"):
+        return offered.lower() == st.lower() or usn.lower().startswith(st.lower())
+    wanted = _split_urn(st)
+    if wanted is None:
+        # Vendor-specific bare targets (the paper's M-SEARCH uses
+        # ``urn:schemas-upnp org:device:clock`` without a version) compare
+        # after stripping an optional trailing version from the offer.
+        return _loose_equal(st, offered)
+    have = _split_urn(offered)
+    if have is None:
+        return _loose_equal(st, offered)
+    return wanted[:3] == have[:3] and have[3] >= wanted[3]
+
+
+def _loose_equal(st: str, offered: str) -> bool:
+    def strip_version(value: str) -> str:
+        parts = value.split(":")
+        if parts and parts[-1].isdigit():
+            parts = parts[:-1]
+        return ":".join(p.lower() for p in parts)
+
+    return strip_version(st) == strip_version(offered)
+
+
+__all__ = [
+    "SsdpKind",
+    "SsdpMessage",
+    "build_msearch",
+    "build_search_response",
+    "build_notify_alive",
+    "build_notify_byebye",
+    "parse_ssdp",
+    "st_matches",
+]

@@ -1,0 +1,37 @@
+"""Tiny URL helpers for http:// URLs inside the simulated LAN."""
+
+from __future__ import annotations
+
+from urllib.parse import urlparse
+
+from .errors import UpnpError
+
+
+def parse_http_url(url: str) -> tuple[str, int, str]:
+    """Split ``http://host:port/path`` into (host, port, path).
+
+    Port defaults to 80; path defaults to ``/``.
+    """
+    parsed = urlparse(url)
+    if parsed.scheme not in ("http", ""):
+        raise UpnpError(f"not an http URL: {url!r}")
+    if not parsed.hostname:
+        raise UpnpError(f"URL has no host: {url!r}")
+    port = parsed.port if parsed.port is not None else 80
+    path = parsed.path or "/"
+    if parsed.query:
+        path = f"{path}?{parsed.query}"
+    return parsed.hostname, port, path
+
+
+def join_url(base: str, path: str) -> str:
+    """Resolve a possibly relative UPnP document URL against a base."""
+    if path.startswith("http://") or path.startswith("https://"):
+        return path
+    host, port, _ = parse_http_url(base)
+    if not path.startswith("/"):
+        path = "/" + path
+    return f"http://{host}:{port}{path}"
+
+
+__all__ = ["parse_http_url", "join_url"]

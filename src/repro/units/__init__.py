@@ -1,0 +1,28 @@
+"""SDP-specific INDISS units (S6 in DESIGN.md)."""
+
+from .jini_unit import JiniEventComposer, JiniEventParser, JiniUnit
+from .records import record_from_stream, stream_from_record
+from .slp_unit import SlpEventComposer, SlpEventParser, SlpUnit
+from .upnp_unit import (
+    DescriptionExporter,
+    SsdpEventParser,
+    UpnpEventComposer,
+    UpnpUnit,
+    XmlDescriptionParser,
+)
+
+__all__ = [
+    "DescriptionExporter",
+    "JiniEventComposer",
+    "JiniEventParser",
+    "JiniUnit",
+    "SlpEventComposer",
+    "SlpEventParser",
+    "SlpUnit",
+    "SsdpEventParser",
+    "UpnpEventComposer",
+    "UpnpUnit",
+    "XmlDescriptionParser",
+    "record_from_stream",
+    "stream_from_record",
+]

@@ -1,0 +1,78 @@
+"""Event-stream <-> ServiceRecord conversion shared by all units.
+
+Reply streams flowing between units carry the mandatory response events
+(``SDP_RES_SERV_URL``, ``SDP_RES_TTL``, ``SDP_RES_ATTR``...).  The helpers
+here fold such a stream into the normalized :class:`ServiceRecord` the
+cache stores, and unfold a record back into a stream — which is exactly
+what answering from the cache means.
+"""
+
+from __future__ import annotations
+
+from ..core.events import (
+    Event,
+    SDP_NET_UNICAST,
+    SDP_RES_ATTR,
+    SDP_RES_OK,
+    SDP_RES_SERV_URL,
+    SDP_RES_TTL,
+    SDP_SERVICE_RESPONSE,
+    SDP_SERVICE_TYPE,
+    bracket,
+)
+from ..sdp.base import ServiceRecord, normalize_service_type
+
+
+def record_from_stream(stream: list[Event], source_sdp: str) -> ServiceRecord | None:
+    """Fold a reply/advertisement stream into a service record.
+
+    Returns None when the stream carries no service URL.
+    """
+    url = ""
+    service_type = ""
+    lifetime_s = 3600
+    location = ""
+    attributes: dict[str, str] = {}
+    for event in stream:
+        if event.type is SDP_RES_SERV_URL:
+            url = str(event.get("url", ""))
+        elif event.type is SDP_SERVICE_TYPE:
+            service_type = str(event.get("normalized") or event.get("type", ""))
+        elif event.type is SDP_RES_TTL:
+            lifetime_s = int(event.get("seconds", lifetime_s))
+        elif event.type is SDP_RES_ATTR:
+            attributes[str(event.get("name", ""))] = str(event.get("value", ""))
+        elif event.type.name == "SDP_DEVICE_URL_DESC":
+            location = str(event.get("url", ""))
+    if not url:
+        return None
+    return ServiceRecord(
+        service_type=normalize_service_type(service_type) if service_type else "",
+        url=url,
+        attributes=attributes,
+        lifetime_s=lifetime_s,
+        source_sdp=source_sdp,
+        location=location,
+    )
+
+
+def stream_from_record(record: ServiceRecord, origin_sdp: str) -> list[Event]:
+    """Unfold a cached record into a reply stream (cache-answer path)."""
+    events = [
+        Event.of(SDP_NET_UNICAST),
+        Event.of(SDP_SERVICE_RESPONSE),
+        Event.of(SDP_RES_OK),
+        Event.of(
+            SDP_SERVICE_TYPE,
+            type=record.service_type,
+            normalized=record.service_type,
+        ),
+        Event.of(SDP_RES_TTL, seconds=record.lifetime_s),
+        Event.of(SDP_RES_SERV_URL, url=record.url),
+    ]
+    for name, value in record.attributes.items():
+        events.append(Event.of(SDP_RES_ATTR, name=name, value=value))
+    return bracket(events, sdp=record.source_sdp, origin=origin_sdp, cached=True)
+
+
+__all__ = ["record_from_stream", "stream_from_record"]

@@ -1,0 +1,95 @@
+"""Tests for the benchmark scenarios: determinism and paper shapes.
+
+These run a reduced trial count (the full 30-trial medians live in
+``benchmarks/``); they pin down that every scenario completes, that equal
+seeds give identical virtual latencies, and that the coarse orderings the
+paper reports always hold.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench import (
+    PAPER_RESULTS_MS,
+    SCENARIOS,
+    native_slp,
+    native_upnp,
+    run_trials,
+    slp_to_upnp_client_side,
+    slp_to_upnp_service_side,
+    upnp_to_slp_client_side,
+    upnp_to_slp_service_side,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_same_seed_same_latency(self, name):
+        scenario = SCENARIOS[name]
+        first = scenario(seed=3)
+        second = scenario(seed=3)
+        assert first.latency_us == second.latency_us
+
+    def test_different_seeds_vary(self):
+        latencies = {native_upnp(seed=s).latency_us for s in range(6)}
+        assert len(latencies) > 1  # responder jitter varies by seed
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_yields_exactly_one_answer(self, name):
+        outcome = SCENARIOS[name](seed=0)
+        assert outcome.latency_us is not None
+        assert outcome.results == 1
+
+
+class TestPaperShapes:
+    """Coarse orderings that must hold at any reasonable calibration."""
+
+    @pytest.fixture(scope="class")
+    def medians(self):
+        def med(fn, **kwargs):
+            return statistics.median(run_trials(fn, trials=7, **kwargs))
+
+        return {
+            "native_slp": med(native_slp),
+            "native_upnp": med(native_upnp),
+            "fig8a": med(slp_to_upnp_service_side),
+            "fig8b": med(upnp_to_slp_service_side),
+            "fig9a": med(slp_to_upnp_client_side),
+            "fig9b": med(upnp_to_slp_client_side),
+        }
+
+    def test_total_order_of_scenarios(self, medians):
+        # 9b < native slp < native upnp <= 8b < 8a < 9a
+        assert medians["fig9b"] < medians["native_slp"]
+        assert medians["native_slp"] < medians["native_upnp"]
+        assert medians["native_upnp"] <= medians["fig8b"] * 1.05
+        assert medians["fig8b"] < medians["fig8a"]
+        assert medians["fig8a"] < medians["fig9a"]
+
+    def test_translation_overhead_is_bounded(self, medians):
+        """INDISS's own cost stays small: the translated path never costs
+        more than ~2.5 native cycles (paper's worst ratio is 2: 80/40)."""
+        assert medians["fig9a"] < 2.5 * medians["native_upnp"]
+
+    def test_cold_cache_slower_than_warm(self):
+        warm = statistics.median(run_trials(upnp_to_slp_client_side, trials=5))
+        cold = statistics.median(
+            run_trials(upnp_to_slp_client_side, trials=5, warm_cache=False)
+        )
+        assert warm < cold
+
+
+class TestHarness:
+    def test_measure_populates_paper_reference(self):
+        from repro.bench import measure
+
+        measurement = measure("fig7_native_slp", trials=3)
+        assert measurement.paper_ms == PAPER_RESULTS_MS["fig7_native_slp"]
+        assert measurement.trials == 3
+        assert measurement.min_ms <= measurement.median_ms <= measurement.max_ms
+
+    def test_run_trials_length(self):
+        assert len(run_trials(native_slp, trials=4)) == 4

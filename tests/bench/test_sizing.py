@@ -1,0 +1,151 @@
+"""Tests for the Table 2 static-analysis tooling (NCSS, classes, KB)."""
+
+import textwrap
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.sizing import (
+    SizeReport,
+    count_classes,
+    count_ncss,
+    indiss_size_reports,
+    interop_sizing,
+    measure_path,
+)
+
+
+class TestNcss:
+    def test_simple_module(self):
+        source = textwrap.dedent(
+            '''
+            """Module docstring does not count."""
+            import os
+
+            X = 1
+
+
+            def f(a):
+                """Docstring does not count."""
+                b = a + 1
+                return b
+            '''
+        )
+        # import, X=1, def f, b=..., return b
+        assert count_ncss(source) == 5
+
+    def test_comments_do_not_count(self):
+        assert count_ncss("# only a comment\nx = 1\n# another\n") == 1
+
+    def test_nested_blocks(self):
+        source = textwrap.dedent(
+            """
+            def f(x):
+                if x:
+                    y = 1
+                else:
+                    y = 2
+                for i in range(3):
+                    y += i
+                try:
+                    z = y
+                except ValueError:
+                    z = 0
+                return z
+            """
+        )
+        # def, if, y=1, y=2, for, y+=i, try, z=y, z=0, return
+        assert count_ncss(source) == 10
+
+    def test_class_statements(self):
+        source = textwrap.dedent(
+            '''
+            class A:
+                """Doc."""
+                x = 1
+
+                def m(self):
+                    return self.x
+            '''
+        )
+        # class, x=1, def, return
+        assert count_ncss(source) == 4
+
+    def test_empty_source(self):
+        assert count_ncss("") == 0
+
+    @given(st.integers(1, 20))
+    def test_n_assignments_count_n(self, n):
+        source = "\n".join(f"x{i} = {i}" for i in range(n))
+        assert count_ncss(source) == n
+
+    @given(st.integers(0, 10))
+    def test_comments_never_change_count(self, n):
+        base = "x = 1\ny = 2\n"
+        with_comments = base + "\n".join(f"# comment {i}" for i in range(n))
+        assert count_ncss(with_comments) == count_ncss(base)
+
+
+class TestClasses:
+    def test_counts_nested(self):
+        source = "class A:\n    class B:\n        pass\nclass C: pass\n"
+        assert count_classes(source) == 3
+
+    def test_zero(self):
+        assert count_classes("def f(): pass") == 0
+
+
+class TestMeasurePath:
+    def test_measures_real_package(self):
+        report = measure_path("core", "core")
+        assert report.files > 5
+        assert report.bytes > 10_000
+        assert report.ncss > 300
+        assert report.kb == pytest.approx(report.bytes / 1024)
+
+    def test_single_file(self):
+        report = measure_path("one", "units/slp_unit.py")
+        assert report.files == 1
+
+    def test_reports_add(self):
+        a = SizeReport("a", bytes=10, classes=1, ncss=5, files=1)
+        b = SizeReport("b", bytes=20, classes=2, ncss=7, files=2)
+        total = a + b
+        assert (total.bytes, total.classes, total.ncss, total.files) == (30, 3, 12, 3)
+
+
+class TestTable2Reports:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return indiss_size_reports()
+
+    def test_all_components_present(self, reports):
+        assert {
+            "core_framework",
+            "upnp_unit",
+            "slp_unit",
+            "jini_unit",
+            "indiss_total",
+            "openslp",
+            "cyberlink",
+            "jini_library",
+        } <= set(reports)
+
+    def test_total_is_sum_of_parts(self, reports):
+        total = reports["indiss_total"]
+        expected = (
+            reports["core_framework"].ncss
+            + reports["upnp_unit"].ncss
+            + reports["slp_unit"].ncss
+        )
+        assert total.ncss == expected
+
+    def test_interop_sizing_percentages(self, reports):
+        interop = interop_sizing(reports)
+        assert interop.dual_stack_kb > 0
+        # overheads are consistent with the raw numbers
+        expected = 100 * (interop.slp_with_indiss_kb - interop.dual_stack_kb) / (
+            interop.dual_stack_kb
+        )
+        assert interop.slp_overhead_pct == pytest.approx(expected)

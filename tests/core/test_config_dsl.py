@@ -1,0 +1,129 @@
+"""Tests for the system-specification DSL (paper §3, Fig. 5a)."""
+
+import pytest
+
+from repro.core.config import (
+    ConfigError,
+    PAPER_SPEC,
+    build_indiss_config,
+    parse_spec,
+)
+from repro.core.events import Event, SDP_SERVICE_REQUEST, SDP_RES_SERV_URL
+from repro.core.fsm import StateMachine
+
+
+class TestPaperSpec:
+    def test_parses(self):
+        spec = parse_spec(PAPER_SPEC)
+        assert spec.name == "SDP"
+        assert spec.scan_ports == (1900, 1846, 4160, 427)
+        assert set(spec.units) == {"SLP", "UPnP", "JINI"}
+        assert spec.units["SLP"].ports == (1846, 427)
+        assert spec.units["UPnP"].ports == (1900,)
+        assert spec.units["JINI"].ports == (4160,)
+
+    def test_builds_indiss_config(self):
+        config = build_indiss_config(parse_spec(PAPER_SPEC))
+        assert set(config.units) == {"slp", "upnp", "jini"}
+
+    def test_config_overrides_pass_through(self):
+        config = build_indiss_config(parse_spec(PAPER_SPEC), deployment="gateway")
+        assert config.deployment == "gateway"
+
+
+class TestUnitBlocks:
+    SPEC = """
+    Component Unit UPnP = {
+        setFSM(fsm, UPNP);
+        AddParser(component, SSDP);
+        AddParser(component, XML);
+        AddComposer(component, SSDP);
+    }
+    """
+
+    def test_unit_definition(self):
+        spec = parse_spec(self.SPEC)
+        unit = spec.units["UPnP"]
+        assert unit.fsm == "UPNP"
+        assert unit.parsers == ("SSDP", "XML")
+        assert unit.composers == ("SSDP",)
+
+
+class TestFsmBlocks:
+    SPEC = """
+    Component Search-FSM = {
+        AddTuple(idle, SDP_SERVICE_REQUEST, , searching, send);
+        AddTuple(searching, SDP_RES_SERV_URL, , done, record);
+    }
+    """
+
+    def test_fsm_parses(self):
+        spec = parse_spec(self.SPEC)
+        fsm = spec.fsms["Search"]
+        assert len(fsm.tuples) == 2
+        assert fsm.tuples[0] == ("idle", "SDP_SERVICE_REQUEST", "", "searching", ("send",))
+
+    def test_fsm_compiles_and_runs(self):
+        spec = parse_spec(self.SPEC)
+        definition = spec.fsms["Search"].to_definition()
+        calls = []
+        machine = StateMachine(
+            definition,
+            actions={"send": lambda e, m: calls.append("send"),
+                     "record": lambda e, m: calls.append("record")},
+        )
+        machine.feed(Event.of(SDP_SERVICE_REQUEST))
+        machine.feed(Event.of(SDP_RES_SERV_URL, url="u"))
+        assert machine.state == "done"
+        assert calls == ["send", "record"]
+
+    def test_unknown_trigger_rejected(self):
+        spec = parse_spec(
+            "Component X-FSM = { AddTuple(a, NOT_AN_EVENT, , b, act); }"
+        )
+        with pytest.raises(ConfigError):
+            spec.fsms["X"].to_definition()
+
+    def test_multi_trigger_with_pipe(self):
+        spec = parse_spec(
+            "Component X-FSM = { AddTuple(a, SDP_SERVICE_REQUEST|SDP_RES_SERV_URL, , b); }"
+        )
+        definition = spec.fsms["X"].to_definition()
+        machine = StateMachine(definition)
+        assert machine.feed(Event.of(SDP_RES_SERV_URL))
+
+    def test_wildcard_trigger(self):
+        spec = parse_spec("Component X-FSM = { AddTuple(a, *, , b); }")
+        machine = StateMachine(spec.fsms["X"].to_definition())
+        assert machine.feed(Event.of(SDP_SERVICE_REQUEST))
+
+    def test_empty_fsm_rejected(self):
+        spec = parse_spec("Component X-FSM = { }")
+        with pytest.raises(ConfigError):
+            spec.fsms["X"].to_definition()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "System = {",
+            "Component Widget Foo;",
+            "System S = { Component Monitor = { ScanPort = { abc } } }",
+            "Component Unit X = { badCall(a); }",
+            "Component X-FSM = { AddTuple(a); }",
+            "garbage @@@",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_spec(bad)
+
+    def test_no_known_units_rejected(self):
+        spec = parse_spec("System S = { Component Unit Bonjour(port=5353); }")
+        with pytest.raises(ConfigError):
+            build_indiss_config(spec)
+
+    def test_comments_allowed(self):
+        spec = parse_spec("// leading comment\nComponent Unit SLP(port=427); // trailing")
+        assert spec.units["SLP"].ports == (427,)

@@ -1,0 +1,119 @@
+"""The whole point of discovery: using the service afterwards.
+
+Paper §1: "once services are discovered, applications need to use the same
+interaction protocol".  These tests verify the URL INDISS hands back is
+*actionable*: an SLP client that discovered a UPnP clock can invoke its
+SOAP action at the returned endpoint, and a UPnP client that discovered an
+SLP service can dereference the exported description.
+"""
+
+import pytest
+
+from repro.core import Indiss, IndissConfig
+from repro.net import Endpoint, LatencyModel, Network
+from repro.sdp.slp import ServiceAgent, ServiceType, SlpRegistration, UserAgent
+from repro.sdp.upnp import (
+    CLOCK_DEVICE_TYPE,
+    CLOCK_SERVICE_TYPE,
+    Headers,
+    UpnpControlPoint,
+    build_request,
+    make_clock_device,
+    parse_response,
+    soap_action_header,
+)
+from repro.sdp.upnp.httpclient import http_post
+from repro.sdp.upnp.urls import parse_http_url
+
+
+@pytest.fixture()
+def net():
+    return Network(latency=LatencyModel(jitter_us=0))
+
+
+def test_slp_client_invokes_discovered_upnp_action(net):
+    client_node, service_node = net.add_node("client"), net.add_node("service")
+    ua = UserAgent(client_node)
+    device = make_clock_device(service_node)
+    Indiss(service_node, IndissConfig(units=("slp", "upnp"), deployment="service"))
+
+    searches = []
+    ua.find_services("service:clock", on_complete=searches.append, wait_us=400_000)
+    net.run(duration_us=1_000_000)
+    url = searches[0].results[0].url
+    assert url.startswith("service:clock:soap://")
+
+    # The SLP client treats the reply as a SOAP endpoint, exactly as the
+    # paper's URL scheme advertises.
+    http_url = "http://" + url.split("://", 1)[1]
+    body = build_request(CLOCK_SERVICE_TYPE, "GetTime").encode()
+    headers = Headers(
+        [
+            ("CONTENT-TYPE", 'text/xml; charset="utf-8"'),
+            ("SOAPACTION", soap_action_header(CLOCK_SERVICE_TYPE, "GetTime")),
+        ]
+    )
+    results = []
+    http_post(client_node, http_url, body, headers=headers,
+              on_response=lambda r: results.append(parse_response(r.body)))
+    net.run(duration_us=1_000_000)
+    assert results and not results[0].is_fault
+    assert "CurrentTime" in results[0].arguments
+    assert device.actions_invoked == 1
+
+
+def test_upnp_client_walks_exported_description_to_slp_endpoint(net):
+    """The UPnP client dereferences INDISS's LOCATION, reads the control
+    URL, and ends up at the SLP service's real endpoint."""
+    client_node, service_node = net.add_node("client"), net.add_node("service")
+    cp = UpnpControlPoint(client_node)
+    sa = ServiceAgent(service_node)
+    real_endpoint = f"service:clock:soap://{service_node.address}:4005/ctl"
+    sa.register(
+        SlpRegistration(
+            url=real_endpoint,
+            service_type=ServiceType.parse("service:clock:soap"),
+            attributes={"friendlyName": "SLP Clock"},
+        )
+    )
+    Indiss(service_node, IndissConfig(units=("slp", "upnp"), deployment="service"))
+
+    searches = []
+    cp.search(CLOCK_DEVICE_TYPE, wait_us=400_000, on_complete=searches.append)
+    net.run(duration_us=1_000_000)
+    location = searches[0].responses[0].location
+
+    descriptions = []
+    cp.fetch_description(location, descriptions.append)
+    net.run(duration_us=500_000)
+    assert descriptions[0].services[0].control_url == real_endpoint
+
+
+def test_full_loop_discover_then_control_through_gateway(net):
+    """Gateway deployment, then SOAP invocation against the real device."""
+    client_node = net.add_node("client")
+    service_node = net.add_node("service")
+    gateway_node = net.add_node("gateway")
+    ua = UserAgent(client_node)
+    device = make_clock_device(service_node)
+    Indiss(gateway_node, IndissConfig(units=("slp", "upnp"), deployment="gateway"))
+
+    searches = []
+    ua.find_services("service:clock", on_complete=searches.append, wait_us=400_000)
+    net.run(duration_us=1_500_000)
+    url = searches[0].results[0].url
+    host, port, path = parse_http_url("http://" + url.split("://", 1)[1])
+    assert host == service_node.address  # the *device's* endpoint, not the gateway
+
+    body = build_request(CLOCK_SERVICE_TYPE, "SetTime", {"NewTime": "09:00"}).encode()
+    headers = Headers(
+        [
+            ("CONTENT-TYPE", 'text/xml; charset="utf-8"'),
+            ("SOAPACTION", soap_action_header(CLOCK_SERVICE_TYPE, "SetTime")),
+        ]
+    )
+    results = []
+    http_post(client_node, f"http://{host}:{port}{path}", body, headers=headers,
+              on_response=lambda r: results.append(parse_response(r.body)))
+    net.run(duration_us=1_000_000)
+    assert results[0].arguments["Result"] == "accepted:09:00"

@@ -1,0 +1,145 @@
+"""Tests for the event model and Table 1's mandatory set."""
+
+import pytest
+
+from repro.core.events import (
+    Event,
+    EventCategory,
+    EventTypeRegistry,
+    MANDATORY_EVENTS,
+    REGISTRY,
+    SDP_C_START,
+    SDP_C_STOP,
+    SDP_RES_SERV_URL,
+    SDP_SERVICE_REQUEST,
+    bracket,
+    is_bracketed,
+    payload_events,
+)
+
+
+class TestTable1:
+    """The mandatory set is exactly the paper's Table 1."""
+
+    TABLE_1 = {
+        "SDP Control Events": {
+            "SDP_C_START",
+            "SDP_C_STOP",
+            "SDP_C_PARSER_SWITCH",
+            "SDP_C_SOCKET_SWITCH",
+        },
+        "SDP Network Events": {
+            "SDP_NET_UNICAST",
+            "SDP_NET_MULTICAST",
+            "SDP_NET_SOURCE_ADDR",
+            "SDP_NET_DEST_ADDR",
+            "SDP_NET_TYPE",
+        },
+        "SDP Service Events": {
+            "SDP_SERVICE_REQUEST",
+            "SDP_SERVICE_RESPONSE",
+            "SDP_SERVICE_ALIVE",
+            "SDP_SERVICE_BYEBYE",
+            "SDP_SERVICE_TYPE",
+            "SDP_SERVICE_ATTR",
+        },
+        "SDP Request Events": {"SDP_REQ_LANG"},
+        "SDP Response Events": {
+            "SDP_RES_OK",
+            "SDP_RES_ERR",
+            "SDP_RES_TTL",
+            "SDP_RES_SERV_URL",
+        },
+    }
+
+    def test_mandatory_set_matches_table(self):
+        expected = set().union(*self.TABLE_1.values())
+        assert {t.name for t in MANDATORY_EVENTS} == expected
+
+    @pytest.mark.parametrize("category_label,names", TABLE_1.items())
+    def test_categories(self, category_label, names):
+        for name in names:
+            event_type = REGISTRY.get(name)
+            assert event_type.category.value == category_label
+            assert event_type.mandatory
+
+    def test_mandatory_events_are_common(self):
+        for event_type in MANDATORY_EVENTS:
+            assert event_type.sdp == ""
+
+
+class TestExtensionSets:
+    def test_slp_specific_events_exist(self):
+        names = {t.name for t in REGISTRY.sdp_specific("slp")}
+        # The paper's Fig. 4 step-1 SLP-specific events.
+        assert {"SDP_REQ_VERSION", "SDP_REQ_SCOPE", "SDP_REQ_PREDICATE", "SDP_REQ_ID"} <= names
+
+    def test_upnp_specific_events_exist(self):
+        names = {t.name for t in REGISTRY.sdp_specific("upnp")}
+        assert "SDP_DEVICE_URL_DESC" in names  # Fig. 4 step 2
+
+    def test_specific_events_are_not_mandatory(self):
+        for sdp in ("slp", "upnp", "jini"):
+            for event_type in REGISTRY.sdp_specific(sdp):
+                assert not event_type.mandatory
+
+
+class TestRegistry:
+    def test_define_is_idempotent(self):
+        registry = EventTypeRegistry()
+        a = registry.define("X", EventCategory.DISCOVERY)
+        b = registry.define("X", EventCategory.DISCOVERY)
+        assert a is b
+
+    def test_conflicting_redefinition_rejected(self):
+        registry = EventTypeRegistry()
+        registry.define("X", EventCategory.DISCOVERY)
+        with pytest.raises(ValueError):
+            registry.define("X", EventCategory.RESPONSE)
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            EventTypeRegistry().get("NOPE")
+
+    def test_extensible_without_touching_existing(self):
+        """Paper §2.3: new events must not cascade changes."""
+        before = len(REGISTRY.all_types())
+        new_type = REGISTRY.define("SDP_TEST_EXTENSION", EventCategory.ADVERTISEMENT, sdp="test")
+        assert len(REGISTRY.all_types()) == before + 1
+        assert new_type in REGISTRY.sdp_specific("test")
+
+
+class TestEventValues:
+    def test_data_access(self):
+        event = Event.of(SDP_RES_SERV_URL, url="service:clock://h")
+        assert event.get("url") == "service:clock://h"
+        assert event.get("missing", "d") == "d"
+        assert event.name == "SDP_RES_SERV_URL"
+
+    def test_data_is_read_only(self):
+        event = Event.of(SDP_RES_SERV_URL, url="x")
+        with pytest.raises(TypeError):
+            event.data["url"] = "y"  # type: ignore[index]
+
+    def test_str_rendering(self):
+        assert str(Event.of(SDP_C_STOP)) == "SDP_C_STOP"
+        assert "url='x'" in str(Event.of(SDP_RES_SERV_URL, url="x"))
+
+
+class TestBracketing:
+    def test_bracket_wraps(self):
+        stream = bracket([Event.of(SDP_SERVICE_REQUEST)], sdp="slp")
+        assert stream[0].type is SDP_C_START
+        assert stream[0].get("sdp") == "slp"
+        assert stream[-1].type is SDP_C_STOP
+        assert is_bracketed(stream)
+
+    def test_payload_strips_brackets(self):
+        stream = bracket([Event.of(SDP_SERVICE_REQUEST)])
+        inner = list(payload_events(stream))
+        assert len(inner) == 1
+        assert inner[0].type is SDP_SERVICE_REQUEST
+
+    def test_empty_stream_not_bracketed(self):
+        assert not is_bracketed([])
+        assert not is_bracketed([Event.of(SDP_C_START)])

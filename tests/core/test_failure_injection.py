@@ -1,0 +1,172 @@
+"""Failure injection: lossy segments, absent peers, half-broken exchanges.
+
+The paper targets "highly dynamic home networks"; these tests verify the
+system degrades the way the protocols intend — retransmission recovers,
+timeouts complete sessions silently, garbage never wedges a unit.
+"""
+
+import pytest
+
+from repro.core import Indiss, IndissConfig
+from repro.net import Endpoint, LatencyModel, LossModel, Network
+from repro.sdp.slp import ServiceAgent, ServiceType, SlpConfig, SlpRegistration, UserAgent
+from repro.sdp.upnp import CLOCK_DEVICE_TYPE, UpnpControlPoint, make_clock_device
+
+
+def lossy_net(rate, seed=1):
+    return Network(latency=LatencyModel(jitter_us=0), loss=LossModel(rate=rate, seed=seed))
+
+
+def clock_reg(host):
+    return SlpRegistration(
+        url=f"service:clock:soap://{host}:4005/ctl",
+        service_type=ServiceType.parse("service:clock:soap"),
+    )
+
+
+class TestSlpUnderLoss:
+    def test_retransmission_recovers_discovery(self):
+        """With 40% loss and retries, most searches still succeed."""
+        successes = 0
+        for seed in range(10):
+            net = lossy_net(0.4, seed=seed)
+            ua_node, sa_node = net.add_node("c"), net.add_node("s")
+            ua = UserAgent(ua_node, config=SlpConfig(retries=3, wait_us=100_000))
+            sa = ServiceAgent(sa_node)
+            sa.register(clock_reg(sa_node.address))
+            done = []
+            ua.find_services("service:clock", on_complete=done.append)
+            net.run(duration_us=1_000_000)
+            if done and done[0].results:
+                successes += 1
+        assert successes >= 7
+
+    def test_no_retries_under_total_loss_completes_empty(self):
+        net = lossy_net(0.999999 - 0.0001, seed=2)  # effectively total loss
+        net = Network(latency=LatencyModel(jitter_us=0), loss=LossModel(rate=0.99, seed=2))
+        ua_node, sa_node = net.add_node("c"), net.add_node("s")
+        ua = UserAgent(ua_node, config=SlpConfig(retries=0, wait_us=50_000))
+        sa = ServiceAgent(sa_node)
+        sa.register(clock_reg(sa_node.address))
+        done = []
+        ua.find_services("service:clock", on_complete=done.append)
+        net.run(duration_us=1_000_000)
+        assert done  # the search completes (empty), it does not hang
+
+
+class TestIndissUnderLoss:
+    def test_translated_discovery_survives_moderate_loss(self):
+        successes = 0
+        for seed in range(10):
+            net = lossy_net(0.15, seed=seed)
+            client_node, service_node = net.add_node("c"), net.add_node("s")
+            ua = UserAgent(client_node, config=SlpConfig(retries=2, wait_us=600_000))
+            make_clock_device(service_node, seed=seed)
+            Indiss(service_node, IndissConfig(units=("slp", "upnp")))
+            done = []
+            ua.find_services("service:clock", on_complete=done.append, wait_us=600_000)
+            net.run(duration_us=3_000_000)
+            if done and done[0].results:
+                successes += 1
+        assert successes >= 6
+
+    def test_session_times_out_silently_when_device_vanishes(self):
+        """The UPnP device never answers; the SLP client gets silence (not
+        a bogus reply) and INDISS counts the timeout."""
+        net = Network(latency=LatencyModel(jitter_us=0))
+        client_node, service_node = net.add_node("c"), net.add_node("s")
+        ua = UserAgent(client_node)
+        # No device at all on the service host.
+        indiss = Indiss(service_node, IndissConfig(units=("slp", "upnp"),
+                                                   upnp_wait_us=50_000))
+        done = []
+        ua.find_services("service:clock", on_complete=done.append)
+        net.run(duration_us=2_000_000)
+        assert done[0].results == []
+        assert indiss.stats.timed_out >= 1
+
+
+class TestHalfBrokenExchanges:
+    def test_description_fetch_failure_leaves_session_to_timeout(self):
+        """Device answers SSDP but its HTTP server is gone: INDISS must not
+        crash, and the client ends with silence."""
+        net = Network(latency=LatencyModel(jitter_us=0))
+        client_node, service_node = net.add_node("c"), net.add_node("s")
+        ua = UserAgent(client_node)
+        device = make_clock_device(service_node)
+        device._listener.close()  # kill the HTTP side only
+        indiss = Indiss(service_node, IndissConfig(units=("slp", "upnp"),
+                                                   upnp_wait_us=80_000))
+        done = []
+        ua.find_services("service:clock", on_complete=done.append)
+        net.run(duration_us=2_000_000)
+        assert done[0].results == []
+
+    def test_garbage_on_every_port_changes_nothing(self):
+        net = Network(latency=LatencyModel(jitter_us=0))
+        client_node, service_node = net.add_node("c"), net.add_node("s")
+        stray = net.add_node("stray")
+        ua = UserAgent(client_node)
+        make_clock_device(service_node)
+        indiss = Indiss(service_node, IndissConfig(units=("slp", "upnp")))
+        blaster = stray.udp.socket().bind(9999)
+        for port, group in ((427, "239.255.255.253"), (1900, "239.255.255.250")):
+            for _ in range(5):
+                blaster.sendto(b"\xff\xfe not a protocol", Endpoint(group, port))
+        done = []
+        ua.find_services("service:clock", on_complete=done.append)
+        net.run(duration_us=2_000_000)
+        assert done[0].results  # discovery still works
+        # Garbage was detected as SDP traffic (port-keyed!) but failed to
+        # parse, without wedging anything.
+        assert indiss.monitor.sightings["slp"].messages > 1
+
+    def test_byebye_evicts_translated_service(self):
+        net = Network(latency=LatencyModel(jitter_us=0))
+        client_node, service_node = net.add_node("c"), net.add_node("s")
+        ua = UserAgent(client_node)
+        device = make_clock_device(service_node, advertise=True)
+        indiss = Indiss(client_node, IndissConfig(units=("slp", "upnp"),
+                                                  answer_from_cache=True))
+        net.run(duration_us=500_000)  # NOTIFY alive -> resolved -> cached
+        assert len(indiss.cache) >= 1
+        device.stop()  # multicasts byebye
+        net.run(duration_us=500_000)
+        assert len(indiss.cache) == 0
+
+
+class TestConcurrentSessions:
+    def test_two_clients_search_simultaneously(self):
+        net = Network(latency=LatencyModel(jitter_us=0))
+        c1, c2 = net.add_node("c1"), net.add_node("c2")
+        service_node = net.add_node("s")
+        ua1, ua2 = UserAgent(c1), UserAgent(c2)
+        make_clock_device(service_node)
+        indiss = Indiss(service_node, IndissConfig(units=("slp", "upnp")))
+        done1, done2 = [], []
+        ua1.find_services("service:clock", on_complete=done1.append, wait_us=400_000)
+        ua2.find_services("service:clock", on_complete=done2.append, wait_us=400_000)
+        net.run(duration_us=2_000_000)
+        assert done1[0].results and done2[0].results
+        assert indiss.stats.opened == 2
+
+    def test_mixed_protocol_clients_simultaneously(self):
+        net = Network(latency=LatencyModel(jitter_us=0))
+        slp_client, upnp_client = net.add_node("c1"), net.add_node("c2")
+        upnp_service, slp_service = net.add_node("s1"), net.add_node("s2")
+        ua = UserAgent(slp_client)
+        cp = UpnpControlPoint(upnp_client)
+        make_clock_device(upnp_service)
+        sa = ServiceAgent(slp_service)
+        sa.register(clock_reg(slp_service.address))
+        Indiss(net.add_node("gw"), IndissConfig(units=("slp", "upnp"),
+                                                deployment="gateway"))
+        slp_done, upnp_done = [], []
+        ua.find_services("service:clock", on_complete=slp_done.append, wait_us=400_000)
+        cp.search(CLOCK_DEVICE_TYPE, wait_us=400_000, on_complete=upnp_done.append)
+        net.run(duration_us=2_000_000)
+        # SLP client hears both the native SLP service and the translated
+        # UPnP one; the UPnP client hears the native device and the
+        # translated SLP service.
+        assert len(slp_done[0].results) == 2
+        assert len(upnp_done[0].responses) == 2

@@ -1,0 +1,145 @@
+"""Tests for the unit-coordination DFA engine."""
+
+import pytest
+
+from repro.core.events import (
+    Event,
+    SDP_C_STOP,
+    SDP_RES_SERV_URL,
+    SDP_SERVICE_REQUEST,
+    SDP_SERVICE_RESPONSE,
+)
+from repro.core.fsm import FsmError, StateMachine, StateMachineDefinition
+
+
+def simple_definition():
+    definition = StateMachineDefinition("test", "idle")
+    definition.add_tuple("idle", SDP_SERVICE_REQUEST, None, "busy", ["on_request"])
+    definition.add_tuple("busy", SDP_SERVICE_RESPONSE, None, "done", ["on_response"])
+    definition.accept("done")
+    return definition
+
+
+class TestDefinition:
+    def test_states_collected(self):
+        definition = simple_definition()
+        assert definition.states == {"idle", "busy", "done"}
+        assert definition.initial_state == "idle"
+
+    def test_add_tuple_chains(self):
+        definition = StateMachineDefinition("x", "a")
+        result = definition.add_tuple("a", "*", None, "b")
+        assert result is definition
+
+    def test_empty_trigger_set_rejected(self):
+        with pytest.raises(FsmError):
+            StateMachineDefinition("x", "a").add_tuple("a", [], None, "b")
+
+    def test_non_wildcard_string_rejected(self):
+        with pytest.raises(FsmError):
+            StateMachineDefinition("x", "a").add_tuple("a", "anything", None, "b")
+
+
+class TestExecution:
+    def test_transitions_and_actions(self):
+        calls = []
+        machine = StateMachine(
+            simple_definition(),
+            actions={
+                "on_request": lambda e, m: calls.append("req"),
+                "on_response": lambda e, m: calls.append("res"),
+            },
+        )
+        assert machine.state == "idle"
+        assert machine.feed(Event.of(SDP_SERVICE_REQUEST))
+        assert machine.state == "busy"
+        assert machine.feed(Event.of(SDP_SERVICE_RESPONSE))
+        assert machine.state == "done"
+        assert machine.in_accepting_state
+        assert calls == ["req", "res"]
+
+    def test_unmatched_events_filtered_not_fatal(self):
+        machine = StateMachine(simple_definition(), actions={"on_request": lambda e, m: None,
+                                                             "on_response": lambda e, m: None})
+        assert not machine.feed(Event.of(SDP_SERVICE_RESPONSE))  # wrong state
+        assert machine.state == "idle"
+        assert machine.events_ignored == 1
+
+    def test_guard_filters_transition(self):
+        definition = StateMachineDefinition("g", "idle")
+        definition.add_tuple("idle", SDP_RES_SERV_URL, "data.url != ''", "got", [])
+        machine = StateMachine(definition)
+        assert not machine.feed(Event.of(SDP_RES_SERV_URL, url=""))
+        assert machine.state == "idle"
+        assert machine.feed(Event.of(SDP_RES_SERV_URL, url="x"))
+        assert machine.state == "got"
+
+    def test_guard_reads_state_variables(self):
+        definition = StateMachineDefinition("v", "idle")
+        definition.add_tuple("idle", SDP_C_STOP, "vars.ready == true", "done", [])
+        machine = StateMachine(definition)
+        assert not machine.feed(Event.of(SDP_C_STOP))
+        machine.record("ready", True)
+        assert machine.feed(Event.of(SDP_C_STOP))
+
+    def test_wildcard_trigger(self):
+        definition = StateMachineDefinition("w", "a")
+        definition.add_tuple("a", "*", None, "b", [])
+        machine = StateMachine(definition)
+        assert machine.feed(Event.of(SDP_C_STOP))
+        assert machine.state == "b"
+
+    def test_callable_action_inline(self):
+        seen = []
+        definition = StateMachineDefinition("c", "a")
+        definition.add_tuple("a", "*", None, "b", [lambda e, m: seen.append(e.name)])
+        StateMachine(definition).feed(Event.of(SDP_C_STOP))
+        assert seen == ["SDP_C_STOP"]
+
+    def test_unbound_named_action_raises(self):
+        definition = StateMachineDefinition("u", "a")
+        definition.add_tuple("a", "*", None, "b", ["missing"])
+        with pytest.raises(FsmError, match="missing"):
+            StateMachine(definition).feed(Event.of(SDP_C_STOP))
+
+    def test_first_matching_transition_wins(self):
+        definition = StateMachineDefinition("d", "a")
+        definition.add_tuple("a", "*", None, "b", [])
+        definition.add_tuple("a", "*", None, "c", [])
+        machine = StateMachine(definition)
+        machine.feed(Event.of(SDP_C_STOP))
+        assert machine.state == "b"
+
+    def test_self_loop(self):
+        definition = StateMachineDefinition("l", "a")
+        definition.add_tuple("a", SDP_RES_SERV_URL, None, "a", [])
+        machine = StateMachine(definition)
+        for _ in range(3):
+            assert machine.feed(Event.of(SDP_RES_SERV_URL, url="u"))
+        assert machine.state == "a"
+
+    def test_feed_all_counts(self):
+        machine = StateMachine(simple_definition(), actions={"on_request": lambda e, m: None,
+                                                             "on_response": lambda e, m: None})
+        fired = machine.feed_all(
+            [Event.of(SDP_SERVICE_REQUEST), Event.of(SDP_C_STOP), Event.of(SDP_SERVICE_RESPONSE)]
+        )
+        assert fired == 2
+
+    def test_trace_records_transitions(self):
+        machine = StateMachine(simple_definition(), actions={"on_request": lambda e, m: None,
+                                                             "on_response": lambda e, m: None},
+                               trace=True)
+        machine.feed(Event.of(SDP_SERVICE_REQUEST))
+        assert len(machine.trace) == 1
+        assert machine.trace[0].from_state == "idle"
+        assert machine.trace[0].to_state == "busy"
+
+    def test_reset(self):
+        machine = StateMachine(simple_definition(), actions={"on_request": lambda e, m: None,
+                                                             "on_response": lambda e, m: None})
+        machine.feed(Event.of(SDP_SERVICE_REQUEST))
+        machine.record("x", 1)
+        machine.reset()
+        assert machine.state == "idle"
+        assert machine.variables == {}

@@ -1,0 +1,109 @@
+"""Tests for the FSM condition-guard expression language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import Event, SDP_RES_TTL, SDP_SERVICE_TYPE
+from repro.core.guardlang import ALWAYS, Guard, GuardError, compile_guard
+
+
+def ev(**data):
+    return Event.of(SDP_SERVICE_TYPE, **data)
+
+
+class TestBasics:
+    def test_empty_guard_always_true(self):
+        assert Guard("").evaluate(ev())
+        assert ALWAYS.evaluate(ev())
+
+    def test_event_type_comparison(self):
+        guard = Guard("event.type == 'SDP_SERVICE_TYPE'")
+        assert guard.evaluate(ev())
+        assert not guard.evaluate(Event.of(SDP_RES_TTL))
+
+    def test_data_access(self):
+        guard = Guard("data.st == 'clock'")
+        assert guard.evaluate(ev(st="clock"))
+        assert not guard.evaluate(ev(st="printer"))
+        assert not guard.evaluate(ev())
+
+    def test_vars_access(self):
+        guard = Guard("vars.count >= 2")
+        assert guard.evaluate(ev(), {"count": 3})
+        assert not guard.evaluate(ev(), {"count": 1})
+        assert not guard.evaluate(ev(), {})
+
+    def test_exists(self):
+        guard = Guard("exists(data.url)")
+        assert guard.evaluate(ev(url="http://x"))
+        assert not guard.evaluate(ev())
+
+    def test_paper_style_guard(self):
+        # The UPnP unit's real guard: a description URL is present and non-empty.
+        guard = Guard("exists(data.url) and data.url != ''")
+        assert guard.evaluate(ev(url="http://h/d.xml"))
+        assert not guard.evaluate(ev(url=""))
+        assert not guard.evaluate(ev())
+
+
+class TestOperatorsAndPrecedence:
+    @pytest.mark.parametrize(
+        "expr,data,expected",
+        [
+            ("data.n == 5", {"n": 5}, True),
+            ("data.n == 5", {"n": "5"}, True),  # numeric coercion
+            ("data.n != 5", {"n": 6}, True),
+            ("data.n < 10", {"n": 9}, True),
+            ("data.n <= 9", {"n": 9}, True),
+            ("data.n > 10", {"n": 9}, False),
+            ("data.n >= 9", {"n": "10"}, True),  # string-to-int coercion
+            ("data.s == 'x' or data.s == 'y'", {"s": "y"}, True),
+            ("not data.flag", {"flag": False}, True),
+            ("not data.flag", {"flag": True}, False),
+            ("data.a == 1 and data.b == 2 or data.c == 3", {"c": 3}, True),
+            ("data.a == 1 and (data.b == 2 or data.c == 3)", {"c": 3}, False),
+            ("true", {}, True),
+            ("false", {}, False),
+            ("data.n >= 9", {"n": "abc"}, False),  # un-coercible ordering
+        ],
+    )
+    def test_evaluation(self, expr, data, expected):
+        assert Guard(expr).evaluate(ev(**data)) is expected
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "data.x ==",
+            "== 5",
+            "(data.x == 1",
+            "data.x = 1",
+            "exists()",
+            "exists(5)",
+            "data.x == 1 extra",
+            "@bad",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(GuardError):
+            Guard(bad)
+
+    def test_compile_guard_accepts_all_forms(self):
+        assert compile_guard(None) is ALWAYS
+        guard = Guard("true")
+        assert compile_guard(guard) is guard
+        assert compile_guard("data.x == 1").text == "data.x == 1"
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_ordering_agrees_with_python(a, b):
+    guard = Guard("data.a <= data.b")
+    assert guard.evaluate(ev(a=a, b=b)) is (a <= b)
+
+
+@given(st.text(alphabet="abcdefg", min_size=1, max_size=8))
+def test_string_equality_round_trips(value):
+    guard = Guard(f"data.s == '{value}'")
+    assert guard.evaluate(ev(s=value))

@@ -1,0 +1,212 @@
+"""Tests for the virtual clock and discrete-event scheduler."""
+
+import pytest
+
+from repro.net.simclock import (
+    MILLISECOND,
+    SECOND,
+    PeriodicTask,
+    Scheduler,
+    Timer,
+    ms_to_us,
+    us_to_ms,
+)
+
+
+def test_time_starts_at_zero():
+    sched = Scheduler()
+    assert sched.now_us == 0
+    assert sched.now_ms == 0.0
+
+
+def test_unit_conversions():
+    assert ms_to_us(1.5) == 1500
+    assert us_to_ms(2500) == 2.5
+    assert MILLISECOND == 1000
+    assert SECOND == 1_000_000
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(300, lambda: fired.append("c"))
+    sched.schedule(100, lambda: fired.append("a"))
+    sched.schedule(200, lambda: fired.append("b"))
+    sched.run_until_idle()
+    assert fired == ["a", "b", "c"]
+    assert sched.now_us == 300
+
+
+def test_ties_break_by_insertion_order():
+    sched = Scheduler()
+    fired = []
+    for name in "abcde":
+        sched.schedule(50, lambda n=name: fired.append(n))
+    sched.run_until_idle()
+    assert fired == list("abcde")
+
+
+def test_negative_delay_clamped_to_now():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(-10, lambda: fired.append(sched.now_us))
+    sched.run_until_idle()
+    assert fired == [0]
+
+
+def test_cancel_prevents_firing():
+    sched = Scheduler()
+    fired = []
+    handle = sched.schedule(10, lambda: fired.append(1))
+    handle.cancel()
+    sched.run_until_idle()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_twice_is_harmless():
+    sched = Scheduler()
+    handle = sched.schedule(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sched.run_until_idle()
+
+
+def test_run_until_stops_at_boundary():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(100, lambda: fired.append("early"))
+    sched.schedule(500, lambda: fired.append("late"))
+    sched.run_until(250)
+    assert fired == ["early"]
+    assert sched.now_us == 250
+    sched.run_until_idle()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_idle_respects_limit():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(100, lambda: fired.append(1))
+    sched.schedule(10_000, lambda: fired.append(2))
+    sched.run_until_idle(limit_us=1_000)
+    assert fired == [1]
+    assert sched.now_us == 1_000
+    assert sched.pending == 1
+
+
+def test_nested_scheduling_from_callback():
+    sched = Scheduler()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sched.now_us))
+        sched.schedule(25, lambda: fired.append(("inner", sched.now_us)))
+
+    sched.schedule(100, outer)
+    sched.run_until_idle()
+    assert fired == [("outer", 100), ("inner", 125)]
+
+
+def test_schedule_at_absolute_time():
+    sched = Scheduler()
+    fired = []
+    sched.schedule_at(777, lambda: fired.append(sched.now_us))
+    sched.run_until_idle()
+    assert fired == [777]
+
+
+def test_runaway_guard_raises():
+    sched = Scheduler()
+
+    def rearm():
+        sched.schedule(1, rearm)
+
+    sched.schedule(1, rearm)
+    with pytest.raises(RuntimeError, match="runaway"):
+        sched.run_until_idle(max_events=100)
+
+
+def test_events_fired_counter():
+    sched = Scheduler()
+    for _ in range(5):
+        sched.schedule(10, lambda: None)
+    sched.run_until_idle()
+    assert sched.events_fired == 5
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sched = Scheduler()
+        fired = []
+        timer = Timer(sched, lambda: fired.append(sched.now_us))
+        timer.start(500)
+        assert timer.armed
+        sched.run_until_idle()
+        assert fired == [500]
+        assert not timer.armed
+
+    def test_restart_supersedes(self):
+        sched = Scheduler()
+        fired = []
+        timer = Timer(sched, lambda: fired.append(sched.now_us))
+        timer.start(500)
+        sched.run_until(100)
+        timer.start(500)
+        sched.run_until_idle()
+        assert fired == [600]
+
+    def test_cancel(self):
+        sched = Scheduler()
+        fired = []
+        timer = Timer(sched, lambda: fired.append(1))
+        timer.start(500)
+        timer.cancel()
+        sched.run_until_idle()
+        assert fired == []
+
+
+class TestPeriodicTask:
+    def test_fires_with_period(self):
+        sched = Scheduler()
+        fired = []
+        PeriodicTask(sched, 100, lambda: fired.append(sched.now_us), max_firings=4)
+        sched.run_until_idle()
+        assert fired == [100, 200, 300, 400]
+
+    def test_initial_delay(self):
+        sched = Scheduler()
+        fired = []
+        PeriodicTask(
+            sched, 100, lambda: fired.append(sched.now_us), initial_delay_us=5, max_firings=2
+        )
+        sched.run_until_idle()
+        assert fired == [5, 105]
+
+    def test_stop_midway(self):
+        sched = Scheduler()
+        fired = []
+        task = PeriodicTask(sched, 100, lambda: fired.append(sched.now_us))
+        sched.run_until(250)
+        task.stop()
+        sched.run_until_idle()
+        assert fired == [100, 200]
+        assert task.stopped
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(Scheduler(), 0, lambda: None)
+
+    def test_stop_from_callback(self):
+        sched = Scheduler()
+        fired = []
+        task = None
+
+        def cb():
+            fired.append(sched.now_us)
+            if len(fired) == 2:
+                task.stop()
+
+        task = PeriodicTask(sched, 10, cb)
+        sched.run_until_idle()
+        assert fired == [10, 20]

@@ -1,0 +1,304 @@
+"""Tests for the Jini discovery substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import LatencyModel, Network
+from repro.sdp.jini import (
+    JiniDecodeError,
+    LookupDiscovery,
+    LookupService,
+    MulticastAnnouncement,
+    MulticastRequest,
+    RegistrarClient,
+    ServiceItem,
+    ServiceTemplate,
+    StreamReader,
+    StreamWriter,
+    decode_packet,
+    groups_overlap,
+    next_service_id,
+)
+
+
+class TestCodec:
+    def test_primitives_round_trip(self):
+        writer = StreamWriter()
+        writer.write_byte(7).write_int(-42).write_long(2**40).write_utf("héllo")
+        writer.write_utf_list(["a", "b"]).write_str_map({"k": "v"})
+        reader = StreamReader(writer.getvalue())
+        assert reader.read_byte() == 7
+        assert reader.read_int() == -42
+        assert reader.read_long() == 2**40
+        assert reader.read_utf() == "héllo"
+        assert reader.read_utf_list() == ["a", "b"]
+        assert reader.read_str_map() == {"k": "v"}
+        assert reader.remaining == 0
+
+    def test_truncation_detected(self):
+        writer = StreamWriter()
+        writer.write_utf("hello")
+        data = writer.getvalue()[:-2]
+        with pytest.raises(JiniDecodeError):
+            StreamReader(data).read_utf()
+
+    @given(st.text(max_size=50), st.integers(-(2**31), 2**31 - 1))
+    def test_utf_int_round_trip_property(self, text, number):
+        writer = StreamWriter()
+        writer.write_utf(text).write_int(number)
+        reader = StreamReader(writer.getvalue())
+        assert reader.read_utf() == text
+        assert reader.read_int() == number
+
+
+class TestPackets:
+    def test_request_round_trip(self):
+        packet = MulticastRequest(
+            response_host="192.168.1.5",
+            response_port=33000,
+            groups=("", "home"),
+            heard=(next_service_id(1),),
+        )
+        assert decode_packet(packet.encode()) == packet
+
+    def test_announcement_round_trip(self):
+        packet = MulticastAnnouncement(
+            host="192.168.1.2", port=4161, service_id=next_service_id(2), groups=("home",)
+        )
+        assert decode_packet(packet.encode()) == packet
+
+    def test_garbage_rejected(self):
+        with pytest.raises(JiniDecodeError):
+            decode_packet(b"\xff\x00\x00\x00\x01")
+
+    def test_bad_version_rejected(self):
+        packet = MulticastRequest("h", 1, protocol_version=1)
+        data = bytearray(packet.encode())
+        data[4] = 9  # bump version int's low byte
+        with pytest.raises(JiniDecodeError):
+            decode_packet(bytes(data))
+
+    @pytest.mark.parametrize(
+        "wanted,offered,expected",
+        [
+            ((), ("x",), True),
+            (("",), ("x",), True),
+            (("x",), ("",), True),
+            (("x",), ("x", "y"), True),
+            (("x",), ("y",), False),
+        ],
+    )
+    def test_groups_overlap(self, wanted, offered, expected):
+        assert groups_overlap(wanted, offered) is expected
+
+
+class TestTemplates:
+    ITEM = ServiceItem(
+        service_id=next_service_id(5),
+        class_names=("org.amigo.Clock", "org.amigo.Device"),
+        attributes={"room": "hall"},
+        endpoint_url="jini://192.168.1.3/clock",
+    )
+
+    def test_wildcard_matches(self):
+        assert ServiceTemplate().matches(self.ITEM)
+
+    def test_class_exact(self):
+        assert ServiceTemplate(class_names=("org.amigo.Clock",)).matches(self.ITEM)
+
+    def test_class_simple_name(self):
+        assert ServiceTemplate(class_names=("Clock",)).matches(self.ITEM)
+
+    def test_class_mismatch(self):
+        assert not ServiceTemplate(class_names=("Printer",)).matches(self.ITEM)
+
+    def test_attribute_filter(self):
+        assert ServiceTemplate(attributes={"room": "hall"}).matches(self.ITEM)
+        assert not ServiceTemplate(attributes={"room": "attic"}).matches(self.ITEM)
+
+    def test_service_id_filter(self):
+        assert ServiceTemplate(service_id=self.ITEM.service_id).matches(self.ITEM)
+        assert not ServiceTemplate(service_id=next_service_id(99)).matches(self.ITEM)
+
+    def test_item_round_trip(self):
+        writer = StreamWriter()
+        self.ITEM.encode(writer)
+        assert ServiceItem.decode(StreamReader(writer.getvalue())) == self.ITEM
+
+
+@pytest.fixture()
+def net():
+    return Network(latency=LatencyModel(jitter_us=0))
+
+
+def make_world(net):
+    registrar_node = net.add_node("registrar")
+    client_node = net.add_node("client")
+    service_node = net.add_node("service")
+    lookup = LookupService(registrar_node)
+    return lookup, client_node, service_node
+
+
+CLOCK_ITEM = ServiceItem(
+    service_id="",
+    class_names=("org.amigo.Clock",),
+    attributes={"friendlyName": "Jini Clock"},
+    endpoint_url="jini://192.168.1.3:7001/clock",
+)
+
+
+class TestDiscoveryIntegration:
+    def test_passive_discovery_from_announcements(self, net):
+        lookup, client_node, _ = make_world(net)
+        discovery = LookupDiscovery(client_node)
+        found = []
+        discovery.on_discovered = found.append
+        net.run(duration_us=2_000_000)
+        assert found
+        assert found[0].service_id == lookup.service_id
+        assert found[0].port == lookup.tcp_port
+
+    def test_active_discovery_via_request(self, net):
+        lookup, client_node, _ = make_world(net)
+        discovery = LookupDiscovery(client_node)
+        found = []
+        discovery.on_discovered = found.append
+        discovery.request()
+        net.run(duration_us=100_000)  # well before the first announcement
+        assert found and found[0].service_id == lookup.service_id
+
+    def test_heard_registrars_stay_silent(self, net):
+        lookup, client_node, _ = make_world(net)
+        discovery = LookupDiscovery(client_node)
+        discovery.request()
+        net.run(duration_us=100_000)
+        count = len(discovery.registrars)
+        discovery.request()  # now carries 'heard'
+        net.run(duration_us=100_000)
+        assert len(discovery.registrars) == count
+
+    def test_group_mismatch_ignored(self, net):
+        registrar_node = net.add_node("registrar")
+        client_node = net.add_node("client")
+        LookupService(registrar_node, groups=("lab",))
+        discovery = LookupDiscovery(client_node, groups=("home",))
+        discovery.request()
+        net.run(duration_us=100_000)
+        assert not discovery.registrars
+
+
+class TestRegisterLookup:
+    def test_register_then_lookup(self, net):
+        lookup, client_node, service_node = make_world(net)
+        sd = LookupDiscovery(service_node)
+        cd = LookupDiscovery(client_node)
+        sd.request()
+        cd.request()
+        net.run(duration_us=100_000)
+
+        registered = []
+        RegistrarClient(service_node, next(iter(sd.registrars.values()))).register(
+            CLOCK_ITEM, on_registered=registered.append
+        )
+        net.run(duration_us=100_000)
+        assert registered and registered[0]
+
+        items = []
+        RegistrarClient(client_node, next(iter(cd.registrars.values()))).lookup(
+            ServiceTemplate(class_names=("Clock",)), on_items=items.append
+        )
+        net.run(duration_us=100_000)
+        assert items and len(items[0]) == 1
+        assert items[0][0].endpoint_url == CLOCK_ITEM.endpoint_url
+
+    def test_lookup_empty_registry(self, net):
+        lookup, client_node, _ = make_world(net)
+        cd = LookupDiscovery(client_node)
+        cd.request()
+        net.run(duration_us=100_000)
+        items = []
+        RegistrarClient(client_node, next(iter(cd.registrars.values()))).lookup(
+            ServiceTemplate(class_names=("Clock",)), on_items=items.append
+        )
+        net.run(duration_us=100_000)
+        assert items == [[]]
+
+    def test_unregister(self, net):
+        lookup, client_node, service_node = make_world(net)
+        sd = LookupDiscovery(service_node)
+        sd.request()
+        net.run(duration_us=100_000)
+        registrar = next(iter(sd.registrars.values()))
+        client = RegistrarClient(service_node, registrar)
+        ids = []
+        client.register(CLOCK_ITEM, on_registered=ids.append)
+        net.run(duration_us=100_000)
+        client.unregister(ids[0])
+        net.run(duration_us=100_000)
+        assert lookup.registry == {}
+
+    def test_lease_expires_without_renewal(self, net):
+        registrar_node = net.add_node("registrar")
+        service_node = net.add_node("service")
+        lookup = LookupService(registrar_node, lease_s=2)
+        sd = LookupDiscovery(service_node)
+        sd.request()
+        net.run(duration_us=100_000)
+        client = RegistrarClient(service_node, next(iter(sd.registrars.values())))
+        ids = []
+        client.register(CLOCK_ITEM, on_registered=ids.append)
+        net.run(duration_us=100_000)
+        assert len(lookup.registry) == 1
+        net.run(duration_us=3_000_000)  # past the 2 s lease
+        items = []
+        client.lookup(ServiceTemplate(class_names=("Clock",)), on_items=items.append)
+        net.run(duration_us=100_000)
+        assert items == [[]]
+        assert lookup.leases_expired == 1
+
+    def test_renewal_keeps_registration_alive(self, net):
+        registrar_node = net.add_node("registrar")
+        service_node = net.add_node("service")
+        lookup = LookupService(registrar_node, lease_s=2)
+        sd = LookupDiscovery(service_node)
+        sd.request()
+        net.run(duration_us=100_000)
+        client = RegistrarClient(service_node, next(iter(sd.registrars.values())))
+        ids = []
+        client.register(CLOCK_ITEM, on_registered=ids.append)
+        net.run(duration_us=100_000)
+        # Renew every second, like a join manager.
+        service_node.every(1_000_000, lambda: client.renew_lease(ids[0]), max_firings=4)
+        net.run(duration_us=4_500_000)
+        items = []
+        client.lookup(ServiceTemplate(class_names=("Clock",)), on_items=items.append)
+        net.run(duration_us=100_000)
+        assert items and len(items[0]) == 1
+        assert lookup.leases_expired == 0
+
+    def test_renew_unknown_lease_errors(self, net):
+        registrar_node = net.add_node("registrar")
+        client_node = net.add_node("client")
+        LookupService(registrar_node)
+        cd = LookupDiscovery(client_node)
+        cd.request()
+        net.run(duration_us=100_000)
+        client = RegistrarClient(client_node, next(iter(cd.registrars.values())))
+        errors = []
+        client.renew_lease("no-such-id", on_error=errors.append)
+        net.run(duration_us=100_000)
+        assert errors
+
+    def test_fresh_ids_assigned(self, net):
+        lookup, _, service_node = make_world(net)
+        sd = LookupDiscovery(service_node)
+        sd.request()
+        net.run(duration_us=100_000)
+        registrar = next(iter(sd.registrars.values()))
+        client = RegistrarClient(service_node, registrar)
+        ids = []
+        client.register(CLOCK_ITEM, on_registered=ids.append)
+        client.register(CLOCK_ITEM, on_registered=ids.append)
+        net.run(duration_us=200_000)
+        assert len(ids) == 2 and ids[0] != ids[1]

@@ -1,0 +1,214 @@
+"""Round-trip and robustness tests for the SLPv2 binary codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sdp.slp import (
+    AttrRply,
+    AttrRqst,
+    DAAdvert,
+    ErrorCode,
+    Flags,
+    FunctionId,
+    Header,
+    SAAdvert,
+    SlpDecodeError,
+    SrvAck,
+    SrvDeReg,
+    SrvReg,
+    SrvRply,
+    SrvRqst,
+    SrvTypeRply,
+    SrvTypeRqst,
+    UrlEntry,
+    decode,
+    decode_header,
+    encode,
+)
+from repro.sdp.slp.errors import SlpEncodeError
+
+
+def header(fid, xid=42, flags=0):
+    return Header(function_id=fid, xid=xid, flags=flags)
+
+
+SAMPLE_MESSAGES = [
+    SrvRqst(
+        header=header(FunctionId.SRVRQST, flags=Flags.REQUEST_MCAST),
+        prlist=("192.168.1.9",),
+        service_type="service:clock",
+        scopes=("DEFAULT", "HOME"),
+        predicate="(model=cyber*)",
+    ),
+    SrvRply(
+        header=header(FunctionId.SRVRPLY),
+        url_entries=(
+            UrlEntry("service:clock:soap://192.168.1.4:4005/control", 1800),
+            UrlEntry("service:clock://192.168.1.5", 60),
+        ),
+    ),
+    SrvReg(
+        header=header(FunctionId.SRVREG, flags=Flags.FRESH),
+        url_entry=UrlEntry("service:printer:lpr://host/queue", 7200),
+        service_type="service:printer:lpr",
+        scopes=("DEFAULT",),
+        attr_list="(location=hall),(color)",
+    ),
+    SrvDeReg(
+        header=header(FunctionId.SRVDEREG),
+        url_entry=UrlEntry("service:printer:lpr://host/queue", 0),
+    ),
+    SrvAck(header=header(FunctionId.SRVACK), error_code=ErrorCode.INVALID_REGISTRATION),
+    AttrRqst(header=header(FunctionId.ATTRRQST), url="service:clock", tag_list="model,version"),
+    AttrRply(header=header(FunctionId.ATTRRPLY), attr_list="(model=Clock),(version=1,2)"),
+    DAAdvert(
+        header=header(FunctionId.DAADVERT),
+        boot_timestamp=123456,
+        url="service:directory-agent://192.168.1.2",
+        scopes=("DEFAULT",),
+    ),
+    SrvTypeRqst(header=header(FunctionId.SRVTYPERQST), naming_authority=""),
+    SrvTypeRply(
+        header=header(FunctionId.SRVTYPERPLY),
+        service_types=("service:clock", "service:printer"),
+    ),
+    SAAdvert(
+        header=header(FunctionId.SAADVERT),
+        url="service:service-agent://192.168.1.4",
+        attr_list="(service-type=service\\3aclock)",
+    ),
+]
+
+
+@pytest.mark.parametrize("message", SAMPLE_MESSAGES, ids=lambda m: type(m).__name__)
+def test_round_trip(message):
+    assert decode(encode(message)) == message
+
+
+def test_header_fields_survive():
+    msg = SrvRqst(header=Header(FunctionId.SRVRQST, xid=777, flags=Flags.REQUEST_MCAST,
+                                language_tag="fr"))
+    decoded = decode(encode(msg))
+    assert decoded.header.xid == 777
+    assert decoded.header.language_tag == "fr"
+    assert decoded.header.flags == Flags.REQUEST_MCAST
+
+
+def test_declared_length_matches_buffer():
+    data = encode(SAMPLE_MESSAGES[0])
+    _, total, _ = decode_header(data)
+    assert total == len(data)
+
+
+def test_version_byte_is_2():
+    data = encode(SAMPLE_MESSAGES[0])
+    assert data[0] == 2
+    assert data[1] == FunctionId.SRVRQST
+
+
+def test_trailing_garbage_after_declared_length_is_ignored():
+    data = encode(SAMPLE_MESSAGES[0]) + b"garbage"
+    assert decode(data) == SAMPLE_MESSAGES[0]
+
+
+class TestDecodeErrors:
+    def test_short_buffer(self):
+        with pytest.raises(SlpDecodeError):
+            decode(b"\x02\x01")
+
+    def test_bad_version(self):
+        data = bytearray(encode(SAMPLE_MESSAGES[0]))
+        data[0] = 1
+        with pytest.raises(SlpDecodeError, match="version"):
+            decode(bytes(data))
+
+    def test_unknown_function_id(self):
+        data = bytearray(encode(SAMPLE_MESSAGES[0]))
+        data[1] = 99
+        with pytest.raises(SlpDecodeError, match="function"):
+            decode(bytes(data))
+
+    def test_truncated_body(self):
+        data = encode(SAMPLE_MESSAGES[1])
+        with pytest.raises(SlpDecodeError):
+            decode(data[: len(data) - 4])
+
+    def test_length_larger_than_buffer(self):
+        data = bytearray(encode(SAMPLE_MESSAGES[0]))
+        data[4] = 0xFF  # inflate declared length
+        with pytest.raises(SlpDecodeError, match="length"):
+            decode(bytes(data))
+
+    def test_not_slp_at_all(self):
+        with pytest.raises(SlpDecodeError):
+            decode(b"M-SEARCH * HTTP/1.1\r\n\r\n")
+
+
+class TestEncodeErrors:
+    def test_lifetime_out_of_range(self):
+        msg = SrvRply(
+            header=header(FunctionId.SRVRPLY),
+            url_entries=(UrlEntry("service:x", 70000),),
+        )
+        with pytest.raises(SlpEncodeError):
+            encode(msg)
+
+    def test_reserved_flags_rejected(self):
+        msg = SrvRqst(header=Header(FunctionId.SRVRQST, flags=0x0001))
+        with pytest.raises(SlpEncodeError):
+            encode(msg)
+
+
+_text = st.text(
+    alphabet=st.characters(blacklist_characters=",", blacklist_categories=("Cs",)),
+    max_size=40,
+)
+_list_text = st.lists(
+    st.text(
+        alphabet=st.characters(blacklist_characters=",", min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=20,
+    ),
+    max_size=4,
+).map(tuple)
+
+
+@given(
+    xid=st.integers(0, 0xFFFF),
+    service_type=_text,
+    predicate=_text,
+    scopes=_list_text,
+    prlist=_list_text,
+)
+def test_srvrqst_round_trip_property(xid, service_type, predicate, scopes, prlist):
+    msg = SrvRqst(
+        header=Header(FunctionId.SRVRQST, xid=xid),
+        prlist=prlist,
+        service_type=service_type,
+        scopes=scopes,
+        predicate=predicate,
+    )
+    assert decode(encode(msg)) == msg
+
+
+@given(
+    entries=st.lists(
+        st.tuples(st.text(max_size=60), st.integers(0, 0xFFFF)),
+        max_size=5,
+    )
+)
+def test_srvrply_round_trip_property(entries):
+    msg = SrvRply(
+        header=Header(FunctionId.SRVRPLY, xid=1),
+        url_entries=tuple(UrlEntry(url, lt) for url, lt in entries),
+    )
+    assert decode(encode(msg)) == msg
+
+
+@given(data=st.binary(max_size=80))
+def test_decode_never_crashes_on_garbage(data):
+    try:
+        decode(data)
+    except SlpDecodeError:
+        pass  # rejecting is fine; crashing with anything else is not

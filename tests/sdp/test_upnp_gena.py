@@ -1,0 +1,151 @@
+"""Tests for GENA eventing (subscribe / notify / renew / unsubscribe)."""
+
+import pytest
+
+from repro.net import LatencyModel, Network
+from repro.sdp.upnp import make_clock_device
+from repro.sdp.upnp.gena import (
+    EventSubscriber,
+    build_property_set,
+    parse_property_set,
+)
+from repro.sdp.upnp.clock import CLOCK_EVENT_PATH
+
+
+class TestPropertySet:
+    def test_round_trip(self):
+        properties = {"Time": "12:00:00", "Result": "ok"}
+        assert parse_property_set(build_property_set(properties)) == properties
+
+    def test_escaping(self):
+        properties = {"Time": "<&>"}
+        assert parse_property_set(build_property_set(properties)) == properties
+
+    def test_empty(self):
+        assert parse_property_set(build_property_set({})) == {}
+
+    def test_malformed_rejected(self):
+        from repro.sdp.upnp.errors import UpnpError
+
+        with pytest.raises(UpnpError):
+            parse_property_set("not xml")
+
+
+@pytest.fixture()
+def world():
+    net = Network(latency=LatencyModel(jitter_us=0))
+    cp_node, dev_node = net.add_node("cp"), net.add_node("dev")
+    device = make_clock_device(dev_node)
+    subscriber = EventSubscriber(cp_node)
+    event_url = f"http://{dev_node.address}:{device.http_port}{CLOCK_EVENT_PATH}"
+    return net, device, subscriber, event_url
+
+
+class TestSubscription:
+    def test_subscribe_yields_sid(self, world):
+        net, device, subscriber, event_url = world
+        sids = []
+        subscriber.subscribe(event_url, on_subscribed=sids.append)
+        net.run()
+        assert sids and sids[0].startswith("uuid:gena-")
+        assert len(device.events.subscriptions) == 1
+
+    def test_notification_delivered(self, world):
+        net, device, subscriber, event_url = world
+        received = []
+        subscriber.on_event = lambda sid, props: received.append(props)
+        subscriber.subscribe(event_url)
+        net.run()
+        device.notify_state_change({"Time": "08:15:00"})
+        net.run()
+        assert received == [{"Time": "08:15:00"}]
+
+    def test_seq_increments_and_duplicates_dropped(self, world):
+        net, device, subscriber, event_url = world
+        received = []
+        subscriber.on_event = lambda sid, props: received.append(props["Time"])
+        subscriber.subscribe(event_url)
+        net.run()
+        for stamp in ("1", "2", "3"):
+            device.notify_state_change({"Time": stamp})
+            net.run()
+        assert received == ["1", "2", "3"]
+        subscription = next(iter(device.events.subscriptions.values()))
+        assert subscription.seq == 3
+
+    def test_unsubscribe_stops_events(self, world):
+        net, device, subscriber, event_url = world
+        received = []
+        sids = []
+        subscriber.on_event = lambda sid, props: received.append(props)
+        subscriber.subscribe(event_url, on_subscribed=sids.append)
+        net.run()
+        subscriber.unsubscribe(event_url, sids[0])
+        net.run()
+        assert device.notify_state_change({"Time": "x"}) == 0
+        net.run()
+        assert received == []
+
+    def test_renewal_extends_lifetime(self, world):
+        net, device, subscriber, event_url = world
+        sids = []
+        subscriber.subscribe(event_url, on_subscribed=sids.append)
+        net.run()
+        before = next(iter(device.events.subscriptions.values())).expires_at_us
+        net.run(duration_us=2_000_000)
+        # Renew with the SID.
+        from repro.sdp.upnp import Headers, HttpRequest
+        from repro.sdp.upnp.urls import parse_http_url
+
+        host, port, path = parse_http_url(event_url)
+        renewal = HttpRequest(
+            method="SUBSCRIBE",
+            target=path,
+            headers=Headers([("HOST", f"{host}:{port}"), ("SID", sids[0])]),
+        )
+        response = device.events.handle_subscribe(renewal)
+        assert response.status == 200
+        after = next(iter(device.events.subscriptions.values())).expires_at_us
+        assert after > before
+
+    def test_expired_subscription_not_notified(self, world):
+        net, device, subscriber, event_url = world
+        device.events.timeout_s = 1  # expire after one second
+        received = []
+        subscriber.on_event = lambda sid, props: received.append(props)
+        subscriber.subscribe(event_url)
+        net.run()
+        net.run(duration_us=2_000_000)  # past expiry
+        assert device.notify_state_change({"Time": "late"}) == 0
+        assert received == []
+
+    def test_unknown_sid_renewal_rejected(self, world):
+        net, device, subscriber, event_url = world
+        from repro.sdp.upnp import Headers, HttpRequest
+
+        renewal = HttpRequest(
+            method="SUBSCRIBE",
+            target=CLOCK_EVENT_PATH,
+            headers=Headers([("SID", "uuid:gena-999")]),
+        )
+        assert device.events.handle_subscribe(renewal).status == 412
+
+    def test_subscribe_without_callback_rejected(self, world):
+        net, device, subscriber, event_url = world
+        from repro.sdp.upnp import Headers, HttpRequest
+
+        bad = HttpRequest(method="SUBSCRIBE", target=CLOCK_EVENT_PATH, headers=Headers())
+        assert device.events.handle_subscribe(bad).status == 412
+
+    def test_two_subscribers_both_notified(self, world):
+        net, device, subscriber, event_url = world
+        cp2 = EventSubscriber(net.add_node("cp2"), callback_port=5005)
+        got1, got2 = [], []
+        subscriber.on_event = lambda sid, props: got1.append(props)
+        cp2.on_event = lambda sid, props: got2.append(props)
+        subscriber.subscribe(event_url)
+        cp2.subscribe(event_url)
+        net.run()
+        assert device.notify_state_change({"Time": "t"}) == 2
+        net.run()
+        assert got1 == [{"Time": "t"}] and got2 == [{"Time": "t"}]

@@ -1,0 +1,161 @@
+"""Tests for the sans-io HTTP codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sdp.upnp import (
+    Headers,
+    HttpParseError,
+    HttpRequest,
+    HttpResponse,
+    HttpStreamParser,
+    parse_message,
+)
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers([("Content-Length", "5")])
+        assert headers.get("content-length") == "5"
+        assert headers.get("CONTENT-LENGTH") == "5"
+        assert "Content-length" in headers
+
+    def test_set_replaces(self):
+        headers = Headers([("ST", "a"), ("st", "b")])
+        headers.set("St", "c")
+        assert headers.get("ST") == "c"
+        assert len(headers) == 1
+
+    def test_insertion_order_preserved(self):
+        headers = Headers([("B", "2"), ("A", "1")])
+        assert list(headers) == [("B", "2"), ("A", "1")]
+
+    def test_get_int(self):
+        headers = Headers([("Content-Length", " 42 ")])
+        assert headers.get_int("Content-Length") == 42
+        assert headers.get_int("Missing", default=7) == 7
+
+    def test_get_int_rejects_garbage(self):
+        headers = Headers([("Content-Length", "abc")])
+        with pytest.raises(HttpParseError):
+            headers.get_int("Content-Length")
+
+    def test_equality_ignores_name_case(self):
+        assert Headers([("A", "1")]) == Headers([("a", "1")])
+        assert Headers([("A", "1")]) != Headers([("A", "2")])
+
+
+class TestOneShotParse:
+    def test_request_round_trip(self):
+        request = HttpRequest(
+            method="GET",
+            target="/description.xml",
+            headers=Headers([("HOST", "192.168.1.4:4004")]),
+        )
+        parsed = parse_message(request.render())
+        assert isinstance(parsed, HttpRequest)
+        assert parsed.method == "GET"
+        assert parsed.target == "/description.xml"
+        assert parsed.headers.get("host") == "192.168.1.4:4004"
+        assert parsed.body == b""
+
+    def test_response_round_trip_with_body(self):
+        response = HttpResponse(
+            status=200,
+            reason="OK",
+            headers=Headers([("Content-Length", "5")]),
+            body=b"hello",
+        )
+        parsed = parse_message(response.render())
+        assert isinstance(parsed, HttpResponse)
+        assert parsed.status == 200
+        assert parsed.body == b"hello"
+
+    def test_msearch_shape(self):
+        raw = (
+            b"M-SEARCH * HTTP/1.1\r\n"
+            b"SERVER: 239.255.255.250:1900\r\n"
+            b"ST: urn:schemas-upnp-org:device:clock:1\r\n"
+            b"MAN: ssdp:discover\r\n"
+            b"MX: 0\r\n\r\n"
+        )
+        parsed = parse_message(raw)
+        assert parsed.method == "M-SEARCH"
+        assert parsed.target == "*"
+        assert parsed.headers.get("ST") == "urn:schemas-upnp-org:device:clock:1"
+
+    def test_multiword_reason(self):
+        parsed = parse_message(b"HTTP/1.1 404 Not Found\r\n\r\n")
+        assert parsed.status == 404
+        assert parsed.reason == "Not Found"
+
+    def test_body_trimmed_to_content_length(self):
+        raw = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabcEXTRA"
+        assert parse_message(raw).body == b"abc"
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"",
+            b"GET /\r\n\r\n",  # missing version
+            b"HTTP/1.1 abc OK\r\n\r\n",  # non-numeric status
+            b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"NOHEADEREND",
+        ],
+    )
+    def test_malformed_rejected(self, raw):
+        with pytest.raises(HttpParseError):
+            parse_message(raw)
+
+
+class TestStreamParser:
+    def test_single_message_in_one_chunk(self):
+        parser = HttpStreamParser()
+        messages = parser.feed(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi")
+        assert len(messages) == 1
+        assert messages[0].body == b"hi"
+
+    def test_byte_by_byte_feeding(self):
+        raw = HttpRequest(
+            "POST", "/control", Headers([("Content-Length", "4")]), body=b"data"
+        ).render()
+        parser = HttpStreamParser()
+        collected = []
+        for i in range(len(raw)):
+            collected.extend(parser.feed(raw[i : i + 1]))
+        assert len(collected) == 1
+        assert collected[0].method == "POST"
+        assert collected[0].body == b"data"
+
+    def test_pipelined_messages(self):
+        one = HttpResponse(200, headers=Headers([("Content-Length", "1")]), body=b"a").render()
+        two = HttpResponse(200, headers=Headers([("Content-Length", "1")]), body=b"b").render()
+        parser = HttpStreamParser()
+        messages = parser.feed(one + two)
+        assert [m.body for m in messages] == [b"a", b"b"]
+
+    def test_no_content_length_means_empty_body(self):
+        parser = HttpStreamParser()
+        messages = parser.feed(b"GET / HTTP/1.1\r\n\r\n")
+        assert messages[0].body == b""
+
+    def test_incomplete_returns_nothing(self):
+        parser = HttpStreamParser()
+        assert parser.feed(b"HTTP/1.1 200 OK\r\nContent-Le") == []
+        assert parser.feed(b"ngth: 2\r\n\r\nh") == []
+        messages = parser.feed(b"i")
+        assert messages[0].body == b"hi"
+
+    @given(body=st.binary(max_size=200), split=st.integers(1, 50))
+    def test_any_split_point_round_trips(self, body, split):
+        raw = HttpResponse(
+            200, headers=Headers([("Content-Length", str(len(body)))]), body=body
+        ).render()
+        parser = HttpStreamParser()
+        collected = []
+        for start in range(0, len(raw), split):
+            collected.extend(parser.feed(raw[start : start + split]))
+        assert len(collected) == 1
+        assert collected[0].body == body

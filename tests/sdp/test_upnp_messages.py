@@ -1,0 +1,274 @@
+"""Tests for SSDP messages, description documents, and SOAP envelopes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sdp.upnp import (
+    DescriptionError,
+    DeviceDescription,
+    IconDescription,
+    ScpdDescription,
+    ServiceDescription,
+    SoapError,
+    SsdpKind,
+    SsdpParseError,
+    build_fault,
+    build_msearch,
+    build_notify_alive,
+    build_notify_byebye,
+    build_request,
+    build_response,
+    build_search_response,
+    clock_description,
+    clock_scpd,
+    join_url,
+    parse_device_description,
+    parse_http_url,
+    parse_request,
+    parse_response,
+    parse_scpd,
+    parse_ssdp,
+    st_matches,
+)
+
+
+class TestSsdp:
+    def test_msearch_round_trip(self):
+        raw = build_msearch("urn:schemas-upnp-org:device:clock:1", mx_s=3)
+        message = parse_ssdp(raw)
+        assert message.kind is SsdpKind.MSEARCH
+        assert message.target == "urn:schemas-upnp-org:device:clock:1"
+        assert message.mx_s == 3
+
+    def test_search_response_round_trip(self):
+        raw = build_search_response(
+            st="upnp:rootdevice",
+            usn="uuid:ClockDevice::upnp:rootdevice",
+            location="http://192.168.1.4:4004/description.xml",
+            max_age_s=900,
+        )
+        message = parse_ssdp(raw)
+        assert message.kind is SsdpKind.RESPONSE
+        assert message.usn == "uuid:ClockDevice::upnp:rootdevice"
+        assert message.location == "http://192.168.1.4:4004/description.xml"
+        assert message.max_age_s == 900
+
+    def test_notify_alive_round_trip(self):
+        raw = build_notify_alive(
+            nt="urn:schemas-upnp-org:device:clock:1",
+            usn="uuid:ClockDevice::urn:schemas-upnp-org:device:clock:1",
+            location="http://192.168.1.4:4004/description.xml",
+        )
+        message = parse_ssdp(raw)
+        assert message.kind is SsdpKind.ALIVE
+        assert message.location.endswith("description.xml")
+
+    def test_notify_byebye_round_trip(self):
+        raw = build_notify_byebye("upnp:rootdevice", "uuid:X::upnp:rootdevice")
+        message = parse_ssdp(raw)
+        assert message.kind is SsdpKind.BYEBYE
+        assert message.usn == "uuid:X::upnp:rootdevice"
+
+    def test_paper_fig4_msearch_parses(self):
+        # Verbatim shape from the paper's Fig. 4 composed request (the paper
+        # omits the version suffix and quotes).
+        raw = (
+            b"M-SEARCH * HTTP/1.1\r\n"
+            b"SERVER: 239.255.255.250:1900\r\n"
+            b"ST: urn:schemas-upnp-org:device:clock\r\n"
+            b"MAN: ssdp:discover\r\n"
+            b"MX: 0\r\n\r\n"
+        )
+        message = parse_ssdp(raw)
+        assert message.kind is SsdpKind.MSEARCH
+        assert message.mx_s == 0
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"GET / HTTP/1.1\r\n\r\n",  # not an SSDP method
+            b"NOTIFY * HTTP/1.1\r\nNTS: ssdp:unknown\r\n\r\n",
+            b"HTTP/1.1 500 Oops\r\n\r\n",
+            b"\x00\x01binary",
+        ],
+    )
+    def test_non_ssdp_rejected(self, raw):
+        with pytest.raises(SsdpParseError):
+            parse_ssdp(raw)
+
+
+class TestStMatching:
+    USN = "uuid:ClockDevice::urn:schemas-upnp-org:device:clock:1"
+
+    @pytest.mark.parametrize(
+        "search,offered,expected",
+        [
+            ("ssdp:all", "anything", True),
+            ("upnp:rootdevice", "upnp:rootdevice", True),
+            ("upnp:rootdevice", "urn:schemas-upnp-org:device:clock:1", False),
+            ("uuid:ClockDevice", "uuid:ClockDevice", True),
+            ("uuid:Other", "uuid:ClockDevice", False),
+            (
+                "urn:schemas-upnp-org:device:clock:1",
+                "urn:schemas-upnp-org:device:clock:1",
+                True,
+            ),
+            (
+                "urn:schemas-upnp-org:device:clock:1",
+                "urn:schemas-upnp-org:device:clock:2",
+                True,  # higher offered version satisfies lower request
+            ),
+            (
+                "urn:schemas-upnp-org:device:clock:2",
+                "urn:schemas-upnp-org:device:clock:1",
+                False,
+            ),
+            (
+                "urn:schemas-upnp-org:device:clock",  # paper's version-less ST
+                "urn:schemas-upnp-org:device:clock:1",
+                True,
+            ),
+            ("urn:schemas-upnp-org:device:printer:1", "urn:schemas-upnp-org:device:clock:1", False),
+            ("", "anything", False),
+        ],
+    )
+    def test_rules(self, search, offered, expected):
+        assert st_matches(search, offered, usn=self.USN) is expected
+
+
+class TestDescription:
+    def test_clock_round_trip(self):
+        description = clock_description("192.168.1.4")
+        parsed = parse_device_description(description.to_xml())
+        assert parsed.device_type == description.device_type
+        assert parsed.friendly_name == "CyberGarage Clock Device"
+        assert parsed.udn == "uuid:ClockDevice"
+        assert len(parsed.services) == 1
+        service = parsed.services[0]
+        assert service.control_url == "/service/timer/control"
+        assert len(parsed.icons) == 2
+
+    def test_service_by_type(self):
+        description = clock_description("10.0.0.1")
+        assert description.service_by_type("urn:schemas-upnp-org:service:timer:1") is not None
+        assert description.service_by_type("urn:none") is None
+
+    def test_escaping_special_characters(self):
+        description = DeviceDescription(
+            device_type="urn:schemas-upnp-org:device:x:1",
+            friendly_name='A & B <Clock> "quoted"',
+            udn="uuid:X",
+        )
+        parsed = parse_device_description(description.to_xml())
+        assert parsed.friendly_name == 'A & B <Clock> "quoted"'
+
+    def test_url_base(self):
+        xml = clock_description("h").to_xml(base_url="http://192.168.1.4:4004/")
+        assert "<URLBase>" in xml
+        parse_device_description(xml)  # still parses
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not xml at all",
+            "<root xmlns='urn:schemas-upnp-org:device-1-0'></root>",  # no device
+            "<wrong/>",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(DescriptionError):
+            parse_device_description(bad)
+
+    def test_missing_udn_rejected(self):
+        xml = (
+            '<root xmlns="urn:schemas-upnp-org:device-1-0"><device>'
+            "<deviceType>urn:x:device:y:1</deviceType>"
+            "<friendlyName>F</friendlyName></device></root>"
+        )
+        with pytest.raises(DescriptionError, match="UDN"):
+            parse_device_description(xml)
+
+    # XML 1.0 cannot carry most control characters at all, so constrain the
+    # generated text to characters the format can represent.
+    _xml_text = st.text(
+        alphabet=st.characters(min_codepoint=0x20, blacklist_categories=("Cs",)),
+        max_size=30,
+    )
+
+    @given(
+        friendly=_xml_text.filter(lambda s: s.strip()),
+        model=_xml_text,
+    )
+    def test_text_fields_round_trip(self, friendly, model):
+        description = DeviceDescription(
+            device_type="urn:schemas-upnp-org:device:x:1",
+            friendly_name=friendly,
+            udn="uuid:P",
+            model_description=model,
+        )
+        parsed = parse_device_description(description.to_xml())
+        assert parsed.friendly_name == friendly.strip()
+        assert parsed.model_description == model.strip()
+
+
+class TestScpd:
+    def test_clock_scpd_round_trip(self):
+        scpd = clock_scpd()
+        parsed = parse_scpd(scpd.to_xml())
+        assert [a.name for a in parsed.actions] == ["GetTime", "SetTime"]
+        get_time = parsed.actions[0]
+        assert get_time.arguments[0].direction == "out"
+        assert {v.name for v in parsed.state_variables} == {"Time", "Result"}
+        assert parsed.state_variables[0].send_events is True
+
+    def test_empty_scpd(self):
+        parsed = parse_scpd(ScpdDescription().to_xml())
+        assert parsed.actions == []
+        assert parsed.state_variables == []
+
+
+class TestSoap:
+    SERVICE = "urn:schemas-upnp-org:service:timer:1"
+
+    def test_request_round_trip(self):
+        document = build_request(self.SERVICE, "SetTime", {"NewTime": "12:00"})
+        call = parse_request(document)
+        assert call.action == "SetTime"
+        assert call.service_type == self.SERVICE
+        assert call.arguments == {"NewTime": "12:00"}
+
+    def test_response_round_trip(self):
+        document = build_response(self.SERVICE, "GetTime", {"CurrentTime": "08:15"})
+        result = parse_response(document)
+        assert not result.is_fault
+        assert result.action == "GetTime"
+        assert result.arguments == {"CurrentTime": "08:15"}
+
+    def test_fault_round_trip(self):
+        document = build_fault(401, "Invalid Action")
+        result = parse_response(document)
+        assert result.is_fault
+        assert result.fault_code == 401
+        assert "Invalid" in result.fault_string
+
+    def test_arguments_escaped(self):
+        document = build_request(self.SERVICE, "SetTime", {"NewTime": "<&>"})
+        assert parse_request(document).arguments["NewTime"] == "<&>"
+
+    @pytest.mark.parametrize("bad", ["nope", "<a/>", "<s:Envelope xmlns:s='x'/>"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SoapError):
+            parse_request(bad)
+
+
+class TestUrls:
+    def test_parse(self):
+        assert parse_http_url("http://192.168.1.4:4004/d.xml") == ("192.168.1.4", 4004, "/d.xml")
+        assert parse_http_url("http://h") == ("h", 80, "/")
+
+    def test_join(self):
+        base = "http://192.168.1.4:4004/description.xml"
+        assert join_url(base, "/scpd.xml") == "http://192.168.1.4:4004/scpd.xml"
+        assert join_url(base, "scpd.xml") == "http://192.168.1.4:4004/scpd.xml"
+        assert join_url(base, "http://other/x") == "http://other/x"

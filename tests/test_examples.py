@@ -1,0 +1,47 @@
+"""Smoke tests: every example script must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_finds_the_clock(capsys):
+    runpy.run_path(str(EXAMPLES[0].parent / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "service:clock:soap://" in output
+    assert "SDP_C_PARSER_SWITCH" in output
+
+
+def test_fig4_example_shows_all_three_steps(capsys):
+    runpy.run_path(str(EXAMPLES[0].parent / "slp_to_upnp_clock.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Step 1" in output and "Step 2" in output and "Step 3" in output
+    assert "SDP_SERVICE_REQUEST" in output
+    assert "M-SEARCH" in output
+    assert "SrvRply: service:clock:soap://" in output
+
+
+def test_gateway_example_bridges_three_protocols(capsys):
+    runpy.run_path(str(EXAMPLES[0].parent / "home_gateway.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "service:clock:soap://" in output  # SLP -> UPnP
+    assert "service:mediaserver:jini://" in output  # SLP -> Jini
+    assert "urn:schemas-upnp-org:device:printer:1" in output  # UPnP -> SLP
+
+
+def test_adaptive_example_flips_modes(capsys):
+    runpy.run_path(str(EXAMPLES[0].parent / "adaptive_home.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "mode: ACTIVE" in output
+    assert "mode: passive" in output

@@ -1,0 +1,146 @@
+"""Unit and integration tests for the Jini unit."""
+
+import pytest
+
+from repro.core import Indiss, IndissConfig
+from repro.core.cache import ServiceCache
+from repro.core.parser import NetworkMeta, ParseError
+from repro.core.unit import UnitRuntime
+from repro.net import Endpoint, LatencyModel, Network
+from repro.sdp.base import ServiceRecord
+from repro.sdp.jini import (
+    LookupDiscovery,
+    LookupService,
+    MulticastAnnouncement,
+    MulticastRequest,
+    RegistrarClient,
+    ServiceItem,
+    ServiceTemplate,
+)
+from repro.units.jini_unit import JiniEventParser, JiniUnit
+
+META = NetworkMeta(
+    source=Endpoint("192.168.1.8", 4160),
+    destination=Endpoint("224.0.1.85", 4160),
+    multicast=True,
+)
+
+
+class TestParser:
+    def test_announcement_stream(self):
+        parser = JiniEventParser()
+        packet = MulticastAnnouncement(host="192.168.1.2", port=4161, service_id="sid-1")
+        stream = parser.parse(packet.encode(), META)
+        names = [e.name for e in stream]
+        assert "SDP_SERVICE_ALIVE" in names
+        assert "SDP_JINI_REGISTRAR" in names
+        registrar = next(e for e in stream if e.name == "SDP_JINI_REGISTRAR")
+        assert registrar.get("host") == "192.168.1.2"
+        assert registrar.get("port") == 4161
+
+    def test_request_stream(self):
+        parser = JiniEventParser()
+        packet = MulticastRequest(response_host="192.168.1.9", response_port=33000)
+        stream = parser.parse(packet.encode(), META)
+        assert any(e.name == "SDP_JINI_GROUPS" for e in stream)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            JiniEventParser().parse(b"junk", META)
+
+
+@pytest.fixture()
+def net():
+    return Network(latency=LatencyModel(jitter_us=0))
+
+
+class TestEmbeddedRegistrar:
+    def test_cache_records_visible_to_jini_clients(self, net):
+        """Foreign (SLP/UPnP) services become Jini service items."""
+        indiss_node = net.add_node("indiss")
+        client_node = net.add_node("jini-client")
+        cache = ServiceCache(lambda: indiss_node.now_us)
+        unit = JiniUnit(UnitRuntime(indiss_node), cache=cache, registrar_port=4171)
+        cache.store(
+            ServiceRecord(
+                service_type="clock",
+                url="service:clock:soap://192.168.1.5/ctl",
+                attributes={"friendlyName": "SLP Clock"},
+                source_sdp="slp",
+            )
+        )
+        unit.sync_registrar_from_cache()
+
+        discovery = LookupDiscovery(client_node)
+        discovery.request()
+        net.run(duration_us=200_000)
+        assert discovery.registrars
+        items = []
+        RegistrarClient(client_node, next(iter(discovery.registrars.values()))).lookup(
+            ServiceTemplate(class_names=("Clock",)), on_items=items.append
+        )
+        net.run(duration_us=200_000)
+        assert items and items[0][0].endpoint_url == "service:clock:soap://192.168.1.5/ctl"
+
+    def test_jini_sourced_records_not_mirrored(self, net):
+        indiss_node = net.add_node("indiss")
+        cache = ServiceCache(lambda: indiss_node.now_us)
+        unit = JiniUnit(UnitRuntime(indiss_node), cache=cache, registrar_port=4171)
+        cache.store(ServiceRecord(service_type="clock", url="jini://x", source_sdp="jini"))
+        assert unit.sync_registrar_from_cache() == 0
+
+
+class TestForeignRequestToJini:
+    def test_slp_client_finds_jini_service(self, net):
+        """Three-protocol interop: SLP request answered from a Jini registrar."""
+        from repro.sdp.slp import UserAgent
+
+        client_node = net.add_node("slp-client")
+        registrar_node = net.add_node("registrar")
+        gateway_node = net.add_node("gateway")
+
+        registrar = LookupService(registrar_node)
+        registrar.registry["sid-clock"] = ServiceItem(
+            service_id="sid-clock",
+            class_names=("org.amigo.Clock",),
+            attributes={"friendlyName": "Jini Clock"},
+            endpoint_url="jini://192.168.1.2:4161/clock",
+        )
+        indiss = Indiss(
+            gateway_node, IndissConfig(units=("slp", "jini"), deployment="gateway")
+        )
+        # Let the gateway hear at least one registrar announcement first.
+        net.run(duration_us=1_500_000)
+        assert indiss.units["jini"].known_registrars
+
+        ua = UserAgent(client_node)
+        done = []
+        ua.find_services("service:clock", on_complete=done.append, wait_us=400_000)
+        net.run(duration_us=1_000_000)
+        assert done[0].results
+        assert done[0].results[0].url.startswith("service:clock")
+        assert "192.168.1.2:4161/clock" in done[0].results[0].url
+
+    def test_upnp_client_finds_jini_service(self, net):
+        from repro.sdp.upnp import CLOCK_DEVICE_TYPE, UpnpControlPoint
+
+        client_node = net.add_node("upnp-client")
+        registrar_node = net.add_node("registrar")
+        gateway_node = net.add_node("gateway")
+        registrar = LookupService(registrar_node)
+        registrar.registry["sid-clock"] = ServiceItem(
+            service_id="sid-clock",
+            class_names=("org.amigo.Clock",),
+            attributes={"friendlyName": "Jini Clock"},
+            endpoint_url="jini://192.168.1.2:4161/clock",
+        )
+        indiss = Indiss(
+            gateway_node, IndissConfig(units=("upnp", "jini"), deployment="gateway")
+        )
+        net.run(duration_us=1_500_000)
+        cp = UpnpControlPoint(client_node)
+        done = []
+        cp.search(CLOCK_DEVICE_TYPE, wait_us=400_000, on_complete=done.append)
+        net.run(duration_us=1_000_000)
+        assert done[0].responses
+        assert "indiss" in done[0].responses[0].usn

@@ -1,0 +1,116 @@
+"""Direct tests for the stream <-> record helpers and the base SDP model."""
+
+import pytest
+
+from repro.core.events import (
+    Event,
+    SDP_DEVICE_URL_DESC,
+    SDP_RES_ATTR,
+    SDP_RES_SERV_URL,
+    SDP_RES_TTL,
+    SDP_SERVICE_RESPONSE,
+    SDP_SERVICE_TYPE,
+    bracket,
+)
+from repro.sdp.base import (
+    ServiceRecord,
+    jini_class_name,
+    normalize_service_type,
+    slp_service_type,
+    upnp_device_type,
+    upnp_service_type,
+)
+from repro.units.records import record_from_stream, stream_from_record
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("service:clock", "clock"),
+            ("service:clock:soap", "clock"),
+            ("service:directory-agent", "directory-agent"),
+            ("urn:schemas-upnp-org:device:clock:1", "clock"),
+            ("urn:schemas-upnp-org:service:timer:1", "timer"),
+            ("upnp:rootdevice", "rootdevice"),
+            ("org.amigo.Clock", "clock"),
+            ("Clock", "clock"),
+            ("", ""),
+            ("urn:weird:thing", "thing"),
+        ],
+    )
+    def test_normalize(self, raw, expected):
+        assert normalize_service_type(raw) == expected
+
+    def test_renderers_round_trip_through_normalize(self):
+        for renderer in (slp_service_type, upnp_device_type, upnp_service_type):
+            assert normalize_service_type(renderer("clock")) == "clock"
+        assert normalize_service_type(jini_class_name("clock")) == "clock"
+
+    def test_slp_concrete_type(self):
+        assert slp_service_type("clock", abstract="soap") == "service:clock:soap"
+
+
+class TestServiceRecord:
+    def test_with_attributes_merges(self):
+        record = ServiceRecord("clock", "u", attributes={"a": "1"})
+        extended = record.with_attributes(b="2")
+        assert extended.attributes == {"a": "1", "b": "2"}
+        assert record.attributes == {"a": "1"}  # original untouched
+
+    def test_matches_type(self):
+        assert ServiceRecord("clock", "u").matches_type("clock")
+        assert not ServiceRecord("clock", "u").matches_type("printer")
+
+
+class TestRecordFromStream:
+    def test_empty_stream_gives_none(self):
+        assert record_from_stream([], source_sdp="slp") is None
+
+    def test_stream_without_url_gives_none(self):
+        stream = bracket([Event.of(SDP_SERVICE_RESPONSE)])
+        assert record_from_stream(stream, source_sdp="slp") is None
+
+    def test_location_captured(self):
+        stream = bracket(
+            [
+                Event.of(SDP_RES_SERV_URL, url="http://h/ctl"),
+                Event.of(SDP_DEVICE_URL_DESC, url="http://h/description.xml"),
+            ]
+        )
+        record = record_from_stream(stream, source_sdp="upnp")
+        assert record.location == "http://h/description.xml"
+
+    def test_type_normalized(self):
+        stream = bracket(
+            [
+                Event.of(SDP_SERVICE_TYPE, type="urn:schemas-upnp-org:device:clock:1",
+                         normalized="clock"),
+                Event.of(SDP_RES_SERV_URL, url="u"),
+            ]
+        )
+        assert record_from_stream(stream, source_sdp="upnp").service_type == "clock"
+
+    def test_first_url_wins_attrs_accumulate(self):
+        stream = bracket(
+            [
+                Event.of(SDP_RES_SERV_URL, url="u1"),
+                Event.of(SDP_RES_ATTR, name="a", value="1"),
+                Event.of(SDP_RES_ATTR, name="b", value="2"),
+                Event.of(SDP_RES_TTL, seconds=42),
+            ]
+        )
+        record = record_from_stream(stream, source_sdp="slp")
+        assert record.url == "u1"
+        assert record.attributes == {"a": "1", "b": "2"}
+        assert record.lifetime_s == 42
+
+
+class TestStreamFromRecord:
+    def test_stream_is_bracketed_and_marked_cached(self):
+        record = ServiceRecord("clock", "u", source_sdp="upnp")
+        stream = stream_from_record(record, origin_sdp="slp")
+        assert stream[0].name == "SDP_C_START"
+        assert stream[0].get("cached") is True
+        assert stream[0].get("origin") == "slp"
+        assert stream[-1].name == "SDP_C_STOP"

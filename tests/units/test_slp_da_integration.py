@@ -1,0 +1,74 @@
+"""Repository-based discovery: INDISS + an SLP directory agent.
+
+Paper §2: "most SDPs support both passive and active discovery with either
+optional or mandatory centralization points."  With a DA on the segment,
+SLP clients query it by unicast instead of multicasting — so for such
+clients to see translated services, INDISS must register them with the DA.
+"""
+
+import pytest
+
+from repro.core import AdaptationManager, Indiss, IndissConfig
+from repro.net import LatencyModel, Network
+from repro.sdp.slp import DirectoryAgent, UserAgent
+from repro.sdp.upnp import make_clock_device
+
+
+@pytest.fixture()
+def net():
+    return Network(latency=LatencyModel(jitter_us=0))
+
+
+def test_slp_unit_learns_da_from_daadvert(net):
+    da_node = net.add_node("da")
+    indiss_node = net.add_node("indiss")
+    DirectoryAgent(da_node)
+    indiss = Indiss(indiss_node, IndissConfig(units=("slp", "upnp")))
+    net.run(duration_us=4_000_000)
+    slp_unit = indiss.units["slp"]
+    assert slp_unit.known_da is not None
+    assert slp_unit.known_da.host == da_node.address
+
+
+def test_translated_service_registered_with_da(net):
+    """Active-mode INDISS pushes the UPnP clock into the DA's registry."""
+    da_node = net.add_node("da")
+    service_node = net.add_node("service")
+    da = DirectoryAgent(da_node)
+    make_clock_device(service_node, advertise=True)
+    indiss = Indiss(service_node, IndissConfig(units=("slp", "upnp")))
+    manager = AdaptationManager(indiss, threshold=0.9)
+    net.run(duration_us=6_000_000)
+    manager.stop()
+    assert indiss.units["slp"].da_registrations >= 1
+    assert any("clock" in url for url in da.registry)
+
+
+def test_da_backed_client_finds_translated_service(net):
+    """An SLP client that switched to unicast DA queries still discovers
+    the UPnP service, through the registry INDISS populated."""
+    da_node = net.add_node("da")
+    service_node = net.add_node("service")
+    client_node = net.add_node("client")
+    da = DirectoryAgent(da_node)
+    make_clock_device(service_node, advertise=True)
+    indiss = Indiss(service_node, IndissConfig(units=("slp", "upnp")))
+    manager = AdaptationManager(indiss, threshold=0.9)
+    ua = UserAgent(client_node)
+    net.run(duration_us=6_000_000)  # DA discovered by all; registry populated
+    assert ua.known_da is not None
+    done = []
+    ua.find_services("service:clock", on_complete=done.append)
+    net.run(duration_us=1_000_000)
+    manager.stop()
+    assert done and done[0].results
+    assert "clock" in done[0].results[0].url
+
+
+def test_from_spec_classmethod(net):
+    from repro.core.config import PAPER_SPEC
+
+    node = net.add_node("indiss")
+    indiss = Indiss.from_spec(node, PAPER_SPEC, deployment="gateway")
+    assert set(indiss.config.units) == {"slp", "upnp", "jini"}
+    assert indiss.config.deployment == "gateway"

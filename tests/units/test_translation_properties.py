@@ -1,0 +1,143 @@
+"""Property-based tests on the translation pipeline's invariants.
+
+The paper's §2.3 correctness argument rests on two properties: parsers and
+composers agree through the mandatory event vocabulary, and unknown events
+never corrupt a composition.  These tests drive both with generated
+service types and attributes.
+"""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    Event,
+    SDP_RES_ATTR,
+    SDP_RES_SERV_URL,
+    SDP_RES_TTL,
+    SDP_SERVICE_RESPONSE,
+    SDP_SERVICE_REQUEST,
+    SDP_SERVICE_TYPE,
+    bracket,
+)
+from repro.core.parser import NetworkMeta
+from repro.core.session import TranslationSession
+from repro.net import Endpoint
+from repro.sdp.base import normalize_service_type, upnp_device_type
+from repro.sdp.slp import decode as slp_decode
+from repro.sdp.upnp import parse_ssdp
+from repro.units.records import record_from_stream, stream_from_record
+from repro.units.slp_unit import SlpEventComposer, SlpEventParser
+from repro.units.upnp_unit import UpnpEventComposer
+from repro.sdp.base import ServiceRecord
+
+#: Legal normalized service-type names (SLP abstract-type alphabet).
+type_names = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=12)
+
+attr_names = st.text(alphabet=string.ascii_letters, min_size=1, max_size=10)
+attr_values = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E), max_size=20
+)
+
+META = NetworkMeta(
+    source=Endpoint("192.168.1.9", 427),
+    destination=Endpoint("239.255.255.253", 427),
+    multicast=True,
+)
+
+
+@given(type_names)
+def test_service_type_survives_slp_to_upnp_translation(name):
+    """SLP SrvRqst -> events -> M-SEARCH: the normalized type is stable."""
+    from repro.sdp.slp import Flags, FunctionId, Header, SrvRqst, encode
+
+    request = SrvRqst(
+        header=Header(FunctionId.SRVRQST, xid=5, flags=Flags.REQUEST_MCAST),
+        service_type=f"service:{name}",
+    )
+    stream = SlpEventParser().parse(encode(request), META)
+    session = TranslationSession("slp", None)
+    message = UpnpEventComposer().compose(stream, session)[0]
+    msearch = parse_ssdp(message.payload)
+    assert normalize_service_type(msearch.target) == name
+
+
+@given(type_names)
+def test_service_type_survives_upnp_to_slp_translation(name):
+    """M-SEARCH -> events -> SrvRqst: the normalized type is stable."""
+    from repro.sdp.upnp import build_msearch
+    from repro.units.upnp_unit import SsdpEventParser
+
+    raw = build_msearch(upnp_device_type(name))
+    stream = SsdpEventParser().parse(
+        raw, NetworkMeta(source=Endpoint("192.168.1.9", 50000), multicast=True)
+    )
+    session = TranslationSession("upnp", None)
+    session.vars["native_xid"] = 3
+    message = SlpEventComposer().compose(stream, session)[0]
+    srvrqst = slp_decode(message.payload)
+    assert normalize_service_type(srvrqst.service_type) == name
+
+
+@given(
+    name=type_names,
+    url_tail=st.text(alphabet=string.ascii_lowercase + string.digits + "/.:", max_size=20),
+    attrs=st.dictionaries(attr_names, attr_values, max_size=5),
+    ttl=st.integers(1, 0xFFFF),
+)
+def test_record_stream_round_trip(name, url_tail, attrs, ttl):
+    """ServiceRecord -> reply stream -> ServiceRecord is the identity on
+    the fields the cache relies on."""
+    record = ServiceRecord(
+        service_type=name,
+        url=f"http://192.168.1.2:4004/{url_tail}",
+        attributes=attrs,
+        lifetime_s=ttl,
+        source_sdp="upnp",
+    )
+    stream = stream_from_record(record, origin_sdp="slp")
+    recovered = record_from_stream(stream, source_sdp="upnp")
+    assert recovered is not None
+    assert recovered.service_type == name
+    assert recovered.url == record.url
+    assert recovered.attributes == attrs
+    assert recovered.lifetime_s == ttl
+
+
+@given(attrs=st.dictionaries(attr_names, attr_values, min_size=1, max_size=5))
+def test_slp_reply_composition_tolerates_unknown_events(attrs):
+    """Unknown (SDP-specific foreign) events are discarded, never fatal."""
+    from repro.core.events import EventCategory, REGISTRY
+
+    alien = REGISTRY.define("SDP_ALIEN_FEATURE", EventCategory.DISCOVERY, sdp="alien")
+    events = [
+        Event.of(SDP_SERVICE_RESPONSE),
+        Event.of(alien, mystery=1),
+        Event.of(SDP_RES_TTL, seconds=60),
+        Event.of(SDP_RES_SERV_URL, url="http://h/x"),
+    ]
+    for name, value in attrs.items():
+        events.append(Event.of(SDP_RES_ATTR, name=name, value=value))
+    composer = SlpEventComposer()
+    session = TranslationSession("slp", Endpoint("192.168.1.9", 427))
+    session.vars["xid"] = 1
+    session.vars["service_type"] = "clock"
+    message = composer.compose(bracket(events), session)[0]
+    reply = slp_decode(message.payload)
+    assert reply.url_entries
+    assert composer.events_discarded >= 1
+
+
+@given(name=type_names)
+def test_mandatory_request_events_always_present(name):
+    """Every parsed request stream carries the mandatory vocabulary."""
+    from repro.sdp.slp import Flags, FunctionId, Header, SrvRqst, encode
+
+    request = SrvRqst(
+        header=Header(FunctionId.SRVRQST, xid=1, flags=Flags.REQUEST_MCAST),
+        service_type=f"service:{name}",
+    )
+    stream = SlpEventParser().parse(encode(request), META)
+    names = {event.name for event in stream}
+    assert {"SDP_C_START", "SDP_C_STOP", "SDP_SERVICE_REQUEST", "SDP_SERVICE_TYPE"} <= names
