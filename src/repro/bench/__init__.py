@@ -6,6 +6,9 @@ from .reporting import format_measurements, format_table2
 from .scenarios import (
     SCENARIOS,
     ScenarioOutcome,
+    campus_fanout,
+    gateway_chain,
+    multi_segment_home,
     native_slp,
     native_upnp,
     slp_to_jini_gateway,
@@ -36,8 +39,10 @@ __all__ = [
     "SCENARIOS",
     "ScenarioOutcome",
     "SizeReport",
+    "campus_fanout",
     "count_classes",
     "count_ncss",
+    "gateway_chain",
     "format_measurements",
     "format_table2",
     "indiss_size_reports",
@@ -45,6 +50,7 @@ __all__ = [
     "measure",
     "measure_all",
     "measure_path",
+    "multi_segment_home",
     "native_slp",
     "native_upnp",
     "run_trials",

@@ -231,6 +231,133 @@ def slp_to_jini_gateway(seed: int = 0, costs: CostModel = PAPER_TESTBED) -> Scen
     return _run_slp_search(net, ua)
 
 
+# -- Multi-segment internetworks (gateway placement at network boundaries) -------
+#
+# The paper's §4.2 placement analysis becomes interesting at scale when
+# INDISS instances sit on boundaries *between* networks.  These scenarios
+# exercise the segment/bridge/router layer: multicast stays confined to a
+# LAN segment, and discovery crosses segments only through bridged INDISS
+# gateways running the gateway-forward dispatch policy.
+
+
+def _gateway_chain_config(costs: CostModel, seed: int = 0) -> IndissConfig:
+    """Config for a bridged gateway: forward dispatch plus waits sized for
+    multi-hop convergence.  Deep chains converge because the SLP unit
+    bounds its recursive AttrRqst stall (``attr_wait_us``), so each hop
+    adds tens of milliseconds rather than a full convergence window."""
+    return IndissConfig(
+        units=("slp", "upnp"),
+        deployment="gateway",
+        dispatch="gateway-forward",
+        timings=costs.indiss,
+        upnp_responder_delay_us=costs.indiss_upnp_responder_delay_us,
+        upnp_wait_us=300_000,
+        slp_wait_us=350_000,
+        seed=seed,
+    )
+
+
+def _populate_background_nodes(net: Network, total_nodes: int) -> None:
+    """Fill segments round-robin with idle hosts up to ``total_nodes``."""
+    segments = list(net.segments.values())
+    existing = len(net.nodes)
+    for i in range(max(0, total_nodes - existing)):
+        segment = segments[i % len(segments)]
+        net.add_node(f"bg-{segment.name}-{i}", segment=segment)
+
+
+def multi_segment_home(
+    seed: int = 0,
+    costs: CostModel = PAPER_TESTBED,
+    nodes: int = 50,
+    capture: bool = False,
+) -> ScenarioOutcome:
+    """Two-segment home: SLP client upstairs, UPnP service in the den.
+
+    One INDISS gateway host is bridged across both LANs; background hosts
+    pad the segments to ``nodes`` total.
+    """
+    net = Network(latency=costs.latency_model(seed), capture=capture)
+    den = net.add_segment("den", latency=costs.latency_model(seed + 1000))
+    net.link(net.default_segment, den)
+    client_node = net.add_node("client")
+    service_node = net.add_node("service", segment=den)
+    gateway_node = net.add_node("gateway")
+    net.bridge(gateway_node, den)
+    ua = UserAgent(client_node, config=_slp_config(costs))
+    make_clock_device(service_node, timings=costs.upnp, seed=seed)
+    Indiss(gateway_node, _gateway_chain_config(costs, seed=seed))
+    _populate_background_nodes(net, nodes)
+    return _run_slp_search(net, ua)
+
+
+def gateway_chain(
+    seed: int = 0,
+    costs: CostModel = PAPER_TESTBED,
+    segments: int = 3,
+    capture: bool = False,
+) -> ScenarioOutcome:
+    """SLP client on the first segment, UPnP service on the last, and a
+    bridged INDISS gateway on every boundary in between.
+
+    With three segments the request crosses *two* gateways: the client's
+    SrvRqst never leaves segment A; gateway A-B re-issues it natively, the
+    M-SEARCH hops B, gateway B-C re-issues again, and the replies unwind
+    back down the chain.
+    """
+    if segments < 2:
+        raise ValueError("gateway_chain needs at least two segments")
+    net = Network(latency=costs.latency_model(seed), capture=capture)
+    chain = [net.default_segment]
+    for i in range(1, segments):
+        chain.append(net.add_segment(f"seg{i}", latency=costs.latency_model(seed + i)))
+        net.link(chain[i - 1], chain[i])
+    client_node = net.add_node("client", segment=chain[0])
+    service_node = net.add_node("service", segment=chain[-1])
+    for i in range(segments - 1):
+        gateway_node = net.add_node(f"gateway{i}", segment=chain[i])
+        net.bridge(gateway_node, chain[i + 1])
+        Indiss(gateway_node, _gateway_chain_config(costs, seed=seed + i))
+    ua = UserAgent(client_node, config=_slp_config(costs))
+    make_clock_device(service_node, timings=costs.upnp, seed=seed)
+    return _run_slp_search(net, ua, horizon_us=3_000_000)
+
+
+def campus_fanout(
+    seed: int = 0,
+    costs: CostModel = PAPER_TESTBED,
+    segments: int = 6,
+    nodes: int = 120,
+    capture: bool = False,
+) -> ScenarioOutcome:
+    """A campus backbone with leaf LANs, one bridged gateway per leaf.
+
+    The SLP client sits on the first leaf, the UPnP service on the last;
+    every other leaf contributes gateways and background hosts, so one
+    discovery fans out across the whole backbone and converges through
+    exactly two gateway translations (client leaf -> backbone -> service
+    leaf).
+    """
+    if segments < 3:
+        raise ValueError("campus_fanout needs a backbone plus at least two leaves")
+    net = Network(latency=costs.latency_model(seed), capture=capture)
+    backbone = net.default_segment
+    leaves = []
+    for i in range(segments - 1):
+        leaf = net.add_segment(f"leaf{i}", latency=costs.latency_model(seed + 1 + i))
+        net.link(backbone, leaf)
+        leaves.append(leaf)
+        gateway_node = net.add_node(f"gateway{i}", segment=leaf)
+        net.bridge(gateway_node, backbone)
+        Indiss(gateway_node, _gateway_chain_config(costs, seed=seed + i))
+    client_node = net.add_node("client", segment=leaves[0])
+    service_node = net.add_node("service", segment=leaves[-1])
+    ua = UserAgent(client_node, config=_slp_config(costs))
+    make_clock_device(service_node, timings=costs.upnp, seed=seed)
+    _populate_background_nodes(net, nodes)
+    return _run_slp_search(net, ua, horizon_us=3_000_000)
+
+
 #: Scenario registry used by the harness and benchmarks.
 SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "fig7_native_slp": native_slp,
@@ -241,6 +368,9 @@ SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "fig9_upnp_to_slp_client_side": upnp_to_slp_client_side,
     "gateway_slp_to_upnp": slp_to_upnp_gateway,
     "gateway_slp_to_jini": slp_to_jini_gateway,
+    "multi_segment_home": multi_segment_home,
+    "gateway_chain": gateway_chain,
+    "campus_fanout": campus_fanout,
 }
 
 
@@ -255,4 +385,7 @@ __all__ = [
     "upnp_to_slp_client_side",
     "slp_to_upnp_gateway",
     "slp_to_jini_gateway",
+    "multi_segment_home",
+    "gateway_chain",
+    "campus_fanout",
 ]

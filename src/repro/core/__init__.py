@@ -8,6 +8,17 @@ bridge, service cache, configuration DSL and the adaptation manager.
 from .adaptation import AdaptationEvent, AdaptationManager
 from .cache import CacheEntry, ServiceCache
 from .composer import ComposeError, OutboundMessage, SdpComposer
+from .dispatch import (
+    AdvertisementPipeline,
+    CacheFirstPolicy,
+    ClassifiedStream,
+    DISPATCH_POLICIES,
+    DispatchPolicy,
+    FanOutAllPolicy,
+    GatewayForwardPolicy,
+    StreamClassifier,
+    make_policy,
+)
 from .config import (
     ConfigError,
     FsmSpec,
@@ -41,17 +52,25 @@ from .indiss import Indiss, IndissConfig, SessionStats
 from .monitor import MonitorComponent, SdpSighting
 from .parser import NetworkMeta, ParseError, SdpParser
 from .registry import IanaRegistry, SdpEntry, default_registry
-from .session import TranslationSession
+from .session import TranslationSession, stream_has_result
+from .sessions import RequestDeduper, SessionManager
 from .unit import IndissTimings, Unit, UnitRuntime
 
 __all__ = [
     "ALWAYS",
     "AdaptationEvent",
     "AdaptationManager",
+    "AdvertisementPipeline",
     "CacheEntry",
+    "CacheFirstPolicy",
+    "ClassifiedStream",
     "ComposeError",
     "ConfigError",
+    "DISPATCH_POLICIES",
+    "DispatchPolicy",
     "Event",
+    "FanOutAllPolicy",
+    "GatewayForwardPolicy",
     "EventCategory",
     "EventType",
     "EventTypeRegistry",
@@ -72,11 +91,14 @@ __all__ = [
     "REGISTRY",
     "SdpComposer",
     "SdpEntry",
+    "RequestDeduper",
     "SdpParser",
     "SdpSighting",
     "ServiceCache",
+    "SessionManager",
     "SessionStats",
     "StateMachine",
+    "StreamClassifier",
     "StateMachineDefinition",
     "SystemSpec",
     "Transition",
@@ -91,6 +113,8 @@ __all__ = [
     "compile_guard",
     "default_registry",
     "is_bracketed",
+    "make_policy",
     "parse_spec",
     "payload_events",
+    "stream_has_result",
 ]

@@ -1,0 +1,280 @@
+"""Stream classification and pluggable request dispatch.
+
+This is the layer between the monitor and the units.  ``Indiss`` used to
+hard-wire the whole pipeline inside ``_on_raw``/``_handle_request``; it is
+now split into three replaceable pieces:
+
+* :class:`StreamClassifier` — inspects a parsed event stream and decides
+  what kind of exchange it is (request / advertisement / response /
+  byebye), extracting the fields the rest of the pipeline keys on;
+* :class:`DispatchPolicy` — decides how a classified request is served:
+  which units drive their native discovery, whether the service cache may
+  answer, and what identity requests are deduplicated under.  Policies are
+  registered by name so deployments (and future sharded dispatchers) can
+  swap them via :class:`~repro.core.indiss.IndissConfig`;
+* :class:`AdvertisementPipeline` — the resolve → cache → re-announce path
+  for advertisement, response, and byebye streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..sdp.base import ServiceRecord
+from .events import (
+    Event,
+    SDP_REQ_ID,
+    SDP_SERVICE_ALIVE,
+    SDP_SERVICE_BYEBYE,
+    SDP_SERVICE_REQUEST,
+    SDP_SERVICE_RESPONSE,
+    SDP_SERVICE_TYPE,
+)
+from .parser import NetworkMeta
+from .session import TranslationSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .indiss import Indiss
+    from .unit import Unit
+
+#: Stream kinds, in classification precedence order.
+KIND_REQUEST = "request"
+KIND_ADVERTISEMENT = "advertisement"
+KIND_RESPONSE = "response"
+KIND_BYEBYE = "byebye"
+KIND_OTHER = "other"
+
+
+@dataclass
+class ClassifiedStream:
+    """One parsed stream plus everything dispatch keys on."""
+
+    kind: str
+    stream: list[Event] = field(default_factory=list)
+    service_type: str = ""
+    raw_type: str = ""
+    xid: Optional[int] = None
+    meta: Optional[NetworkMeta] = None
+
+
+class StreamClassifier:
+    """Event-stream -> :class:`ClassifiedStream` (kind + key fields).
+
+    Precedence mirrors the protocol semantics: a stream carrying a request
+    event is a request even if it also mentions response events (SLP
+    retransmissions carry previous-responder lists).
+    """
+
+    _PRECEDENCE = (
+        (SDP_SERVICE_REQUEST, KIND_REQUEST),
+        (SDP_SERVICE_ALIVE, KIND_ADVERTISEMENT),
+        (SDP_SERVICE_RESPONSE, KIND_RESPONSE),
+        (SDP_SERVICE_BYEBYE, KIND_BYEBYE),
+    )
+
+    def classify(
+        self, stream: list[Event], meta: NetworkMeta | None = None
+    ) -> ClassifiedStream:
+        kinds = set()
+        service_type = ""
+        raw_type = ""
+        xid = None
+        for event in stream:
+            kinds.add(event.type)
+            if event.type is SDP_SERVICE_TYPE:
+                service_type = str(event.get("normalized") or "")
+                raw_type = str(event.get("type") or "")
+            elif event.type is SDP_REQ_ID:
+                xid = event.get("xid")
+        kind = KIND_OTHER
+        for event_type, candidate in self._PRECEDENCE:
+            if event_type in kinds:
+                kind = candidate
+                break
+        return ClassifiedStream(
+            kind=kind,
+            stream=stream,
+            service_type=service_type,
+            raw_type=raw_type,
+            xid=xid,
+            meta=meta,
+        )
+
+
+class DispatchPolicy:
+    """How one classified request is served by an INDISS instance.
+
+    Subclasses override :meth:`select_targets` (which units drive native
+    discovery) and :meth:`cache_answer` (whether the service cache may
+    short-circuit the network).  ``dedup_scope`` feeds the
+    :class:`~repro.core.sessions.SessionManager`.
+    """
+
+    name = "fanout"
+    dedup_scope = "requester"
+
+    def select_targets(self, indiss: "Indiss", session: TranslationSession) -> list["Unit"]:
+        """Units that should drive their native discovery for this session.
+
+        Default: every instantiated unit except the origin protocol's.
+        """
+        return [
+            unit for sdp, unit in indiss.units.items() if sdp != session.origin_sdp
+        ]
+
+    def cache_answer(
+        self, indiss: "Indiss", session: TranslationSession
+    ) -> Optional[ServiceRecord]:
+        """A cached record to answer with, or None to go to the network.
+
+        The base policy honours the legacy ``answer_from_cache`` deployment
+        flag; records learnt from the requester's own protocol are excluded
+        (the native service would have answered it directly).
+        """
+        if not indiss.config.answer_from_cache:
+            return None
+        return self.lookup_record(
+            indiss, session.origin_sdp, str(session.vars.get("service_type", ""))
+        )
+
+    def lookup_record(
+        self, indiss: "Indiss", origin_sdp: str, service_type: str
+    ) -> Optional[ServiceRecord]:
+        """First cached record of ``service_type`` not native to the
+        requester's own protocol."""
+        records = [
+            record
+            for record in indiss.cache.lookup(service_type)
+            if record.source_sdp != origin_sdp
+        ]
+        return records[0] if records else None
+
+
+class FanOutAllPolicy(DispatchPolicy):
+    """The default: fan the request out to every non-origin unit."""
+
+
+class CacheFirstPolicy(DispatchPolicy):
+    """Always try the service cache before touching the network (Fig. 9b),
+    regardless of the deployment flag."""
+
+    name = "cache-first"
+
+    def cache_answer(self, indiss, session):
+        return self.lookup_record(
+            indiss, session.origin_sdp, str(session.vars.get("service_type", ""))
+        )
+
+
+class GatewayForwardPolicy(DispatchPolicy):
+    """Gateway dispatch for multi-segment chains.
+
+    Adds the *origin* protocol's unit to the target set, so a bridged
+    gateway re-issues the request natively on every segment it is homed on
+    — the mechanism that lets discovery hop across a chain of INDISS
+    gateways.  Dedup switches to service-type scope: without it two
+    gateways in multicast range of each other would re-translate each
+    other's re-issued requests forever.
+    """
+
+    name = "gateway-forward"
+    dedup_scope = "service-type"
+
+    def select_targets(self, indiss, session):
+        return list(indiss.units.values())
+
+
+DISPATCH_POLICIES: dict[str, type[DispatchPolicy]] = {
+    FanOutAllPolicy.name: FanOutAllPolicy,
+    CacheFirstPolicy.name: CacheFirstPolicy,
+    GatewayForwardPolicy.name: GatewayForwardPolicy,
+}
+
+
+def make_policy(name: str) -> DispatchPolicy:
+    """Instantiate a registered dispatch policy by name."""
+    try:
+        return DISPATCH_POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(DISPATCH_POLICIES))
+        raise KeyError(f"unknown dispatch policy {name!r} (known: {known})") from None
+
+
+class AdvertisementPipeline:
+    """Resolve -> cache -> re-announce for non-request streams.
+
+    Advertisements that lack a service URL (SSDP NOTIFY only names a
+    description document) are handed back to the origin unit to resolve
+    with a recursive native request, like Fig. 4's extra GET.
+    """
+
+    def __init__(self, indiss: "Indiss"):
+        self.indiss = indiss
+
+    def handle_advertisement(self, origin_sdp: str, stream: list[Event]) -> None:
+        from ..units.records import record_from_stream
+
+        record = record_from_stream(stream, source_sdp=origin_sdp)
+        if record is None:
+            unit = self.indiss.units.get(origin_sdp)
+            if unit is not None:
+                unit.resolve_advertisement(stream, self.resolved)
+            return
+        self.resolved(record)
+
+    def resolved(self, record: ServiceRecord) -> None:
+        if self.indiss.config.cache_discoveries:
+            self.indiss.cache.store(record)
+        if self.indiss.config.translate_advertisements:
+            self.readvertise(record, exclude=record.source_sdp)
+
+    def readvertise(self, record: ServiceRecord, exclude: str = "") -> None:
+        """Announce a record through every unit except ``exclude``."""
+        for sdp_id, unit in self.indiss.units.items():
+            if sdp_id == exclude or sdp_id == record.source_sdp:
+                continue
+            unit.advertise_record(record)
+
+    def handle_response(self, origin_sdp: str, stream: list[Event]) -> None:
+        """Passively learn from replies flying past the monitor."""
+        if not self.indiss.config.cache_discoveries:
+            return
+        from ..units.records import record_from_stream
+
+        record = record_from_stream(stream, source_sdp=origin_sdp)
+        if record is not None:
+            self.indiss.cache.store(record)
+
+    def handle_byebye(self, origin_sdp: str, stream: list[Event]) -> None:
+        from ..sdp.base import normalize_service_type
+
+        for event in stream:
+            if event.type is SDP_SERVICE_BYEBYE:
+                url = str(event.get("url", ""))
+                if url:
+                    self.indiss.cache.remove_url(url)
+                    continue
+                nt = str(event.get("type", ""))
+                if nt:
+                    self.indiss.cache.remove_type(
+                        normalize_service_type(nt), origin_sdp
+                    )
+
+
+__all__ = [
+    "AdvertisementPipeline",
+    "CacheFirstPolicy",
+    "ClassifiedStream",
+    "DISPATCH_POLICIES",
+    "DispatchPolicy",
+    "FanOutAllPolicy",
+    "GatewayForwardPolicy",
+    "KIND_ADVERTISEMENT",
+    "KIND_BYEBYE",
+    "KIND_OTHER",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "StreamClassifier",
+    "make_policy",
+]

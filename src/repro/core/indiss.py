@@ -5,19 +5,18 @@ gateway — paper §4.2 analyses all three placements) and is *transparent*:
 native clients and services keep using their own protocols; INDISS joins
 the SDP multicast groups beside them and translates.
 
-Message flow (Figures 2 and 3):
+The runtime is layered (see ARCHITECTURE.md):
 
-1. the monitor detects the SDP by arrival port and hands the raw data over;
-2. the source unit's parser turns it into a bracketed event stream;
-3. request streams open a :class:`TranslationSession` routed to every other
-   instantiated unit (or answered straight from the service cache);
-4. the target unit drives its native discovery process — possibly several
-   recursive requests — and completes the session with a reply stream;
-5. the origin unit's composer renders the native reply to the requester.
+    monitor -> StreamClassifier -> SessionManager -> DispatchPolicy
+            -> units -> composer          (requests)
+    monitor -> StreamClassifier -> AdvertisementPipeline -> cache
+                                                (advertisements/responses)
 
-Advertisement streams update the cache, and — when advertisement
-translation is enabled (the Fig. 6 active mode) — are re-announced through
-the other units.
+``Indiss`` itself is the thin coordinator wiring those layers over one
+node.  A gateway host bridged across several LAN segments (see
+``repro.net.segment``) runs the same code with the ``gateway-forward``
+dispatch policy, which is what lets discovery chain across an
+internetwork of INDISS gateways.
 """
 
 from __future__ import annotations
@@ -28,19 +27,23 @@ from typing import Callable
 from ..net import Node
 from ..sdp.base import ServiceRecord
 from .cache import ServiceCache
-from .events import (
-    Event,
-    SDP_REQ_ID,
-    SDP_SERVICE_ALIVE,
-    SDP_SERVICE_BYEBYE,
-    SDP_SERVICE_REQUEST,
-    SDP_SERVICE_RESPONSE,
-    SDP_SERVICE_TYPE,
+from .dispatch import (
+    AdvertisementPipeline,
+    ClassifiedStream,
+    DispatchPolicy,
+    KIND_ADVERTISEMENT,
+    KIND_BYEBYE,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    StreamClassifier,
+    make_policy,
 )
+from .events import Event, SDP_C_START
 from .monitor import MonitorComponent
 from .parser import NetworkMeta
 from .registry import IanaRegistry, default_registry
-from .session import TranslationSession
+from .session import TranslationSession, stream_has_result
+from .sessions import SessionManager, SessionStats
 from .unit import IndissTimings, Unit, UnitRuntime
 
 UnitFactory = Callable[["Indiss", UnitRuntime], Unit]
@@ -64,6 +67,9 @@ class IndissConfig:
     cache_discoveries: bool = True
     #: Re-announce foreign services through other units (Fig. 6 active mode).
     translate_advertisements: bool = False
+    #: Dispatch policy name ("fanout", "cache-first", "gateway-forward");
+    #: see :mod:`repro.core.dispatch` for the registry.
+    dispatch: str = "fanout"
     #: Suppress duplicate requests (native retransmissions) within window.
     #: SLP user agents retransmit with the same XID well after the first
     #: send, so the window spans whole convergence periods.
@@ -76,16 +82,10 @@ class IndissConfig:
     upnp_wait_us: int = 150_000
     #: SLP unit convergence wait.
     slp_wait_us: int = 15_000
+    #: Bound on the SLP unit's recursive AttrRqst stall (a unicast round
+    #: trip); raise it on high-latency links so attributes are not lost.
+    slp_attr_wait_us: int = 30_000
     seed: int = 0
-
-
-@dataclass
-class SessionStats:
-    opened: int = 0
-    completed: int = 0
-    answered_from_cache: int = 0
-    timed_out: int = 0
-    duplicates_suppressed: int = 0
 
 
 class Indiss:
@@ -97,6 +97,7 @@ class Indiss:
         config: IndissConfig | None = None,
         registry: IanaRegistry | None = None,
         unit_factories: dict[str, UnitFactory] | None = None,
+        dispatch_policy: DispatchPolicy | None = None,
     ):
         self.node = node
         self.config = config if config is not None else IndissConfig()
@@ -106,10 +107,19 @@ class Indiss:
         self.monitor.on_detected = self._on_detected
         self.cache = ServiceCache(lambda: node.now_us)
         self.units: dict[str, Unit] = {}
-        self.sessions: list[TranslationSession] = []
-        self.stats = SessionStats()
+        self.classifier = StreamClassifier()
+        self.policy = (
+            dispatch_policy
+            if dispatch_policy is not None
+            else make_policy(self.config.dispatch or "fanout")
+        )
+        self.session_manager = SessionManager(
+            clock=lambda: node.now_us,
+            dedup_window_us=self.config.dedup_window_us,
+            dedup_scope=self.policy.dedup_scope,
+        )
+        self.advertisements = AdvertisementPipeline(self)
         self.detections: list[str] = []
-        self._recent_requests: dict[tuple, int] = {}
         self._factories = dict(unit_factories or {})
         #: Application-layer listeners tracing every parsed stream
         #: (paper §2.3: upper layers "trace, in real time, SDP internal
@@ -132,6 +142,16 @@ class Indiss:
         config = build_indiss_config(parse_spec(spec_text), **overrides)
         return cls(node, config)
 
+    # -- lifecycle state shared with the session layer --------------------------
+
+    @property
+    def stats(self) -> SessionStats:
+        return self.session_manager.stats
+
+    @property
+    def sessions(self) -> list[TranslationSession]:
+        return self.session_manager.sessions
+
     # -- unit lifecycle (Fig. 5 dynamic composition) --------------------------
 
     def _make_runtime(self) -> UnitRuntime:
@@ -149,7 +169,11 @@ class Indiss:
 
         runtime = self._make_runtime()
         if sdp_id == "slp":
-            return SlpUnit(runtime, wait_us=self.config.slp_wait_us)
+            return SlpUnit(
+                runtime,
+                wait_us=self.config.slp_wait_us,
+                attr_wait_us=self.config.slp_attr_wait_us,
+            )
         if sdp_id == "upnp":
             return UpnpUnit(
                 runtime,
@@ -193,101 +217,124 @@ class Indiss:
             return
         for listener in self.stream_listeners:
             listener(sdp_id, stream, meta)
-        kinds = {event.type for event in stream}
-        if SDP_SERVICE_REQUEST in kinds:
-            self._handle_request(sdp_id, stream, meta)
-        elif SDP_SERVICE_ALIVE in kinds:
-            self._handle_advertisement(sdp_id, stream)
-        elif SDP_SERVICE_RESPONSE in kinds:
-            self._observe_response(sdp_id, stream)
-        elif SDP_SERVICE_BYEBYE in kinds:
-            self._handle_byebye(sdp_id, stream)
+        classified = self.classifier.classify(stream, meta)
+        if classified.kind == KIND_REQUEST:
+            self._handle_request(sdp_id, classified)
+        elif classified.kind == KIND_ADVERTISEMENT:
+            self.advertisements.handle_advertisement(sdp_id, stream)
+        elif classified.kind == KIND_RESPONSE:
+            self.advertisements.handle_response(sdp_id, stream)
+        elif classified.kind == KIND_BYEBYE:
+            self.advertisements.handle_byebye(sdp_id, stream)
 
     # -- request translation -------------------------------------------------------
 
-    def _handle_request(self, origin_sdp: str, stream: list[Event], meta: NetworkMeta) -> None:
-        service_type = ""
-        raw_type = ""
-        xid = None
-        for event in stream:
-            if event.type is SDP_SERVICE_TYPE:
-                service_type = str(event.get("normalized") or "")
-                raw_type = str(event.get("type") or "")
-            elif event.type is SDP_REQ_ID:
-                xid = event.get("xid")
-        requester = meta.source
-        dedup_key = (origin_sdp, requester, raw_type, xid)
-        now = self.node.now_us
-        self._recent_requests = {
-            key: t
-            for key, t in self._recent_requests.items()
-            if now - t <= self.config.dedup_window_us
-        }
-        if dedup_key in self._recent_requests:
-            self.stats.duplicates_suppressed += 1
-            return
-        self._recent_requests[dedup_key] = now
-
-        session = TranslationSession(
-            origin_sdp=origin_sdp,
-            requester=requester,
-            request_stream=stream,
-            created_at_us=now,
+    def _handle_request(self, origin_sdp: str, classified: ClassifiedStream) -> None:
+        requester = classified.meta.source if classified.meta is not None else None
+        key = self.session_manager.dedup_key(
+            origin_sdp,
+            requester,
+            classified.raw_type,
+            classified.service_type,
+            classified.xid,
         )
-        session.vars["service_type"] = service_type
-        session.vars["st"] = raw_type
-        if xid is not None:
-            session.vars["xid"] = xid
-        session.on_reply = self._deliver_reply
-        self.sessions.append(session)
-        self.stats.opened += 1
-        session.log(f"indiss: {origin_sdp} request for {service_type!r} entered")
-
-        if self.config.answer_from_cache:
-            records = [
-                record
-                for record in self.cache.lookup(service_type)
-                if record.source_sdp != origin_sdp
-            ]
-            if records:
-                from ..units.records import stream_from_record
-
-                session.answered_from_cache = True
-                self.stats.answered_from_cache += 1
-                session.vars["answered_by"] = "cache"
-                reply = stream_from_record(records[0], origin_sdp)
-                session.log("indiss: answered from service cache")
-                self.node.schedule(
-                    self.config.timings.cache_lookup_us,
-                    lambda: session.complete_with(reply),
+        if self.session_manager.is_duplicate(key):
+            # Service-type-scoped dedup (gateway-forward) collapses
+            # *different* requesters asking for the same thing; dropping a
+            # second client outright would starve it, since the first
+            # session's reply went unicast to the first requester only.
+            # Once the first translation has warmed the cache, answer the
+            # suppressed duplicate from it (unicast replies cannot loop:
+            # a neighbouring gateway's completed session just drops them).
+            if self.policy.dedup_scope == "service-type":
+                record = self.policy.lookup_record(
+                    self, origin_sdp, classified.service_type
                 )
-                return
+                if record is not None:
+                    session = self.session_manager.open(
+                        origin_sdp,
+                        requester,
+                        classified.stream,
+                        on_reply=self._deliver_reply,
+                    )
+                    session.vars["service_type"] = classified.service_type
+                    session.vars["st"] = classified.raw_type
+                    if classified.xid is not None:
+                        session.vars["xid"] = classified.xid
+                    session.log(
+                        "indiss: duplicate request answered from service cache"
+                    )
+                    self._answer_from_cache(session, record)
+            return
 
-        targets = [unit for sdp, unit in self.units.items() if sdp != origin_sdp]
+        session = self.session_manager.open(
+            origin_sdp, requester, classified.stream, on_reply=self._deliver_reply
+        )
+        session.vars["service_type"] = classified.service_type
+        session.vars["st"] = classified.raw_type
+        if classified.xid is not None:
+            session.vars["xid"] = classified.xid
+        session.log(
+            f"indiss: {origin_sdp} request for {classified.service_type!r} entered"
+        )
+
+        record = self.policy.cache_answer(self, session)
+        if record is not None:
+            self._answer_from_cache(session, record)
+            return
+
+        targets = self.policy.select_targets(self, session)
         if not targets:
             session.complete_with([])
             return
+        session.pending_targets = len(targets)
         for target in targets:
-            target.handle_foreign_request(stream, session)
+            target.handle_foreign_request(classified.stream, session)
+
+    def _answer_from_cache(self, session: TranslationSession, record: ServiceRecord) -> None:
+        from ..units.records import stream_from_record
+
+        self.session_manager.record_cache_answer(session)
+        reply = stream_from_record(record, session.origin_sdp)
+        session.log("indiss: answered from service cache")
+        self.node.schedule(
+            self.config.timings.cache_lookup_us,
+            lambda: session.complete_with(reply),
+        )
+
+    def _reply_source_sdp(self, reply_stream: list[Event], session: TranslationSession) -> str:
+        """Which SDP the answering service natively speaks.
+
+        Reply streams are bracketed with the emitting unit's SDP id; cache
+        answers preserve the original record's provenance the same way.
+        Falling back to ``answered_by`` keeps custom units working, but
+        only when it names a real unit (the old code stamped records with
+        ``"cache"`` or ``""``, which defeated the same-protocol filter on
+        later lookups).
+        """
+        if reply_stream and reply_stream[0].type is SDP_C_START:
+            sdp = str(reply_stream[0].get("sdp") or "")
+            if sdp:
+                return sdp
+        candidate = str(session.vars.get("answered_by", ""))
+        if candidate in self.units:
+            return candidate
+        return ""
 
     def _deliver_reply(self, reply_stream: list[Event], session: TranslationSession) -> None:
-        self.stats.completed += 1
+        self.session_manager.record_completed()
         origin_unit = self.units.get(session.origin_sdp)
-        has_url = any(
-            event.type.name == "SDP_RES_SERV_URL" and event.get("url")
-            for event in reply_stream
-        )
-        if not has_url:
+        if not stream_has_result(reply_stream):
             # Discovery protocols stay silent on fruitless multicast
             # requests; composing an empty answer would be noise.
-            self.stats.timed_out += 1
+            self.session_manager.record_timeout()
             session.log("indiss: no service found; staying silent")
             return
         if self.config.cache_discoveries:
             from ..units.records import record_from_stream
 
             record = record_from_stream(
-                reply_stream, source_sdp=str(session.vars.get("answered_by", ""))
+                reply_stream, source_sdp=self._reply_source_sdp(reply_stream, session)
             )
             if record is not None and not session.answered_from_cache:
                 self.cache.store(record)
@@ -296,55 +343,9 @@ class Indiss:
 
     # -- advertisements --------------------------------------------------------------
 
-    def _handle_advertisement(self, origin_sdp: str, stream: list[Event]) -> None:
-        from ..units.records import record_from_stream
-
-        record = record_from_stream(stream, source_sdp=origin_sdp)
-        if record is None:
-            # Advertisements like SSDP NOTIFY only name a description
-            # document; ask the unit to resolve it to a full record (an
-            # extra native request, like Fig. 4's recursive GET).
-            unit = self.units.get(origin_sdp)
-            if unit is not None:
-                unit.resolve_advertisement(stream, self._advertisement_resolved)
-            return
-        self._advertisement_resolved(record)
-
-    def _advertisement_resolved(self, record: ServiceRecord) -> None:
-        if self.config.cache_discoveries:
-            self.cache.store(record)
-        if self.config.translate_advertisements:
-            self.readvertise(record, exclude=record.source_sdp)
-
     def readvertise(self, record: ServiceRecord, exclude: str = "") -> None:
         """Announce a record through every unit except ``exclude``."""
-        for sdp_id, unit in self.units.items():
-            if sdp_id == exclude or sdp_id == record.source_sdp:
-                continue
-            unit.advertise_record(record)
-
-    def _observe_response(self, origin_sdp: str, stream: list[Event]) -> None:
-        """Passively learn from replies flying past the monitor."""
-        if not self.config.cache_discoveries:
-            return
-        from ..units.records import record_from_stream
-
-        record = record_from_stream(stream, source_sdp=origin_sdp)
-        if record is not None:
-            self.cache.store(record)
-
-    def _handle_byebye(self, origin_sdp: str, stream: list[Event]) -> None:
-        from ..sdp.base import normalize_service_type
-
-        for event in stream:
-            if event.type is SDP_SERVICE_BYEBYE:
-                url = str(event.get("url", ""))
-                if url:
-                    self.cache.remove_url(url)
-                    continue
-                nt = str(event.get("type", ""))
-                if nt:
-                    self.cache.remove_type(normalize_service_type(nt), origin_sdp)
+        self.advertisements.readvertise(record, exclude=exclude)
 
     # -- introspection -----------------------------------------------------------------
 

@@ -15,9 +15,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..net import Endpoint
-from .events import Event
+from .events import Event, SDP_RES_SERV_URL
 
 _session_ids = itertools.count(1)
+
+
+def stream_has_result(stream: list[Event]) -> bool:
+    """True when a reply stream actually names a service."""
+    return any(
+        event.type is SDP_RES_SERV_URL and event.get("url") for event in stream
+    )
 
 
 @dataclass
@@ -35,6 +42,12 @@ class TranslationSession:
     on_reply: Optional[Callable[[list[Event], "TranslationSession"], None]] = None
     completed: bool = False
     answered_from_cache: bool = False
+    #: How many target units are still driving native discovery for this
+    #: session.  A reply that names a service completes the session at
+    #: once; an empty give-up (timeout/error) only completes it when every
+    #: other target has given up too — so a fast protocol's fruitless
+    #: timeout cannot clip a slower protocol's answer.
+    pending_targets: int = 1
     #: Human-readable log of the translation steps (Fig. 4 reproduction).
     steps: list[str] = field(default_factory=list)
 
@@ -48,10 +61,17 @@ class TranslationSession:
         """
         if self.completed:
             return False
+        if self.pending_targets > 1 and not stream_has_result(reply_stream):
+            self.pending_targets -= 1
+            self.log(
+                "session: target gave up empty-handed; "
+                f"{self.pending_targets} target(s) still searching"
+            )
+            return False
         self.completed = True
         if self.on_reply is not None:
             self.on_reply(reply_stream, self)
         return True
 
 
-__all__ = ["TranslationSession"]
+__all__ = ["TranslationSession", "stream_has_result"]

@@ -1,0 +1,163 @@
+"""Translation-session lifecycle management (extracted from ``Indiss``).
+
+The :class:`SessionManager` owns everything about the *process* side of
+translation (paper §2.2): opening sessions for classified requests,
+suppressing native retransmissions inside the dedup window, and the
+completion/timeout/cache accounting the benchmarks and the adaptation
+layer read.
+
+Duplicate suppression used to rebuild the whole recent-request dict on
+every incoming request (O(n) on the hot path); :class:`RequestDeduper`
+replaces that with a monotonic deque and lazy expiry — O(1) amortized per
+request regardless of traffic rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from ..net import Endpoint
+from .events import Event
+from .session import TranslationSession
+
+
+@dataclass
+class SessionStats:
+    """Counters the benchmarks and tests read off one INDISS instance."""
+
+    opened: int = 0
+    completed: int = 0
+    answered_from_cache: int = 0
+    timed_out: int = 0
+    duplicates_suppressed: int = 0
+
+
+class RequestDeduper:
+    """Sliding-window duplicate detection with O(1) amortized expiry.
+
+    Keys are opaque hashables; entries expire ``window_us`` after they were
+    recorded.  Expiry is lazy: each call prunes only the deque head, so the
+    per-request cost stays constant even when thousands of distinct keys
+    pass through (the old implementation rebuilt the entire dict per
+    request).
+    """
+
+    def __init__(self, clock: Callable[[], int], window_us: int):
+        self._clock = clock
+        self.window_us = window_us
+        self._seen: dict[Hashable, int] = {}
+        self._order: deque[tuple[Hashable, int]] = deque()
+
+    def __len__(self) -> int:
+        self._expire(self._clock())
+        return len(self._seen)
+
+    def _expire(self, now: int) -> None:
+        horizon = now - self.window_us
+        while self._order and self._order[0][1] < horizon:
+            key, stamped = self._order.popleft()
+            # Only forget the key if it was not re-recorded since: a newer
+            # timestamp in the dict belongs to a younger deque entry.
+            if self._seen.get(key) == stamped:
+                del self._seen[key]
+
+    def seen_recently(self, key: Hashable) -> bool:
+        """True when ``key`` was recorded within the window; records it
+        (refreshing the window) otherwise."""
+        now = self._clock()
+        self._expire(now)
+        if key in self._seen:
+            return True
+        self._seen[key] = now
+        self._order.append((key, now))
+        return False
+
+
+class SessionManager:
+    """Owns the open sessions, the dedup window, and the statistics."""
+
+    def __init__(
+        self,
+        clock: Callable[[], int],
+        dedup_window_us: int,
+        dedup_scope: str = "requester",
+    ):
+        if dedup_scope not in ("requester", "service-type"):
+            raise ValueError(f"unknown dedup scope {dedup_scope!r}")
+        self._clock = clock
+        self.dedup_scope = dedup_scope
+        self.deduper = RequestDeduper(clock, dedup_window_us)
+        self.sessions: list[TranslationSession] = []
+        self.stats = SessionStats()
+
+    # -- dedup ---------------------------------------------------------------
+
+    def dedup_key(
+        self,
+        origin_sdp: str,
+        requester: Optional[Endpoint],
+        raw_type: str,
+        service_type: str,
+        xid,
+    ) -> tuple:
+        """The identity a request is deduplicated under.
+
+        ``requester`` scope matches the native retransmission pattern (same
+        client, same XID); ``service-type`` scope additionally collapses
+        *different* requesters asking for the same thing — the loop-breaker
+        for gateway chains, where each gateway would otherwise re-translate
+        its neighbour's translations forever.
+        """
+        if self.dedup_scope == "service-type":
+            return (origin_sdp, service_type or raw_type)
+        return (origin_sdp, requester, raw_type, xid)
+
+    def is_duplicate(self, key: tuple) -> bool:
+        if self.deduper.seen_recently(key):
+            self.stats.duplicates_suppressed += 1
+            return True
+        return False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(
+        self,
+        origin_sdp: str,
+        requester: Optional[Endpoint],
+        request_stream: list[Event],
+        on_reply: Callable[[list[Event], TranslationSession], None],
+    ) -> TranslationSession:
+        session = TranslationSession(
+            origin_sdp=origin_sdp,
+            requester=requester,
+            request_stream=request_stream,
+            created_at_us=self._clock(),
+        )
+        session.on_reply = on_reply
+        self.sessions.append(session)
+        self.stats.opened += 1
+        return session
+
+    def record_completed(self) -> None:
+        self.stats.completed += 1
+
+    def record_timeout(self) -> None:
+        self.stats.timed_out += 1
+
+    def record_cache_answer(self, session: TranslationSession) -> None:
+        session.answered_from_cache = True
+        session.vars["answered_by"] = "cache"
+        self.stats.answered_from_cache += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def active(self) -> list[TranslationSession]:
+        return [s for s in self.sessions if not s.completed]
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+
+__all__ = ["SessionManager", "SessionStats", "RequestDeduper"]

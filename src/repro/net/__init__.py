@@ -26,6 +26,7 @@ from .errors import (
 from .latency import LatencyModel, LossModel
 from .network import Network, TraceRecord
 from .node import Node
+from .segment import Bridge, DEFAULT_LINK_LATENCY_US, Link, Router, Segment
 from .simclock import (
     MILLISECOND,
     SECOND,
@@ -48,11 +49,14 @@ __all__ = [
     "MILLISECOND",
     "SECOND",
     "AddressError",
+    "Bridge",
     "ConnectionRefusedError",
+    "DEFAULT_LINK_LATENCY_US",
     "Datagram",
     "Endpoint",
     "EventHandle",
     "LatencyModel",
+    "Link",
     "LossModel",
     "Network",
     "NetworkError",
@@ -61,7 +65,9 @@ __all__ = [
     "NotBoundError",
     "PeriodicTask",
     "PortInUseError",
+    "Router",
     "Scheduler",
+    "Segment",
     "SocketClosedError",
     "TcpConnection",
     "TcpListener",

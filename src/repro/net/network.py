@@ -1,10 +1,22 @@
-"""The simulated LAN segment: node attachment and datagram delivery.
+"""The simulated internetwork: segments, routing, and datagram delivery.
 
-One :class:`Network` models the paper's single 10 Mb/s home-LAN segment.
-Unicast datagrams route by destination address; multicast datagrams fan out
-to every socket that joined the group and bound the destination port —
-including sockets on the sending host (``IP_MULTICAST_LOOP`` behaviour),
-which is how a co-located INDISS instance sees its host's own traffic.
+Historically this modelled the paper's single 10 Mb/s home-LAN segment; it
+now composes one or more :class:`~repro.net.segment.Segment` objects into a
+multi-segment internetwork (see ``segment.py`` for the scoping rules).  A
+``Network`` constructed the old way — no explicit segments — is exactly the
+old single-LAN model: every node lands on the default segment, multicast
+reaches everyone, and no routing happens.
+
+Delivery rules:
+
+* unicast datagrams route by destination address — directly when sender
+  and target share a segment, through the :class:`Router`'s link path
+  otherwise (each traversed segment and link charges its latency);
+* multicast datagrams fan out to every socket that joined the group and
+  bound the destination port on each segment the *sender* is attached to —
+  including sockets on the sending host (``IP_MULTICAST_LOOP`` behaviour),
+  which is how a co-located INDISS instance sees its host's own traffic;
+* broadcast behaves like multicast: confined to the sender's segments.
 """
 
 from __future__ import annotations
@@ -13,7 +25,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .addressing import (
-    AddressAllocator,
     Endpoint,
     LOOPBACK,
     is_broadcast,
@@ -21,9 +32,10 @@ from .addressing import (
     is_multicast,
     parse_ipv4,
 )
-from .errors import AddressError
+from .errors import AddressError, NetworkError
 from .latency import LatencyModel, LossModel
 from .node import Node
+from .segment import Bridge, DEFAULT_LINK_LATENCY_US, Link, Router, Segment
 from .simclock import Scheduler
 from .traffic import TrafficMonitor
 from .udp import Datagram
@@ -39,10 +51,15 @@ class TraceRecord:
     destination: Endpoint
     size: int
     payload: bytes
+    #: Segment the frame appeared on ("" for pre-segment captures).
+    segment: str = ""
 
 
 class Network:
-    """A single simulated LAN segment."""
+    """An internetwork of LAN segments (a single segment by default)."""
+
+    #: Name of the segment nodes land on when none is specified.
+    DEFAULT_SEGMENT = "lan0"
 
     def __init__(
         self,
@@ -55,27 +72,86 @@ class Network:
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.latency = latency if latency is not None else LatencyModel()
         self.loss = loss
-        self._allocator = AddressAllocator(subnet)
+        self.router = Router()
+        self.segments: dict[str, Segment] = {}
         self._nodes: dict[str, Node] = {}
+        self._next_auto_subnet = 2
         self.traffic = TrafficMonitor(self.latency.bandwidth_bps)
         self._capture = capture
         self.trace: list[TraceRecord] = []
-        #: Unicast datagrams with no destination node (silently dropped).
+        #: Unicast datagrams with no destination node or no route (dropped).
         self.unrouted = 0
+        self.default_segment = self.add_segment(
+            self.DEFAULT_SEGMENT, subnet=subnet, latency=self.latency
+        )
 
     # -- topology -----------------------------------------------------------
 
-    def add_node(self, name: str, address: str | None = None) -> Node:
-        """Attach a host; the address is allocated from the subnet if omitted."""
+    def add_segment(
+        self,
+        name: str,
+        subnet: str | None = None,
+        latency: LatencyModel | None = None,
+    ) -> Segment:
+        """Create a new LAN segment; the subnet is auto-allocated if omitted."""
+        if name in self.segments:
+            raise NetworkError(f"segment {name!r} already exists")
+        if subnet is None:
+            used = {s.subnet for s in self.segments.values()}
+            while f"192.168.{self._next_auto_subnet}" in used:
+                self._next_auto_subnet += 1
+            subnet = f"192.168.{self._next_auto_subnet}"
+            self._next_auto_subnet += 1
+        segment = Segment(self, name, subnet=subnet, latency=latency)
+        self.segments[name] = segment
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        try:
+            return self.segments[name]
+        except KeyError:
+            raise NetworkError(f"no segment named {name!r}") from None
+
+    def _resolve_segment(self, segment: Segment | str | None) -> Segment:
+        if segment is None:
+            return self.default_segment
+        if isinstance(segment, Segment):
+            return segment
+        return self.segment(segment)
+
+    def link(
+        self,
+        a: Segment | str,
+        b: Segment | str,
+        latency_us: int = DEFAULT_LINK_LATENCY_US,
+    ) -> Link:
+        """Connect two segments with a routed point-to-point link."""
+        seg_a, seg_b = self._resolve_segment(a), self._resolve_segment(b)
+        return self.router.connect(seg_a.name, seg_b.name, latency_us)
+
+    def add_node(
+        self,
+        name: str,
+        address: str | None = None,
+        segment: Segment | str | None = None,
+    ) -> Node:
+        """Attach a host; the address is allocated from the segment's subnet
+        if omitted."""
+        seg = self._resolve_segment(segment)
         if address is None:
-            address = self._allocator.allocate()
+            address = seg.allocate_address()
         else:
             parse_ipv4(address)
         if address in self._nodes:
             raise AddressError(f"address {address} already attached")
         node = Node(self, name, address)
         self._nodes[address] = node
+        seg.attach(node)
         return node
+
+    def bridge(self, node: Node, *segments: Segment | str) -> Bridge:
+        """Multi-home ``node`` onto additional segments (gateway placement)."""
+        return Bridge(node, *(self._resolve_segment(s) for s in segments))
 
     def node_at(self, address: str) -> Optional[Node]:
         return self._nodes.get(address)
@@ -93,14 +169,72 @@ class Network:
         self._capture = False
 
     def trace_message(
-        self, transport: str, source: Endpoint, destination: Endpoint, payload: bytes
+        self,
+        transport: str,
+        source: Endpoint,
+        destination: Endpoint,
+        payload: bytes,
+        segment: str = "",
     ) -> None:
         if self._capture:
             self.trace.append(
                 TraceRecord(
-                    self.scheduler.now_us, transport, source, destination, len(payload), payload
+                    self.scheduler.now_us,
+                    transport,
+                    source,
+                    destination,
+                    len(payload),
+                    payload,
+                    segment=segment,
                 )
             )
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route_segments(
+        self, sender: Node, target: Node
+    ) -> Optional[tuple[list[Segment], int]]:
+        """Segments a unicast frame traverses plus the total link latency.
+
+        Returns None when no path exists.  Direct (shared-segment) delivery
+        traverses exactly one segment and crosses no links.
+        """
+        for seg in sender.segments:
+            if target in seg:
+                return [seg], 0
+        best = self.router.route(
+            (s.name for s in sender.segments), (s.name for s in target.segments)
+        )
+        if best is None:
+            return None
+        source_name, hops = best
+        traversed = [self.segments[source_name]]
+        cursor = source_name
+        link_latency = 0
+        for hop in hops:
+            cursor = hop.other(cursor)
+            traversed.append(self.segments[cursor])
+            link_latency += hop.latency_us
+        return traversed, link_latency
+
+    def unicast_delay_us(
+        self, sender: Node, remote_host: str, size_bytes: int, loopback: bool = False
+    ) -> Optional[int]:
+        """One-way unicast delay from ``sender`` to ``remote_host``.
+
+        Used by the UDP and TCP paths alike; returns None when the host is
+        unknown or unreachable across the segment graph.
+        """
+        if loopback or is_loopback(remote_host) or remote_host == sender.address:
+            return sender.segment.delay_us(size_bytes, loopback=True)
+        target = self._nodes.get(remote_host)
+        if target is None:
+            return None
+        route = self._route_segments(sender, target)
+        if route is None:
+            return None
+        traversed, link_latency = route
+        return sum(seg.delay_us(size_bytes) for seg in traversed) + link_latency
 
     # -- datagram delivery -----------------------------------------------------
 
@@ -116,7 +250,6 @@ class Network:
             "udp",
             multicast=is_multicast(destination.host),
         )
-        self.trace_message("udp", source, destination, payload)
         datagram = Datagram(payload=payload, source=source, destination=destination)
 
         if is_multicast(destination.host):
@@ -126,64 +259,117 @@ class Network:
         else:
             self._deliver_unicast(sender, datagram)
 
+    def _record_on_segment(
+        self, segment: Segment, datagram: Datagram, multicast: bool
+    ) -> None:
+        segment.traffic.record(
+            self.scheduler.now_us,
+            datagram.destination.port,
+            len(datagram.payload),
+            "udp",
+            multicast=multicast,
+        )
+        self.trace_message(
+            "udp",
+            datagram.source,
+            datagram.destination,
+            datagram.payload,
+            segment=segment.name,
+        )
+
     def _deliver_unicast(self, sender: Node, datagram: Datagram) -> None:
         destination = datagram.destination
-        if is_loopback(destination.host):
-            target: Optional[Node] = sender
-        else:
-            target = self._nodes.get(destination.host)
+        size = len(datagram.payload)
+        if is_loopback(destination.host) or destination.host == sender.address:
+            self._record_on_segment(sender.segment, datagram, multicast=False)
+            self._schedule_delivery(sender, datagram, True, sender.segment)
+            return
+        target = self._nodes.get(destination.host)
         if target is None:
+            self._record_on_segment(sender.segment, datagram, multicast=False)
             self.unrouted += 1
             return
-        loopback = target is sender
-        self._schedule_delivery(target, datagram, loopback)
+        route = self._route_segments(sender, target)
+        if route is None:
+            self._record_on_segment(sender.segment, datagram, multicast=False)
+            self.unrouted += 1
+            return
+        traversed, link_latency = route
+        for segment in traversed:
+            self._record_on_segment(segment, datagram, multicast=False)
+        # Upstream (pre-final-hop) cost is drawn once; the final-segment
+        # delay is drawn per receiving socket, like local delivery.
+        prefix = sum(s.delay_us(size) for s in traversed[:-1]) + link_latency
+        self._schedule_delivery(target, datagram, False, traversed[-1], prefix)
 
     def _deliver_multicast(self, sender: Node, datagram: Datagram) -> None:
-        """Fan a datagram out to the group.
+        """Fan a datagram out to the group on each of the sender's segments.
 
         Group membership resolves at *delivery* time (a socket that joins
         while the frame is in flight still receives it), matching a shared
         segment where every NIC sees the frame simultaneously.  The sender
-        host's own members receive a loopback copy sooner.
+        host's own members receive a loopback copy sooner.  The frame never
+        crosses a link: multicast is segment-scoped.
         """
         group = datagram.destination.host
         port = datagram.destination.port
-        lan_delay = self.latency.delay_us(len(datagram.payload), loopback=False)
-        loop_delay = self.latency.delay_us(len(datagram.payload), loopback=True)
-        drop = self.loss is not None and self.loss.should_drop()
+        size = len(datagram.payload)
+        for segment in sender.segments:
+            self._record_on_segment(segment, datagram, multicast=True)
+            lan_delay = segment.delay_us(size)
+            drop = self.loss is not None and self.loss.should_drop()
 
-        def deliver_lan() -> None:
-            if drop:
-                return
-            for node in self._nodes.values():
-                if node is sender:
-                    continue
-                for sock in node.udp.sockets_for_group(group, port):
-                    sock.deliver(datagram)
+            def deliver_lan(segment: Segment = segment, drop: bool = drop) -> None:
+                if drop:
+                    return
+                for node in segment.nodes:
+                    if node is sender:
+                        continue
+                    for sock in node.udp.sockets_for_group(group, port):
+                        sock.deliver(datagram)
+
+            self.scheduler.schedule(lan_delay, deliver_lan, label="udp-mcast")
+
+        loop_delay = sender.segment.delay_us(size, loopback=True)
 
         def deliver_loopback() -> None:
             for sock in sender.udp.sockets_for_group(group, port):
                 sock.deliver(datagram)
 
-        self.scheduler.schedule(lan_delay, deliver_lan, label="udp-mcast")
         self.scheduler.schedule(loop_delay, deliver_loopback, label="udp-mcast-loop")
 
     def _deliver_broadcast(self, sender: Node, datagram: Datagram) -> None:
-        port = datagram.destination.port
-        for node in self._nodes.values():
-            for sock in node.udp.sockets_for(port):
-                self._schedule_socket_delivery(node, sock, datagram, node is sender)
+        delivered: set[str] = set()
+        for segment in sender.segments:
+            self._record_on_segment(segment, datagram, multicast=False)
+            for node in segment.nodes:
+                if node.address in delivered:
+                    continue
+                delivered.add(node.address)
+                self._schedule_delivery(node, datagram, node is sender, segment)
 
-    def _schedule_delivery(self, node: Node, datagram: Datagram, loopback: bool) -> None:
+    def _schedule_delivery(
+        self,
+        node: Node,
+        datagram: Datagram,
+        loopback: bool,
+        segment: Segment,
+        prefix_delay: int = 0,
+    ) -> None:
         for sock in node.udp.sockets_for(datagram.destination.port):
-            self._schedule_socket_delivery(node, sock, datagram, loopback)
+            self._schedule_socket_delivery(sock, datagram, loopback, segment, prefix_delay)
 
     def _schedule_socket_delivery(
-        self, node: Node, sock, datagram: Datagram, loopback: bool
+        self,
+        sock,
+        datagram: Datagram,
+        loopback: bool,
+        segment: Segment,
+        prefix_delay: int = 0,
     ) -> None:
         if self.loss is not None and not loopback and self.loss.should_drop():
             return
-        delay = self.latency.delay_us(len(datagram.payload), loopback=loopback)
+        delay = prefix_delay + segment.delay_us(len(datagram.payload), loopback=loopback)
         self.scheduler.schedule(delay, lambda: sock.deliver(datagram), label="udp-delivery")
 
     # -- run helpers ------------------------------------------------------------

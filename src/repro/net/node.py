@@ -10,6 +10,7 @@ from .udp import UdpStack
 
 if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
+    from .segment import Segment
 
 
 class Node:
@@ -27,6 +28,17 @@ class Node:
         self.address = address
         self.udp = UdpStack(self)
         self.tcp = TcpStack(self)
+        #: Segments this host has an interface on; populated by
+        #: :meth:`repro.net.segment.Segment.attach`.  A gateway host
+        #: bridged across two LANs has two entries.
+        self.segments: list["Segment"] = []
+
+    @property
+    def segment(self) -> "Segment":
+        """The host's primary (first-attached) segment."""
+        if not self.segments:
+            raise RuntimeError(f"node {self.name!r} is not attached to any segment")
+        return self.segments[0]
 
     # -- scheduling conveniences -------------------------------------------
 

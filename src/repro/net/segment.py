@@ -1,0 +1,205 @@
+"""LAN segments, inter-segment links, and the unicast router.
+
+The paper's testbed is one shared 10 Mb/s segment; its §4.2 placement
+analysis, however, puts INDISS instances on *boundaries* — client hosts,
+service hosts, and dedicated gateways.  This module generalizes the network
+layer so a :class:`~repro.net.network.Network` is an internetwork of
+:class:`Segment` objects:
+
+* **multicast and broadcast are scoped to a segment** — a frame fans out
+  only to the LANs the sending host is attached to, never across a link;
+* **unicast is routed** — the :class:`Router` finds the shortest link path
+  between segments and charges per-segment latency plus per-link latency,
+  like store-and-forward IP forwarding;
+* a :class:`Bridge` multi-homes a host onto additional segments, which is
+  how an INDISS gateway hears two LANs at once and chains discovery across
+  them.
+
+A ``Network`` built with no explicit segments still behaves exactly like
+the original single-LAN model: every node lands on the default segment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from .addressing import AddressAllocator
+from .errors import AddressError, NetworkError
+from .latency import LatencyModel
+from .traffic import TrafficMonitor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+    from .node import Node
+
+#: Default one-way latency charged for crossing one inter-segment link.
+DEFAULT_LINK_LATENCY_US = 500
+
+
+class Segment:
+    """One shared LAN segment: a subnet, its attached hosts, a latency model."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        subnet: str,
+        latency: LatencyModel | None = None,
+    ):
+        self.network = network
+        self.name = name
+        self.subnet = subnet
+        self.latency = latency if latency is not None else network.latency
+        self._allocator = AddressAllocator(subnet)
+        self._nodes: dict[str, "Node"] = {}
+        #: Per-segment accounting; the acceptance tests for multicast
+        #: confinement read these counters.
+        self.traffic = TrafficMonitor(self.latency.bandwidth_bps)
+
+    # -- membership ---------------------------------------------------------
+
+    def allocate_address(self) -> str:
+        return self._allocator.allocate()
+
+    def attach(self, node: "Node") -> None:
+        """Attach ``node`` to this segment (multi-homing is allowed)."""
+        if node.address in self._nodes:
+            raise AddressError(f"{node.address} already attached to segment {self.name}")
+        self._nodes[node.address] = node
+        if self not in node.segments:
+            node.segments.append(self)
+
+    @property
+    def nodes(self) -> list["Node"]:
+        return list(self._nodes.values())
+
+    def __contains__(self, node: "Node") -> bool:
+        return self._nodes.get(node.address) is node
+
+    def delay_us(self, size_bytes: int, loopback: bool = False) -> int:
+        return self.latency.delay_us(size_bytes, loopback=loopback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Segment({self.name!r}, {self.subnet}.0/24, nodes={len(self._nodes)})"
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link between two segments with one-way latency."""
+
+    a: str
+    b: str
+    latency_us: int = DEFAULT_LINK_LATENCY_US
+
+    def other(self, name: str) -> str:
+        if name == self.a:
+            return self.b
+        if name == self.b:
+            return self.a
+        raise NetworkError(f"segment {name!r} is not an endpoint of link {self.a}-{self.b}")
+
+
+class Router:
+    """Shortest-path (min-hop) unicast routing over the segment graph.
+
+    Paths are cached per (source, destination) pair; the cache is dropped
+    whenever topology changes so routes always reflect the current graph.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: dict[str, list[Link]] = {}
+        self._paths: dict[tuple[str, str], Optional[tuple[Link, ...]]] = {}
+
+    def connect(self, a: str, b: str, latency_us: int = DEFAULT_LINK_LATENCY_US) -> Link:
+        if a == b:
+            raise NetworkError(f"cannot link segment {a!r} to itself")
+        link = Link(a, b, latency_us)
+        self._adjacency.setdefault(a, []).append(link)
+        self._adjacency.setdefault(b, []).append(link)
+        self._paths.clear()
+        return link
+
+    def neighbors(self, name: str) -> list[str]:
+        return [link.other(name) for link in self._adjacency.get(name, ())]
+
+    def path(self, source: str, destination: str) -> Optional[list[Link]]:
+        """Min-hop link sequence from ``source`` to ``destination``.
+
+        Returns an empty list when they are the same segment, None when
+        disconnected.
+        """
+        if source == destination:
+            return []
+        cached = self._paths.get((source, destination))
+        if (source, destination) in self._paths:
+            return list(cached) if cached is not None else None
+        parents: dict[str, tuple[str, Link]] = {}
+        frontier: deque[str] = deque([source])
+        seen = {source}
+        found = False
+        while frontier and not found:
+            current = frontier.popleft()
+            for link in self._adjacency.get(current, ()):
+                nxt = link.other(current)
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                parents[nxt] = (current, link)
+                if nxt == destination:
+                    found = True
+                    break
+                frontier.append(nxt)
+        if not found:
+            self._paths[(source, destination)] = None
+            return None
+        hops: list[Link] = []
+        cursor = destination
+        while cursor != source:
+            prev, link = parents[cursor]
+            hops.append(link)
+            cursor = prev
+        hops.reverse()
+        self._paths[(source, destination)] = tuple(hops)
+        return hops
+
+    def route(
+        self, sources: Iterable[str], destinations: Iterable[str]
+    ) -> Optional[tuple[str, list[Link]]]:
+        """Best (source-segment, link path) over all source/destination pairs."""
+        best: Optional[tuple[str, list[Link]]] = None
+        destination_list = list(destinations)
+        for source in sources:
+            for destination in destination_list:
+                hops = self.path(source, destination)
+                if hops is None:
+                    continue
+                if best is None or len(hops) < len(best[1]):
+                    best = (source, hops)
+        return best
+
+
+class Bridge:
+    """Multi-homes one host node across several segments.
+
+    This is the physical premise of a gateway-placed INDISS instance: the
+    host has an interface on each LAN, so its monitor hears both and its
+    units' multicasts reach both.
+    """
+
+    def __init__(self, node: "Node", *segments: Segment):
+        self.node = node
+        self.segments: list[Segment] = list(node.segments)
+        for segment in segments:
+            if node not in segment:
+                segment.attach(node)
+            if segment not in self.segments:
+                self.segments.append(segment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        names = ", ".join(s.name for s in self.segments)
+        return f"Bridge({self.node.name!r} on {names})"
+
+
+__all__ = ["Segment", "Link", "Router", "Bridge", "DEFAULT_LINK_LATENCY_US"]

@@ -84,7 +84,13 @@ class TcpConnection:
         data = bytes(data)
         self.bytes_sent += len(data)
         network = self._node.network
-        delay = network.latency.delay_us(len(data), loopback=self.is_loopback)
+        delay = network.unicast_delay_us(
+            self._node, self.remote.host, len(data), loopback=self.is_loopback
+        )
+        if delay is None:
+            # Established connections outlive routing lookups (the peer may
+            # be a synthetic endpoint); charge the default segment cost.
+            delay = network.latency.delay_us(len(data), loopback=self.is_loopback)
         peer = self._peer
         arrival = max(network.scheduler.now_us + delay, peer._last_arrival_us + 1)
         peer._last_arrival_us = arrival
@@ -117,7 +123,11 @@ class TcpConnection:
         peer = self._peer
         if peer is not None and not peer._closed:
             network = self._node.network
-            delay = network.latency.delay_us(0, loopback=self.is_loopback)
+            delay = network.unicast_delay_us(
+                self._node, self.remote.host, 0, loopback=self.is_loopback
+            )
+            if delay is None:
+                delay = network.latency.delay_us(0, loopback=self.is_loopback)
             arrival = max(network.scheduler.now_us + delay, peer._last_arrival_us + 1)
             peer._last_arrival_us = arrival
             network.scheduler.schedule_at(arrival, peer._peer_closed, label="tcp-fin")
@@ -205,15 +215,18 @@ class TcpStack:
         loopback = remote.host == self._node.address
 
         remote_node = network.node_at(remote.host)
-        one_way = network.latency.delay_us(0, loopback=loopback)
+        one_way = network.unicast_delay_us(self._node, remote.host, 0, loopback=loopback)
 
         def refused() -> None:
             error = ConnectionRefusedError(f"connection refused: {remote}")
             if on_error is not None:
                 on_error(error)
 
-        if remote_node is None:
-            network.scheduler.schedule(2 * one_way, refused, label="tcp-noroute")
+        if remote_node is None or one_way is None:
+            # Unknown host or no link path between the segments: RST-like
+            # failure after one round trip on the sender's own segment.
+            rtt = 2 * self._node.segment.delay_us(0, loopback=loopback)
+            network.scheduler.schedule(rtt, refused, label="tcp-noroute")
             return
 
         def complete_handshake() -> None:

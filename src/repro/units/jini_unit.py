@@ -171,19 +171,38 @@ class JiniUnit(Unit):
         for event in stream:
             if event.type is SDP_SERVICE_TYPE:
                 service_type = str(event.get("normalized") or event.get("type", ""))
+
+        def give_up(reason: str) -> None:
+            # Every target must report back exactly once: an explicit empty
+            # give-up lets multi-target sessions (pending_targets) close
+            # instead of waiting on a unit that will never answer.
+            if session.completed or session.vars.get("jini_gave_up"):
+                return
+            session.vars["jini_gave_up"] = True
+            session.log(f"jini-unit: {reason}; giving up")
+            session.complete_with(
+                bracket(
+                    [Event.of(SDP_SERVICE_RESPONSE), Event.of(SDP_RES_OK)], sdp="jini"
+                )
+            )
+
         foreign_registrars = [
             info
             for info in self.known_registrars.values()
             if self.registrar is None or info.service_id != self.registrar.service_id
         ]
         if not foreign_registrars or not service_type:
-            return  # nothing to ask; some other unit may still answer
+            give_up("no foreign registrar known (or no service type)")
+            return
         registrar = foreign_registrars[0]
         template = ServiceTemplate(class_names=(jini_class_name(service_type),))
         session.log(f"jini-unit: lookup {template.class_names[0]} at {registrar.host}")
 
         def on_items(items: list[ServiceItem]) -> None:
-            if session.completed or not items:
+            if session.completed:
+                return
+            if not items:
+                give_up("registrar lookup matched nothing")
                 return
             item = items[0]
             session.vars["answered_by"] = "jini"
@@ -202,7 +221,12 @@ class JiniUnit(Unit):
 
         client = RegistrarClient(self.runtime.node, registrar)
         self.runtime.schedule(
-            self.runtime.timings.compose_us, lambda: client.lookup(template, on_items)
+            self.runtime.timings.compose_us,
+            lambda: client.lookup(
+                template,
+                on_items,
+                on_error=lambda exc: give_up(f"registrar unreachable ({exc})"),
+            ),
         )
 
     # -- origin side: Jini clients are served by the embedded registrar -------------

@@ -331,7 +331,8 @@ class SlpUnit(Unit):
 
     sdp_id = "slp"
 
-    def __init__(self, runtime: UnitRuntime, wait_us: int = 15_000):
+    def __init__(self, runtime: UnitRuntime, wait_us: int = 15_000,
+                 attr_wait_us: int = 30_000):
         super().__init__(
             runtime,
             parsers={"slp": SlpEventParser()},
@@ -340,6 +341,12 @@ class SlpUnit(Unit):
             default_syntax="slp",
         )
         self._wait_us = wait_us
+        #: How long the recursive AttrRqst may stall the session.  It is a
+        #: unicast round trip to a responder that just answered, so a reply
+        #: takes milliseconds; no reply at all means the responder serves
+        #: no attributes (e.g. another INDISS gateway up a chain) and the
+        #: session completes with the URLs it already has.
+        self._attr_wait_us = attr_wait_us
         self._next_xid = 0x4000
         self._sessions_by_xid: dict[int, TranslationSession] = {}
         self._machines: dict[int, StateMachine] = {}
@@ -435,6 +442,17 @@ class SlpUnit(Unit):
             self.runtime.timings.compose_us,
             lambda: self.runtime.send_udp(encode(request), destination),
         )
+        self.runtime.schedule(
+            self._attr_wait_us + self.runtime.timings.compose_us,
+            lambda: self._attr_timeout(session),
+        )
+
+    def _attr_timeout(self, session: TranslationSession) -> None:
+        """AttrRply never came: finish with the URLs, minus attributes."""
+        if session.completed or session.session_id not in self._machines:
+            return
+        session.log("slp-unit: AttrRqst unanswered; completing without attributes")
+        self._complete(session)
 
     def _on_native_datagram(self, raw: bytes, meta: NetworkMeta) -> None:
         stream = self.parse_raw(raw, meta)
@@ -490,6 +508,17 @@ class SlpUnit(Unit):
 
     def _timeout(self, session: TranslationSession) -> None:
         if session.completed:
+            # Another target unit answered first; release our per-session
+            # state (machine, xid routes) all the same.
+            self._teardown(session)
+            return
+        if session.vars.get("urls"):
+            # The convergence window closed mid-process (typically the
+            # recursive AttrRqst went unanswered — e.g. the SrvRply came
+            # from another INDISS gateway, which serves no attributes).
+            # SLP semantics: return whatever URLs converged.
+            session.log("slp-unit: convergence window closed; completing with URLs")
+            self._complete(session)
             return
         session.log("slp-unit: native search timed out with no reply")
         self._teardown(session)

@@ -510,6 +510,9 @@ class UpnpUnit(Unit):
 
     def _timeout(self, session: TranslationSession) -> None:
         if session.completed:
+            # Another target unit answered first; release our per-session
+            # state (machine, awaiting-SSDP entry) all the same.
+            self._teardown(session)
             return
         session.log("upnp-unit: search timed out with no device response")
         self._teardown(session)
