@@ -1,0 +1,223 @@
+"""Federation benchmarks: gossiped caches + sharded dispatch across a fleet.
+
+Measures what the federation subsystem buys over PR 1's independent
+gateways on the same topology:
+
+* ``federated_campus`` vs its unfederated baseline — fleet-wide duplicate
+  translations per backbone request (the headline: ~1 owner + elected
+  responder instead of one per leaf gateway), repeat-query cache answers,
+  and the warm-edge latency for a service the edge gateway never
+  discovered itself;
+* ``sharded_backbone`` — many service types partitioned across the ring
+  (warm types answered from the gossiped cache by the elected responder,
+  cold types translated exactly once by their owner);
+* a fleet-size sweep showing cache hit rate and translation suppression as
+  the fleet grows.
+
+Results are also written to ``BENCH_federation.json`` (CI uploads it so the
+perf trajectory accumulates across commits).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_federation.py``)
+for a quick smoke with few trials, or through pytest with the rest of the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+from pathlib import Path
+
+from repro.bench.scenarios import federated_campus, sharded_backbone
+
+RESULT_FILE = "BENCH_federation.json"
+
+
+def _median(values) -> float | None:
+    values = [v for v in values if v is not None]
+    return statistics.median(values) if values else None
+
+
+def _fmt(value, spec: str = "8.2f", scale: float = 1.0) -> str:
+    """Format a possibly-missing measurement without crashing the report."""
+    return format(value * scale, spec) if value is not None else "n/a"
+
+
+def _cache_hit_rate(extras: dict) -> float:
+    hits, misses = extras["cache_hits"], extras["cache_misses"]
+    return hits / (hits + misses) if hits + misses else 0.0
+
+
+def run_campus(trials: int = 3, segments: int = 6, nodes: int = 500) -> dict:
+    """Federated campus vs the unfederated baseline on the same topology."""
+    results: dict[str, dict] = {}
+    for label, federated in (("federated", True), ("baseline", False)):
+        latencies, translations, repeat_cache, repeat_trans, warm_lat, hit_rates = (
+            [], [], [], [], [], []
+        )
+        for seed in range(trials):
+            outcome = federated_campus(
+                seed=seed, segments=segments, nodes=nodes, federated=federated
+            )
+            extras = outcome.extras
+            latencies.append(outcome.latency_ms)
+            translations.append(extras["query_translations"])
+            repeat_cache.append(extras["repeat_cache_answers"])
+            repeat_trans.append(extras["repeat_translations"])
+            warm_lat.append(extras["warm_edge_latency_us"])
+            hit_rates.append(_cache_hit_rate(extras))
+        results[label] = {
+            "median_latency_ms": _median(latencies),
+            "median_query_translations": _median(translations),
+            "median_repeat_cache_answers": _median(repeat_cache),
+            "median_repeat_translations": _median(repeat_trans),
+            "median_warm_edge_latency_us": _median(warm_lat),
+            "median_cache_hit_rate": _median(hit_rates),
+            "trials": trials,
+            "segments": segments,
+            "nodes": nodes,
+        }
+    return results
+
+
+def run_backbone(trials: int = 3, members: int = 6, nodes: int = 800,
+                 service_types: int = 4) -> dict:
+    """Sharded dispatch over one backbone: warm + cold type families."""
+    warm_lat, cold_lat, translations, elected, found = [], [], [], [], []
+    for seed in range(trials):
+        outcome = sharded_backbone(
+            seed=seed, members=members, nodes=nodes, service_types=service_types
+        )
+        extras = outcome.extras
+        per_type = extras["per_type"]
+        warm_lat.extend(
+            t["latency_us"] for t in per_type.values() if t["warm"]
+        )
+        cold_lat.extend(
+            t["latency_us"] for t in per_type.values() if not t["warm"]
+        )
+        translations.append(extras["query_translations"])
+        elected.append(extras["federation"]["elected_cache_answers"])
+        found.append(all(t["results"] >= 1 for t in per_type.values()))
+    return {
+        "median_warm_latency_us": _median(warm_lat),
+        "median_cold_latency_us": _median(cold_lat),
+        "median_query_translations": _median(translations),
+        "median_elected_cache_answers": _median(elected),
+        "all_types_found": all(found),
+        "trials": trials,
+        "members": members,
+        "nodes": nodes,
+        "service_types": service_types,
+    }
+
+
+def run_fleet_sweep(sizes=(4, 6, 8), nodes: int = 500, seed: int = 0) -> dict:
+    """Duplicate suppression and cache hit rate as the fleet grows."""
+    sweep = {}
+    for segments in sizes:
+        outcome = federated_campus(seed=seed, segments=segments, nodes=nodes)
+        extras = outcome.extras
+        sweep[str(segments - 1)] = {
+            "query_translations": extras["query_translations"],
+            "cache_hit_rate": _cache_hit_rate(extras),
+            "warm_members_after_gossip": extras["warm_members_after_gossip"],
+            "gossip_records_applied": extras["gossip"]["records_applied"],
+            "latency_ms": outcome.latency_ms,
+        }
+    return sweep
+
+
+def run(trials: int = 3, nodes: int = 500) -> dict:
+    return {
+        "campus": run_campus(trials=trials, nodes=nodes),
+        "backbone": run_backbone(trials=trials, nodes=max(nodes, 500)),
+        "fleet_sweep": run_fleet_sweep(nodes=nodes),
+    }
+
+
+def write_results(results: dict, path: str = RESULT_FILE) -> None:
+    Path(path).write_text(json.dumps(results, indent=2, sort_keys=True))
+
+
+# -- pytest entry points ---------------------------------------------------------
+
+
+def test_federation_smoke():
+    """The acceptance criteria, measured: duplicate translations collapse
+    to <= 1 owner + elected responder, repeat queries come from cache."""
+    results = run_campus(trials=2, segments=5, nodes=200)
+    federated, baseline = results["federated"], results["baseline"]
+    # Every phase must have produced an answer before comparing medians.
+    for label, row in results.items():
+        for metric, value in row.items():
+            assert value is not None, f"{label}.{metric} has no measurement"
+    # <=1 owner translation + the edge gateway's own entry translation.
+    assert federated["median_query_translations"] <= 2
+    assert (
+        federated["median_query_translations"]
+        < baseline["median_query_translations"]
+    )
+    # Gossip-warmed gateway answers the repeat query without re-discovery.
+    assert federated["median_repeat_cache_answers"] >= 1
+    assert federated["median_repeat_translations"] == 0
+    assert federated["median_warm_edge_latency_us"] < 5_000
+
+    backbone = run_backbone(trials=2, members=4, nodes=200, service_types=4)
+    assert backbone["all_types_found"]
+    # Two cold types, each translated exactly once by its ring owner.
+    assert backbone["median_query_translations"] <= 2
+    assert backbone["median_elected_cache_answers"] >= 1
+
+
+def main(argv: list[str]) -> int:
+    try:
+        trials = int(argv[1]) if len(argv) > 1 else 3
+        nodes = int(argv[2]) if len(argv) > 2 else 500
+    except ValueError:
+        print(f"usage: {argv[0]} [trials] [nodes]", file=sys.stderr)
+        return 2
+    if trials < 1 or nodes < 0:
+        print("trials must be >= 1 and nodes >= 0", file=sys.stderr)
+        return 2
+    results = run(trials=trials, nodes=nodes)
+    write_results(results)
+
+    campus = results["campus"]
+    print(f"federated campus ({campus['federated']['segments'] - 1} gateways, "
+          f"{campus['federated']['nodes']} nodes, median of {trials} trials)")
+    for label in ("baseline", "federated"):
+        row = campus[label]
+        print(f"  {label:10s} latency {_fmt(row['median_latency_ms'])} ms   "
+              f"query translations {_fmt(row['median_query_translations'], '.0f')}   "
+              f"cache hit rate {_fmt(row['median_cache_hit_rate'], '.2f')}")
+    federated = campus["federated"]
+    print(f"  repeat query: {_fmt(federated['median_repeat_cache_answers'], '.0f')} "
+          f"cache answer(s), "
+          f"{_fmt(federated['median_repeat_translations'], '.0f')} translations")
+    print(f"  warm edge   : "
+          f"{_fmt(federated['median_warm_edge_latency_us'], '.2f', 1 / 1000)} ms "
+          "from the gossip-replicated record")
+
+    backbone = results["backbone"]
+    print(f"sharded backbone ({backbone['members']} members, "
+          f"{backbone['service_types']} types, {backbone['nodes']} nodes)")
+    print(f"  warm types  {_fmt(backbone['median_warm_latency_us'], '8.2f', 1 / 1000)} ms "
+          "(elected responder, gossiped cache)")
+    print(f"  cold types  {_fmt(backbone['median_cold_latency_us'], '8.2f', 1 / 1000)} ms "
+          "(single owner translation)")
+    print(f"  fleet translations {_fmt(backbone['median_query_translations'], '.0f')} "
+          f"(all types found: {backbone['all_types_found']})")
+
+    print("fleet-size sweep (gateways -> translations / cache hit rate):")
+    for size, row in results["fleet_sweep"].items():
+        print(f"  {size:>2s} gateways: {row['query_translations']} translation(s), "
+              f"hit rate {row['cache_hit_rate']:.2f}, "
+              f"{row['warm_members_after_gossip']} members gossip-warmed")
+    print(f"wrote {RESULT_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

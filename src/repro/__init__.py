@@ -33,13 +33,17 @@ from .core import (
 )
 from .net import Endpoint, LatencyModel, LossModel, Network, Node, Scheduler
 from .sdp.base import ServiceRecord, normalize_service_type
+from .federation import CacheGossiper, GatewayElector, GatewayFleet, ShardRing
 
 __version__ = "0.1.0"
 
 __all__ = [
     "AdaptationManager",
+    "CacheGossiper",
     "Endpoint",
     "Event",
+    "GatewayElector",
+    "GatewayFleet",
     "Indiss",
     "IndissConfig",
     "IndissTimings",
@@ -51,6 +55,7 @@ __all__ = [
     "Scheduler",
     "ServiceCache",
     "ServiceRecord",
+    "ShardRing",
     "StateMachine",
     "StateMachineDefinition",
     "TranslationSession",

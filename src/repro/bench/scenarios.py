@@ -11,7 +11,7 @@ where INDISS runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core import Indiss, IndissConfig
@@ -34,6 +34,10 @@ class ScenarioOutcome:
     latency_us: Optional[int]
     results: int
     world: Network
+    #: Scenario-specific measurements beyond the headline latency (the
+    #: federation family reports translation counts, cache behaviour and
+    #: gossip statistics here).
+    extras: dict = field(default_factory=dict)
 
     @property
     def latency_ms(self) -> Optional[float]:
@@ -358,6 +362,289 @@ def campus_fanout(
     return _run_slp_search(net, ua, horizon_us=3_000_000)
 
 
+# -- Federated gateway fleets (gossip + shard ring + election) -------------------
+#
+# PR 1 left every backbone gateway re-discovering every service on its own
+# (`campus_fanout` shows each leaf gateway translating each backbone
+# request).  The federation family runs the same topologies with the
+# gateways joined into a `GatewayFleet`: the `shard-ring` dispatch policy
+# partitions service types across the fleet, `CacheGossiper` replicates
+# discovered records, and the utilization elector picks the single
+# responder per backbone request.  These scenarios scale to 500-2000 nodes
+# thanks to the per-segment multicast membership indexes.
+
+
+def _federated_gateway_config(costs: CostModel, seed: int = 0) -> IndissConfig:
+    """A fleet member: shard-ring dispatch, waits sized like a chain
+    gateway.  ``answer_from_cache`` stays off so edge requests re-validate
+    through the fleet; the warm-edge measurement phase flips it on."""
+    return IndissConfig(
+        units=("slp", "upnp"),
+        deployment="gateway",
+        dispatch="shard-ring",
+        timings=costs.indiss,
+        upnp_responder_delay_us=costs.indiss_upnp_responder_delay_us,
+        upnp_wait_us=300_000,
+        slp_wait_us=350_000,
+        seed=seed,
+    )
+
+
+def _build_campus_fleet(
+    seed: int,
+    costs: CostModel,
+    segments: int,
+    nodes: int,
+    gossip_period_us: Optional[int],
+    federated: bool,
+    capture: bool,
+):
+    """Backbone + leaves, one gateway per leaf; optionally federated.
+
+    Returns (net, leaves, instances, fleet) — fleet is None for the
+    unfederated (PR 1 style) baseline at the same scale.
+    """
+    from ..federation import GatewayFleet
+
+    if segments < 3:
+        raise ValueError("the campus needs a backbone plus at least two leaves")
+    net = Network(latency=costs.latency_model(seed), capture=capture)
+    backbone = net.default_segment
+    leaves = []
+    instances = []
+    for i in range(segments - 1):
+        leaf = net.add_segment(f"leaf{i}", latency=costs.latency_model(seed + 1 + i))
+        net.link(backbone, leaf)
+        leaves.append(leaf)
+        gateway_node = net.add_node(f"gateway{i}", segment=leaf)
+        net.bridge(gateway_node, backbone)
+        if federated:
+            config = _federated_gateway_config(costs, seed=seed + i)
+        else:
+            config = _gateway_chain_config(costs, seed=seed + i)
+        instances.append(Indiss(gateway_node, config))
+    fleet = None
+    if federated:
+        fleet = GatewayFleet(net, backbone)
+        for instance in instances:
+            fleet.join(instance, gossip_period_us=gossip_period_us)
+    _populate_background_nodes(net, nodes)
+    return net, leaves, instances, fleet
+
+
+def _fleet_extras(instances, fleet) -> dict:
+    extras = {
+        "fleet_size": len(instances),
+        "translations_total": sum(i.stats.translated for i in instances),
+        "cache_hits": sum(i.cache.hits for i in instances),
+        "cache_misses": sum(i.cache.misses for i in instances),
+        "cache_sizes": {i.node.address: len(i.cache) for i in instances},
+    }
+    if fleet is not None:
+        extras["federation"] = fleet.aggregate_stats()
+        extras["gossip"] = fleet.aggregate_gossip_stats()
+    return extras
+
+
+def federated_campus(
+    seed: int = 0,
+    costs: CostModel = PAPER_TESTBED,
+    segments: int = 6,
+    nodes: int = 500,
+    gossip_period_us: int = 200_000,
+    warmup_us: int = 1_500_000,
+    federated: bool = True,
+    capture: bool = False,
+) -> ScenarioOutcome:
+    """The campus backbone with the leaf gateways running as one fleet.
+
+    The UPnP clock device announces itself at boot; its leaf gateway caches
+    the advertisement and gossip replicates it fleet-wide during the warmup
+    window.  Three queries are then measured:
+
+    1. a **cold-edge query** (the headline latency): the client's leaf
+       gateway translates once, the ring owner performs the only backbone
+       translation, and the elected responder answers from the gossiped
+       cache — duplicate translations collapse to <= 1 owner + elected
+       responder (``extras["query_translations"]``);
+    2. a **repeat query** inside the dedup window, answered from the edge
+       gateway's cache with zero new translations
+       (``extras["repeat_*"]``);
+    3. a **warm-edge query** with ``answer_from_cache`` enabled: the edge
+       gateway answers purely from the gossip-replicated record — the
+       Fig. 9b best case for a service it never discovered itself
+       (``extras["warm_edge_*"]``).
+
+    ``federated=False`` builds the identical topology with plain
+    ``gateway-forward`` gateways — the PR 1 baseline the benchmarks
+    compare against.
+    """
+    net, leaves, instances, fleet = _build_campus_fleet(
+        seed, costs, segments, nodes, gossip_period_us, federated, capture
+    )
+    client_node = net.add_node("client", segment=leaves[0])
+    service_node = net.add_node("service", segment=leaves[-1])
+    ua = UserAgent(client_node, config=_slp_config(costs))
+    make_clock_device(service_node, timings=costs.upnp, seed=seed, advertise=True)
+
+    net.run(duration_us=warmup_us)
+    warm_members = sum(1 for i in instances if len(i.cache) > 0)
+    translated_before = sum(i.stats.translated for i in instances)
+
+    outcome = _run_slp_search(net, ua, horizon_us=1_500_000)
+    extras = _fleet_extras(instances, fleet)
+    extras["warm_members_after_gossip"] = warm_members
+    extras["query_translations"] = (
+        sum(i.stats.translated for i in instances) - translated_before
+    )
+
+    # Repeat query inside the dedup window: the edge gateway must answer
+    # from its cache without any fleet re-discovery.
+    edge = instances[0]
+    cache_answers_before = edge.stats.answered_from_cache
+    translated_before = sum(i.stats.translated for i in instances)
+    repeat: list = []
+    ua.find_services("service:clock", on_complete=repeat.append)
+    net.run(duration_us=1_000_000)
+    repeat_search = repeat[0] if repeat else None
+    extras["repeat_results"] = len(repeat_search.results) if repeat_search else 0
+    extras["repeat_latency_us"] = (
+        repeat_search.first_latency_us if repeat_search else None
+    )
+    extras["repeat_cache_answers"] = (
+        edge.stats.answered_from_cache - cache_answers_before
+    )
+    extras["repeat_translations"] = (
+        sum(i.stats.translated for i in instances) - translated_before
+    )
+
+    # Warm-edge phase: past the dedup window, with cache answering enabled,
+    # the gossiped record alone serves the query.
+    for instance in instances:
+        instance.config.answer_from_cache = True
+    net.run(duration_us=2_500_000)
+    translated_before = sum(i.stats.translated for i in instances)
+    warm: list = []
+    ua.find_services("service:clock", on_complete=warm.append)
+    net.run(duration_us=1_000_000)
+    warm_search = warm[0] if warm else None
+    extras["warm_edge_results"] = len(warm_search.results) if warm_search else 0
+    extras["warm_edge_latency_us"] = (
+        warm_search.first_latency_us if warm_search else None
+    )
+    extras["warm_edge_translations"] = (
+        sum(i.stats.translated for i in instances) - translated_before
+    )
+
+    outcome.extras = extras
+    return outcome
+
+
+def sharded_backbone(
+    seed: int = 0,
+    costs: CostModel = PAPER_TESTBED,
+    members: int = 6,
+    nodes: int = 800,
+    service_types: int = 4,
+    gossip_period_us: int = 200_000,
+    warmup_us: int = 1_500_000,
+    capture: bool = False,
+) -> ScenarioOutcome:
+    """Many service types sharded across a fleet on one backbone.
+
+    ``members`` leaf gateways federate over the backbone; ``service_types``
+    UPnP devices of distinct types live behind them.  Even-indexed types
+    announce at boot (gossip warms the fleet; the elected responder answers
+    their queries from cache with zero translations), odd-indexed types
+    stay silent and are placed in their ring owner's leaf (their queries
+    cost exactly one owner translation).  SLP clients on the backbone then
+    search every type at once; ``extras["per_type"]`` records who owned and
+    answered each, and ``extras["query_translations"]`` must stay at or
+    below one per cold type.
+    """
+    from ..sdp.upnp import DeviceDescription, ServiceDescription, UpnpDevice
+
+    if members < 2:
+        raise ValueError("sharded_backbone needs at least two fleet members")
+    if service_types < 1:
+        raise ValueError("sharded_backbone needs at least one service type")
+    net, leaves, instances, fleet = _build_campus_fleet(
+        seed, costs, members + 1, 0, gossip_period_us, True, capture
+    )
+    leaf_of = {instance.node.address: leaf for instance, leaf in zip(instances, leaves)}
+
+    def make_typed_device(node, type_name: str, advertise: bool) -> UpnpDevice:
+        description = DeviceDescription(
+            device_type=f"urn:schemas-upnp-org:device:{type_name}:1",
+            friendly_name=f"Sensor {type_name}",
+            udn=f"uuid:{type_name}-device",
+            manufacturer="INDISS bench",
+            model_name=type_name,
+            services=[
+                ServiceDescription(
+                    service_type=f"urn:schemas-upnp-org:service:{type_name}:1",
+                    service_id=f"urn:upnp-org:serviceId:{type_name}:1",
+                    scpd_url=f"/service/{type_name}/scpd.xml",
+                    control_url=f"/service/{type_name}/control",
+                    event_sub_url=f"/service/{type_name}/event",
+                )
+            ],
+        )
+        return UpnpDevice(
+            node, description, timings=costs.upnp, seed=seed, advertise=advertise
+        )
+
+    type_names = [f"sensor{i}" for i in range(service_types)]
+    placements: dict[str, str] = {}
+    for i, type_name in enumerate(type_names):
+        warm = i % 2 == 0
+        if warm:
+            leaf = leaves[i % members]
+        else:
+            # Cold types must live where their ring owner can reach them.
+            leaf = leaf_of[fleet.ring.owner(type_name)]
+        device_node = net.add_node(f"device-{type_name}", segment=leaf)
+        make_typed_device(device_node, type_name, advertise=warm)
+        placements[type_name] = leaf.name
+    clients = [
+        UserAgent(net.add_node(f"client-{name}"), config=_slp_config(costs))
+        for name in type_names
+    ]
+    _populate_background_nodes(net, nodes)
+
+    net.run(duration_us=warmup_us)
+    translated_before = sum(i.stats.translated for i in instances)
+    searches: dict[str, list] = {name: [] for name in type_names}
+    for client, name in zip(clients, type_names):
+        client.find_services(f"service:{name}", on_complete=searches[name].append)
+    net.run(duration_us=2_500_000)
+
+    per_type = {}
+    for i, name in enumerate(type_names):
+        search = searches[name][0] if searches[name] else None
+        per_type[name] = {
+            "warm": i % 2 == 0,
+            "owner": fleet.ring.owner(name),
+            "placed_on": placements[name],
+            "results": len(search.results) if search else 0,
+            "latency_us": search.first_latency_us if search else None,
+        }
+    extras = _fleet_extras(instances, fleet)
+    extras["per_type"] = per_type
+    extras["query_translations"] = (
+        sum(i.stats.translated for i in instances) - translated_before
+    )
+    extras["owner_spread"] = fleet.ring.spread(type_names)
+
+    first = searches[type_names[0]][0] if searches[type_names[0]] else None
+    if first is None or first.first_latency_us is None:
+        outcome = ScenarioOutcome(None, 0, net)
+    else:
+        outcome = ScenarioOutcome(first.first_latency_us, len(first.results), net)
+    outcome.extras = extras
+    return outcome
+
+
 #: Scenario registry used by the harness and benchmarks.
 SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "fig7_native_slp": native_slp,
@@ -371,6 +658,8 @@ SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "multi_segment_home": multi_segment_home,
     "gateway_chain": gateway_chain,
     "campus_fanout": campus_fanout,
+    "federated_campus": federated_campus,
+    "sharded_backbone": sharded_backbone,
 }
 
 
@@ -388,4 +677,6 @@ __all__ = [
     "multi_segment_home",
     "gateway_chain",
     "campus_fanout",
+    "federated_campus",
+    "sharded_backbone",
 ]

@@ -5,7 +5,7 @@ language, parser/composer framework, units, monitor component, translation
 bridge, service cache, configuration DSL and the adaptation manager.
 """
 
-from .adaptation import AdaptationEvent, AdaptationManager
+from .adaptation import AdaptationEvent, AdaptationManager, segment_utilization
 from .cache import CacheEntry, ServiceCache
 from .composer import ComposeError, OutboundMessage, SdpComposer
 from .dispatch import (
@@ -16,6 +16,7 @@ from .dispatch import (
     DispatchPolicy,
     FanOutAllPolicy,
     GatewayForwardPolicy,
+    ShardRingPolicy,
     StreamClassifier,
     make_policy,
 )
@@ -97,6 +98,7 @@ __all__ = [
     "ServiceCache",
     "SessionManager",
     "SessionStats",
+    "ShardRingPolicy",
     "StateMachine",
     "StreamClassifier",
     "StateMachineDefinition",
@@ -116,5 +118,6 @@ __all__ = [
     "make_policy",
     "parse_spec",
     "payload_events",
+    "segment_utilization",
     "stream_has_result",
 ]

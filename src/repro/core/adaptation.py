@@ -17,8 +17,32 @@ interoperability never saturates the bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
+from ..net import Node
 from .indiss import Indiss
+
+
+def segment_utilization(
+    node: Node, segment: str | None = None, window_us: int = 1_000_000
+) -> float:
+    """Trailing-window utilization of one of ``node``'s attached segments.
+
+    With ``segment=None`` the *worst* (highest) utilization across every
+    attached segment is returned — the conservative reading a multi-homed
+    gateway should adapt to.  This is the per-segment refinement of the
+    Fig. 6 traffic threshold: the network-wide monitor sees the sum of all
+    LANs, while a boundary-placed instance cares about each LAN it serves.
+    The federation layer's :class:`~repro.federation.GatewayElector` ranks
+    fleet members with exactly this measurement.
+    """
+    now = node.network.scheduler.now_us
+    segments = node.segments
+    if segment is not None:
+        segments = [s for s in segments if s.name == segment]
+    return max(
+        (s.traffic.utilization(now, window_us) for s in segments), default=0.0
+    )
 
 
 @dataclass
@@ -40,12 +64,18 @@ class AdaptationManager:
         check_period_us: int = 500_000,
         window_us: int = 1_000_000,
         readvertise_period_us: int = 1_000_000,
+        utilization_source: Optional[Callable[[], float]] = None,
     ):
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
         self.indiss = indiss
         self.threshold = threshold
         self.window_us = window_us
+        #: Pluggable measurement: defaults to the network-wide monitor
+        #: (the paper's single-segment testbed); pass e.g.
+        #: ``lambda: segment_utilization(node, "leaf0")`` to adapt to one
+        #: LAN of a multi-homed gateway.
+        self.utilization_source = utilization_source
         self.active = False
         self.history: list[AdaptationEvent] = []
         self.readvertisements = 0
@@ -64,6 +94,8 @@ class AdaptationManager:
     # -- the control loop ---------------------------------------------------
 
     def current_utilization(self) -> float:
+        if self.utilization_source is not None:
+            return self.utilization_source()
         network = self.indiss.node.network
         return network.traffic.utilization(network.scheduler.now_us, self.window_us)
 
@@ -120,4 +152,4 @@ class AdaptationManager:
             self.readvertisements += 1
 
 
-__all__ = ["AdaptationManager", "AdaptationEvent"]
+__all__ = ["AdaptationManager", "AdaptationEvent", "segment_utilization"]

@@ -46,6 +46,40 @@ class ServiceCache:
             record=record, stored_at_us=now, expires_at_us=expires
         )
 
+    def merge(self, record: ServiceRecord, expires_at_us: float) -> bool:
+        """Adopt a record learnt from a federation peer, newest-expiry wins.
+
+        Unlike :meth:`store`, the expiry is the *absolute* virtual time the
+        originating cache advertised, so a record never outlives its first
+        TTL by being gossiped around — and an already-expired record is
+        never resurrected.  Returns True when the record was adopted.
+        """
+        now = self._clock()
+        if expires_at_us <= now:
+            return False
+        key = (record.service_type, record.url)
+        existing = self._entries.get(key)
+        if existing is not None and existing.expires_at_us >= expires_at_us:
+            return False
+        self._entries[key] = CacheEntry(
+            record=record, stored_at_us=now, expires_at_us=expires_at_us
+        )
+        return True
+
+    def digest(self) -> dict[tuple[str, str], float]:
+        """Anti-entropy summary: every live key with its absolute expiry.
+
+        Two caches whose digests match hold the same records (at the same
+        freshness), so a gossip round between them moves no record data.
+        """
+        self._evict()
+        return {key: entry.expires_at_us for key, entry in self._entries.items()}
+
+    def live_entries(self) -> list[tuple[tuple[str, str], CacheEntry]]:
+        """All live (key, entry) pairs — the gossip delta source."""
+        self._evict()
+        return list(self._entries.items())
+
     def remove_url(self, url: str) -> int:
         """Drop every record for ``url`` (byebye handling); returns count."""
         keys = [key for key in self._entries if key[1] == url]

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Optional
 from ..sdp.base import ServiceRecord
 from .events import (
     Event,
+    SDP_REQ_HOPS,
     SDP_REQ_ID,
     SDP_SERVICE_ALIVE,
     SDP_SERVICE_BYEBYE,
@@ -56,6 +57,9 @@ class ClassifiedStream:
     raw_type: str = ""
     xid: Optional[int] = None
     meta: Optional[NetworkMeta] = None
+    #: Remaining forward-hop budget a gateway-forwarded request carried on
+    #: the wire; None for requests issued by native clients.
+    hops: Optional[int] = None
 
 
 class StreamClassifier:
@@ -80,6 +84,7 @@ class StreamClassifier:
         service_type = ""
         raw_type = ""
         xid = None
+        hops = None
         for event in stream:
             kinds.add(event.type)
             if event.type is SDP_SERVICE_TYPE:
@@ -87,6 +92,11 @@ class StreamClassifier:
                 raw_type = str(event.get("type") or "")
             elif event.type is SDP_REQ_ID:
                 xid = event.get("xid")
+            elif event.type is SDP_REQ_HOPS:
+                try:
+                    hops = int(event.get("hops"))
+                except (TypeError, ValueError):
+                    hops = None
         kind = KIND_OTHER
         for event_type, candidate in self._PRECEDENCE:
             if event_type in kinds:
@@ -99,6 +109,7 @@ class StreamClassifier:
             raw_type=raw_type,
             xid=xid,
             meta=meta,
+            hops=hops,
         )
 
 
@@ -150,6 +161,12 @@ class DispatchPolicy:
         ]
         return records[0] if records else None
 
+    def mark_forwarded(
+        self, indiss: "Indiss", session: TranslationSession, targets: list["Unit"]
+    ) -> None:
+        """Hook invoked after a session fans out to ``targets``; the base
+        policy does nothing."""
+
 
 class FanOutAllPolicy(DispatchPolicy):
     """The default: fan the request out to every non-origin unit."""
@@ -176,19 +193,118 @@ class GatewayForwardPolicy(DispatchPolicy):
     gateways.  Dedup switches to service-type scope: without it two
     gateways in multicast range of each other would re-translate each
     other's re-issued requests forever.
+
+    Defence in depth for cyclic topologies: each forwarded request carries
+    an explicit hop budget on the wire (parsed back into the session as
+    ``vars["hops"]``); a request whose budget is spent is dropped instead
+    of re-issued, so even with duplicate suppression defeated a loop of
+    gateways quiesces after ``hop_budget`` re-translations.
     """
 
     name = "gateway-forward"
     dedup_scope = "service-type"
 
     def select_targets(self, indiss, session):
+        if not self.consume_hop_budget(indiss, session):
+            return []
         return list(indiss.units.values())
+
+    def mark_forwarded(self, indiss, session, targets):
+        """Pre-record the dedup identity of our own re-issued requests.
+
+        The units are about to multicast this request natively in every
+        target protocol; when a neighbouring gateway re-translates one of
+        those and the echo arrives back here, it must read as a duplicate
+        of the wave *we* started — otherwise two gateways re-translate each
+        other's echoes until the hop budget runs out.
+        """
+        service_type = str(session.vars.get("service_type", ""))
+        raw_type = str(session.vars.get("st", ""))
+        for unit in targets:
+            if unit.sdp_id == session.origin_sdp:
+                continue  # the incoming request already recorded this key
+            key = indiss.session_manager.dedup_key(
+                unit.sdp_id, None, raw_type, service_type, None
+            )
+            indiss.session_manager.deduper.seen_recently(key)
+
+    def consume_hop_budget(self, indiss: "Indiss", session: TranslationSession) -> bool:
+        """Charge one hop; False when the request must not be forwarded.
+
+        A request with no wire-carried budget (a native client's original
+        request entering the fleet) starts from the deployment's
+        ``hop_budget``; the units' composers stamp ``hops - 1`` into every
+        re-issued native request.
+        """
+        hops = session.vars.get("hops")
+        if hops is None:
+            hops = indiss.config.hop_budget
+            session.vars["hops"] = hops
+        if hops <= 0:
+            indiss.session_manager.record_hop_budget_drop()
+            session.log("gateway: forward hop budget exhausted; not re-issuing")
+            return False
+        return True
+
+
+class ShardRingPolicy(GatewayForwardPolicy):
+    """Federated gateway dispatch: consistent-hash ownership + election.
+
+    On a gateway that joined a :class:`~repro.federation.GatewayFleet`,
+    requests heard on the shared backbone segment are partitioned across
+    the fleet: the ring owner of the normalized service type drives the
+    translation (and only when the federated cache cannot already answer),
+    while the responder elected from per-segment utilization answers from
+    the gossiped cache.  Everyone else stays silent — this is what collapses
+    ``campus_fanout``'s per-leaf duplicate translations to at most one owner
+    plus one elected responder.
+
+    Requests from the gateway's own edge (leaf) segments are served exactly
+    like ``gateway-forward``: an entry gateway always translates for its
+    own clients.  Without a bound fleet (``indiss.federation is None``) the
+    policy degrades to plain gateway-forward.
+    """
+
+    name = "shard-ring"
+
+    def select_targets(self, indiss, session):
+        federation = getattr(indiss, "federation", None)
+        if federation is None:
+            return super().select_targets(indiss, session)
+        if not self.consume_hop_budget(indiss, session):
+            return []
+        if not federation.is_backbone_request(session):
+            federation.stats.edge_translations += 1
+            return list(indiss.units.values())
+        service_type = str(session.vars.get("service_type", ""))
+        exclude = federation.requester_exclusion(session)
+        if federation.should_translate(service_type, session.origin_sdp, exclude):
+            return list(indiss.units.values())
+        session.log("shard-ring: suppressed (peer owns or cache already answers)")
+        return []
+
+    def cache_answer(self, indiss, session):
+        federation = getattr(indiss, "federation", None)
+        if federation is None:
+            return super().cache_answer(indiss, session)
+        service_type = str(session.vars.get("service_type", ""))
+        if federation.is_backbone_request(session):
+            exclude = federation.requester_exclusion(session)
+            role = federation.cache_role(service_type, session.origin_sdp, exclude)
+            if role is None:
+                return None
+            record = self.lookup_record(indiss, session.origin_sdp, service_type)
+            if record is not None:
+                federation.note_cache_answer(role)
+            return record
+        return super().cache_answer(indiss, session)
 
 
 DISPATCH_POLICIES: dict[str, type[DispatchPolicy]] = {
     FanOutAllPolicy.name: FanOutAllPolicy,
     CacheFirstPolicy.name: CacheFirstPolicy,
     GatewayForwardPolicy.name: GatewayForwardPolicy,
+    ShardRingPolicy.name: ShardRingPolicy,
 }
 
 
@@ -275,6 +391,7 @@ __all__ = [
     "KIND_OTHER",
     "KIND_REQUEST",
     "KIND_RESPONSE",
+    "ShardRingPolicy",
     "StreamClassifier",
     "make_policy",
 ]

@@ -138,6 +138,13 @@ SDP_RES_SERV_URL = _d("SDP_RES_SERV_URL", EventCategory.RESPONSE, mandatory=True
 #: is converted to several SDP_RES_ATTR events").
 SDP_RES_ATTR = _d("SDP_RES_ATTR", EventCategory.ADVERTISEMENT)
 
+#: Remaining gateway-forward hop budget carried by a re-issued request.
+#: Every SDP encodes it differently on the wire (SLP: an ``x-indiss-hops-N``
+#: pseudo-scope; SSDP: a ``HOPS.INDISS.ORG`` header) but parsers surface it
+#: as this one common event, so the dispatch layer can stop forwarding on
+#: cyclic topologies even when duplicate suppression is defeated.
+SDP_REQ_HOPS = _d("SDP_REQ_HOPS", EventCategory.REQUEST)
+
 # -- SLP-specific events (Fig. 4, step 1) -------------------------------------
 
 SDP_REQ_VERSION = _d("SDP_REQ_VERSION", EventCategory.REQUEST, sdp="slp")
@@ -254,6 +261,7 @@ __all__ = [
     "SDP_RES_SERV_URL",
     # common extensions
     "SDP_RES_ATTR",
+    "SDP_REQ_HOPS",
     # slp-specific
     "SDP_REQ_VERSION",
     "SDP_REQ_SCOPE",

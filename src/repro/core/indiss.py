@@ -74,6 +74,11 @@ class IndissConfig:
     #: SLP user agents retransmit with the same XID well after the first
     #: send, so the window spans whole convergence periods.
     dedup_window_us: int = 2_000_000
+    #: Forwarding hop budget a gateway grants a request that enters the
+    #: internetwork through it; re-issued native requests carry the
+    #: decremented budget on the wire (defence in depth against forwarding
+    #: loops on cyclic topologies, on top of type-scoped dedup).
+    hop_budget: int = 4
     timings: IndissTimings = field(default_factory=IndissTimings)
     #: SSDP responder jitter window for the UPnP unit answering remote
     #: requesters (calibration sets this to the CyberLink window).
@@ -119,6 +124,10 @@ class Indiss:
             dedup_scope=self.policy.dedup_scope,
         )
         self.advertisements = AdvertisementPipeline(self)
+        #: Set by :meth:`repro.federation.GatewayFleet.join`; the
+        #: ``shard-ring`` dispatch policy consults it for ownership and
+        #: election decisions.  None on stand-alone instances.
+        self.federation = None
         self.detections: list[str] = []
         self._factories = dict(unit_factories or {})
         #: Application-layer listeners tracing every parsed stream
@@ -274,6 +283,8 @@ class Indiss:
         session.vars["st"] = classified.raw_type
         if classified.xid is not None:
             session.vars["xid"] = classified.xid
+        if classified.hops is not None:
+            session.vars["hops"] = classified.hops
         session.log(
             f"indiss: {origin_sdp} request for {classified.service_type!r} entered"
         )
@@ -287,6 +298,8 @@ class Indiss:
         if not targets:
             session.complete_with([])
             return
+        self.session_manager.record_translated()
+        self.policy.mark_forwarded(self, session, targets)
         session.pending_targets = len(targets)
         for target in targets:
             target.handle_foreign_request(classified.stream, session)

@@ -32,6 +32,12 @@ class SessionStats:
     answered_from_cache: int = 0
     timed_out: int = 0
     duplicates_suppressed: int = 0
+    #: Sessions that actually dispatched to target units (drove native
+    #: discovery) — the unit the federation benchmarks count duplicate
+    #: translations in.
+    translated: int = 0
+    #: Requests dropped because their gateway-forward hop budget ran out.
+    hop_budget_drops: int = 0
 
 
 class RequestDeduper:
@@ -142,6 +148,12 @@ class SessionManager:
 
     def record_completed(self) -> None:
         self.stats.completed += 1
+
+    def record_translated(self) -> None:
+        self.stats.translated += 1
+
+    def record_hop_budget_drop(self) -> None:
+        self.stats.hop_budget_drops += 1
 
     def record_timeout(self) -> None:
         self.stats.timed_out += 1

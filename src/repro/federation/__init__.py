@@ -1,0 +1,51 @@
+"""Federation layer: a fleet of INDISS gateways cooperating on a backbone.
+
+INDISS §4.2 places gateways on network boundaries; this package makes a
+set of such gateways behave like one distributed discovery system instead
+of N independent translators:
+
+* :class:`CacheGossiper` — TTL'd anti-entropy exchange of
+  :class:`~repro.core.cache.ServiceCache` records between fleet members
+  (delta-only in steady state), so one gateway's discovery warms the whole
+  fleet;
+* :class:`ShardRing` — consistent-hash ownership of normalized service
+  types, consulted by the ``shard-ring`` dispatch policy so each backbone
+  request is translated by exactly one owner;
+* :class:`GatewayElector` — per-segment-utilization election of the one
+  responder that answers backbone requests from the gossiped cache
+  (extends the Fig. 6 adaptation manager's traffic threshold);
+* :class:`GatewayFleet` — membership, join/leave rebalancing, aggregate
+  statistics.
+
+See ARCHITECTURE.md ("Federation layer") for the composite picture and
+``examples/federated_fleet.py`` for a runnable tour.
+"""
+
+from .election import GatewayElector
+from .gossip import (
+    CacheGossiper,
+    DEFAULT_MAX_DELTA_RECORDS,
+    GOSSIP_PORT,
+    GossipStats,
+)
+from .fleet import (
+    FederatedMember,
+    FederationHandle,
+    FederationStats,
+    GatewayFleet,
+)
+from .shard import ShardRing, ring_hash
+
+__all__ = [
+    "CacheGossiper",
+    "DEFAULT_MAX_DELTA_RECORDS",
+    "FederatedMember",
+    "FederationHandle",
+    "FederationStats",
+    "GOSSIP_PORT",
+    "GatewayElector",
+    "GatewayFleet",
+    "GossipStats",
+    "ShardRing",
+    "ring_hash",
+]

@@ -1,0 +1,100 @@
+"""Route-aware responder election for a gateway fleet (extends Fig. 6).
+
+The paper's adaptation manager flips one instance between passive and
+active from a *network-wide* traffic threshold.  A fleet on a shared
+backbone needs the per-segment refinement: when several gateways could all
+answer a backbone request from their (gossip-warmed) caches, exactly one
+should — and it should be the one whose *edge* LANs are quietest, so the
+answer costs bandwidth where there is bandwidth to spare.
+
+:class:`GatewayElector` ranks fleet members by the
+:func:`repro.core.adaptation.segment_utilization` of their non-backbone
+segments (ties broken by member id, so elections are deterministic) and
+holds each election for ``hold_us`` of virtual time — hysteresis against
+electing a different responder for every request while utilization
+fluctuates.  Every member evaluates the same shared traffic monitors, so
+the fleet agrees on the responder without extra protocol traffic; a real
+deployment would piggyback utilization samples on the gossip digests (see
+ROADMAP follow-ons).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.adaptation import segment_utilization
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fleet import GatewayFleet
+
+
+class GatewayElector:
+    """Per-(segment, service-type) responder election for one fleet."""
+
+    def __init__(
+        self,
+        fleet: "GatewayFleet",
+        window_us: int = 1_000_000,
+        hold_us: int = 1_000_000,
+    ):
+        self.fleet = fleet
+        self.window_us = window_us
+        self.hold_us = hold_us
+        #: (service_type, excluded-members) -> (elected_at_us, member_id).
+        self._elected: dict[tuple[str, tuple[str, ...]], tuple[int, str]] = {}
+        #: Every (time_us, service_type, member_id) decision, for tests and
+        #: the Fig. 6-style benchmark traces.
+        self.history: list[tuple[int, str, str]] = []
+
+    def member_load(self, member_id: str) -> float:
+        """A member's edge-side load: the worst utilization among its
+        non-backbone segments (its own leaf LANs).
+
+        A member homed only on the backbone is ranked by the backbone
+        itself — it has no edge to protect.
+        """
+        member = self.fleet.members.get(member_id)
+        if member is None:
+            return float("inf")
+        node = member.indiss.node
+        edge_segments = [
+            seg.name for seg in node.segments if seg.name != self.fleet.segment_name
+        ]
+        if not edge_segments:
+            return segment_utilization(
+                node, self.fleet.segment_name, window_us=self.window_us
+            )
+        return max(
+            segment_utilization(node, name, window_us=self.window_us)
+            for name in edge_segments
+        )
+
+    def responder(
+        self, service_type: str, exclude: frozenset[str] = frozenset()
+    ) -> Optional[str]:
+        """The member elected to answer backbone requests for this type.
+
+        ``exclude`` removes candidates — the requester of a forwarded
+        request, when it is itself a fleet member, must not be elected to
+        answer its own question.
+        """
+        candidates = [m for m in self.fleet.members if m not in exclude]
+        if not candidates:
+            return None
+        now = self.fleet.network.scheduler.now_us
+        key = (service_type, tuple(sorted(exclude)))
+        held = self._elected.get(key)
+        if held is not None and now - held[0] < self.hold_us and held[1] in candidates:
+            return held[1]
+        elected = min(candidates, key=lambda m: (self.member_load(m), m))
+        self._elected[key] = (now, elected)
+        if not self.history or self.history[-1][1:] != (service_type, elected):
+            self.history.append((now, service_type, elected))
+        return elected
+
+    def invalidate(self) -> None:
+        """Drop held elections (membership changed)."""
+        self._elected.clear()
+
+
+__all__ = ["GatewayElector"]

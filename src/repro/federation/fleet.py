@@ -1,0 +1,303 @@
+"""The gateway fleet: membership, per-instance handles, aggregate stats.
+
+A :class:`GatewayFleet` turns the independent INDISS gateways sharing one
+backbone segment into a cooperating federation:
+
+* joining adds the gateway to the :class:`~repro.federation.ShardRing`
+  (sharded dispatch), optionally starts a
+  :class:`~repro.federation.CacheGossiper` (federated cache), and binds a
+  :class:`FederationHandle` onto the instance for the ``shard-ring``
+  dispatch policy to consult;
+* the fleet-level :class:`~repro.federation.GatewayElector` picks one
+  responder per service type from per-segment utilization;
+* leaving removes the member's ring points (its keys fall to ring
+  successors — the rebalancing the tests pin) and stops its gossiper.
+
+The handle's decision methods are where the federation semantics live, so
+``core/dispatch.py`` stays free of any federation import (the policy duck-
+types against ``indiss.federation``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..net import Network, Segment
+from ..sdp.base import normalize_service_type
+from .election import GatewayElector
+from .gossip import CacheGossiper
+from .shard import ShardRing
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.indiss import Indiss
+    from ..core.session import TranslationSession
+
+
+@dataclass
+class FederationStats:
+    """Per-member decision counters (benchmarks sum them fleet-wide)."""
+
+    edge_translations: int = 0
+    owner_translations: int = 0
+    owner_skipped_warm: int = 0
+    shard_suppressed: int = 0
+    election_suppressed: int = 0
+    elected_cache_answers: int = 0
+    #: Cache answers served by the ring owner because the elected
+    #: responder's cache could not answer (gossip lag, or no gossip).
+    owner_cache_answers: int = 0
+
+
+@dataclass
+class FederatedMember:
+    """One gateway's membership record inside the fleet."""
+
+    indiss: "Indiss"
+    handle: "FederationHandle"
+    gossiper: Optional[CacheGossiper] = None
+
+
+class FederationHandle:
+    """What the ``shard-ring`` dispatch policy consults on one instance."""
+
+    def __init__(self, fleet: "GatewayFleet", indiss: "Indiss", member_id: str):
+        self.fleet = fleet
+        self.indiss = indiss
+        self.member_id = member_id
+        self.stats = FederationStats()
+        self.gossiper: Optional[CacheGossiper] = None
+
+    # -- request classification ---------------------------------------------
+
+    def is_backbone_request(self, session: "TranslationSession") -> bool:
+        """True when the request reached us over the fleet's shared segment.
+
+        The requester's host and ours must share *only* the backbone: a
+        host that also shares one of our edge (leaf) segments is our own
+        client and is always served, and an unknown or unattached
+        requester defaults to edge handling (translate rather than risk
+        silence).
+        """
+        requester = session.requester
+        if requester is None:
+            return False
+        our_segments = {seg.name for seg in self.indiss.node.segments}
+        if self.fleet.segment_name not in our_segments:
+            return False
+        source = self.indiss.node.network.node_at(requester.host)
+        if source is None:
+            return False
+        shared = {seg.name for seg in source.segments} & our_segments
+        return bool(shared) and shared == {self.fleet.segment_name}
+
+    def requester_exclusion(self, session: "TranslationSession") -> frozenset[str]:
+        """Members that must not own/answer this request: the requester
+        itself, when the requester is a fleet member's forwarded request (a
+        gateway never hears its own re-issued traffic, so electing it would
+        leave the request unanswered)."""
+        requester = session.requester
+        if requester is not None and requester.host in self.fleet.members:
+            return frozenset((requester.host,))
+        return frozenset()
+
+    # -- dispatch decisions ---------------------------------------------------
+
+    def _member_cache_answers(self, member_id: str, wanted: str, origin_sdp: str) -> bool:
+        """Whether ``member_id``'s cache holds a record that can answer a
+        ``origin_sdp`` requester for the normalized type ``wanted``.
+
+        Peeking a peer's cache is the in-simulator stand-in for what a
+        real deployment reads off its last-received gossip digest (which
+        carries exactly these keys); see the elector's module docstring
+        for the same convention.
+        """
+        member = self.fleet.members.get(member_id)
+        if member is None:
+            return False
+        return any(
+            record.source_sdp != origin_sdp
+            for record in member.indiss.cache.lookup(wanted)
+        )
+
+    def should_translate(
+        self,
+        service_type: str,
+        origin_sdp: str,
+        exclude: frozenset[str] = frozenset(),
+    ) -> bool:
+        """Whether this member drives the translation of a backbone request.
+
+        Only the ring owner of the normalized type translates — and it
+        stands down only when the *elected responder* can actually answer
+        from its cache, never merely because the owner's own cache is warm
+        (an owner that can answer has already done so on the cache path; a
+        warm owner with a cold elected peer must still translate, or the
+        request would go silently unanswered).  Ownership deliberately
+        ignores who forwarded the request: when the owner's own re-issue
+        echoes around the backbone, every other member still sees the
+        owner owning the type and stays silent, so a wave is translated at
+        most once fleet-wide.
+        """
+        wanted = normalize_service_type(service_type)
+        if self.fleet.ring.owner(wanted) != self.member_id:
+            self.stats.shard_suppressed += 1
+            return False
+        elected = self.fleet.elector.responder(wanted, exclude=exclude)
+        if (
+            elected is not None
+            and elected != self.member_id
+            and self._member_cache_answers(elected, wanted, origin_sdp)
+        ):
+            self.stats.owner_skipped_warm += 1
+            return False
+        self.stats.owner_translations += 1
+        return True
+
+    def cache_role(
+        self,
+        service_type: str,
+        origin_sdp: str,
+        exclude: frozenset[str] = frozenset(),
+    ) -> Optional[str]:
+        """This member's cache-answering role for a backbone request.
+
+        ``"elected"`` — the utilization election picked us; ``"owner"`` —
+        we own the type and the elected responder's cache cannot answer
+        (gossip lag, or a fleet running without gossip), so the owner
+        falls back to answering; None — stay silent.
+        """
+        wanted = normalize_service_type(service_type)
+        elected = self.fleet.elector.responder(wanted, exclude=exclude)
+        if elected == self.member_id:
+            return "elected"
+        if self.fleet.ring.owner(wanted) == self.member_id and (
+            elected is None
+            or not self._member_cache_answers(elected, wanted, origin_sdp)
+        ):
+            return "owner"
+        self.stats.election_suppressed += 1
+        return None
+
+    def note_cache_answer(self, role: str) -> None:
+        if role == "elected":
+            self.stats.elected_cache_answers += 1
+        else:
+            self.stats.owner_cache_answers += 1
+
+
+class GatewayFleet:
+    """A set of federated INDISS gateways sharing one backbone segment."""
+
+    def __init__(
+        self,
+        network: Network,
+        segment: Segment | str,
+        vnodes: int = 64,
+        election_window_us: int = 1_000_000,
+        election_hold_us: int = 1_000_000,
+    ):
+        self.network = network
+        self.segment_name = segment if isinstance(segment, str) else segment.name
+        if self.segment_name not in network.segments:
+            raise ValueError(f"network has no segment named {self.segment_name!r}")
+        self.ring = ShardRing(vnodes=vnodes)
+        self.members: dict[str, FederatedMember] = {}
+        self.elector = GatewayElector(
+            self, window_us=election_window_us, hold_us=election_hold_us
+        )
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    # -- membership -----------------------------------------------------------
+
+    def join(
+        self,
+        indiss: "Indiss",
+        gossip_period_us: Optional[int] = 500_000,
+        max_delta_records: Optional[int] = None,
+    ) -> FederationHandle:
+        """Federate one gateway; returns the handle bound to the instance.
+
+        ``gossip_period_us=None`` joins without a gossiper (sharding and
+        election only).
+        """
+        member_id = indiss.node.address
+        if member_id in self.members:
+            raise ValueError(f"{member_id} already joined the fleet")
+        if all(seg.name != self.segment_name for seg in indiss.node.segments):
+            raise ValueError(
+                f"{member_id} is not attached to fleet segment {self.segment_name!r}"
+            )
+        handle = FederationHandle(self, indiss, member_id)
+        gossiper = None
+        if gossip_period_us is not None:
+            kwargs = {}
+            if max_delta_records is not None:
+                kwargs["max_delta_records"] = max_delta_records
+            gossiper = CacheGossiper(
+                indiss, self, member_id, period_us=gossip_period_us, **kwargs
+            )
+        handle.gossiper = gossiper
+        self.members[member_id] = FederatedMember(indiss, handle, gossiper)
+        self.ring.add(member_id)
+        indiss.federation = handle
+        self.elector.invalidate()
+        return handle
+
+    def leave(self, member_id: str) -> None:
+        """Remove a member: ring points released, gossiper stopped."""
+        member = self.members.pop(member_id, None)
+        if member is None:
+            raise KeyError(f"{member_id} is not a fleet member")
+        self.ring.remove(member_id)
+        if member.gossiper is not None:
+            member.gossiper.stop()
+        member.indiss.federation = None
+        self.elector.invalidate()
+
+    def peer_addresses(self, member_id: str) -> list[str]:
+        """Every other member's address, in stable order (gossip targets)."""
+        return sorted(address for address in self.members if address != member_id)
+
+    # -- aggregate views -------------------------------------------------------
+
+    def aggregate_stats(self) -> dict[str, int]:
+        """Fleet-wide sums of the per-member federation counters."""
+        totals = {name: 0 for name in FederationStats.__dataclass_fields__}
+        for member in self.members.values():
+            for name in totals:
+                totals[name] += getattr(member.handle.stats, name)
+        return totals
+
+    def aggregate_gossip_stats(self) -> dict[str, int]:
+        """Fleet-wide sums of the gossip counters (zeros without gossip)."""
+        totals: dict[str, int] = {}
+        for member in self.members.values():
+            if member.gossiper is None:
+                continue
+            stats = member.gossiper.stats
+            for name in stats.__dataclass_fields__:
+                totals[name] = totals.get(name, 0) + getattr(stats, name)
+        return totals
+
+    def translated_total(self) -> int:
+        """Sessions that drove native discovery, summed over the fleet."""
+        return sum(
+            member.indiss.stats.translated for member in self.members.values()
+        )
+
+    def cache_sizes(self) -> dict[str, int]:
+        return {
+            member_id: len(member.indiss.cache)
+            for member_id, member in self.members.items()
+        }
+
+
+__all__ = [
+    "FederatedMember",
+    "FederationHandle",
+    "FederationStats",
+    "GatewayFleet",
+]

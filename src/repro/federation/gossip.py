@@ -1,0 +1,223 @@
+"""Anti-entropy gossip of ServiceCache records between fleet gateways.
+
+After PR 1 every gateway on a backbone re-discovered every service on its
+own; the federated cache replaces that with periodic peer exchange.  The
+protocol is classic two-message anti-entropy over the simulated UDP layer:
+
+1. every ``period_us`` a gossiper unicasts a **digest** — each live cache
+   key with its absolute expiry — to the next peer in round-robin order;
+2. a peer receiving a digest pushes back a **delta** containing only the
+   records the sender is missing or holds staler than the peer does; when
+   the digests already agree, *no record data moves* (steady-state gossip
+   is delta-only, which the convergence tests assert).
+
+Records travel with their absolute virtual-time expiry, so a record never
+outlives its originally advertised TTL by being passed around, and an
+expired record can never be resurrected by a slow peer
+(:meth:`repro.core.cache.ServiceCache.merge` enforces both).  Provenance
+(``source_sdp``) rides along, so a gossiped record still answers only
+requesters of *other* protocols, exactly like a locally learnt one.
+
+Rounds are staggered per member so a fleet does not gossip in lockstep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..net import Datagram, Endpoint
+from ..sdp.base import ServiceRecord
+from .shard import ring_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.indiss import Indiss
+    from .fleet import GatewayFleet
+
+#: UDP port the gossipers bind (unassigned in the IANA registry the
+#: monitor scans, so gossip traffic is never mistaken for SDP traffic).
+GOSSIP_PORT = 4610
+
+#: Records per delta message; a digest round moves at most this many and
+#: the remainder follows in later rounds (bounds datagram size).
+DEFAULT_MAX_DELTA_RECORDS = 32
+
+
+@dataclass
+class GossipStats:
+    """Counters the convergence tests and federation benchmarks read."""
+
+    rounds: int = 0
+    digests_sent: int = 0
+    digests_received: int = 0
+    deltas_sent: int = 0
+    deltas_received: int = 0
+    records_sent: int = 0
+    records_applied: int = 0
+    records_ignored: int = 0
+    records_expired: int = 0
+    decode_errors: int = 0
+
+
+def _record_to_wire(key: tuple[str, str], entry) -> dict:
+    record = entry.record
+    return {
+        "t": record.service_type,
+        "u": record.url,
+        "a": dict(record.attributes),
+        "l": record.lifetime_s,
+        "s": record.source_sdp,
+        "loc": record.location,
+        "x": entry.expires_at_us,
+    }
+
+
+def _record_from_wire(wire: dict) -> tuple[ServiceRecord, float]:
+    record = ServiceRecord(
+        service_type=str(wire.get("t", "")),
+        url=str(wire.get("u", "")),
+        attributes={str(k): str(v) for k, v in dict(wire.get("a", {})).items()},
+        lifetime_s=int(wire.get("l", 3600)),
+        source_sdp=str(wire.get("s", "")),
+        location=str(wire.get("loc", "")),
+    )
+    return record, float(wire.get("x", 0))
+
+
+class CacheGossiper:
+    """Periodic cache anti-entropy for one fleet member."""
+
+    def __init__(
+        self,
+        indiss: "Indiss",
+        fleet: "GatewayFleet",
+        member_id: str,
+        period_us: int = 500_000,
+        max_delta_records: int = DEFAULT_MAX_DELTA_RECORDS,
+        port: int = GOSSIP_PORT,
+    ):
+        if period_us <= 0:
+            raise ValueError(f"period_us must be positive, got {period_us}")
+        self.indiss = indiss
+        self.fleet = fleet
+        self.member_id = member_id
+        self.period_us = period_us
+        self.max_delta_records = max_delta_records
+        self.port = port
+        self.stats = GossipStats()
+        self._peer_cursor = 0
+        self._socket = indiss.node.udp.socket().bind(port, reuse=True)
+        self._socket.on_datagram(self._on_datagram)
+        # Deterministic per-member stagger keeps fleet rounds out of phase.
+        offset = ring_hash(member_id) % period_us
+        self._task = indiss.node.every(period_us, self.run_round, initial_delay_us=offset)
+
+    def stop(self) -> None:
+        self._task.stop()
+        self._socket.close()
+
+    # -- sending ------------------------------------------------------------
+
+    def run_round(self) -> None:
+        """One gossip round: digest to the next round-robin peer."""
+        peers = self.fleet.peer_addresses(self.member_id)
+        if not peers:
+            return
+        self.stats.rounds += 1
+        peer = peers[self._peer_cursor % len(peers)]
+        self._peer_cursor += 1
+        entries = {
+            f"{key[0]}|{key[1]}": expires
+            for key, expires in self.indiss.cache.digest().items()
+        }
+        self._send(peer, {"kind": "digest", "from": self.member_id, "entries": entries})
+        self.stats.digests_sent += 1
+
+    def _send(self, peer_address: str, message: dict) -> None:
+        payload = json.dumps(message, sort_keys=True).encode("utf-8")
+        self._socket.sendto(payload, Endpoint(peer_address, self.port))
+
+    # -- receiving ----------------------------------------------------------
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        try:
+            message = json.loads(datagram.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self.stats.decode_errors += 1
+            return
+        kind = message.get("kind")
+        if kind == "digest":
+            self._handle_digest(message, datagram.source)
+        elif kind == "delta":
+            self._handle_delta(message)
+        else:
+            self.stats.decode_errors += 1
+
+    def _handle_digest(self, message: dict, source: Endpoint) -> None:
+        self.stats.digests_received += 1
+        theirs = message.get("entries", {})
+        if not isinstance(theirs, dict):
+            self.stats.decode_errors += 1
+            return
+        records = []
+        for key, entry in self.indiss.cache.live_entries():
+            wire_key = f"{key[0]}|{key[1]}"
+            try:
+                their_expiry = float(theirs.get(wire_key, 0))
+            except (TypeError, ValueError):
+                self.stats.decode_errors += 1
+                return  # a digest we cannot read is a digest we ignore
+            if their_expiry >= entry.expires_at_us:
+                continue  # peer is already at least as fresh
+            records.append(_record_to_wire(key, entry))
+            if len(records) >= self.max_delta_records:
+                break
+        if not records:
+            return  # digests agree: steady state moves no record data
+        # Reply only to fleet members: a spoofed "from" must not steer the
+        # delta (or crash the handler with an unroutable address).
+        peer = str(message.get("from", ""))
+        if peer not in self.fleet.members:
+            peer = source.host
+        if peer == self.member_id:
+            self.stats.decode_errors += 1
+            return
+        self._send(peer, {"kind": "delta", "from": self.member_id, "records": records})
+        self.stats.deltas_sent += 1
+        self.stats.records_sent += len(records)
+
+    def _handle_delta(self, message: dict) -> None:
+        self.stats.deltas_received += 1
+        now = self.indiss.node.now_us
+        records = message.get("records", ())
+        if not isinstance(records, (list, tuple)):
+            self.stats.decode_errors += 1
+            return
+        for wire in records:
+            if not isinstance(wire, dict):
+                self.stats.decode_errors += 1
+                continue
+            try:
+                record, expires_at_us = _record_from_wire(wire)
+            except (TypeError, ValueError):
+                self.stats.decode_errors += 1
+                continue
+            if not record.url:
+                self.stats.decode_errors += 1
+                continue
+            if expires_at_us <= now:
+                self.stats.records_expired += 1
+                continue
+            if self.indiss.cache.merge(record, expires_at_us):
+                self.stats.records_applied += 1
+            else:
+                self.stats.records_ignored += 1
+
+
+__all__ = [
+    "CacheGossiper",
+    "GossipStats",
+    "GOSSIP_PORT",
+    "DEFAULT_MAX_DELTA_RECORDS",
+]

@@ -1,0 +1,110 @@
+"""Consistent-hash partitioning of service types across a gateway fleet.
+
+The surveys the ROADMAP cites (Talal & Rachid; Ali et al.'s multi-interface
+Grid discovery) both observe that boundary-placed discovery nodes scale by
+*partitioning* the directory between them rather than replicating every
+lookup.  The :class:`ShardRing` is that partition: each fleet member claims
+``vnodes`` points on a 64-bit ring, and the owner of a normalized service
+type is the member whose point follows the type's hash.  Adding or removing
+one member therefore only remaps the keys that member owned (or now owns) —
+the property the rebalancing tests pin down.
+
+Hashing uses ``blake2b`` rather than Python's ``hash`` so ownership is
+stable across processes and ``PYTHONHASHSEED`` values (benchmark runs must
+be reproducible).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+
+def ring_hash(value: str) -> int:
+    """Stable 64-bit hash used for both vnode points and lookup keys."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRing:
+    """A consistent-hash ring over fleet member identifiers."""
+
+    def __init__(self, members: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self._vnodes = vnodes
+        self._members: set[str] = set()
+        #: Sorted (point, member) pairs; lookups bisect this.
+        self._ring: list[tuple[int, str]] = []
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member_id: str) -> bool:
+        return member_id in self._members
+
+    @property
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def add(self, member_id: str) -> None:
+        """Claim ``vnodes`` ring points for a new member (idempotent)."""
+        if member_id in self._members:
+            return
+        self._members.add(member_id)
+        for i in range(self._vnodes):
+            point = (ring_hash(f"{member_id}#{i}"), member_id)
+            bisect.insort(self._ring, point)
+
+    def remove(self, member_id: str) -> None:
+        """Release a member's points; its keys fall to their successors."""
+        if member_id not in self._members:
+            return
+        self._members.discard(member_id)
+        self._ring = [entry for entry in self._ring if entry[1] != member_id]
+
+    def owner(self, key: str, exclude: frozenset[str] = frozenset()) -> Optional[str]:
+        """The member owning ``key`` (None on an empty ring).
+
+        ``exclude`` skips members while walking the ring, answering "who
+        would own this key without those members" (used by rebalancing
+        analyses; returns None when every member is excluded).  The
+        dispatch path itself never excludes anyone from *ownership* — a
+        requester-owned type is fine, because the requesting gateway
+        already re-issued the request natively before it reached the
+        backbone — requester exclusion applies to responder *election*
+        only (see :meth:`repro.federation.GatewayElector.responder`).
+        """
+        if not self._ring:
+            return None
+        point = ring_hash(key)
+        index = bisect.bisect_left(self._ring, (point, ""))
+        size = len(self._ring)
+        for step in range(size):
+            member = self._ring[(index + step) % size][1]
+            if member not in exclude:
+                return member
+        return None
+
+    def assignment(self, keys: Iterable[str]) -> dict[str, str]:
+        """key -> owner for a batch of keys (rebalancing tests/benchmarks)."""
+        return {key: self.owner(key) for key in keys}
+
+    def spread(self, keys: Iterable[str]) -> dict[str, int]:
+        """How many of ``keys`` each member owns."""
+        counts = {member: 0 for member in self._members}
+        for key in keys:
+            owner = self.owner(key)
+            if owner is not None:
+                counts[owner] += 1
+        return counts
+
+
+__all__ = ["ShardRing", "ring_hash"]

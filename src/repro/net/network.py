@@ -310,6 +310,10 @@ class Network:
         segment where every NIC sees the frame simultaneously.  The sender
         host's own members receive a loopback copy sooner.  The frame never
         crosses a link: multicast is segment-scoped.
+
+        Delivery walks the segment's (group, port) membership index rather
+        than every attached node, so a frame costs O(group members) — idle
+        background hosts on a large LAN are never touched.
         """
         group = datagram.destination.host
         port = datagram.destination.port
@@ -322,11 +326,10 @@ class Network:
             def deliver_lan(segment: Segment = segment, drop: bool = drop) -> None:
                 if drop:
                     return
-                for node in segment.nodes:
-                    if node is sender:
+                for sock in segment.group_members(group, port):
+                    if sock.node is sender:
                         continue
-                    for sock in node.udp.sockets_for_group(group, port):
-                        sock.deliver(datagram)
+                    sock.deliver(datagram)
 
             self.scheduler.schedule(lan_delay, deliver_lan, label="udp-mcast")
 

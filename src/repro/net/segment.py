@@ -54,6 +54,13 @@ class Segment:
         self.latency = latency if latency is not None else network.latency
         self._allocator = AddressAllocator(subnet)
         self._nodes: dict[str, "Node"] = {}
+        #: (group, port) -> joined sockets, kept current by the UDP layer.
+        #: Multicast delivery walks this index instead of scanning every
+        #: attached node's port table — the difference between O(members)
+        #: and O(nodes) per frame, which is what lets the 1000+-node
+        #: federation scenarios spend their time discovering instead of
+        #: iterating idle background hosts.
+        self._group_members: dict[tuple[str, int], list] = {}
         #: Per-segment accounting; the acceptance tests for multicast
         #: confinement read these counters.
         self.traffic = TrafficMonitor(self.latency.bandwidth_bps)
@@ -70,6 +77,30 @@ class Segment:
         self._nodes[node.address] = node
         if self not in node.segments:
             node.segments.append(self)
+        # A node bridged onto this segment after its sockets joined their
+        # groups (gateway placement) brings its memberships along.
+        for group, port, sock in node.udp.multicast_members():
+            self.index_group_member(sock, group, port)
+
+    # -- multicast membership index -----------------------------------------
+
+    def index_group_member(self, sock, group: str, port: int) -> None:
+        members = self._group_members.setdefault((group, port), [])
+        if sock not in members:
+            members.append(sock)
+
+    def unindex_group_member(self, sock, group: str, port: int) -> None:
+        members = self._group_members.get((group, port))
+        if members is None:
+            return
+        if sock in members:
+            members.remove(sock)
+        if not members:
+            del self._group_members[(group, port)]
+
+    def group_members(self, group: str, port: int) -> list:
+        """Sockets on this segment that joined ``group`` on ``port``."""
+        return list(self._group_members.get((group, port), ()))
 
     @property
     def nodes(self) -> list["Node"]:

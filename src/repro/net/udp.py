@@ -77,6 +77,8 @@ class UdpSocket:
         validate_port(port)
         self._node.udp.register(self, port, reuse)
         self._port = port
+        for group in self._groups:
+            self._index_membership(group)
         return self
 
     def join_group(self, group: str) -> "UdpSocket":
@@ -84,11 +86,27 @@ class UdpSocket:
         self._ensure_open()
         if not is_multicast(group):
             raise ValueError(f"not a multicast group: {group!r}")
-        self._groups.add(group)
+        if group not in self._groups:
+            self._groups.add(group)
+            if self._port is not None:
+                self._index_membership(group)
         return self
 
     def leave_group(self, group: str) -> None:
-        self._groups.discard(group)
+        if group in self._groups:
+            self._groups.discard(group)
+            if self._port is not None:
+                self._unindex_membership(group)
+
+    # -- per-segment membership index (batched multicast delivery) ----------
+
+    def _index_membership(self, group: str) -> None:
+        for segment in self._node.segments:
+            segment.index_group_member(self, group, self._port)
+
+    def _unindex_membership(self, group: str) -> None:
+        for segment in self._node.segments:
+            segment.unindex_group_member(self, group, self._port)
 
     def on_datagram(self, handler: DatagramHandler) -> "UdpSocket":
         """Attach the receive callback; queued datagrams are flushed to it."""
@@ -127,6 +145,8 @@ class UdpSocket:
         self._closed = True
         if self._port is not None:
             self._node.udp.unregister(self, self._port)
+            for group in self._groups:
+                self._unindex_membership(group)
         self._groups.clear()
 
     def _ensure_open(self) -> None:
@@ -180,6 +200,17 @@ class UdpStack:
     def sockets_for_group(self, group: str, port: int) -> list[UdpSocket]:
         """Sockets bound to ``port`` that joined multicast ``group``."""
         return [s for s in self._ports.get(port, ()) if group in s.groups]
+
+    def multicast_members(self):
+        """Every (group, port, socket) membership on this node.
+
+        Segments index these when a node is attached after its sockets
+        already exist (bridging a gateway onto an additional LAN).
+        """
+        for port, sockets in self._ports.items():
+            for sock in sockets:
+                for group in sock.groups:
+                    yield group, port, sock
 
     def bound_ports(self) -> list[int]:
         return sorted(self._ports)

@@ -59,17 +59,27 @@ class SsdpMessage:
     raw_headers: Headers = None  # type: ignore[assignment]
 
 
-def build_msearch(st: str, mx_s: int = DEFAULT_MX_S) -> bytes:
-    """Render an M-SEARCH datagram (cf. the composed request in Fig. 4)."""
-    headers = Headers(
-        [
-            ("HOST", f"{SSDP_GROUP}:{SSDP_PORT}"),
-            ("MAN", f'"{SSDP_DISCOVER}"'),
-            ("MX", str(mx_s)),
-            ("ST", st),
-        ]
-    )
-    return HttpRequest(method="M-SEARCH", target="*", headers=headers).render()
+#: Vendor-extension header carrying the remaining gateway-forward hop
+#: budget.  Native stacks ignore unknown SSDP headers, so the extension is
+#: invisible to ordinary control points and devices.
+HOPS_HEADER = "HOPS.INDISS.ORG"
+
+
+def build_msearch(st: str, mx_s: int = DEFAULT_MX_S, hops: int | None = None) -> bytes:
+    """Render an M-SEARCH datagram (cf. the composed request in Fig. 4).
+
+    ``hops`` adds the INDISS forwarding-budget extension header; None (the
+    default, used by native control points) omits it.
+    """
+    fields = [
+        ("HOST", f"{SSDP_GROUP}:{SSDP_PORT}"),
+        ("MAN", f'"{SSDP_DISCOVER}"'),
+        ("MX", str(mx_s)),
+        ("ST", st),
+    ]
+    if hops is not None:
+        fields.append((HOPS_HEADER, str(hops)))
+    return HttpRequest(method="M-SEARCH", target="*", headers=Headers(fields)).render()
 
 
 def build_search_response(
@@ -256,6 +266,7 @@ def _loose_equal(st: str, offered: str) -> bool:
 
 
 __all__ = [
+    "HOPS_HEADER",
     "SsdpKind",
     "SsdpMessage",
     "build_msearch",

@@ -22,6 +22,7 @@ from ..core.events import (
     SDP_NET_SOURCE_ADDR,
     SDP_NET_TYPE,
     SDP_NET_UNICAST,
+    SDP_REQ_HOPS,
     SDP_REQ_ID,
     SDP_REQ_LANG,
     SDP_REQ_PREDICATE,
@@ -69,6 +70,34 @@ from ..sdp.slp import (
     parse_attributes,
     serialize_attributes,
 )
+
+
+#: Pseudo-scope prefix carrying the gateway-forward hop budget in SLP
+#: requests (SLP has no extension header support in this reproduction's
+#: wire codec; scope matching is set-intersection, so an extra scope is
+#: invisible to native agents).
+HOP_SCOPE_PREFIX = "x-indiss-hops-"
+
+
+def hop_scope(hops: int) -> str:
+    """Render a hop budget as an SLP pseudo-scope."""
+    return f"{HOP_SCOPE_PREFIX}{max(hops, 0)}"
+
+
+def split_hop_scope(scopes) -> tuple[list[str], Optional[int]]:
+    """Separate real scopes from the hop pseudo-scope (None when absent)."""
+    real: list[str] = []
+    hops: Optional[int] = None
+    for scope in scopes:
+        lowered = scope.lower()
+        if lowered.startswith(HOP_SCOPE_PREFIX):
+            try:
+                hops = int(lowered[len(HOP_SCOPE_PREFIX):])
+            except ValueError:
+                real.append(scope)
+        else:
+            real.append(scope)
+    return real, hops
 
 
 class SlpEventParser(SdpParser):
@@ -123,10 +152,11 @@ class SlpEventParser(SdpParser):
     def _parse_request(self, message: SrvRqst) -> list[Event]:
         # Order mirrors the paper's Fig. 4, step 1.
         raw_type = message.service_type
-        return [
+        scopes, hops = split_hop_scope(message.scopes)
+        events = [
             Event.of(SDP_SERVICE_REQUEST),
             Event.of(SDP_REQ_VERSION, version=2),
-            Event.of(SDP_REQ_SCOPE, scopes=",".join(message.scopes)),
+            Event.of(SDP_REQ_SCOPE, scopes=",".join(scopes)),
             Event.of(SDP_REQ_PREDICATE, predicate=message.predicate),
             Event.of(SDP_REQ_ID, xid=message.header.xid),
             Event.of(SDP_REQ_LANG, lang=message.header.language_tag),
@@ -136,6 +166,9 @@ class SlpEventParser(SdpParser):
                 normalized=normalize_service_type(raw_type),
             ),
         ]
+        if hops is not None:
+            events.append(Event.of(SDP_REQ_HOPS, hops=hops))
+        return events
 
     def _parse_reply(self, message: SrvRply) -> list[Event]:
         events: list[Event] = [Event.of(SDP_SERVICE_RESPONSE)]
@@ -216,10 +249,17 @@ class SlpEventComposer(SdpComposer):
         if not service_type:
             raise ComposeError("request stream has no SDP_SERVICE_TYPE")
         xid = int(session.vars.get("native_xid", 1))
+        scopes: tuple[str, ...] = (DEFAULT_SCOPE,)
+        hops = session.vars.get("hops")
+        if hops is not None:
+            # Forwarded requests spend one hop per gateway traversal.  SLP
+            # scope matching is set-intersection, so native SAs ignore the
+            # extra pseudo-scope while the next gateway's parser reads it.
+            scopes = (DEFAULT_SCOPE, hop_scope(int(hops) - 1))
         request = SrvRqst(
             header=Header(FunctionId.SRVRQST, xid=xid, flags=Flags.REQUEST_MCAST),
             service_type=slp_service_type(service_type),
-            scopes=(DEFAULT_SCOPE,),
+            scopes=scopes,
         )
         self.messages_composed += 1
         return OutboundMessage(
@@ -589,4 +629,11 @@ def _first_ttl(stream: list[Event]) -> int | None:
     return None
 
 
-__all__ = ["SlpUnit", "SlpEventParser", "SlpEventComposer"]
+__all__ = [
+    "SlpUnit",
+    "SlpEventParser",
+    "SlpEventComposer",
+    "HOP_SCOPE_PREFIX",
+    "hop_scope",
+    "split_hop_scope",
+]

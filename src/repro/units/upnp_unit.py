@@ -33,6 +33,7 @@ from ..core.events import (
     SDP_NET_SOURCE_ADDR,
     SDP_NET_TYPE,
     SDP_NET_UNICAST,
+    SDP_REQ_HOPS,
     SDP_RES_ATTR,
     SDP_RES_OK,
     SDP_RES_SERV_URL,
@@ -53,6 +54,7 @@ from ..sdp.base import ServiceRecord, normalize_service_type, upnp_device_type
 from ..sdp.upnp import (
     DescriptionError,
     DeviceDescription,
+    HOPS_HEADER,
     Headers,
     HttpResponse,
     HttpStreamParser,
@@ -113,6 +115,16 @@ class SsdpEventParser(SdpParser):
                     normalized=normalize_service_type(message.target),
                 )
             )
+            hops_text = (
+                message.raw_headers.get(HOPS_HEADER, "")
+                if message.raw_headers is not None
+                else ""
+            )
+            if hops_text:
+                try:
+                    events.append(Event.of(SDP_REQ_HOPS, hops=int(hops_text)))
+                except ValueError:
+                    pass
         elif message.kind is SsdpKind.RESPONSE:
             events.append(Event.of(SDP_SERVICE_RESPONSE))
             events.append(Event.of(SDP_RES_OK))
@@ -232,9 +244,13 @@ class UpnpEventComposer(SdpComposer):
         if not service_type:
             raise ComposeError("request stream has no SDP_SERVICE_TYPE")
         st = upnp_device_type(service_type)
+        # Forwarded requests spend one hop per gateway traversal.
+        hops = session.vars.get("hops")
         self.messages_composed += 1
         return OutboundMessage(
-            payload=build_msearch(st, mx_s=0),
+            payload=build_msearch(
+                st, mx_s=0, hops=None if hops is None else int(hops) - 1
+            ),
             destination=Endpoint(SSDP_GROUP, SSDP_PORT),
             label="msearch",
         )

@@ -1,0 +1,171 @@
+"""Forward hop budget: wire carriage, classification, and loop safety."""
+
+from repro import Indiss, IndissConfig, Network
+from repro.core import StreamClassifier, make_policy
+from repro.core.events import SDP_REQ_HOPS
+from repro.core.parser import NetworkMeta
+from repro.core.session import TranslationSession
+from repro.sdp.slp import SLP_PORT
+from repro.sdp.upnp import SSDP_GROUP, SSDP_PORT, build_msearch, parse_ssdp
+from repro.sdp.slp import decode as slp_decode
+from repro.net import Endpoint
+from repro.units.slp_unit import (
+    SlpEventComposer,
+    SlpEventParser,
+    hop_scope,
+    split_hop_scope,
+)
+from repro.units.upnp_unit import SsdpEventParser, UpnpEventComposer
+from repro.core.events import SDP_SERVICE_REQUEST, SDP_SERVICE_TYPE, Event, bracket
+
+
+def request_stream(service_type="clock"):
+    return bracket(
+        [
+            Event.of(SDP_SERVICE_REQUEST),
+            Event.of(SDP_SERVICE_TYPE, type=service_type, normalized=service_type),
+        ],
+        sdp="test",
+    )
+
+
+META = NetworkMeta(source=Endpoint("192.168.1.9", 50_000), multicast=True)
+
+
+# -- wire carriage ----------------------------------------------------------------
+
+
+def test_slp_hop_scope_helpers_round_trip():
+    scopes, hops = split_hop_scope(["DEFAULT", hop_scope(3)])
+    assert scopes == ["DEFAULT"] and hops == 3
+    scopes, hops = split_hop_scope(["DEFAULT"])
+    assert scopes == ["DEFAULT"] and hops is None
+    # A malformed pseudo-scope is kept as an ordinary scope.
+    scopes, hops = split_hop_scope(["x-indiss-hops-zzz"])
+    assert scopes == ["x-indiss-hops-zzz"] and hops is None
+
+
+def test_slp_composer_decrements_hops_onto_the_wire():
+    composer = SlpEventComposer()
+    session = TranslationSession(origin_sdp="upnp", requester=None)
+    session.vars["service_type"] = "clock"
+    session.vars["hops"] = 3
+    [message] = composer.compose(request_stream(), session)
+    decoded = slp_decode(message.payload)
+    assert hop_scope(2) in [s.lower() for s in decoded.scopes]
+    # The re-parsed request surfaces the decremented budget as an event.
+    stream = SlpEventParser().parse(message.payload, META)
+    hops = [e.get("hops") for e in stream if e.type is SDP_REQ_HOPS]
+    assert hops == [2]
+
+
+def test_slp_native_requests_carry_no_hop_scope():
+    composer = SlpEventComposer()
+    session = TranslationSession(origin_sdp="upnp", requester=None)
+    session.vars["service_type"] = "clock"
+    [message] = composer.compose(request_stream(), session)
+    decoded = slp_decode(message.payload)
+    assert all("indiss-hops" not in s.lower() for s in decoded.scopes)
+
+
+def test_ssdp_hops_header_round_trips():
+    raw = build_msearch("urn:schemas-upnp-org:device:clock:1", mx_s=0, hops=2)
+    message = parse_ssdp(raw)
+    assert message.raw_headers.get("HOPS.INDISS.ORG") == "2"
+    stream = SsdpEventParser().parse(raw, META)
+    hops = [e.get("hops") for e in stream if e.type is SDP_REQ_HOPS]
+    assert hops == [2]
+    # Absent without the extension.
+    plain = SsdpEventParser().parse(
+        build_msearch("urn:schemas-upnp-org:device:clock:1"), META
+    )
+    assert all(e.type is not SDP_REQ_HOPS for e in plain)
+
+
+def test_upnp_composer_decrements_hops_onto_the_wire():
+    composer = UpnpEventComposer()
+    session = TranslationSession(origin_sdp="slp", requester=None)
+    session.vars["service_type"] = "clock"
+    session.vars["hops"] = 4
+    [message] = composer.compose(request_stream(), session)
+    assert parse_ssdp(message.payload).raw_headers.get("HOPS.INDISS.ORG") == "3"
+
+
+# -- classification and policy ----------------------------------------------------
+
+
+def test_classifier_extracts_hops():
+    stream = request_stream() + []
+    stream.insert(-1, Event.of(SDP_REQ_HOPS, hops=1))
+    classified = StreamClassifier().classify(stream)
+    assert classified.hops == 1
+    assert StreamClassifier().classify(request_stream()).hops is None
+
+
+def test_gateway_forward_drops_exhausted_requests():
+    net = Network()
+    gateway = net.add_node("gateway")
+    instance = Indiss(
+        gateway,
+        IndissConfig(units=("slp", "upnp"), dispatch="gateway-forward"),
+    )
+    session = instance.session_manager.open("slp", None, [], on_reply=lambda *_: None)
+    session.vars["service_type"] = "clock"
+    session.vars["hops"] = 0
+    assert instance.policy.select_targets(instance, session) == []
+    assert instance.stats.hop_budget_drops == 1
+    # A fresh request starts from the configured budget and forwards.
+    session2 = instance.session_manager.open("slp", None, [], on_reply=lambda *_: None)
+    session2.vars["service_type"] = "clock"
+    assert len(instance.policy.select_targets(instance, session2)) == 2
+    assert session2.vars["hops"] == instance.config.hop_budget
+
+
+def test_fanout_policy_never_stamps_hops():
+    policy = make_policy("fanout")
+    net = Network()
+    instance = Indiss(net.add_node("host"), IndissConfig(units=("slp", "upnp")))
+    session = instance.session_manager.open("slp", None, [], on_reply=lambda *_: None)
+    policy.select_targets(instance, session)
+    assert "hops" not in session.vars
+
+
+# -- loop safety end to end --------------------------------------------------------
+
+
+def test_cyclic_gateway_pair_quiesces_on_hop_budget():
+    """Two gateways bridged across the same two segments, duplicate
+    suppression disabled: without the hop budget their re-issued requests
+    would echo forever; with it the network goes quiet and every instance
+    records budget drops."""
+    from repro.sdp.slp import SlpConfig, UserAgent
+
+    net = Network()
+    seg_a = net.default_segment
+    seg_b = net.add_segment("segB")
+    net.link(seg_a, seg_b)
+    instances = []
+    for name in ("gw1", "gw2"):
+        gateway = net.add_node(name, segment=seg_a)
+        net.bridge(gateway, seg_b)
+        config = IndissConfig(
+            units=("slp", "upnp"),
+            dispatch="gateway-forward",
+            dedup_window_us=0,  # defeat the primary loop breaker
+            hop_budget=2,
+            slp_wait_us=30_000,
+            upnp_wait_us=30_000,
+        )
+        instances.append(Indiss(gateway, config))
+    client = UserAgent(
+        net.add_node("client", segment=seg_a),
+        config=SlpConfig(wait_us=100_000, retries=0),
+    )
+    client.find_services("service:ghost", on_complete=lambda *_: None)
+    net.run(duration_us=5_000_000)
+    # The scheduler went idle (net.run returned) and the budget was the
+    # mechanism that stopped the echoes.
+    assert sum(i.stats.hop_budget_drops for i in instances) >= 1
+    total_sessions = sum(i.stats.opened for i in instances)
+    assert total_sessions < 40, f"echo storm: {total_sessions} sessions"
+    assert net.scheduler.now_us >= 5_000_000

@@ -1,0 +1,181 @@
+"""Gossip convergence: identical caches, delta-only steady state, no
+resurrection of expired records."""
+
+import pytest
+
+from repro import Indiss, IndissConfig, Network, ServiceRecord
+from repro.core.cache import ServiceCache
+from repro.federation import GatewayFleet
+
+GOSSIP_PERIOD_US = 200_000
+
+
+def build_fleet(member_count=2, gossip_period_us=GOSSIP_PERIOD_US):
+    """A backbone with ``member_count`` bridged, federated gateways."""
+    net = Network()
+    backbone = net.default_segment
+    instances = []
+    for i in range(member_count):
+        leaf = net.add_segment(f"leaf{i}")
+        net.link(backbone, leaf)
+        gateway = net.add_node(f"gateway{i}", segment=leaf)
+        net.bridge(gateway, backbone)
+        config = IndissConfig(
+            units=("slp", "upnp"), deployment="gateway", dispatch="shard-ring"
+        )
+        instances.append(Indiss(gateway, config))
+    fleet = GatewayFleet(net, backbone)
+    for instance in instances:
+        fleet.join(instance, gossip_period_us=gossip_period_us)
+    return net, fleet, instances
+
+
+def record(name="clock", url="http://10.9.9.9:4004/control", lifetime_s=3600,
+           source_sdp="upnp"):
+    return ServiceRecord(
+        service_type=name, url=url, lifetime_s=lifetime_s, source_sdp=source_sdp
+    )
+
+
+# -- ServiceCache primitives the protocol builds on -----------------------------
+
+
+def test_cache_merge_rejects_expired_and_stale():
+    clock = [0]
+    cache = ServiceCache(lambda: clock[0])
+    assert not cache.merge(record(), expires_at_us=0)  # already expired
+    assert cache.merge(record(), expires_at_us=5_000_000)
+    assert not cache.merge(record(), expires_at_us=4_000_000)  # staler copy
+    assert cache.merge(record(), expires_at_us=6_000_000)  # fresher copy
+    clock[0] = 7_000_000
+    assert cache.digest() == {}
+
+
+def test_cache_digest_matches_live_entries():
+    clock = [0]
+    cache = ServiceCache(lambda: clock[0])
+    cache.store(record(lifetime_s=10))
+    assert cache.digest() == {("clock", "http://10.9.9.9:4004/control"): 10_000_000}
+    clock[0] = 11_000_000
+    assert cache.digest() == {}
+    assert cache.live_entries() == []
+
+
+# -- convergence -----------------------------------------------------------------
+
+
+def test_two_gateways_converge_within_two_round_trips():
+    net, fleet, (a, b) = build_fleet()
+    a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+    b.cache.store(record("printer", "http://10.0.0.2/ctl", source_sdp="slp"))
+    # Two full periods: each member digests the other at least once, and
+    # each digest pulls back the missing record.
+    net.run(duration_us=2 * GOSSIP_PERIOD_US + 50_000)
+    assert a.cache.digest() == b.cache.digest()
+    assert len(a.cache) == 2 and len(b.cache) == 2
+
+
+def test_gossiped_records_keep_provenance_and_ttl():
+    net, fleet, (a, b) = build_fleet()
+    a.cache.store(record("clock", lifetime_s=600, source_sdp="upnp"))
+    original_expiry = a.cache.digest()[("clock", "http://10.9.9.9:4004/control")]
+    net.run(duration_us=3 * GOSSIP_PERIOD_US)
+    copied = b.cache.lookup("clock")
+    assert copied and copied[0].source_sdp == "upnp"
+    # The replica expires exactly when the original does: gossip never
+    # extends a record's advertised lifetime.
+    assert (
+        b.cache.digest()[("clock", "http://10.9.9.9:4004/control")]
+        == original_expiry
+    )
+
+
+def test_steady_state_gossip_is_delta_only():
+    net, fleet, (a, b) = build_fleet()
+    a.cache.store(record())
+    net.run(duration_us=3 * GOSSIP_PERIOD_US)
+    stats = fleet.aggregate_gossip_stats()
+    assert stats["records_applied"] == 1
+    records_sent_converged = stats["records_sent"]
+    net.run(duration_us=10 * GOSSIP_PERIOD_US)
+    stats = fleet.aggregate_gossip_stats()
+    # Many more digest rounds, zero additional record transfers.
+    assert stats["records_sent"] == records_sent_converged
+    assert stats["rounds"] >= 20
+
+
+def test_expired_records_are_not_resurrected():
+    net, fleet, (a, b) = build_fleet()
+    a.cache.store(record(lifetime_s=1))  # expires at 1 s virtual
+    net.run(duration_us=600_000)
+    assert len(b.cache) == 1, "replica should arrive while the record lives"
+    net.run(duration_us=1_000_000)  # past expiry on both members
+    assert len(a.cache) == 0 and len(b.cache) == 0
+    net.run(duration_us=10 * GOSSIP_PERIOD_US)
+    assert len(a.cache) == 0 and len(b.cache) == 0
+    assert fleet.aggregate_gossip_stats()["records_ignored"] == 0
+
+
+def test_large_caches_converge_across_multiple_delta_batches():
+    net, fleet, (a, b) = build_fleet()
+    for member in fleet.members.values():
+        assert member.gossiper is not None
+        member.gossiper.max_delta_records = 8
+    for i in range(20):
+        a.cache.store(record(f"svc{i}", f"http://10.0.0.{i + 1}/ctl"))
+    # 20 records at 8 per delta need three digest->delta exchanges from b.
+    net.run(duration_us=8 * GOSSIP_PERIOD_US)
+    assert a.cache.digest() == b.cache.digest()
+    assert len(b.cache) == 20
+
+
+def test_malformed_gossip_datagrams_are_counted_not_fatal():
+    from repro.federation.gossip import GOSSIP_PORT
+    from repro.net import Endpoint
+
+    net, fleet, (a, b) = build_fleet()
+    prober = net.add_node("prober", segment=net.default_segment)
+    sock = prober.udp.socket()
+    target = Endpoint(a.node.address, GOSSIP_PORT)
+    a.cache.store(record())  # so digest comparison actually reads entries
+    sock.sendto(b"not json", target)
+    sock.sendto(b'{"kind": "unknown"}', target)
+    # Non-numeric expiry in a digest must not escape the datagram handler.
+    key = "clock|http://10.9.9.9:4004/control"
+    sock.sendto(
+        ('{"kind": "digest", "from": "10.0.0.250", "entries": '
+         f'{{"{key}": "bogus"}}}}').encode(),
+        target,
+    )
+    # A spoofed non-member "from" must not steer (or crash) the delta reply.
+    sock.sendto(
+        b'{"kind": "digest", "from": "not-an-address", "entries": {}}', target
+    )
+    # Malformed record fields in a delta are skipped, not fatal.
+    sock.sendto(
+        b'{"kind": "delta", "records": [{"t": "clock", "u": "http://x/c", '
+        b'"x": "soon", "l": 5}]}',
+        target,
+    )
+    sock.sendto(b'{"kind": "delta", "records": "zap"}', target)
+    net.run(duration_us=100_000)
+    gossiper = fleet.members[a.node.address].gossiper
+    assert gossiper.stats.decode_errors == 5
+    # The spoofed-from digest instead produced a delta back to the prober's
+    # real source address, which is harmless; nothing was applied locally.
+    assert gossiper.stats.records_applied == 0
+
+
+def test_fleet_member_addresses_are_gossip_peers():
+    net, fleet, instances = build_fleet(member_count=3)
+    me = instances[0].node.address
+    peers = fleet.peer_addresses(me)
+    assert me not in peers and len(peers) == 2
+
+
+def test_gossip_requires_positive_period():
+    net, fleet, instances = build_fleet(member_count=2, gossip_period_us=None)
+    from repro.federation import CacheGossiper
+
+    with pytest.raises(ValueError):
+        CacheGossiper(instances[0], fleet, instances[0].node.address, period_us=0)

@@ -1,0 +1,79 @@
+"""Consistent-hash ring: determinism, spread, and rebalancing."""
+
+import pytest
+
+from repro.federation import ShardRing, ring_hash
+
+KEYS = [f"type-{i}" for i in range(300)]
+
+
+def test_ring_hash_is_stable():
+    # blake2b, not PYTHONHASHSEED-dependent hash(): same value every run.
+    assert ring_hash("clock") == ring_hash("clock")
+    assert ring_hash("clock") != ring_hash("printer")
+
+
+def test_empty_ring_owns_nothing():
+    assert ShardRing().owner("clock") is None
+
+
+def test_single_member_owns_everything():
+    ring = ShardRing(["a"])
+    assert all(ring.owner(key) == "a" for key in KEYS)
+
+
+def test_ownership_is_deterministic_across_instances():
+    ring1 = ShardRing(["a", "b", "c"], vnodes=32)
+    ring2 = ShardRing(["c", "a", "b"], vnodes=32)  # join order irrelevant
+    assert ring1.assignment(KEYS) == ring2.assignment(KEYS)
+
+
+def test_vnodes_spread_keys_over_members():
+    ring = ShardRing(["a", "b", "c", "d"], vnodes=64)
+    spread = ring.spread(KEYS)
+    assert set(spread) == {"a", "b", "c", "d"}
+    # Every member owns a meaningful share (vnodes smooth the partition).
+    assert all(count > len(KEYS) / 20 for count in spread.values())
+
+
+def test_removing_a_member_only_moves_its_keys():
+    ring = ShardRing(["a", "b", "c"], vnodes=64)
+    before = ring.assignment(KEYS)
+    ring.remove("b")
+    after = ring.assignment(KEYS)
+    moved = [key for key in KEYS if before[key] != after[key]]
+    # Exactly the departed member's keys moved, and all of them did.
+    assert moved == [key for key in KEYS if before[key] == "b"]
+    assert all(after[key] in ("a", "c") for key in KEYS)
+
+
+def test_adding_a_member_only_claims_keys():
+    ring = ShardRing(["a", "b"], vnodes=64)
+    before = ring.assignment(KEYS)
+    ring.add("c")
+    after = ring.assignment(KEYS)
+    changed = [key for key in KEYS if before[key] != after[key]]
+    assert changed, "a new member should take over some keys"
+    assert all(after[key] == "c" for key in changed)
+
+
+def test_add_and_remove_are_idempotent():
+    ring = ShardRing(["a", "b"], vnodes=16)
+    ring.add("a")
+    assert len(ring) == 2
+    ring.remove("missing")
+    assert ring.members == ["a", "b"]
+
+
+def test_exclusion_walks_to_the_successor():
+    ring = ShardRing(["a", "b", "c"], vnodes=32)
+    for key in KEYS[:50]:
+        owner = ring.owner(key)
+        fallback = ring.owner(key, exclude=frozenset((owner,)))
+        assert fallback is not None and fallback != owner
+    assert ring.owner("x", exclude=frozenset(("a", "b", "c"))) is None
+
+
+def test_vnodes_must_be_positive():
+    with pytest.raises(ValueError):
+        ShardRing(vnodes=0)

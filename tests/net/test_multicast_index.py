@@ -1,0 +1,121 @@
+"""Per-segment multicast membership indexes (batched delivery).
+
+Delivery semantics must be identical to the old per-node scan — these
+tests pin the index bookkeeping across join/leave/bind/close/bridge and
+the delivery-time membership resolution the old code guaranteed.
+"""
+
+from repro.net import Endpoint, Network
+
+GROUP = "239.255.0.1"
+PORT = 5000
+
+
+def member_socket(node, handler=None):
+    sock = node.udp.socket().bind(PORT, reuse=True).join_group(GROUP)
+    if handler is not None:
+        sock.on_datagram(handler)
+    return sock
+
+
+def test_join_after_bind_indexes_membership():
+    net = Network()
+    node = net.add_node("a")
+    sock = member_socket(node)
+    assert net.default_segment.group_members(GROUP, PORT) == [sock]
+
+
+def test_bind_after_join_indexes_membership():
+    net = Network()
+    node = net.add_node("a")
+    sock = node.udp.socket()
+    sock.join_group(GROUP)
+    assert net.default_segment.group_members(GROUP, PORT) == []
+    sock.bind(PORT, reuse=True)
+    assert net.default_segment.group_members(GROUP, PORT) == [sock]
+
+
+def test_leave_and_close_unindex():
+    net = Network()
+    node = net.add_node("a")
+    sock = member_socket(node)
+    sock.leave_group(GROUP)
+    assert net.default_segment.group_members(GROUP, PORT) == []
+    sock2 = member_socket(node)
+    sock2.close()
+    assert net.default_segment.group_members(GROUP, PORT) == []
+
+
+def test_bridging_carries_existing_memberships():
+    net = Network()
+    node = net.add_node("gateway")
+    sock = member_socket(node)
+    den = net.add_segment("den")
+    net.bridge(node, den)
+    assert den.group_members(GROUP, PORT) == [sock]
+
+
+def test_multicast_reaches_members_and_only_members():
+    net = Network()
+    sender_node = net.add_node("sender")
+    member_node = net.add_node("member")
+    net.add_node("idle")  # no sockets at all: must never be touched
+    got: list = []
+    member_socket(member_node, got.append)
+    sender = sender_node.udp.socket()
+    sender.sendto(b"hello", Endpoint(GROUP, PORT))
+    net.run()
+    assert [d.payload for d in got] == [b"hello"]
+
+
+def test_sender_gets_loopback_copy_not_segment_copy():
+    net = Network()
+    sender_node = net.add_node("sender")
+    got: list = []
+    member_socket(sender_node, got.append)
+    sender = sender_node.udp.socket()
+    sender.sendto(b"self", Endpoint(GROUP, PORT))
+    net.run()
+    # Exactly one copy: the loopback delivery, not a second via the index.
+    assert [d.payload for d in got] == [b"self"]
+
+
+def test_membership_resolves_at_delivery_time():
+    """A socket that joins while the frame is in flight still receives it
+    (the shared-LAN property the old per-node scan provided)."""
+    net = Network()
+    sender_node = net.add_node("sender")
+    late_node = net.add_node("late")
+    got: list = []
+    sender_node.udp.socket().sendto(b"flight", Endpoint(GROUP, PORT))
+    # Join at time zero + epsilon, before the LAN delay elapses.
+    net.scheduler.schedule(1, lambda: member_socket(late_node, got.append))
+    net.run()
+    assert [d.payload for d in got] == [b"flight"]
+
+
+def test_multicast_confined_to_sender_segments_via_index():
+    net = Network()
+    den = net.add_segment("den")
+    net.link(net.default_segment, den)
+    remote = net.add_node("remote", segment=den)
+    got: list = []
+    member_socket(remote, got.append)
+    sender = net.add_node("sender")  # default segment only
+    sender.udp.socket().sendto(b"scoped", Endpoint(GROUP, PORT))
+    net.run()
+    assert got == []  # never crossed the link
+
+
+def test_bridged_sender_reaches_both_segments():
+    net = Network()
+    den = net.add_segment("den")
+    gateway = net.add_node("gateway")
+    net.bridge(gateway, den)
+    got_a, got_b = [], []
+    member_socket(net.add_node("on-a"), got_a.append)
+    member_socket(net.add_node("on-b", segment=den), got_b.append)
+    gateway.udp.socket().sendto(b"both", Endpoint(GROUP, PORT))
+    net.run()
+    assert [d.payload for d in got_a] == [b"both"]
+    assert [d.payload for d in got_b] == [b"both"]
