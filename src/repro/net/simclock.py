@@ -44,14 +44,17 @@ class _ScheduledEvent:
 class EventHandle:
     """Opaque handle returned by :meth:`Scheduler.schedule`, usable to cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_scheduler")
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, scheduler: "Scheduler"):
         self._event = event
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing; cancelling twice is harmless."""
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            self._scheduler._note_cancel(self._event)
 
     @property
     def cancelled(self) -> bool:
@@ -77,6 +80,9 @@ class Scheduler:
         self._seq = 0
         self._queue: list[_ScheduledEvent] = []
         self._events_fired = 0
+        #: Live (scheduled, not yet fired or cancelled) event count, kept
+        #: current on schedule/cancel/fire so :attr:`pending` is O(1).
+        self._live = 0
 
     @property
     def now_us(self) -> int:
@@ -95,8 +101,12 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled placeholders)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (not cancelled, not yet fired) queued events."""
+        return self._live
+
+    def _note_cancel(self, event: _ScheduledEvent) -> None:
+        """Bookkeeping for a first-time cancellation of a queued event."""
+        self._live -= 1
 
     def schedule(
         self,
@@ -113,8 +123,9 @@ class Scheduler:
             delay_us = 0
         event = _ScheduledEvent(self._now_us + int(delay_us), self._seq, callback, label=label)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def schedule_at(
         self,
@@ -139,6 +150,7 @@ class Scheduler:
             return False
         self._now_us = event.time_us
         self._events_fired += 1
+        self._live -= 1
         event.callback()
         return True
 

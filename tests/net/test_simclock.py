@@ -210,3 +210,16 @@ class TestPeriodicTask:
         task = PeriodicTask(sched, 10, cb)
         sched.run_until_idle()
         assert fired == [10, 20]
+
+
+def test_pending_counter_tracks_schedule_cancel_fire():
+    sched = Scheduler()
+    handles = [sched.schedule(10 * (i + 1), lambda: None) for i in range(5)]
+    assert sched.pending == 5
+    handles[0].cancel()
+    handles[0].cancel()  # double-cancel must not double-decrement
+    assert sched.pending == 4
+    sched.run_until(25)  # fires the 20us event (10us one was cancelled)
+    assert sched.pending == 3
+    sched.run_until_idle()
+    assert sched.pending == 0
