@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core import Indiss, IndissConfig
-from ..net import Network
+from ..net import Network, NetworkError
 from ..sdp.slp import (
     ServiceAgent,
     ServiceType,
@@ -262,11 +262,24 @@ def _gateway_chain_config(costs: CostModel, seed: int = 0) -> IndissConfig:
 
 
 def _populate_background_nodes(net: Network, total_nodes: int) -> None:
-    """Fill segments round-robin with idle hosts up to ``total_nodes``."""
+    """Fill segments round-robin with idle hosts up to ``total_nodes``.
+
+    A segment whose subnet is exhausted is skipped (deterministically), so
+    thousand-node runs overflow onto the segments that still have room
+    instead of dying on the first full /24.
+    """
     segments = list(net.segments.values())
     existing = len(net.nodes)
     for i in range(max(0, total_nodes - existing)):
         segment = segments[i % len(segments)]
+        if not segment.has_free_address():
+            open_segments = [s for s in segments if s.has_free_address()]
+            if not open_segments:
+                raise NetworkError(
+                    f"all subnets exhausted after {len(net.nodes)} nodes; "
+                    f"use wider (two-octet) segment subnets for this scale"
+                )
+            segment = open_segments[i % len(open_segments)]
         net.add_node(f"bg-{segment.name}-{i}", segment=segment)
 
 
@@ -398,11 +411,14 @@ def _build_campus_fleet(
     gossip_period_us: Optional[int],
     federated: bool,
     capture: bool,
+    wide_subnets: bool = False,
 ):
     """Backbone + leaves, one gateway per leaf; optionally federated.
 
     Returns (net, leaves, instances, fleet) — fleet is None for the
-    unfederated (PR 1 style) baseline at the same scale.
+    unfederated (PR 1 style) baseline at the same scale.  ``wide_subnets``
+    puts each leaf on a /16 so thousand-node fills do not exhaust the
+    per-segment address space.
     """
     from ..federation import GatewayFleet
 
@@ -413,7 +429,11 @@ def _build_campus_fleet(
     leaves = []
     instances = []
     for i in range(segments - 1):
-        leaf = net.add_segment(f"leaf{i}", latency=costs.latency_model(seed + 1 + i))
+        leaf = net.add_segment(
+            f"leaf{i}",
+            subnet=f"10.{i + 1}" if wide_subnets else None,
+            latency=costs.latency_model(seed + 1 + i),
+        )
         net.link(backbone, leaf)
         leaves.append(leaf)
         gateway_node = net.add_node(f"gateway{i}", segment=leaf)
@@ -430,6 +450,90 @@ def _build_campus_fleet(
             fleet.join(instance, gossip_period_us=gossip_period_us)
     _populate_background_nodes(net, nodes)
     return net, leaves, instances, fleet
+
+
+def _hotpath_stats(net: Network, instances) -> dict:
+    """Core hot-path counters the perf benchmarks read.
+
+    Written defensively with ``getattr`` so the same benchmark script can
+    measure a pre-optimization core (no wheel compactions, no route cache,
+    no parse memo) and report zeros instead of crashing — that is what the
+    committed baseline was produced with.
+    """
+    sched = net.scheduler
+    units = [u for inst in instances for u in inst.units.values()]
+    parsed = sum(u.streams_parsed for u in units)
+    shared = sum(getattr(u, "streams_shared", 0) for u in units)
+    hits = getattr(net, "route_cache_hits", 0)
+    misses = getattr(net, "route_cache_misses", 0)
+    return {
+        "events_fired": sched.events_fired,
+        "sched_compactions": getattr(sched, "compactions", 0),
+        "route_cache_hits": hits,
+        "route_cache_misses": misses,
+        "route_cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "streams_parsed": parsed,
+        "streams_shared": shared,
+        "parse_dedup_rate": shared / (parsed + shared) if parsed + shared else 0.0,
+    }
+
+
+def _start_chatter(
+    net: Network,
+    leaves,
+    type_names,
+    costs: CostModel,
+    per_leaf: int,
+    period_us: int,
+    start_delay_us: int = 200_000,
+) -> list[dict]:
+    """Background native SLP clients spread across the leaf segments.
+
+    Each client periodically re-searches one of ``type_names`` (round-robin
+    assignment, staggered start) — the steady query load that makes the
+    thousand-node scenarios exercise the scheduler, routing, and receive
+    paths instead of idling.  Returns one accounting dict per client.
+    """
+    chatter: list[dict] = []
+    total = max(1, len(leaves) * per_leaf)
+    idx = 0
+    for leaf in leaves:
+        for j in range(per_leaf):
+            node = net.add_node(f"chat-{leaf.name}-{j}", segment=leaf)
+            ua = UserAgent(node, config=_slp_config(costs))
+            target = type_names[idx % len(type_names)]
+            stats = {"target": target, "issued": 0, "completed": 0, "found": 0}
+
+            def kick(ua=ua, target=target, stats=stats) -> None:
+                stats["issued"] += 1
+
+                def done(search, stats=stats) -> None:
+                    stats["completed"] += 1
+                    if search.results:
+                        stats["found"] += 1
+
+                ua.find_services(f"service:{target}", on_complete=done)
+
+            node.every(
+                period_us,
+                kick,
+                initial_delay_us=start_delay_us + (idx * period_us) // total,
+            )
+            chatter.append(stats)
+            idx += 1
+    return chatter
+
+
+def _chatter_extras(chatter: list[dict]) -> dict:
+    issued = sum(c["issued"] for c in chatter)
+    completed = sum(c["completed"] for c in chatter)
+    found = sum(c["found"] for c in chatter)
+    return {
+        "chatter_clients": len(chatter),
+        "chatter_searches_issued": issued,
+        "chatter_searches_completed": completed,
+        "chatter_found_rate": found / completed if completed else 0.0,
+    }
 
 
 def _fleet_extras(instances, fleet) -> dict:
@@ -480,7 +584,8 @@ def federated_campus(
     compare against.
     """
     net, leaves, instances, fleet = _build_campus_fleet(
-        seed, costs, segments, nodes, gossip_period_us, federated, capture
+        seed, costs, segments, nodes, gossip_period_us, federated, capture,
+        wide_subnets=nodes > 200 * segments,
     )
     client_node = net.add_node("client", segment=leaves[0])
     service_node = net.add_node("service", segment=leaves[-1])
@@ -540,6 +645,32 @@ def federated_campus(
     return outcome
 
 
+def _make_typed_device(node, type_name: str, costs: CostModel, seed: int,
+                       advertise: bool):
+    """A one-service UPnP device of a synthetic ``type_name`` type."""
+    from ..sdp.upnp import DeviceDescription, ServiceDescription, UpnpDevice
+
+    description = DeviceDescription(
+        device_type=f"urn:schemas-upnp-org:device:{type_name}:1",
+        friendly_name=f"Sensor {type_name}",
+        udn=f"uuid:{type_name}-device",
+        manufacturer="INDISS bench",
+        model_name=type_name,
+        services=[
+            ServiceDescription(
+                service_type=f"urn:schemas-upnp-org:service:{type_name}:1",
+                service_id=f"urn:upnp-org:serviceId:{type_name}:1",
+                scpd_url=f"/service/{type_name}/scpd.xml",
+                control_url=f"/service/{type_name}/control",
+                event_sub_url=f"/service/{type_name}/event",
+            )
+        ],
+    )
+    return UpnpDevice(
+        node, description, timings=costs.upnp, seed=seed, advertise=advertise
+    )
+
+
 def sharded_backbone(
     seed: int = 0,
     costs: CostModel = PAPER_TESTBED,
@@ -548,6 +679,8 @@ def sharded_backbone(
     service_types: int = 4,
     gossip_period_us: int = 200_000,
     warmup_us: int = 1_500_000,
+    chatter_per_leaf: int = 0,
+    chatter_period_us: int = 400_000,
     capture: bool = False,
 ) -> ScenarioOutcome:
     """Many service types sharded across a fleet on one backbone.
@@ -561,38 +694,25 @@ def sharded_backbone(
     search every type at once; ``extras["per_type"]`` records who owned and
     answered each, and ``extras["query_translations"]`` must stay at or
     below one per cold type.
-    """
-    from ..sdp.upnp import DeviceDescription, ServiceDescription, UpnpDevice
 
+    ``chatter_per_leaf`` adds that many background SLP clients per leaf,
+    each re-searching a gossip-warmed type every ``chatter_period_us`` — the
+    sustained edge load the core-hot-path benchmarks measure events/sec
+    under.  Chatter only ever asks for warm (even-indexed) types, so the
+    cold-type accounting above stays exact.
+    """
     if members < 2:
         raise ValueError("sharded_backbone needs at least two fleet members")
     if service_types < 1:
         raise ValueError("sharded_backbone needs at least one service type")
     net, leaves, instances, fleet = _build_campus_fleet(
-        seed, costs, members + 1, 0, gossip_period_us, True, capture
+        seed, costs, members + 1, 0, gossip_period_us, True, capture,
+        wide_subnets=nodes > 200 * (members + 1),
     )
     leaf_of = {instance.node.address: leaf for instance, leaf in zip(instances, leaves)}
 
-    def make_typed_device(node, type_name: str, advertise: bool) -> UpnpDevice:
-        description = DeviceDescription(
-            device_type=f"urn:schemas-upnp-org:device:{type_name}:1",
-            friendly_name=f"Sensor {type_name}",
-            udn=f"uuid:{type_name}-device",
-            manufacturer="INDISS bench",
-            model_name=type_name,
-            services=[
-                ServiceDescription(
-                    service_type=f"urn:schemas-upnp-org:service:{type_name}:1",
-                    service_id=f"urn:upnp-org:serviceId:{type_name}:1",
-                    scpd_url=f"/service/{type_name}/scpd.xml",
-                    control_url=f"/service/{type_name}/control",
-                    event_sub_url=f"/service/{type_name}/event",
-                )
-            ],
-        )
-        return UpnpDevice(
-            node, description, timings=costs.upnp, seed=seed, advertise=advertise
-        )
+    def make_typed_device(node, type_name: str, advertise: bool):
+        return _make_typed_device(node, type_name, costs, seed, advertise)
 
     type_names = [f"sensor{i}" for i in range(service_types)]
     placements: dict[str, str] = {}
@@ -610,6 +730,12 @@ def sharded_backbone(
         UserAgent(net.add_node(f"client-{name}"), config=_slp_config(costs))
         for name in type_names
     ]
+    chatter: list[dict] = []
+    if chatter_per_leaf > 0:
+        warm_types = type_names[0::2] or type_names
+        chatter = _start_chatter(
+            net, leaves, warm_types, costs, chatter_per_leaf, chatter_period_us
+        )
     _populate_background_nodes(net, nodes)
 
     net.run(duration_us=warmup_us)
@@ -635,6 +761,9 @@ def sharded_backbone(
         sum(i.stats.translated for i in instances) - translated_before
     )
     extras["owner_spread"] = fleet.ring.spread(type_names)
+    extras["hotpaths"] = _hotpath_stats(net, instances)
+    if chatter:
+        extras.update(_chatter_extras(chatter))
 
     first = searches[type_names[0]][0] if searches[type_names[0]] else None
     if first is None or first.first_latency_us is None:
@@ -643,6 +772,177 @@ def sharded_backbone(
         outcome = ScenarioOutcome(first.first_latency_us, len(first.results), net)
     outcome.extras = extras
     return outcome
+
+
+# -- Metro-scale internetwork (the core hot-path stress workload) ----------------
+
+
+def metro_backbone(
+    seed: int = 0,
+    costs: CostModel = PAPER_TESTBED,
+    districts: int = 5,
+    leaves_per_district: int = 8,
+    nodes: int = 5000,
+    types_per_district: int = 4,
+    chatter_per_leaf: int = 10,
+    chatter_period_us: int = 200_000,
+    gossip_period_us: int = 250_000,
+    warmup_us: int = 1_200_000,
+    run_us: int = 5_000_000,
+    capture: bool = False,
+) -> ScenarioOutcome:
+    """A city-scale internetwork: chained district backbones, each with its
+    own federated gateway fleet, under sustained edge query load.
+
+    Topology: ``districts`` backbone segments linked in a chain; each
+    district hangs ``leaves_per_district`` leaf LANs off its backbone with
+    one fleet gateway per leaf (bridged leaf+backbone, ``shard-ring``
+    dispatch, per-district :class:`~repro.federation.GatewayFleet`), and a
+    plain ``gateway-forward`` INDISS instance bridges each pair of adjacent
+    backbones.  Every segment sits on a /16 so the topology holds thousands
+    of hosts.
+
+    Load: ``types_per_district`` advertising UPnP devices per district plus
+    ``chatter_per_leaf`` native SLP clients per leaf re-searching their
+    district's types every ``chatter_period_us``.  At the default 5000
+    nodes this fires hundreds of thousands of scheduler events — the
+    workload the compacting wheel scheduler, route-plan cache, and
+    parse-once receive path are measured against (``extras["hotpaths"]``).
+
+    Headline latency is an intra-district probe issued after warmup; a
+    cross-district probe (district 0 asking for a type two districts over,
+    crossing two inter-district gateways within the default hop budget) is
+    reported in the extras.
+    """
+    if districts < 2:
+        raise ValueError("metro_backbone needs at least two districts")
+    if leaves_per_district < 1 or types_per_district < 1:
+        raise ValueError("metro_backbone needs at least one leaf and one type")
+    # Leaf subnets are 10.1 .. 10.199; backbones take 10.200 .. 10.255.
+    if districts * leaves_per_district > 199:
+        raise ValueError(
+            "metro_backbone supports at most 199 leaves total "
+            f"(got {districts * leaves_per_district}): leaf /16 subnets "
+            "10.1-10.199 must not collide with backbone subnets 10.200+"
+        )
+    if districts > 56:
+        raise ValueError("metro_backbone supports at most 56 districts")
+    net = Network(
+        latency=costs.latency_model(seed), subnet="10.200", capture=capture
+    )
+    backbones = [net.default_segment]
+    for d in range(1, districts):
+        backbone = net.add_segment(
+            f"metro{d}", subnet=f"10.{200 + d}",
+            latency=costs.latency_model(seed + 10 + d),
+        )
+        net.link(backbones[d - 1], backbone)
+        backbones.append(backbone)
+
+    instances = []
+    fleets = []
+    district_leaves: list[list] = []
+    district_types: list[list[str]] = []
+    from ..federation import GatewayFleet
+
+    for d, backbone in enumerate(backbones):
+        leaves = []
+        for l in range(leaves_per_district):
+            leaf = net.add_segment(
+                f"d{d}l{l}", subnet=f"10.{d * leaves_per_district + l + 1}",
+                latency=costs.latency_model(seed + 100 * d + l),
+            )
+            net.link(backbone, leaf)
+            leaves.append(leaf)
+            gateway_node = net.add_node(f"gw-d{d}l{l}", segment=leaf)
+            net.bridge(gateway_node, backbone)
+            instance = Indiss(
+                gateway_node, _federated_gateway_config(costs, seed=seed + 100 * d + l)
+            )
+            instances.append(instance)
+        district_leaves.append(leaves)
+        fleet = GatewayFleet(net, backbone)
+        for instance in instances[-leaves_per_district:]:
+            fleet.join(instance, gossip_period_us=gossip_period_us)
+        fleets.append(fleet)
+        type_names = [f"m{d}t{t}" for t in range(types_per_district)]
+        district_types.append(type_names)
+        for t, type_name in enumerate(type_names):
+            device_node = net.add_node(
+                f"dev-{type_name}", segment=leaves[t % leaves_per_district]
+            )
+            _make_typed_device(device_node, type_name, costs, seed, advertise=True)
+
+    for d in range(districts - 1):
+        inter_node = net.add_node(f"inter-{d}{d + 1}", segment=backbones[d])
+        net.bridge(inter_node, backbones[d + 1])
+        instances.append(
+            Indiss(inter_node, _gateway_chain_config(costs, seed=seed + 900 + d))
+        )
+
+    chatter: list[dict] = []
+    for d in range(districts):
+        chatter.extend(
+            _start_chatter(
+                net, district_leaves[d], district_types[d], costs,
+                chatter_per_leaf, chatter_period_us,
+            )
+        )
+    _populate_background_nodes(net, nodes)
+
+    net.run(duration_us=warmup_us)
+
+    # Intra-district probe (headline) + cross-district probe (extras).
+    probe_node = net.add_node("probe-local", segment=district_leaves[0][0])
+    probe_ua = UserAgent(probe_node, config=_slp_config(costs))
+    local_done: list = []
+    probe_ua.find_services(
+        f"service:{district_types[0][0]}", on_complete=local_done.append
+    )
+    far_district = min(2, districts - 1)
+    far_node = net.add_node("probe-far", segment=district_leaves[0][1 % leaves_per_district])
+    far_ua = UserAgent(far_node, config=_slp_config(costs))
+    far_done: list = []
+    far_ua.find_services(
+        f"service:{district_types[far_district][0]}",
+        on_complete=far_done.append,
+        wait_us=1_500_000,
+    )
+
+    net.run(duration_us=run_us)
+
+    local = local_done[0] if local_done else None
+    if local is None or local.first_latency_us is None:
+        outcome = ScenarioOutcome(None, 0, net)
+    else:
+        outcome = ScenarioOutcome(local.first_latency_us, len(local.results), net)
+    far = far_done[0] if far_done else None
+    outcome.extras = {
+        "districts": districts,
+        "gateways": len(instances),
+        "total_nodes": len(net.nodes),
+        "cross_district_results": len(far.results) if far else 0,
+        "cross_district_latency_us": far.first_latency_us if far else None,
+        "hotpaths": _hotpath_stats(net, instances),
+        **_chatter_extras(chatter),
+    }
+    return outcome
+
+
+#: Reduced parameters for scenarios whose defaults are sized for the perf
+#: benchmarks, not the test suite; the behavioural tests apply these so
+#: tier-1 stays fast while the benchmarks keep the full-scale defaults.
+SMALL_SCALE_OVERRIDES: dict[str, dict] = {
+    "federated_campus": {"nodes": 120},
+    "sharded_backbone": {"nodes": 120},
+    "metro_backbone": {
+        "districts": 2,
+        "leaves_per_district": 3,
+        "nodes": 300,
+        "chatter_per_leaf": 2,
+        "run_us": 2_500_000,
+    },
+}
 
 
 #: Scenario registry used by the harness and benchmarks.
@@ -660,6 +960,7 @@ SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "campus_fanout": campus_fanout,
     "federated_campus": federated_campus,
     "sharded_backbone": sharded_backbone,
+    "metro_backbone": metro_backbone,
 }
 
 
@@ -679,4 +980,5 @@ __all__ = [
     "campus_fanout",
     "federated_campus",
     "sharded_backbone",
+    "metro_backbone",
 ]

@@ -37,6 +37,10 @@ class OutboundMessage:
     url: str = ""
     #: Label for traces/tests ("msearch", "srvrply", "get-description"...).
     label: str = ""
+    #: Optional (memo_key, decoded_form) pair seeding the outgoing frame's
+    #: :class:`repro.net.FrameMemo` — the composer just built the payload
+    #: from this structured form, so receivers need not re-derive it.
+    decode_hint: tuple | None = None
 
 
 class ComposeError(Exception):

@@ -14,7 +14,6 @@ paper §2.3) admit new events without touching existing units.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
 from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
@@ -33,15 +32,36 @@ class EventCategory(Enum):
     ADVERTISEMENT = "Advertisement Events"
 
 
-@dataclass(frozen=True)
 class EventType:
-    """One interned event type; compare by identity or name."""
+    """One interned event type; compare by identity.
 
-    name: str
-    category: EventCategory
-    mandatory: bool = False
-    #: Empty for common events; the owning SDP id for specific ones.
-    sdp: str = ""
+    The registry guarantees one instance per name, so identity comparison
+    and the default C-level identity hash are exact — and composers hash
+    event types on every single event they filter, so this is deliberately
+    *not* a dataclass (a generated all-fields ``__hash__``/``__eq__`` would
+    run a Python frame per membership test on the parse hot path).
+    """
+
+    __slots__ = ("name", "category", "mandatory", "sdp")
+
+    def __init__(
+        self,
+        name: str,
+        category: EventCategory,
+        mandatory: bool = False,
+        sdp: str = "",
+    ):
+        self.name = name
+        self.category = category
+        self.mandatory = mandatory
+        #: Empty for common events; the owning SDP id for specific ones.
+        self.sdp = sdp
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"EventType(name={self.name!r}, category={self.category!r}, "
+            f"mandatory={self.mandatory!r}, sdp={self.sdp!r})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - display convenience
         return self.name
@@ -66,13 +86,17 @@ class EventTypeRegistry:
         the contract between parsers and composers.
         """
         existing = self._by_name.get(name)
-        candidate = EventType(name=name, category=category, mandatory=mandatory, sdp=sdp)
         if existing is not None:
-            if existing != candidate:
+            if (existing.category, existing.mandatory, existing.sdp) != (
+                category,
+                mandatory,
+                sdp,
+            ):
                 raise ValueError(
                     f"event type {name!r} already defined with different properties"
                 )
             return existing
+        candidate = EventType(name=name, category=category, mandatory=mandatory, sdp=sdp)
         self._by_name[name] = candidate
         return candidate
 
@@ -171,18 +195,29 @@ SDP_JINI_GROUPS = _d("SDP_JINI_GROUPS", EventCategory.DISCOVERY, sdp="jini")
 _EMPTY: Mapping = MappingProxyType({})
 
 
-@dataclass(frozen=True)
 class Event:
     """One semantic event: a type tag plus read-only data (paper §2.3:
     "Events are basic elements and consist of two parts: event type and
-    data")."""
+    data").
 
-    type: EventType
-    data: Mapping = field(default_factory=lambda: _EMPTY)
+    A ``__slots__`` class rather than a frozen dataclass: parsers mint
+    tens of thousands of events per simulated second, and the generated
+    frozen-``__init__`` (one guarded ``object.__setattr__`` per field) was
+    a measurable slice of the receive path.  Instances are immutable by
+    convention; ``data`` is a read-only mapping.
+    """
+
+    __slots__ = ("type", "data")
+
+    def __init__(self, type: EventType, data: Mapping = _EMPTY):
+        self.type = type
+        self.data = data
 
     @staticmethod
     def of(event_type: EventType, **data) -> "Event":
-        return Event(type=event_type, data=MappingProxyType(dict(data)))
+        # ``data`` is a fresh kwargs dict owned by this call; wrapping it
+        # directly (no defensive copy) keeps the hot parse paths cheap.
+        return Event(event_type, MappingProxyType(data) if data else _EMPTY)
 
     def get(self, key: str, default=None):
         return self.data.get(key, default)
@@ -190,6 +225,16 @@ class Event:
     @property
     def name(self) -> str:
         return self.type.name
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.type is other.type and self.data == other.data
+
+    __hash__ = None  # events hold mappings; unhashable, like before
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Event(type={self.type!r}, data={dict(self.data)!r})"
 
     def __str__(self) -> str:  # pragma: no cover - display convenience
         if not self.data:

@@ -111,6 +111,10 @@ class MonitorComponent:
         if newly_detected and self.on_detected is not None:
             self.on_detected(sdp_id)
         if self.on_raw is not None:
+            # Monitored frames fan out to every co-segment INDISS instance;
+            # force the shared decode memo into existence so the first
+            # unit parse is visible to all of them.
+            datagram.ensure_memo()
             self.on_raw(sdp_id, datagram.payload, NetworkMeta.from_datagram(datagram))
 
     # -- queries ---------------------------------------------------------------------

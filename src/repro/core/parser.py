@@ -10,7 +10,7 @@ carries an XML body (``SDP_C_PARSER_SWITCH``, Fig. 4 step 3).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..net import Endpoint
@@ -25,6 +25,11 @@ class NetworkMeta:
     destination: Optional[Endpoint] = None
     multicast: bool = False
     transport: str = "udp"
+    #: The delivering frame's shared decode memo
+    #: (:class:`repro.net.FrameMemo`), letting every unit that parses the
+    #: same fan-out frame share one event stream.  None for raw bytes that
+    #: did not arrive as a datagram.  Excluded from equality.
+    memo: Optional[object] = field(default=None, compare=False, repr=False)
 
     @classmethod
     def from_datagram(cls, datagram) -> "NetworkMeta":
@@ -33,6 +38,7 @@ class NetworkMeta:
             destination=datagram.destination,
             multicast=datagram.multicast,
             transport="udp",
+            memo=datagram.memo,
         )
 
 

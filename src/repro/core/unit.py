@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..net import Endpoint, Node
+from ..net import Endpoint, MEMO_MISS, Node
 from ..sdp.upnp.http import Headers
 from ..sdp.upnp.httpclient import http_request
 from .composer import SdpComposer
@@ -83,16 +83,20 @@ class UnitRuntime:
         if self._datagram_handler is not None:
             self._datagram_handler(datagram.payload, NetworkMeta.from_datagram(datagram))
 
-    def send_udp(self, payload: bytes, destination: Endpoint) -> None:
-        self._socket.sendto(payload, destination)
+    def send_udp(
+        self, payload: bytes, destination: Endpoint, decode_hint: tuple | None = None
+    ) -> None:
+        self._socket.sendto(payload, destination, decode_hint=decode_hint)
         self.messages_sent += 1
         if self._register_own_port is not None and self._socket.port is not None:
             self._register_own_port(self.node.address, self._socket.port)
 
-    def send_udp_from_new_socket(self, payload: bytes, destination: Endpoint) -> None:
+    def send_udp_from_new_socket(
+        self, payload: bytes, destination: Endpoint, decode_hint: tuple | None = None
+    ) -> None:
         """Fire-and-forget from a throwaway socket (replies not expected)."""
         socket = self.node.udp.socket()
-        socket.sendto(payload, destination)
+        socket.sendto(payload, destination, decode_hint=decode_hint)
         if self._register_own_port is not None and socket.port is not None:
             self._register_own_port(self.node.address, socket.port)
         self.messages_sent += 1
@@ -141,6 +145,9 @@ class Unit:
         #: Sessions this unit is currently driving as the *target* side.
         self.active_sessions: dict[int, TranslationSession] = {}
         self.streams_parsed = 0
+        #: Streams obtained from another receiver's parse of the same frame
+        #: (the per-frame memo), rather than parsed here.
+        self.streams_shared = 0
         self.streams_dispatched = 0
         runtime.on_datagram(self._on_native_datagram)
 
@@ -178,7 +185,27 @@ class Unit:
         When the parser emits a switch event (Fig. 4 step 3: the SSDP parser
         meets an XML body), the unit re-parses the remaining payload with
         the requested parser and splices the streams.
+
+        When the frame carries a decode memo (multicast fan-out), the first
+        unit to parse it stores the event stream and every later receiver —
+        typically the same unit type on another gateway hearing the same
+        backbone frame — gets a shallow copy instead of re-parsing.  Events
+        are immutable, so sharing them across instances is safe; the list
+        is copied so no receiver can alias another's stream.
         """
+        memo = meta.memo if meta is not None else None
+        if memo is None:
+            return self._parse_raw_uncached(raw, meta)
+        key = ("indiss", self.sdp_id, self.current_syntax)
+        cached = memo.lookup(key, raw)
+        if cached is not MEMO_MISS:
+            self.streams_shared += 1
+            return None if cached is None else list(cached)
+        stream = self._parse_raw_uncached(raw, meta)
+        memo.store(key, raw, None if stream is None else list(stream))
+        return stream
+
+    def _parse_raw_uncached(self, raw: bytes, meta: NetworkMeta) -> list[Event] | None:
         stream = self.parser.try_parse(raw, meta)
         if stream is None:
             return None

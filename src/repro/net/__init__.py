@@ -40,7 +40,7 @@ from .simclock import (
 from .tcp import TcpConnection, TcpListener, TcpStack
 from .tracefmt import classify_payload, format_trace
 from .traffic import TrafficMonitor
-from .udp import Datagram, UdpSocket, UdpStack
+from .udp import Datagram, FrameMemo, MEMO_MISS, UdpSocket, UdpStack
 
 __all__ = [
     "ANY",
@@ -53,6 +53,8 @@ __all__ = [
     "ConnectionRefusedError",
     "DEFAULT_LINK_LATENCY_US",
     "Datagram",
+    "FrameMemo",
+    "MEMO_MISS",
     "Endpoint",
     "EventHandle",
     "LatencyModel",

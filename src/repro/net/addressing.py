@@ -7,6 +7,7 @@ multicast range (224.0.0.0/4), which is what SDP detection relies on.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import NamedTuple
 
 from .errors import AddressError
@@ -25,11 +26,14 @@ ANY = "0.0.0.0"
 BROADCAST = "255.255.255.255"
 
 
+@lru_cache(maxsize=65536)
 def parse_ipv4(address: str) -> tuple[int, int, int, int]:
     """Parse and validate a dotted-quad address, returning its four octets.
 
     Raises :class:`AddressError` for anything that is not a well-formed IPv4
-    literal.
+    literal.  Results are memoized: the delivery hot path classifies the
+    same few thousand host/group strings millions of times, so each parses
+    once (failures are not cached and re-raise).
     """
     if not isinstance(address, str):
         raise AddressError(f"address must be a string, got {type(address).__name__}")
@@ -104,20 +108,44 @@ class Endpoint(NamedTuple):
 
 
 class AddressAllocator:
-    """Hands out sequential host addresses on a /24 for test topologies."""
+    """Hands out sequential host addresses for test topologies.
+
+    A three-octet prefix (``"192.168.1"``) allocates a /24 — 254 hosts, the
+    classic home-LAN segment.  A two-octet prefix (``"10.7"``) allocates a
+    /16 — enough for the multi-thousand-node metro scenarios, where a /24
+    per segment is the binding constraint.
+    """
 
     def __init__(self, prefix: str = "192.168.1"):
         parts = prefix.split(".")
-        if len(parts) != 3 or not all(p.isdigit() and int(p) <= 255 for p in parts):
-            raise AddressError(f"prefix must be three octets, got {prefix!r}")
+        if len(parts) not in (2, 3) or not all(
+            p.isdigit() and int(p) <= 255 for p in parts
+        ):
+            raise AddressError(f"prefix must be two or three octets, got {prefix!r}")
         self._prefix = prefix
+        self._wide = len(parts) == 2
         self._next_host = 1
+
+    @property
+    def capacity(self) -> int:
+        """Total hosts this allocator can hand out."""
+        return 255 * 254 if self._wide else 254
+
+    @property
+    def remaining(self) -> int:
+        """Hosts still available."""
+        return self.capacity - (self._next_host - 1)
 
     def allocate(self) -> str:
         """Return the next unused address in the subnet."""
-        if self._next_host > 254:
-            raise AddressError(f"subnet {self._prefix}.0/24 exhausted")
-        address = f"{self._prefix}.{self._next_host}"
+        if self.remaining <= 0:
+            mask = "0.0/16" if self._wide else "0/24"
+            raise AddressError(f"subnet {self._prefix}.{mask} exhausted")
+        if self._wide:
+            hi, lo = divmod(self._next_host - 1, 254)
+            address = f"{self._prefix}.{hi}.{lo + 1}"
+        else:
+            address = f"{self._prefix}.{self._next_host}"
         self._next_host += 1
         return address
 

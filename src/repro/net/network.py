@@ -81,6 +81,17 @@ class Network:
         self.trace: list[TraceRecord] = []
         #: Unicast datagrams with no destination node or no route (dropped).
         self.unrouted = 0
+        #: Precomputed delivery plans keyed by (sender, target) address:
+        #: the traversed segments plus the link-latency prefix.  Steady-state
+        #: unicast costs one dict hit instead of a segment-pair product and
+        #: list assembly; any topology change flushes the memo (see
+        #: :meth:`_note_topology_change`) and :class:`Router` link changes
+        #: are caught through its ``topology_version``.
+        self._route_plans: dict = {}
+        self._route_plans_version = 0
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
+        self.route_cache_invalidations = 0
         self.default_segment = self.add_segment(
             self.DEFAULT_SEGMENT, subnet=subnet, latency=self.latency
         )
@@ -104,6 +115,7 @@ class Network:
             self._next_auto_subnet += 1
         segment = Segment(self, name, subnet=subnet, latency=latency)
         self.segments[name] = segment
+        self._note_topology_change()
         return segment
 
     def segment(self, name: str) -> Segment:
@@ -153,6 +165,18 @@ class Network:
         """Multi-home ``node`` onto additional segments (gateway placement)."""
         return Bridge(node, *(self._resolve_segment(s) for s in segments))
 
+    def detach_node(self, node: Node) -> None:
+        """Remove a host from every segment it is attached to.
+
+        Pending in-flight deliveries to its sockets still land (frames
+        already on the wire); new unicasts to the address drop as
+        unrouted, and cached delivery plans involving the node expire.
+        """
+        for segment in list(node.segments):
+            segment.detach(node)
+        self._nodes.pop(node.address, None)
+        self._note_topology_change()
+
     def node_at(self, address: str) -> Optional[Node]:
         return self._nodes.get(address)
 
@@ -191,17 +215,46 @@ class Network:
 
     # -- routing ---------------------------------------------------------------
 
+    def _note_topology_change(self) -> None:
+        """Drop every cached delivery plan (segment/link/bridge/detach)."""
+        if self._route_plans:
+            self._route_plans.clear()
+            self.route_cache_invalidations += 1
+
     def _route_segments(
         self, sender: Node, target: Node
-    ) -> Optional[tuple[list[Segment], int]]:
-        """Segments a unicast frame traverses plus the total link latency.
+    ) -> Optional[tuple[tuple[Segment, ...], int]]:
+        """Delivery plan for a unicast frame: traversed segments plus the
+        total link latency.  Returns None when no path exists.
 
-        Returns None when no path exists.  Direct (shared-segment) delivery
-        traverses exactly one segment and crosses no links.
+        Plans are memoized per (sender, target) address pair — steady-state
+        traffic between two hosts costs one dict hit.  The memo is flushed
+        on any attach/detach (:meth:`_note_topology_change`) and expires
+        wholesale when the router's link topology version moves.
         """
+        if self._route_plans_version != self.router.topology_version:
+            self._route_plans.clear()
+            self._route_plans_version = self.router.topology_version
+        key = (sender.address, target.address)
+        try:
+            plan = self._route_plans[key]
+        except KeyError:
+            pass
+        else:
+            self.route_cache_hits += 1
+            return plan
+        self.route_cache_misses += 1
+        plan = self._compute_route(sender, target)
+        self._route_plans[key] = plan
+        return plan
+
+    def _compute_route(
+        self, sender: Node, target: Node
+    ) -> Optional[tuple[tuple[Segment, ...], int]]:
+        """Uncached plan assembly: direct delivery or the router's path."""
         for seg in sender.segments:
             if target in seg:
-                return [seg], 0
+                return (seg,), 0
         best = self.router.route(
             (s.name for s in sender.segments), (s.name for s in target.segments)
         )
@@ -215,7 +268,7 @@ class Network:
             cursor = hop.other(cursor)
             traversed.append(self.segments[cursor])
             link_latency += hop.latency_us
-        return traversed, link_latency
+        return tuple(traversed), link_latency
 
     def unicast_delay_us(
         self, sender: Node, remote_host: str, size_bytes: int, loopback: bool = False
@@ -239,9 +292,18 @@ class Network:
     # -- datagram delivery -----------------------------------------------------
 
     def send_datagram(
-        self, sender: Node, source: Endpoint, destination: Endpoint, payload: bytes
+        self,
+        sender: Node,
+        source: Endpoint,
+        destination: Endpoint,
+        payload: bytes,
+        decode_hint: tuple | None = None,
     ) -> None:
-        """Route one UDP datagram (unicast, multicast, or broadcast)."""
+        """Route one UDP datagram (unicast, multicast, or broadcast).
+
+        ``decode_hint`` pre-seeds the frame's decode memo with the sender's
+        structured form of the payload (see :meth:`UdpSocket.sendto`).
+        """
         size = len(payload)
         self.traffic.record(
             self.scheduler.now_us,
@@ -251,6 +313,8 @@ class Network:
             multicast=is_multicast(destination.host),
         )
         datagram = Datagram(payload=payload, source=source, destination=destination)
+        if decode_hint is not None:
+            datagram.ensure_memo().store(decode_hint[0], payload, decode_hint[1])
 
         if is_multicast(destination.host):
             self._deliver_multicast(sender, datagram)
@@ -331,7 +395,7 @@ class Network:
                         continue
                     sock.deliver(datagram)
 
-            self.scheduler.schedule(lan_delay, deliver_lan, label="udp-mcast")
+            self.scheduler.post(lan_delay, deliver_lan, label="udp-mcast")
 
         loop_delay = sender.segment.delay_us(size, loopback=True)
 
@@ -339,7 +403,7 @@ class Network:
             for sock in sender.udp.sockets_for_group(group, port):
                 sock.deliver(datagram)
 
-        self.scheduler.schedule(loop_delay, deliver_loopback, label="udp-mcast-loop")
+        self.scheduler.post(loop_delay, deliver_loopback, label="udp-mcast-loop")
 
     def _deliver_broadcast(self, sender: Node, datagram: Datagram) -> None:
         delivered: set[str] = set()
@@ -359,7 +423,10 @@ class Network:
         segment: Segment,
         prefix_delay: int = 0,
     ) -> None:
-        for sock in node.udp.sockets_for(datagram.destination.port):
+        stack = node.udp_stack
+        if stack is None:
+            return  # the host never opened a socket; nothing can bind
+        for sock in stack.sockets_for(datagram.destination.port):
             self._schedule_socket_delivery(sock, datagram, loopback, segment, prefix_delay)
 
     def _schedule_socket_delivery(
@@ -373,7 +440,7 @@ class Network:
         if self.loss is not None and not loopback and self.loss.should_drop():
             return
         delay = prefix_delay + segment.delay_us(len(datagram.payload), loopback=loopback)
-        self.scheduler.schedule(delay, lambda: sock.deliver(datagram), label="udp-delivery")
+        self.scheduler.post(delay, lambda: sock.deliver(datagram), label="udp-delivery")
 
     # -- run helpers ------------------------------------------------------------
 

@@ -26,12 +26,35 @@ class Node:
         self.network = network
         self.name = name
         self.address = address
-        self.udp = UdpStack(self)
-        self.tcp = TcpStack(self)
+        # Stacks are created on first use: thousand-node scenarios attach
+        # mostly idle background hosts, and two stack allocations per node
+        # dominate their setup cost.
+        self._udp: UdpStack | None = None
+        self._tcp: TcpStack | None = None
         #: Segments this host has an interface on; populated by
         #: :meth:`repro.net.segment.Segment.attach`.  A gateway host
         #: bridged across two LANs has two entries.
         self.segments: list["Segment"] = []
+
+    @property
+    def udp(self) -> UdpStack:
+        stack = self._udp
+        if stack is None:
+            stack = self._udp = UdpStack(self)
+        return stack
+
+    @property
+    def tcp(self) -> TcpStack:
+        stack = self._tcp
+        if stack is None:
+            stack = self._tcp = TcpStack(self)
+        return stack
+
+    @property
+    def udp_stack(self) -> UdpStack | None:
+        """The UDP stack if one exists — a peek that never instantiates
+        (delivery and attach paths use it to skip socketless hosts)."""
+        return self._udp
 
     @property
     def segment(self) -> "Segment":

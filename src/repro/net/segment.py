@@ -70,6 +70,10 @@ class Segment:
     def allocate_address(self) -> str:
         return self._allocator.allocate()
 
+    def has_free_address(self) -> bool:
+        """True while the segment's subnet can still attach another host."""
+        return self._allocator.remaining > 0
+
     def attach(self, node: "Node") -> None:
         """Attach ``node`` to this segment (multi-homing is allowed)."""
         if node.address in self._nodes:
@@ -79,8 +83,27 @@ class Segment:
             node.segments.append(self)
         # A node bridged onto this segment after its sockets joined their
         # groups (gateway placement) brings its memberships along.
-        for group, port, sock in node.udp.multicast_members():
-            self.index_group_member(sock, group, port)
+        stack = node.udp_stack
+        if stack is not None:
+            for group, port, sock in stack.multicast_members():
+                self.index_group_member(sock, group, port)
+        # Reachability changed (a bridge may have shortened routes).
+        self.network._note_topology_change()
+
+    def detach(self, node: "Node") -> None:
+        """Remove ``node`` from this segment, dropping its group indexes."""
+        if self._nodes.get(node.address) is not node:
+            raise NetworkError(
+                f"{node.address} is not attached to segment {self.name}"
+            )
+        stack = node.udp_stack
+        if stack is not None:
+            for group, port, sock in stack.multicast_members():
+                self.unindex_group_member(sock, group, port)
+        del self._nodes[node.address]
+        if self in node.segments:
+            node.segments.remove(self)
+        self.network._note_topology_change()
 
     # -- multicast membership index -----------------------------------------
 
@@ -137,11 +160,15 @@ class Router:
 
     Paths are cached per (source, destination) pair; the cache is dropped
     whenever topology changes so routes always reflect the current graph.
+    ``topology_version`` counts those changes — the network layer keys its
+    precomputed delivery plans on it, so plan memos expire the moment a
+    link is added.
     """
 
     def __init__(self) -> None:
         self._adjacency: dict[str, list[Link]] = {}
         self._paths: dict[tuple[str, str], Optional[tuple[Link, ...]]] = {}
+        self.topology_version = 0
 
     def connect(self, a: str, b: str, latency_us: int = DEFAULT_LINK_LATENCY_US) -> Link:
         if a == b:
@@ -150,6 +177,7 @@ class Router:
         self._adjacency.setdefault(a, []).append(link)
         self._adjacency.setdefault(b, []).append(link)
         self._paths.clear()
+        self.topology_version += 1
         return link
 
     def neighbors(self, name: str) -> list[str]:
@@ -198,7 +226,13 @@ class Router:
     def route(
         self, sources: Iterable[str], destinations: Iterable[str]
     ) -> Optional[tuple[str, list[Link]]]:
-        """Best (source-segment, link path) over all source/destination pairs."""
+        """Best (source-segment, link path) over all source/destination pairs.
+
+        Equal-hop-count candidates tie-break lexicographically on the
+        source segment name, so the chosen route never depends on segment
+        iteration order (multi-homed gateways used to pick whichever
+        interface happened to come first).
+        """
         best: Optional[tuple[str, list[Link]]] = None
         destination_list = list(destinations)
         for source in sources:
@@ -206,7 +240,11 @@ class Router:
                 hops = self.path(source, destination)
                 if hops is None:
                     continue
-                if best is None or len(hops) < len(best[1]):
+                if (
+                    best is None
+                    or len(hops) < len(best[1])
+                    or (len(hops) == len(best[1]) and source < best[0])
+                ):
                     best = (source, hops)
         return best
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass
+from typing import NamedTuple
 
 
 @dataclass
@@ -22,8 +23,10 @@ class PortCounters:
     last_seen_us: int = -1
 
 
-@dataclass
-class TrafficSample:
+class TrafficSample(NamedTuple):
+    # A NamedTuple, not a dataclass: two samples are allocated per
+    # delivered frame (network-wide plus per-segment), so construction
+    # cost is a measurable slice of the delivery hot path.
     time_us: int
     port: int
     size: int

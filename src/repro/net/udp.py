@@ -7,7 +7,7 @@ groups, send datagrams, receive them through a callback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
 from .addressing import ANY, Endpoint, is_multicast, validate_port
@@ -17,6 +17,51 @@ if TYPE_CHECKING:  # pragma: no cover
     from .node import Node
 
 
+#: Sentinel returned by :meth:`FrameMemo.lookup` when no usable entry
+#: exists (``None`` is a legitimate stored value: "this payload does not
+#: decode").
+MEMO_MISS = object()
+
+
+class FrameMemo:
+    """Shared per-frame decode results (parse-once fan-out delivery).
+
+    One multicast frame fans out to K co-segment sockets; every receiver
+    that decodes the same bytes the same way (an INDISS monitor's parser, a
+    native SLP endpoint's wire decoder) pays the decode once and the other
+    K-1 reuse the stored result.  The memo lives on the
+    :class:`Datagram` — per frame, not a global cache — so results can
+    never outlive the frame or leak between frames.
+
+    Each entry stores the payload it was computed from, and ``lookup``
+    compares it with bytes equality before reuse: even if two distinct
+    payloads ever shared a key (hash collision, or a hand-built datagram
+    reusing another frame's memo), the stale result is not served.
+    """
+
+    __slots__ = ("_entries", "hits", "collisions")
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self.hits = 0
+        self.collisions = 0
+
+    def lookup(self, key, payload: bytes):
+        """The stored result for ``key``, or :data:`MEMO_MISS`."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return MEMO_MISS
+        stored_payload, value = entry
+        if stored_payload != payload:
+            self.collisions += 1
+            return MEMO_MISS
+        self.hits += 1
+        return value
+
+    def store(self, key, payload: bytes, value) -> None:
+        self._entries[key] = (payload, value)
+
+
 @dataclass(frozen=True)
 class Datagram:
     """A delivered UDP datagram."""
@@ -24,6 +69,24 @@ class Datagram:
     payload: bytes
     source: Endpoint
     destination: Endpoint
+    #: Per-frame decode memo shared by every socket this frame reaches;
+    #: excluded from equality/hash (two equal frames are equal regardless
+    #: of what receivers decoded so far).  Created lazily by
+    #: :meth:`ensure_memo` — frames nobody memoizes (TCP-ish payloads,
+    #: single-receiver traffic without a decode hint) never allocate one.
+    memo: Optional[FrameMemo] = field(default=None, compare=False, repr=False)
+
+    def ensure_memo(self) -> FrameMemo:
+        """The frame's memo, created on first demand.
+
+        The instance is shared by every receiver of the frame, so the
+        first decoder's memo is visible to all later ones.
+        """
+        memo = self.memo
+        if memo is None:
+            memo = FrameMemo()
+            object.__setattr__(self, "memo", memo)
+        return memo
 
     @property
     def multicast(self) -> bool:
@@ -119,14 +182,24 @@ class UdpSocket:
 
     # -- I/O ----------------------------------------------------------------
 
-    def sendto(self, payload: bytes, destination: Endpoint) -> None:
-        """Send ``payload`` to a unicast or multicast endpoint."""
+    def sendto(
+        self, payload: bytes, destination: Endpoint, decode_hint: tuple | None = None
+    ) -> None:
+        """Send ``payload`` to a unicast or multicast endpoint.
+
+        ``decode_hint`` is an optional ``(memo_key, decoded_form)`` pair:
+        a sender that just *encoded* a structured message can seed the
+        frame's :class:`FrameMemo` with it, so no receiver ever pays the
+        decode (parse-once carried to the producer side).
+        """
         self._ensure_open()
         if self._port is None:
             # Match OS behaviour: sending auto-binds to an ephemeral port.
             self.bind(self._node.udp.ephemeral_port())
         source = Endpoint(self._node.address, self._port)
-        self._node.network.send_datagram(self._node, source, destination, bytes(payload))
+        self._node.network.send_datagram(
+            self._node, source, destination, bytes(payload), decode_hint=decode_hint
+        )
         self.sent_count += 1
 
     def deliver(self, datagram: Datagram) -> None:
@@ -216,4 +289,4 @@ class UdpStack:
         return sorted(self._ports)
 
 
-__all__ = ["UdpSocket", "UdpStack", "Datagram", "ANY"]
+__all__ = ["UdpSocket", "UdpStack", "Datagram", "FrameMemo", "MEMO_MISS", "ANY"]

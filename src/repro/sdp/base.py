@@ -10,6 +10,7 @@ the three naming schemes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
 #: Marker for records whose origin protocol is unknown.
 UNKNOWN_SDP = "unknown"
@@ -53,12 +54,15 @@ class ServiceRecord:
         return self.service_type == normalized_type
 
 
+@lru_cache(maxsize=4096)
 def normalize_service_type(raw: str) -> str:
     """Reduce any SDP's service-type naming to the short normalized form.
 
     ``service:clock:soap`` (SLP), ``urn:schemas-upnp-org:device:clock:1``
     (UPnP), ``org.example.Clock`` (Jini-style class name) all normalize to
-    ``"clock"``.
+    ``"clock"``.  Pure string-to-string, so results are memoized — the
+    dispatch and cache layers normalize the same handful of types on
+    every request.
     """
     if not raw:
         return ""

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
-from ...net import Endpoint, Node, Timer
+from ...net import Endpoint, MEMO_MISS, Node, Timer
 from .attributes import parse_attributes, serialize_attributes
 from .constants import (
     DA_SERVICE_TYPE,
@@ -52,7 +52,7 @@ from .messages import (
 )
 from .predicate import matches as predicate_matches
 from .service_type import ServiceType
-from .wire import decode, encode
+from .wire import WIRE_MEMO_KEY, decode, encode
 
 
 @dataclass
@@ -178,15 +178,31 @@ class _SlpEndpointBase:
         self._socket.close()
 
     def _send(self, message: SlpMessage, destination: Endpoint) -> None:
-        self._socket.sendto(encode(message), destination)
+        # Seed the frame memo with the structured form: receivers share the
+        # sender's message instead of decoding the wire bytes back.
+        self._socket.sendto(
+            encode(message), destination,
+            decode_hint=(self._WIRE_MEMO_KEY, message),
+        )
 
     def _send_multicast(self, message: SlpMessage) -> None:
         self._send(message, Endpoint(self.config.multicast_group, self.config.port))
 
+    #: Per-frame memo key for the shared wire decode (all SLP endpoints on
+    #: a segment hear the same multicast frame; the first decodes, the
+    #: rest reuse — messages are treated as read-only by every handler).
+    _WIRE_MEMO_KEY = WIRE_MEMO_KEY
+
     def _on_datagram(self, datagram) -> None:
-        try:
-            message = decode(datagram.payload)
-        except SlpDecodeError:
+        memo = datagram.ensure_memo()
+        message = memo.lookup(self._WIRE_MEMO_KEY, datagram.payload)
+        if message is MEMO_MISS:
+            try:
+                message = decode(datagram.payload)
+            except SlpDecodeError:
+                message = None
+            memo.store(self._WIRE_MEMO_KEY, datagram.payload, message)
+        if message is None:
             self.decode_errors += 1
             return
         self._handle(message, datagram.source, datagram.multicast)

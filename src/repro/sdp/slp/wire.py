@@ -165,6 +165,12 @@ def _encode_header(writer: _Writer, header: Header, body: bytes) -> bytes:
     return out.getvalue()
 
 
+#: Per-frame decode-memo key for the SLP wire codec: every native SLP
+#: endpoint and the SLP unit share (or pre-seed) decoded messages under
+#: this key on the delivering frame's FrameMemo.
+WIRE_MEMO_KEY = "slp-wire"
+
+
 def encode(message: SlpMessage) -> bytes:
     """Render any SLP message dataclass to its binary wire form."""
     writer = _Writer()
@@ -362,4 +368,4 @@ def is_multicast_request(message: SlpMessage) -> bool:
     return bool(message.header.flags & Flags.REQUEST_MCAST)
 
 
-__all__ = ["encode", "decode", "decode_header", "is_multicast_request"]
+__all__ = ["encode", "decode", "decode_header", "is_multicast_request", "WIRE_MEMO_KEY"]

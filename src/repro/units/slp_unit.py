@@ -46,8 +46,9 @@ from ..core.fsm import StateMachine, StateMachineDefinition
 from ..core.parser import NetworkMeta, ParseError, SdpParser
 from ..core.session import TranslationSession
 from ..core.unit import Unit, UnitRuntime
-from ..net import Endpoint
+from ..net import Endpoint, MEMO_MISS
 from ..sdp.base import normalize_service_type, slp_service_type
+from ..sdp.slp.wire import WIRE_MEMO_KEY
 from ..sdp.slp import (
     AttrRply,
     AttrRqst,
@@ -107,10 +108,23 @@ class SlpEventParser(SdpParser):
     syntax = "slp"
 
     def parse(self, raw: bytes, meta: NetworkMeta) -> list[Event]:
-        try:
-            message = decode(raw)
-        except SlpDecodeError as exc:
-            raise ParseError(str(exc)) from exc
+        # The frame's memo usually already holds the decoded message: SLP
+        # senders seed it at send time, and any native endpoint that heard
+        # the frame first stored its decode.  Only truly foreign bytes are
+        # decoded here.
+        memo = getattr(meta, "memo", None)
+        message = MEMO_MISS if memo is None else memo.lookup(WIRE_MEMO_KEY, raw)
+        if message is None:
+            raise ParseError("not an SLP message (shared negative decode)")
+        if message is MEMO_MISS:
+            try:
+                message = decode(raw)
+            except SlpDecodeError as exc:
+                if memo is not None:
+                    memo.store(WIRE_MEMO_KEY, raw, None)
+                raise ParseError(str(exc)) from exc
+            if memo is not None:
+                memo.store(WIRE_MEMO_KEY, raw, message)
 
         events: list[Event] = []
         events.append(
@@ -266,6 +280,7 @@ class SlpEventComposer(SdpComposer):
             payload=encode(request),
             destination=Endpoint(SLP_MULTICAST_GROUP, SLP_PORT),
             label="srvrqst",
+            decode_hint=(WIRE_MEMO_KEY, request),
         )
 
     def _compose_reply(self, events: list[Event], session: TranslationSession) -> OutboundMessage:
@@ -295,7 +310,10 @@ class SlpEventComposer(SdpComposer):
             raise ComposeError("session has no requester to answer")
         self.messages_composed += 1
         return OutboundMessage(
-            payload=encode(reply), destination=session.requester, label="srvrply"
+            payload=encode(reply),
+            destination=session.requester,
+            label="srvrply",
+            decode_hint=(WIRE_MEMO_KEY, reply),
         )
 
     def _compose_advert(self, events: list[Event]) -> OutboundMessage:
@@ -319,6 +337,7 @@ class SlpEventComposer(SdpComposer):
             payload=encode(advert),
             destination=Endpoint(SLP_MULTICAST_GROUP, SLP_PORT),
             label="saadvert",
+            decode_hint=(WIRE_MEMO_KEY, advert),
         )
 
 
@@ -399,14 +418,18 @@ class SlpUnit(Unit):
     # -- environment traffic: learn the directory agent ------------------------
 
     def handle_environment_message(self, raw: bytes, meta: NetworkMeta) -> list[Event] | None:
-        try:
-            message = decode(raw)
-        except SlpDecodeError:
-            message = None
-        if message is not None and message.header.function_id is FunctionId.DAADVERT:
-            if meta.source is not None:
-                self.known_da = Endpoint(meta.source.host, SLP_PORT)
-            return None  # DAAdverts configure the unit; they are not translated
+        # Spotting a DAAdvert only needs the function id — byte 1 of the
+        # SLP header — so every non-DAAdvert frame (all of the hot path)
+        # skips straight to the shared parse instead of a full wire decode.
+        if len(raw) > 1 and raw[1] == int(FunctionId.DAADVERT):
+            try:
+                message = decode(raw)
+            except SlpDecodeError:
+                message = None
+            if message is not None and message.header.function_id is FunctionId.DAADVERT:
+                if meta.source is not None:
+                    self.known_da = Endpoint(meta.source.host, SLP_PORT)
+                return None  # DAAdverts configure the unit; not translated
         return super().handle_environment_message(raw, meta)
 
     # -- target side: foreign request translated into native SLP ------------
@@ -453,7 +476,10 @@ class SlpUnit(Unit):
 
         def transmit() -> None:
             for message in messages:
-                self.runtime.send_udp(message.payload, message.destination)
+                self.runtime.send_udp(
+                    message.payload, message.destination,
+                    decode_hint=message.decode_hint,
+                )
 
         self.runtime.schedule(self.runtime.timings.compose_us, transmit)
 
@@ -480,7 +506,9 @@ class SlpUnit(Unit):
         session.log(f"slp-unit: composed recursive AttrRqst xid={xid}")
         self.runtime.schedule(
             self.runtime.timings.compose_us,
-            lambda: self.runtime.send_udp(encode(request), destination),
+            lambda: self.runtime.send_udp(
+                encode(request), destination, decode_hint=(WIRE_MEMO_KEY, request)
+            ),
         )
         self.runtime.schedule(
             self._attr_wait_us + self.runtime.timings.compose_us,
@@ -582,7 +610,10 @@ class SlpUnit(Unit):
 
         def transmit() -> None:
             for message in messages:
-                self.runtime.send_udp_from_new_socket(message.payload, message.destination)
+                self.runtime.send_udp_from_new_socket(
+                    message.payload, message.destination,
+                    decode_hint=message.decode_hint,
+                )
 
         self.runtime.schedule(self.runtime.timings.compose_us, transmit)
 
@@ -598,7 +629,9 @@ class SlpUnit(Unit):
             events.append(Event.of(SDP_RES_ATTR, name=name, value=value))
         session = TranslationSession(origin_sdp="slp", requester=None)
         for message in self.composer.compose(bracket(events, sdp="slp"), session):
-            self.runtime.send_udp_from_new_socket(message.payload, message.destination)
+            self.runtime.send_udp_from_new_socket(
+                message.payload, message.destination, decode_hint=message.decode_hint
+            )
         if self.known_da is not None:
             self._register_with_da(record)
 
@@ -614,7 +647,10 @@ class SlpUnit(Unit):
             attr_list=serialize_attributes(record.attributes),
         )
         self.da_registrations += 1
-        self.runtime.send_udp_from_new_socket(encode(registration), self.known_da)
+        self.runtime.send_udp_from_new_socket(
+            encode(registration), self.known_da,
+            decode_hint=(WIRE_MEMO_KEY, registration),
+        )
 
 
 def _with_xid(session: TranslationSession, xid: int) -> TranslationSession:

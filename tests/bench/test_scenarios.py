@@ -23,12 +23,16 @@ from repro.bench import (
 )
 
 
+from repro.bench.scenarios import SMALL_SCALE_OVERRIDES
+
+
 class TestDeterminism:
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_same_seed_same_latency(self, name):
         scenario = SCENARIOS[name]
-        first = scenario(seed=3)
-        second = scenario(seed=3)
+        kwargs = SMALL_SCALE_OVERRIDES.get(name, {})
+        first = scenario(seed=3, **kwargs)
+        second = scenario(seed=3, **kwargs)
         assert first.latency_us == second.latency_us
 
     def test_different_seeds_vary(self):
@@ -39,7 +43,7 @@ class TestDeterminism:
 class TestCompleteness:
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_scenario_yields_exactly_one_answer(self, name):
-        outcome = SCENARIOS[name](seed=0)
+        outcome = SCENARIOS[name](seed=0, **SMALL_SCALE_OVERRIDES.get(name, {}))
         assert outcome.latency_us is not None
         assert outcome.results == 1
 

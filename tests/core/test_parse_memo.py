@@ -1,0 +1,178 @@
+"""Parse-once frame delivery: the per-frame decode memo and its guards."""
+
+import pytest
+
+from repro.core import Indiss, IndissConfig
+from repro.core.events import SDP_C_START, SDP_C_STOP
+from repro.core.parser import NetworkMeta
+from repro.net import Endpoint, FrameMemo, MEMO_MISS, Network
+
+
+class TestFrameMemo:
+    def test_miss_then_hit(self):
+        memo = FrameMemo()
+        assert memo.lookup("k", b"abc") is MEMO_MISS
+        memo.store("k", b"abc", [1, 2])
+        assert memo.lookup("k", b"abc") == [1, 2]
+        assert memo.hits == 1
+
+    def test_none_is_a_storable_result(self):
+        memo = FrameMemo()
+        memo.store("k", b"junk", None)
+        assert memo.lookup("k", b"junk") is None
+        assert memo.lookup("k", b"junk") is not MEMO_MISS
+
+    def test_hash_collision_guard_compares_bytes(self):
+        """A key that maps to a different payload's entry must miss: the
+        stored bytes are compared for equality before any reuse."""
+        memo = FrameMemo()
+        memo.store("k", b"payload-A", "result-A")
+        assert memo.lookup("k", b"payload-B") is MEMO_MISS
+        assert memo.collisions == 1
+        # The guard never serves the stale entry, even repeatedly.
+        assert memo.lookup("k", b"payload-B") is MEMO_MISS
+        assert memo.lookup("k", b"payload-A") == "result-A"
+
+    def test_memo_is_per_frame_not_global(self):
+        from repro.net.udp import Datagram
+
+        src = Endpoint("192.168.1.1", 5000)
+        dst = Endpoint("239.255.255.253", 427)
+        first = Datagram(payload=b"x", source=src, destination=dst)
+        second = Datagram(payload=b"x", source=src, destination=dst)
+        assert first.memo is None  # lazily created: no cost until used
+        assert first == second  # memo excluded from equality
+        memo = first.ensure_memo()
+        assert first.ensure_memo() is memo  # stable once created
+        assert first == second  # still equal after memo creation
+        memo.store("k", b"x", "cached")
+        assert second.ensure_memo().lookup("k", b"x") is MEMO_MISS
+
+
+def _gateway(net, name, seed=0):
+    node = net.add_node(name)
+    return Indiss(
+        node,
+        IndissConfig(units=("slp", "upnp"), deployment="gateway", seed=seed),
+    )
+
+
+class TestSharedUnitParse:
+    def test_co_segment_gateways_share_one_parse(self):
+        """K gateways hearing the same multicast pay one parse: the first
+        unit parses, the rest consume the shared stream."""
+        net = Network()
+        gateways = [_gateway(net, f"gw{i}", seed=i) for i in range(4)]
+        client = net.add_node("client")
+        from repro.sdp.slp import ServiceType, SlpConfig, UserAgent
+
+        ua = UserAgent(client, config=SlpConfig(wait_us=50_000, retries=0))
+        ua.find_services("service:printer")
+        net.run(duration_us=500_000)
+
+        slp_units = [gw.units["slp"] for gw in gateways]
+        parsed = sum(u.streams_parsed for u in slp_units)
+        shared = sum(u.streams_shared for u in slp_units)
+        assert shared > 0, "no parse was shared across the fleet"
+        # Each frame is parsed by exactly one receiver; with four gateways
+        # on the segment the shares must dominate the parses (the client's
+        # request alone is parsed once and shared three times).
+        assert shared > parsed
+        # The later gateways ride entirely on shared streams.
+        assert any(u.streams_parsed == 0 and u.streams_shared > 0 for u in slp_units)
+        # All gateways saw an identical stream (they all opened sessions
+        # for the same service type).
+        types = {
+            s.vars.get("service_type")
+            for gw in gateways
+            for s in gw.sessions
+        }
+        assert types == {"printer"}
+
+    def test_shared_streams_are_copies_not_aliases(self):
+        net = Network()
+        a, b = _gateway(net, "a", seed=0), _gateway(net, "b", seed=1)
+        seen: dict[str, list] = {}
+        a.units["slp"].add_listener(lambda stream, meta: seen.setdefault("a", stream))
+        b.units["slp"].add_listener(lambda stream, meta: seen.setdefault("b", stream))
+        client = net.add_node("client")
+        from repro.sdp.slp import SlpConfig, UserAgent
+
+        ua = UserAgent(client, config=SlpConfig(wait_us=50_000, retries=0))
+        ua.find_services("service:clock")
+        net.run(duration_us=300_000)
+        assert "a" in seen and "b" in seen
+        assert seen["a"] == seen["b"]
+        assert seen["a"] is not seen["b"]
+        assert seen["a"][0].type is SDP_C_START
+        assert seen["a"][-1].type is SDP_C_STOP
+
+    def test_failed_parse_is_shared_too(self):
+        """An undecodable payload is decoded (and rejected) once; later
+        receivers share the negative result."""
+        from repro.core.unit import Unit
+
+        net = Network()
+        gateways = [_gateway(net, f"gw{i}") for i in range(3)]
+        sender = net.add_node("sender")
+        sock = sender.udp.socket()
+        # Garbage on the SLP port: monitors hand it to the SLP unit.
+        sock.sendto(b"\xff\xfe not slp at all", Endpoint("239.255.255.253", 427))
+        net.run(duration_us=200_000)
+        units = [gw.units["slp"] for gw in gateways]
+        errors = sum(u.parser.parse_errors for u in units)
+        shared = sum(u.streams_shared for u in units)
+        assert errors == 1
+        assert shared == 2
+
+    def test_meta_without_memo_still_parses(self):
+        net = Network()
+        gw = _gateway(net, "gw")
+        unit = gw.units["slp"]
+        # Raw bytes with a plain meta (no datagram): the uncached path.
+        assert unit.parse_raw(b"junk", NetworkMeta()) is None
+        assert unit.streams_shared == 0
+
+
+class TestSharedNativeDecode:
+    def test_slp_endpoints_share_wire_decode(self, monkeypatch):
+        import repro.sdp.slp.agent as agent_module
+
+        calls = {"n": 0}
+        real_decode = agent_module.decode
+
+        def counting_decode(payload):
+            calls["n"] += 1
+            return real_decode(payload)
+
+        monkeypatch.setattr(agent_module, "decode", counting_decode)
+
+        net = Network()
+        from repro.sdp.slp import (
+            ServiceAgent,
+            ServiceType,
+            SlpConfig,
+            SlpRegistration,
+            UserAgent,
+        )
+
+        config = SlpConfig(wait_us=50_000, retries=0)
+        listeners = [
+            UserAgent(net.add_node(f"ua{i}"), config=config) for i in range(5)
+        ]
+        sa = ServiceAgent(net.add_node("sa"), config=config)
+        sa.register(
+            SlpRegistration(
+                url="service:clock://192.168.1.99:4005/c",
+                service_type=ServiceType.parse("service:clock"),
+            )
+        )
+        baseline = calls["n"]
+        done: list = []
+        listeners[0].find_services("service:clock", on_complete=done.append)
+        net.run(duration_us=500_000)
+        assert done and done[0].results
+        # The multicast request fans out to 5 UAs + the SA (+ the sender's
+        # loopback copy), but its payload is decoded exactly once; only
+        # the unicast reply adds another decode.
+        assert calls["n"] - baseline <= 3

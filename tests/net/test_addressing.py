@@ -98,7 +98,22 @@ class TestAllocator:
 
     def test_bad_prefix(self):
         with pytest.raises(AddressError):
-            AddressAllocator("1.2")
+            AddressAllocator("1")
+        with pytest.raises(AddressError):
+            AddressAllocator("1.2.3.4")
+        with pytest.raises(AddressError):
+            AddressAllocator("1.999")
+
+    def test_wide_prefix_allocates_a_16(self):
+        alloc = AddressAllocator("10.7")
+        assert alloc.allocate() == "10.7.0.1"
+        assert alloc.capacity == 255 * 254
+        for _ in range(253):
+            alloc.allocate()
+        # 254 hosts exhaust the first /24 slice; the next rolls over.
+        assert alloc.allocate() == "10.7.1.1"
+        assert alloc.remaining == alloc.capacity - 255
+        assert is_valid_ipv4(alloc.allocate())
 
 
 @given(st.tuples(*(st.integers(0, 255) for _ in range(4))))

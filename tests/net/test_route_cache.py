@@ -1,0 +1,140 @@
+"""Route-plan memoization, its invalidation rules, and router tie-breaks."""
+
+import pytest
+
+from repro.net import Network, NetworkError
+from repro.net.segment import Router
+
+
+class TestRoutePlanCache:
+    def _two_segment_world(self):
+        net = Network()
+        far = net.add_segment("far")
+        net.link(net.default_segment, far)
+        a = net.add_node("a")
+        b = net.add_node("b", segment=far)
+        return net, far, a, b
+
+    def test_steady_state_hits_after_first_computation(self):
+        net, far, a, b = self._two_segment_world()
+        first = net._route_segments(a, b)
+        assert net.route_cache_misses == 1
+        for _ in range(5):
+            assert net._route_segments(a, b) is first
+        assert net.route_cache_hits == 5
+        names = [s.name for s in first[0]]
+        assert names == [net.default_segment.name, "far"]
+        assert first[1] > 0  # one link crossed
+
+    def test_direct_delivery_is_cached_too(self):
+        net = Network()
+        a, b = net.add_node("a"), net.add_node("b")
+        plan = net._route_segments(a, b)
+        assert plan == ((net.default_segment,), 0)
+        assert net._route_segments(a, b) is plan
+        assert net.route_cache_hits == 1
+
+    def test_new_link_drops_cached_plans(self):
+        net = Network()
+        far = net.add_segment("far")
+        isolated = net.add_segment("island")
+        net.link(net.default_segment, far)
+        a = net.add_node("a")
+        c = net.add_node("c", segment=isolated)
+        assert net._route_segments(a, c) is None  # disconnected, memoized
+        assert net._route_segments(a, c) is None
+        assert net.route_cache_hits == 1
+        net.link(far, isolated)  # topology change mid-run
+        plan = net._route_segments(a, c)
+        assert plan is not None
+        assert [s.name for s in plan[0]] == ["lan0", "far", "island"]
+
+    def test_new_segment_and_bridge_drop_cached_plans(self):
+        net, far, a, b = self._two_segment_world()
+        routed = net._route_segments(a, b)
+        assert len(routed[0]) == 2 and routed[1] > 0
+        # Bridge the *target* host onto the sender's segment: the old
+        # two-segment plan is stale; delivery is now direct.
+        net.bridge(b, net.default_segment)
+        direct = net._route_segments(a, b)
+        assert direct == ((net.default_segment,), 0)
+
+    def test_detach_drops_cached_plans_and_routes(self):
+        net, far, a, b = self._two_segment_world()
+        assert net._route_segments(a, b) is not None
+        net.detach_node(b)
+        assert net.node_at(b.address) is None
+        assert b.segments == []
+        # A datagram to the departed address now counts as unrouted.
+        sock = a.udp.socket()
+        from repro.net import Endpoint
+
+        sock.sendto(b"hello?", Endpoint(b.address, 4000))
+        net.run()
+        assert net.unrouted == 1
+
+    def test_detach_unindexes_multicast_membership(self):
+        net = Network()
+        a = net.add_node("a")
+        b = net.add_node("b")
+        sock = b.udp.socket().bind(5000, reuse=True).join_group("239.0.0.7")
+        assert net.default_segment.group_members("239.0.0.7", 5000) == [sock]
+        net.detach_node(b)
+        assert net.default_segment.group_members("239.0.0.7", 5000) == []
+
+    def test_detach_unknown_node_raises(self):
+        net = Network()
+        b = net.add_node("b")
+        net.detach_node(b)
+        with pytest.raises(NetworkError):
+            net.default_segment.detach(b)
+
+    def test_invalidation_counter_moves_only_when_cache_held_entries(self):
+        net, far, a, b = self._two_segment_world()
+        before = net.route_cache_invalidations
+        net._route_segments(a, b)
+        net.add_segment("spare")
+        assert net.route_cache_invalidations == before + 1
+
+
+class TestRouterTieBreak:
+    def test_equal_hop_paths_pick_lexicographic_source(self):
+        router = Router()
+        # Two sources, both one hop from the destination.
+        router.connect("zeta", "dst")
+        router.connect("alpha", "dst")
+        best = router.route(["zeta", "alpha"], ["dst"])
+        assert best is not None
+        assert best[0] == "alpha"
+        # Iteration order must not matter.
+        best = router.route(["alpha", "zeta"], ["dst"])
+        assert best[0] == "alpha"
+
+    def test_shorter_path_still_beats_lexicographic_order(self):
+        router = Router()
+        router.connect("alpha", "mid")
+        router.connect("mid", "dst")
+        router.connect("zeta", "dst")
+        best = router.route(["alpha", "zeta"], ["dst"])
+        assert best[0] == "zeta"
+        assert len(best[1]) == 1
+
+    def test_bridged_gateway_reply_path_is_deterministic(self):
+        """End-to-end: a host bridged onto two equal-distance segments
+        always replies through the lexicographically first one."""
+
+        def build(order):
+            net = Network()
+            east = net.add_segment("east")
+            west = net.add_segment("west")
+            dst = net.add_segment("dst-net")
+            net.link(east, dst)
+            net.link(west, dst)
+            sender = net.add_node("sender")
+            for name in order:
+                net.bridge(sender, name)
+            target = net.add_node("target", segment=dst)
+            plan = net._route_segments(sender, target)
+            return [s.name for s in plan[0]]
+
+        assert build(["east", "west"]) == build(["west", "east"]) == ["east", "dst-net"]
