@@ -459,6 +459,15 @@ def _hotpath_stats(net: Network, instances) -> dict:
     measure a pre-optimization core (no wheel compactions, no route cache,
     no parse memo) and report zeros instead of crashing — that is what the
     committed baseline was produced with.
+
+    ``parse_dedup_rate`` is decode-level across *every* memo-aware
+    receiver (native endpoints and units alike, from the network's
+    per-protocol :class:`~repro.net.ParseCounter` registry): the fraction
+    of (receiver, frame) observations served from a shared or seeded
+    decode instead of running a codec.  Per-protocol rates ride along as
+    ``parse_dedup_rate_<proto>`` so the win is attributable per SDP.  The
+    unit-level stream counters (``streams_parsed``/``streams_shared``)
+    keep their PR-3 meaning.
     """
     sched = net.scheduler
     units = [u for inst in instances for u in inst.units.values()]
@@ -466,7 +475,7 @@ def _hotpath_stats(net: Network, instances) -> dict:
     shared = sum(getattr(u, "streams_shared", 0) for u in units)
     hits = getattr(net, "route_cache_hits", 0)
     misses = getattr(net, "route_cache_misses", 0)
-    return {
+    row = {
         "events_fired": sched.events_fired,
         "sched_compactions": getattr(sched, "compactions", 0),
         "route_cache_hits": hits,
@@ -476,6 +485,18 @@ def _hotpath_stats(net: Network, instances) -> dict:
         "streams_shared": shared,
         "parse_dedup_rate": shared / (parsed + shared) if parsed + shared else 0.0,
     }
+    counters = getattr(net, "parse_stats", None) or {}
+    if counters:
+        decoded_total = sum(c.decoded for c in counters.values())
+        shared_total = sum(c.shared for c in counters.values())
+        row["parse_decoded"] = decoded_total
+        row["parse_shared"] = shared_total
+        row["parse_seeded"] = sum(c.seeded for c in counters.values())
+        if decoded_total + shared_total:
+            row["parse_dedup_rate"] = shared_total / (decoded_total + shared_total)
+        for proto, counter in sorted(counters.items()):
+            row[f"parse_dedup_rate_{proto}"] = round(counter.dedup_rate, 4)
+    return row
 
 
 def _start_chatter(
@@ -646,14 +667,15 @@ def federated_campus(
 
 
 def _make_typed_device(node, type_name: str, costs: CostModel, seed: int,
-                       advertise: bool):
+                       advertise: bool, notify_period_us: int | None = None,
+                       udn_suffix: str = ""):
     """A one-service UPnP device of a synthetic ``type_name`` type."""
     from ..sdp.upnp import DeviceDescription, ServiceDescription, UpnpDevice
 
     description = DeviceDescription(
         device_type=f"urn:schemas-upnp-org:device:{type_name}:1",
         friendly_name=f"Sensor {type_name}",
-        udn=f"uuid:{type_name}-device",
+        udn=f"uuid:{type_name}-device{udn_suffix}",
         manufacturer="INDISS bench",
         model_name=type_name,
         services=[
@@ -666,8 +688,12 @@ def _make_typed_device(node, type_name: str, costs: CostModel, seed: int,
             )
         ],
     )
+    kwargs = {}
+    if notify_period_us is not None:
+        kwargs["notify_period_us"] = notify_period_us
     return UpnpDevice(
-        node, description, timings=costs.upnp, seed=seed, advertise=advertise
+        node, description, timings=costs.upnp, seed=seed, advertise=advertise,
+        **kwargs,
     )
 
 
@@ -929,6 +955,283 @@ def metro_backbone(
     return outcome
 
 
+# -- Media city (the UPnP-dominated parse-once stress workload) -------------------
+
+
+def media_city(
+    seed: int = 0,
+    costs: CostModel = PAPER_TESTBED,
+    districts: int = 3,
+    leaves_per_district: int = 6,
+    nodes: int = 3000,
+    types_per_district: int = 4,
+    devices_per_leaf: int = 8,
+    cp_per_leaf: int = 5,
+    cp_period_us: int = 500_000,
+    notify_period_us: int = 1_200_000,
+    slp_island_leaves: int = 2,
+    slp_chatter_per_island: int = 5,
+    slp_chatter_period_us: int = 400_000,
+    jini_registrars_per_district: int = 1,
+    jini_listeners_per_district: int = 3,
+    gossip_period_us: int = 250_000,
+    warmup_us: int = 800_000,
+    run_us: int = 4_000_000,
+    capture: bool = False,
+    parse_once: bool = True,
+) -> ScenarioOutcome:
+    """A UPnP-dominated 3000+ node internetwork: the parse-once workload.
+
+    Topology mirrors :func:`metro_backbone` (chained district backbones,
+    /16 leaf LANs, one shard-ring fleet gateway per leaf, gateway-forward
+    bridges between districts) but the traffic mix is dominated by native
+    UPnP **device fleets**: ``devices_per_leaf`` root devices per leaf
+    multicasting periodic ``NOTIFY ssdp:alive`` bursts, plus
+    ``cp_per_leaf`` control points re-issuing M-SEARCHes every
+    ``cp_period_us`` and GENA-style eventing chatter (one subscriber per
+    district receiving periodic state-variable pushes).  Mixed in are SLP
+    islands (a service agent plus chatter user agents on the first
+    ``slp_island_leaves`` leaves of each district) and a Jini corner per
+    district (announcing registrars plus passive discovery listeners), so
+    all three protocol families exercise their shared-decode paths at
+    once.  Gateways run all three units.
+
+    Every SSDP alive/byebye/search frame here fans out to a dozen
+    co-segment receivers (sibling devices, control points, the gateway
+    monitor); with parse-once each frame is decoded at most once —
+    usually zero times, since senders seed their frames — which is what
+    ``extras["hotpaths"]["parse_dedup_rate"]`` measures.
+    ``parse_once=False`` runs the identical workload with the null frame
+    memo (every receiver decodes), the A/B baseline the benchmarks price
+    the machinery against.
+
+    Headline latency is a control-point search on district 0 issued after
+    warmup.
+    """
+    if districts < 1 or leaves_per_district < 1:
+        raise ValueError("media_city needs at least one district and leaf")
+    if districts * leaves_per_district > 199:
+        raise ValueError("media_city supports at most 199 leaves total")
+    if districts > 56:
+        # Backbone subnets are 10.{200+d}; octets must stay <= 255.
+        raise ValueError("media_city supports at most 56 districts")
+    from ..federation import GatewayFleet
+
+    net = Network(
+        latency=costs.latency_model(seed), subnet="10.200", capture=capture,
+        parse_once=parse_once,
+    )
+    backbones = [net.default_segment]
+    for d in range(1, districts):
+        backbone = net.add_segment(
+            f"city{d}", subnet=f"10.{200 + d}",
+            latency=costs.latency_model(seed + 10 + d),
+        )
+        net.link(backbones[d - 1], backbone)
+        backbones.append(backbone)
+
+    def gateway_config(member_seed: int) -> IndissConfig:
+        return IndissConfig(
+            units=("slp", "upnp", "jini"),
+            deployment="gateway",
+            dispatch="shard-ring",
+            timings=costs.indiss,
+            upnp_responder_delay_us=costs.indiss_upnp_responder_delay_us,
+            upnp_wait_us=300_000,
+            slp_wait_us=350_000,
+            seed=member_seed,
+        )
+
+    instances = []
+    devices = []
+    cp_stats: list[dict] = []
+    gena_subscribers = []
+    district_leaves: list[list] = []
+    district_types: list[list[str]] = []
+    slp_chatter: list[dict] = []
+    #: Global control-point index: the kick stagger below divides one
+    #: period across the whole fleet, so it must keep counting across
+    #: districts (a per-district reset would synchronize district
+    #: cohorts into cross-district bursts).
+    cp_index = 0
+
+    for d, backbone in enumerate(backbones):
+        leaves = []
+        for l in range(leaves_per_district):
+            leaf = net.add_segment(
+                f"c{d}l{l}", subnet=f"10.{d * leaves_per_district + l + 1}",
+                latency=costs.latency_model(seed + 100 * d + l),
+            )
+            net.link(backbone, leaf)
+            leaves.append(leaf)
+            gateway_node = net.add_node(f"gw-c{d}l{l}", segment=leaf)
+            net.bridge(gateway_node, backbone)
+            instances.append(Indiss(gateway_node, gateway_config(seed + 100 * d + l)))
+        district_leaves.append(leaves)
+        fleet = GatewayFleet(net, backbone)
+        for instance in instances[-leaves_per_district:]:
+            fleet.join(instance, gossip_period_us=gossip_period_us)
+
+        type_names = [f"media{d}t{t}" for t in range(types_per_district)]
+        district_types.append(type_names)
+
+        # Device fleets: every leaf hosts several advertising root devices
+        # cycling through the district's types.
+        for l, leaf in enumerate(leaves):
+            for i in range(devices_per_leaf):
+                type_name = type_names[(l * devices_per_leaf + i) % len(type_names)]
+                device_node = net.add_node(f"dev-c{d}l{l}n{i}", segment=leaf)
+                devices.append(
+                    _make_typed_device(
+                        device_node, type_name, costs, seed + i,
+                        advertise=True, notify_period_us=notify_period_us,
+                        udn_suffix=f"-c{d}l{l}n{i}",
+                    )
+                )
+
+        # Control-point chatter: periodic M-SEARCH for the district's types.
+        from ..sdp.upnp import UpnpControlPoint as _Cp
+
+        for l, leaf in enumerate(leaves):
+            for j in range(cp_per_leaf):
+                cp_node = net.add_node(f"cp-c{d}l{l}n{j}", segment=leaf)
+                cp = _Cp(cp_node, timings=costs.upnp)
+                target = type_names[cp_index % len(type_names)]
+                st = f"urn:schemas-upnp-org:device:{target}:1"
+                stats = {"issued": 0, "completed": 0, "found": 0}
+
+                def kick(cp=cp, st=st, stats=stats) -> None:
+                    stats["issued"] += 1
+
+                    def done(search, stats=stats) -> None:
+                        stats["completed"] += 1
+                        if search.responses:
+                            stats["found"] += 1
+
+                    cp.search(st, wait_us=200_000, on_complete=done)
+
+                cp_node.every(
+                    cp_period_us, kick,
+                    initial_delay_us=100_000
+                    + (cp_index * cp_period_us) // max(1, districts * leaves_per_district * cp_per_leaf),
+                )
+                cp_stats.append(stats)
+                cp_index += 1
+
+        # GENA-style chatter: one subscriber per district receives periodic
+        # state-variable pushes from the district's first device.
+        if devices_per_leaf > 0:
+            from ..sdp.upnp.gena import EventSubscriber
+
+            publisher = devices[-leaves_per_district * devices_per_leaf]
+            sub_node = net.add_node(f"gena-c{d}", segment=leaves[0])
+            subscriber = EventSubscriber(sub_node, callback_port=5004)
+            gena_subscribers.append(subscriber)
+            service = publisher.description.services[0]
+            sub_url = (
+                f"http://{publisher.node.address}:{publisher.http_port}"
+                f"{service.event_sub_url}"
+            )
+            sub_node.schedule(50_000, lambda u=sub_url, s=subscriber: s.subscribe(u))
+            publisher.node.every(
+                notify_period_us,
+                lambda p=publisher, d=d: p.notify_state_change({"Status": f"tick{d}"}),
+                initial_delay_us=300_000,
+            )
+
+        # SLP islands: a registered service agent plus chatter UAs on the
+        # first few leaves.
+        island = leaves[:slp_island_leaves]
+        if island and slp_chatter_per_island > 0:
+            sa_node = net.add_node(f"slp-sa-c{d}", segment=island[0])
+            sa = ServiceAgent(sa_node, config=_slp_config(costs))
+            sa.register(
+                SlpRegistration(
+                    url=f"service:media{d}slp://{sa_node.address}:4005/ctl",
+                    service_type=ServiceType.parse(f"service:media{d}slp"),
+                )
+            )
+            slp_chatter.extend(
+                _start_chatter(
+                    net, island, [f"media{d}slp"], costs,
+                    slp_chatter_per_island, slp_chatter_period_us,
+                )
+            )
+
+        # Jini corner: announcing registrars plus passive listeners sharing
+        # (or never paying) the announcement decode.
+        if jini_registrars_per_district > 0:
+            from ..sdp.jini import JiniTimings, LookupService, LookupDiscovery
+
+            jini_leaf = leaves[-1]
+            for r in range(jini_registrars_per_district):
+                reg_node = net.add_node(f"jini-reg-c{d}n{r}", segment=jini_leaf)
+                LookupService(
+                    reg_node, timings=JiniTimings(),
+                    announce_period_us=1_000_000,
+                    service_id_seed=5000 + 100 * d + r,
+                )
+            for r in range(jini_listeners_per_district):
+                listener_node = net.add_node(f"jini-ld-c{d}n{r}", segment=jini_leaf)
+                LookupDiscovery(listener_node)
+
+    for d in range(districts - 1):
+        inter_node = net.add_node(f"inter-{d}{d + 1}", segment=backbones[d])
+        net.bridge(inter_node, backbones[d + 1])
+        instances.append(
+            Indiss(inter_node, _gateway_chain_config(costs, seed=seed + 900 + d))
+        )
+
+    _populate_background_nodes(net, nodes)
+
+    net.run(duration_us=warmup_us)
+
+    # Headline probe: a native control-point search on district 0.
+    from ..sdp.upnp import UpnpControlPoint
+
+    probe_node = net.add_node("probe-cp", segment=district_leaves[0][0])
+    probe_cp = UpnpControlPoint(probe_node, timings=costs.upnp)
+    probe_done: list = []
+    probe_cp.search(
+        f"urn:schemas-upnp-org:device:{district_types[0][0]}:1",
+        wait_us=300_000,
+        on_complete=probe_done.append,
+    )
+
+    net.run(duration_us=run_us)
+
+    probe = probe_done[0] if probe_done else None
+    if probe is None or probe.first_latency_us is None:
+        outcome = ScenarioOutcome(None, 0, net)
+    else:
+        outcome = ScenarioOutcome(probe.first_latency_us, len(probe.responses), net)
+
+    monitor_attribution: dict[str, dict[str, int]] = {}
+    for instance in instances:
+        for sdp_id, row in instance.monitor.parse_attribution().items():
+            agg = monitor_attribution.setdefault(sdp_id, {"frames": 0, "seeded": 0})
+            agg["frames"] += row["frames"]
+            agg["seeded"] += row["seeded"]
+
+    cp_completed = sum(c["completed"] for c in cp_stats)
+    cp_found = sum(c["found"] for c in cp_stats)
+    outcome.extras = {
+        "districts": districts,
+        "gateways": len(instances),
+        "total_nodes": len(net.nodes),
+        "devices": len(devices),
+        "parse_once": parse_once,
+        "cp_clients": len(cp_stats),
+        "cp_searches_completed": cp_completed,
+        "cp_found_rate": cp_found / cp_completed if cp_completed else 0.0,
+        "gena_events": sum(s.events_received for s in gena_subscribers),
+        "monitor_attribution": monitor_attribution,
+        "hotpaths": _hotpath_stats(net, instances),
+        **_chatter_extras(slp_chatter),
+    }
+    return outcome
+
+
 #: Reduced parameters for scenarios whose defaults are sized for the perf
 #: benchmarks, not the test suite; the behavioural tests apply these so
 #: tier-1 stays fast while the benchmarks keep the full-scale defaults.
@@ -941,6 +1244,14 @@ SMALL_SCALE_OVERRIDES: dict[str, dict] = {
         "nodes": 300,
         "chatter_per_leaf": 2,
         "run_us": 2_500_000,
+    },
+    "media_city": {
+        "districts": 2,
+        "leaves_per_district": 3,
+        "nodes": 250,
+        "devices_per_leaf": 3,
+        "cp_per_leaf": 2,
+        "run_us": 2_000_000,
     },
 }
 
@@ -961,6 +1272,7 @@ SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "federated_campus": federated_campus,
     "sharded_backbone": sharded_backbone,
     "metro_backbone": metro_backbone,
+    "media_city": media_city,
 }
 
 
@@ -981,4 +1293,5 @@ __all__ = [
     "federated_campus",
     "sharded_backbone",
     "metro_backbone",
+    "media_city",
 ]

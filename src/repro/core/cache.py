@@ -34,6 +34,12 @@ class ServiceCache:
         self._entries: dict[tuple[str, str], CacheEntry] = {}
         self.hits = 0
         self.misses = 0
+        #: Monotonic mutation counter: bumped whenever the entry set (or an
+        #: entry's freshness) changes, including TTL evictions.  Consumers
+        #: that derive something expensive from the contents — the
+        #: gossiper's serialized digest — reuse their result while the
+        #: version stands still.
+        self.version = 0
 
     def __len__(self) -> int:
         self._evict()
@@ -45,6 +51,7 @@ class ServiceCache:
         self._entries[(record.service_type, record.url)] = CacheEntry(
             record=record, stored_at_us=now, expires_at_us=expires
         )
+        self.version += 1
 
     def merge(self, record: ServiceRecord, expires_at_us: float) -> bool:
         """Adopt a record learnt from a federation peer, newest-expiry wins.
@@ -64,6 +71,7 @@ class ServiceCache:
         self._entries[key] = CacheEntry(
             record=record, stored_at_us=now, expires_at_us=expires_at_us
         )
+        self.version += 1
         return True
 
     def digest(self) -> dict[tuple[str, str], float]:
@@ -85,6 +93,8 @@ class ServiceCache:
         keys = [key for key in self._entries if key[1] == url]
         for key in keys:
             del self._entries[key]
+        if keys:
+            self.version += 1
         return len(keys)
 
     def remove_type(self, service_type: str, source_sdp: str = "") -> int:
@@ -99,6 +109,8 @@ class ServiceCache:
         ]
         for key in keys:
             del self._entries[key]
+        if keys:
+            self.version += 1
         return len(keys)
 
     def lookup(self, service_type: str) -> list[ServiceRecord]:
@@ -128,11 +140,17 @@ class ServiceCache:
             if entry.record.source_sdp == source_sdp
         ]
 
+    def evict_expired(self) -> None:
+        """Drop entries past their TTL now (bumps ``version`` if any go)."""
+        self._evict()
+
     def _evict(self) -> None:
         now = self._clock()
         expired = [key for key, entry in self._entries.items() if entry.expires_at_us <= now]
         for key in expired:
             del self._entries[key]
+        if expired:
+            self.version += 1
 
 
 __all__ = ["ServiceCache", "CacheEntry"]

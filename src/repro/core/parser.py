@@ -60,6 +60,9 @@ class SdpParser(ABC):
     def __init__(self) -> None:
         self.messages_parsed = 0
         self.parse_errors = 0
+        #: Optional :class:`repro.net.ParseCounter` for network-wide decode
+        #: attribution; the owning :class:`~repro.core.unit.Unit` wires it.
+        self.parse_counter = None
 
     @abstractmethod
     def parse(self, raw: bytes, meta: NetworkMeta) -> list[Event]:

@@ -138,6 +138,12 @@ class Unit:
         self.runtime = runtime
         self.parsers = parsers
         self.composer = composer
+        #: Per-protocol decode accounting shared network-wide; the unit
+        #: registers one observation per frame it handles (stream-level
+        #: shares here, wire-level decodes inside the parsers).
+        self.parse_counter = runtime.node.network.parse_counter(self.sdp_id)
+        for parser in parsers.values():
+            parser.parse_counter = self.parse_counter
         self.machine = StateMachine(fsm_definition, trace=True)
         self._default_syntax = default_syntax
         self.current_syntax = default_syntax
@@ -200,6 +206,7 @@ class Unit:
         cached = memo.lookup(key, raw)
         if cached is not MEMO_MISS:
             self.streams_shared += 1
+            self.parse_counter.shared += 1
             return None if cached is None else list(cached)
         stream = self._parse_raw_uncached(raw, meta)
         memo.store(key, raw, None if stream is None else list(stream))

@@ -58,6 +58,15 @@ class GossipStats:
     records_ignored: int = 0
     records_expired: int = 0
     decode_errors: int = 0
+    #: Digest payloads actually serialized (encode-once: a digest is
+    #: rebuilt only when the cache's version moved; steady-state rounds
+    #: reuse the previous round's bytes, so ``digests_sent`` grows while
+    #: this stands still).
+    digest_encodes: int = 0
+    #: Per-record wire forms actually built for deltas; records re-sent at
+    #: the same freshness reuse the cached form (``records_sent`` counts
+    #: every record that travelled).
+    record_encodes: int = 0
 
 
 def _record_to_wire(key: tuple[str, str], entry) -> dict:
@@ -107,6 +116,10 @@ class CacheGossiper:
         self.port = port
         self.stats = GossipStats()
         self._peer_cursor = 0
+        #: Encode-once digest: (cache version it was built at, payload).
+        self._digest_payload: tuple[int, bytes] | None = None
+        #: Per-record wire-form cache for deltas: key -> (expiry, wire dict).
+        self._wire_cache: dict[tuple[str, str], tuple[float, dict]] = {}
         self._socket = indiss.node.udp.socket().bind(port, reuse=True)
         self._socket.on_datagram(self._on_datagram)
         # Deterministic per-member stagger keeps fleet rounds out of phase.
@@ -127,15 +140,41 @@ class CacheGossiper:
         self.stats.rounds += 1
         peer = peers[self._peer_cursor % len(peers)]
         self._peer_cursor += 1
-        entries = {
-            f"{key[0]}|{key[1]}": expires
-            for key, expires in self.indiss.cache.digest().items()
-        }
-        self._send(peer, {"kind": "digest", "from": self.member_id, "entries": entries})
+        self._send_raw(peer, self._digest_bytes())
         self.stats.digests_sent += 1
 
+    def _digest_bytes(self) -> bytes:
+        """The serialized digest, rebuilt only when the cache changed.
+
+        The cache's digest is a pure function of its live entries (absolute
+        expiries, so nothing in it depends on *when* it is serialized), and
+        the ``from`` field is fixed — so one payload serves every peer and
+        every steady-state round until the cache's version moves.  TTL
+        expiry is folded in by evicting first, which bumps the version.
+        """
+        cache = self.indiss.cache
+        cache.evict_expired()
+        cached = self._digest_payload
+        if cached is not None and cached[0] == cache.version:
+            return cached[1]
+        entries = {
+            f"{key[0]}|{key[1]}": expires
+            for key, expires in cache.digest().items()
+        }
+        payload = json.dumps(
+            {"kind": "digest", "from": self.member_id, "entries": entries},
+            sort_keys=True,
+        ).encode("utf-8")
+        self._digest_payload = (cache.version, payload)
+        self.stats.digest_encodes += 1
+        return payload
+
     def _send(self, peer_address: str, message: dict) -> None:
-        payload = json.dumps(message, sort_keys=True).encode("utf-8")
+        self._send_raw(
+            peer_address, json.dumps(message, sort_keys=True).encode("utf-8")
+        )
+
+    def _send_raw(self, peer_address: str, payload: bytes) -> None:
         self._socket.sendto(payload, Endpoint(peer_address, self.port))
 
     # -- receiving ----------------------------------------------------------
@@ -170,7 +209,7 @@ class CacheGossiper:
                 return  # a digest we cannot read is a digest we ignore
             if their_expiry >= entry.expires_at_us:
                 continue  # peer is already at least as fresh
-            records.append(_record_to_wire(key, entry))
+            records.append(self._wire_record(key, entry))
             if len(records) >= self.max_delta_records:
                 break
         if not records:
@@ -186,6 +225,20 @@ class CacheGossiper:
         self._send(peer, {"kind": "delta", "from": self.member_id, "records": records})
         self.stats.deltas_sent += 1
         self.stats.records_sent += len(records)
+
+    def _wire_record(self, key: tuple[str, str], entry) -> dict:
+        """Encode-once per record: the wire form depends only on the entry
+        (record + absolute expiry), so a record pushed to several laggard
+        peers across rounds is built once while its freshness stands."""
+        cached = self._wire_cache.get(key)
+        if cached is not None and cached[0] == entry.expires_at_us:
+            return cached[1]
+        wire = _record_to_wire(key, entry)
+        if len(self._wire_cache) > 4 * self.max_delta_records:
+            self._wire_cache.clear()  # bound memory under heavy churn
+        self._wire_cache[key] = (entry.expires_at_us, wire)
+        self.stats.record_encodes += 1
+        return wire
 
     def _handle_delta(self, message: dict) -> None:
         self.stats.deltas_received += 1

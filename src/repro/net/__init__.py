@@ -40,7 +40,17 @@ from .simclock import (
 from .tcp import TcpConnection, TcpListener, TcpStack
 from .tracefmt import classify_payload, format_trace
 from .traffic import TrafficMonitor
-from .udp import Datagram, FrameMemo, MEMO_MISS, UdpSocket, UdpStack
+from .udp import (
+    Datagram,
+    FrameMemo,
+    MEMO_MISS,
+    NULL_MEMO,
+    NullFrameMemo,
+    ParseCounter,
+    UdpSocket,
+    UdpStack,
+    shared_decode,
+)
 
 __all__ = [
     "ANY",
@@ -55,6 +65,10 @@ __all__ = [
     "Datagram",
     "FrameMemo",
     "MEMO_MISS",
+    "NULL_MEMO",
+    "NullFrameMemo",
+    "ParseCounter",
+    "shared_decode",
     "Endpoint",
     "EventHandle",
     "LatencyModel",

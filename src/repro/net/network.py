@@ -38,7 +38,7 @@ from .node import Node
 from .segment import Bridge, DEFAULT_LINK_LATENCY_US, Link, Router, Segment
 from .simclock import Scheduler
 from .traffic import TrafficMonitor
-from .udp import Datagram
+from .udp import Datagram, NULL_MEMO, ParseCounter
 
 
 @dataclass
@@ -68,6 +68,7 @@ class Network:
         loss: LossModel | None = None,
         subnet: str = "192.168.1",
         capture: bool = False,
+        parse_once: bool = True,
     ):
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.latency = latency if latency is not None else LatencyModel()
@@ -92,6 +93,14 @@ class Network:
         self.route_cache_hits = 0
         self.route_cache_misses = 0
         self.route_cache_invalidations = 0
+        #: ``False`` attaches the no-op :data:`NULL_MEMO` to every frame,
+        #: disabling all decode sharing and send-side seeding — the A/B
+        #: knob the benchmarks price the parse-once machinery with.
+        self.parse_once = parse_once
+        #: Per-protocol decode accounting (protocol id -> counter); every
+        #: memo-aware receive path registers its decode/share here through
+        #: :meth:`parse_counter`.
+        self.parse_stats: dict[str, ParseCounter] = {}
         self.default_segment = self.add_segment(
             self.DEFAULT_SEGMENT, subnet=subnet, latency=self.latency
         )
@@ -289,6 +298,22 @@ class Network:
         traversed, link_latency = route
         return sum(seg.delay_us(size_bytes) for seg in traversed) + link_latency
 
+    # -- decode accounting -----------------------------------------------------
+
+    def parse_counter(self, protocol: str) -> ParseCounter:
+        """The decode counter for ``protocol``, created on first use.
+
+        Receive paths fetch this once at construction time and increment
+        ``decoded``/``shared`` per frame; send paths count ``seeded``.
+        """
+        counter = self.parse_stats.get(protocol)
+        if counter is None:
+            # With parse_once off, decode hints are dropped before they
+            # reach any frame, so seed notes are suppressed too.
+            counter = ParseCounter(count_seeds=self.parse_once)
+            self.parse_stats[protocol] = counter
+        return counter
+
     # -- datagram delivery -----------------------------------------------------
 
     def send_datagram(
@@ -312,9 +337,16 @@ class Network:
             "udp",
             multicast=is_multicast(destination.host),
         )
-        datagram = Datagram(payload=payload, source=source, destination=destination)
-        if decode_hint is not None:
-            datagram.ensure_memo().store(decode_hint[0], payload, decode_hint[1])
+        if self.parse_once:
+            datagram = Datagram(payload=payload, source=source, destination=destination)
+            if decode_hint is not None:
+                datagram.ensure_memo().store(decode_hint[0], payload, decode_hint[1])
+        else:
+            # A/B mode: the shared null memo swallows stores and misses
+            # every lookup, so each receiver pays its own decode.
+            datagram = Datagram(
+                payload=payload, source=source, destination=destination, memo=NULL_MEMO
+            )
 
         if is_multicast(destination.host):
             self._deliver_multicast(sender, datagram)

@@ -28,7 +28,8 @@ class FrameMemo:
 
     One multicast frame fans out to K co-segment sockets; every receiver
     that decodes the same bytes the same way (an INDISS monitor's parser, a
-    native SLP endpoint's wire decoder) pays the decode once and the other
+    native SLP endpoint's wire decoder, an SSDP device's datagram parse, a
+    Jini discovery listener) pays the decode once and the other
     K-1 reuse the stored result.  The memo lives on the
     :class:`Datagram` — per frame, not a global cache — so results can
     never outlive the frame or leak between frames.
@@ -36,7 +37,10 @@ class FrameMemo:
     Each entry stores the payload it was computed from, and ``lookup``
     compares it with bytes equality before reuse: even if two distinct
     payloads ever shared a key (hash collision, or a hand-built datagram
-    reusing another frame's memo), the stale result is not served.
+    reusing another frame's memo), the stale result is not served.  Two
+    protocols sharing a (group, port) pair can never cross-serve each
+    other either: their decoders use distinct memo keys, so each key holds
+    only results computed by that protocol's own codec.
     """
 
     __slots__ = ("_entries", "hits", "collisions")
@@ -45,6 +49,9 @@ class FrameMemo:
         self._entries: dict = {}
         self.hits = 0
         self.collisions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
     def lookup(self, key, payload: bytes):
         """The stored result for ``key``, or :data:`MEMO_MISS`."""
@@ -60,6 +67,102 @@ class FrameMemo:
 
     def store(self, key, payload: bytes, value) -> None:
         self._entries[key] = (payload, value)
+
+
+class NullFrameMemo(FrameMemo):
+    """A memo that never remembers: every lookup misses, stores drop.
+
+    :class:`~repro.net.network.Network` attaches the singleton
+    :data:`NULL_MEMO` to every frame when built with ``parse_once=False``,
+    which turns all sharing and seeding off without touching any receive
+    path — the A/B knob the benchmarks use to price the memo machinery.
+    """
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def lookup(self, key, payload: bytes):
+        return MEMO_MISS
+
+    def store(self, key, payload: bytes, value) -> None:
+        return None
+
+
+#: Shared no-op memo (see :class:`NullFrameMemo`); safe as a singleton
+#: because it holds no state.
+NULL_MEMO = NullFrameMemo()
+
+
+class ParseCounter:
+    """Per-protocol decode accounting, one observation per (receiver, frame).
+
+    Every receiver that handles a frame registers exactly one of:
+
+    * ``decoded`` — it ran the protocol codec over the payload;
+    * ``shared`` — it reused a result another receiver (or the sender's
+      seed) left in the frame's :class:`FrameMemo`.
+
+    ``seeded`` counts sender-side seeds (``decode_hint``) — frames whose
+    first receiver never decodes at all.  Senders report seeds through
+    :meth:`note_seed`, which is a no-op when the owning network runs with
+    ``parse_once=False`` (hints are dropped there, so counting them would
+    claim seeds that never reached a frame).  Instances live in
+    :attr:`repro.net.network.Network.parse_stats`, keyed by protocol, so
+    benchmarks can attribute the parse-once win per SDP.
+    """
+
+    __slots__ = ("decoded", "shared", "seeded", "count_seeds")
+
+    def __init__(self, count_seeds: bool = True) -> None:
+        self.decoded = 0
+        self.shared = 0
+        self.seeded = 0
+        self.count_seeds = count_seeds
+
+    def note_seed(self) -> None:
+        if self.count_seeds:
+            self.seeded += 1
+
+    @property
+    def observations(self) -> int:
+        return self.decoded + self.shared
+
+    @property
+    def dedup_rate(self) -> float:
+        total = self.decoded + self.shared
+        return self.shared / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ParseCounter(decoded={self.decoded}, shared={self.shared}, "
+            f"seeded={self.seeded})"
+        )
+
+
+def shared_decode(memo, key, payload: bytes, codec, counter=None):
+    """The parse-once lookup/decode/store sequence every protocol shares.
+
+    ``codec`` maps payload bytes to a decoded value, returning ``None``
+    for bytes that are not its protocol (negative results are stored and
+    shared like any other).  ``memo`` is the delivering frame's
+    :class:`FrameMemo` or ``None``; ``counter`` an optional
+    :class:`ParseCounter` receiving exactly one decoded/shared
+    observation per call.
+    """
+    if memo is not None:
+        cached = memo.lookup(key, payload)
+        if cached is not MEMO_MISS:
+            if counter is not None:
+                counter.shared += 1
+            return cached
+    value = codec(payload)
+    if counter is not None:
+        counter.decoded += 1
+    if memo is not None:
+        memo.store(key, payload, value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -289,4 +392,15 @@ class UdpStack:
         return sorted(self._ports)
 
 
-__all__ = ["UdpSocket", "UdpStack", "Datagram", "FrameMemo", "MEMO_MISS", "ANY"]
+__all__ = [
+    "UdpSocket",
+    "UdpStack",
+    "Datagram",
+    "FrameMemo",
+    "NullFrameMemo",
+    "NULL_MEMO",
+    "ParseCounter",
+    "shared_decode",
+    "MEMO_MISS",
+    "ANY",
+]

@@ -16,7 +16,9 @@ from .discovery import (
     MulticastRequest,
     ServiceItem,
     ServiceTemplate,
+    JINI_MEMO_KEY,
     decode_packet,
+    decode_packet_shared,
     groups_overlap,
     next_service_id,
 )
@@ -44,7 +46,9 @@ __all__ = [
     "ServiceTemplate",
     "StreamReader",
     "StreamWriter",
+    "JINI_MEMO_KEY",
     "decode_packet",
+    "decode_packet_shared",
     "groups_overlap",
     "next_service_id",
 ]

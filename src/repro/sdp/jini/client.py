@@ -20,11 +20,12 @@ from .constants import (
     PUBLIC_GROUP,
 )
 from .discovery import (
+    JINI_MEMO_KEY,
     MulticastAnnouncement,
     MulticastRequest,
     ServiceItem,
     ServiceTemplate,
-    decode_packet,
+    decode_packet_shared,
     groups_overlap,
 )
 from .errors import JiniDecodeError
@@ -58,6 +59,7 @@ class LookupDiscovery:
         self.groups = groups
         self.registrars: dict[str, RegistrarInfo] = {}
         self.on_discovered: Optional[Callable[[RegistrarInfo], None]] = None
+        self._parse_counter = node.network.parse_counter("jini")
 
         # Passive path: listen for announcements.
         self._announce_socket = node.udp.socket().bind(JINI_PORT, reuse=True)
@@ -81,13 +83,17 @@ class LookupDiscovery:
             groups=self.groups,
             heard=tuple(self.registrars),
         )
-        self._request_socket.sendto(packet.encode(), Endpoint(JINI_REQUEST_GROUP, JINI_PORT))
+        self._parse_counter.note_seed()
+        self._request_socket.sendto(
+            packet.encode(),
+            Endpoint(JINI_REQUEST_GROUP, JINI_PORT),
+            decode_hint=(JINI_MEMO_KEY, packet),
+        )
 
     def _on_announcement(self, datagram) -> None:
-        try:
-            packet = decode_packet(datagram.payload)
-        except JiniDecodeError:
-            return
+        packet = decode_packet_shared(
+            datagram.payload, datagram.ensure_memo(), self._parse_counter
+        )
         if not isinstance(packet, MulticastAnnouncement):
             return
         if not groups_overlap(self.groups, packet.groups):

@@ -17,6 +17,7 @@ from __future__ import annotations
 import uuid
 from dataclasses import dataclass, field
 
+from ...net import shared_decode
 from .codec import StreamReader, StreamWriter
 from .constants import PROTOCOL_VERSION
 from .errors import JiniDecodeError
@@ -24,6 +25,12 @@ from .errors import JiniDecodeError
 #: Packet type tags (one byte on the wire).
 _TAG_REQUEST = 0x01
 _TAG_ANNOUNCEMENT = 0x02
+
+#: Per-frame decode-memo key for Jini discovery packets: registrars,
+#: discovery listeners, and the Jini unit share (or pre-seed) decoded
+#: packets under this key on the delivering frame's
+#: :class:`~repro.net.FrameMemo`.
+JINI_MEMO_KEY = "jini-discovery"
 
 
 def next_service_id(counter: int) -> str:
@@ -97,6 +104,27 @@ def decode_packet(data: bytes) -> "MulticastRequest | MulticastAnnouncement":
             protocol_version=version,
         )
     raise JiniDecodeError(f"unknown Jini packet tag {tag:#04x}")
+
+
+def _decode_or_none(payload: bytes):
+    try:
+        return decode_packet(payload)
+    except JiniDecodeError:
+        return None
+
+
+def decode_packet_shared(payload: bytes, memo, counter=None):
+    """Parse-once entry point every Jini multicast receive path goes through.
+
+    The codec reader (:class:`~repro.sdp.jini.codec.StreamReader`) runs at
+    most once per frame: the first receiver decodes and stores, later
+    receivers — other registrars, discovery listeners, the Jini unit —
+    reuse the stored packet (``None`` for payloads that do not decode, so
+    the rejection is shared too).  ``counter`` is an optional
+    :class:`~repro.net.ParseCounter` receiving one decoded/shared
+    observation.
+    """
+    return shared_decode(memo, JINI_MEMO_KEY, payload, _decode_or_none, counter)
 
 
 def groups_overlap(wanted: tuple[str, ...], offered: tuple[str, ...]) -> bool:
@@ -175,11 +203,13 @@ def _class_matches(wanted: str, have: str) -> bool:
 
 
 __all__ = [
+    "JINI_MEMO_KEY",
     "MulticastRequest",
     "MulticastAnnouncement",
     "ServiceItem",
     "ServiceTemplate",
     "decode_packet",
+    "decode_packet_shared",
     "groups_overlap",
     "next_service_id",
 ]

@@ -26,11 +26,12 @@ from .constants import (
     PUBLIC_GROUP,
 )
 from .discovery import (
+    JINI_MEMO_KEY,
     MulticastAnnouncement,
     MulticastRequest,
     ServiceItem,
     ServiceTemplate,
-    decode_packet,
+    decode_packet_shared,
     groups_overlap,
     next_service_id,
 )
@@ -87,6 +88,11 @@ class LookupService:
         self._id_counter = service_id_seed
         self.lookups_served = 0
         self.leases_expired = 0
+        self._parse_counter = node.network.parse_counter("jini")
+        #: Encode-once announcement: the packet's fields never change, so
+        #: the wire bytes (and the packet seeding each frame's memo) are
+        #: built exactly once.
+        self._announcement: tuple[bytes, MulticastAnnouncement] | None = None
 
         self._request_socket = node.udp.socket().bind(JINI_PORT, reuse=True)
         self._request_socket.join_group(JINI_REQUEST_GROUP)
@@ -105,24 +111,30 @@ class LookupService:
     # -- multicast side ------------------------------------------------------
 
     def announce(self) -> None:
-        packet = MulticastAnnouncement(
-            host=self.node.address,
-            port=self.tcp_port,
-            service_id=self.service_id,
-            groups=self.groups,
-        )
-        self.node.schedule(
-            self.timings.announce_build_us,
-            lambda: self._announce_socket.sendto(
-                packet.encode(), Endpoint(JINI_ANNOUNCEMENT_GROUP, JINI_PORT)
-            ),
-        )
+        if self._announcement is None:
+            packet = MulticastAnnouncement(
+                host=self.node.address,
+                port=self.tcp_port,
+                service_id=self.service_id,
+                groups=self.groups,
+            )
+            self._announcement = (packet.encode(), packet)
+        payload, packet = self._announcement
+
+        def transmit() -> None:
+            self._parse_counter.note_seed()
+            self._announce_socket.sendto(
+                payload,
+                Endpoint(JINI_ANNOUNCEMENT_GROUP, JINI_PORT),
+                decode_hint=(JINI_MEMO_KEY, packet),
+            )
+
+        self.node.schedule(self.timings.announce_build_us, transmit)
 
     def _on_request_packet(self, datagram) -> None:
-        try:
-            packet = decode_packet(datagram.payload)
-        except JiniDecodeError:
-            return
+        packet = decode_packet_shared(
+            datagram.payload, datagram.ensure_memo(), self._parse_counter
+        )
         if not isinstance(packet, MulticastRequest):
             return
         if self.service_id in packet.heard:

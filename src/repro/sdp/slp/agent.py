@@ -169,6 +169,7 @@ class _SlpEndpointBase:
         self._socket.join_group(self.config.multicast_group)
         self._socket.on_datagram(self._on_datagram)
         self.decode_errors = 0
+        self._parse_counter = node.network.parse_counter("slp")
 
     @property
     def address(self) -> str:
@@ -180,6 +181,7 @@ class _SlpEndpointBase:
     def _send(self, message: SlpMessage, destination: Endpoint) -> None:
         # Seed the frame memo with the structured form: receivers share the
         # sender's message instead of decoding the wire bytes back.
+        self._parse_counter.note_seed()
         self._socket.sendto(
             encode(message), destination,
             decode_hint=(self._WIRE_MEMO_KEY, message),
@@ -201,7 +203,10 @@ class _SlpEndpointBase:
                 message = decode(datagram.payload)
             except SlpDecodeError:
                 message = None
+            self._parse_counter.decoded += 1
             memo.store(self._WIRE_MEMO_KEY, datagram.payload, message)
+        else:
+            self._parse_counter.shared += 1
         if message is None:
             self.decode_errors += 1
             return

@@ -20,7 +20,14 @@ from .errors import DescriptionError
 from .http import Headers
 from .httpclient import http_get, http_post
 from .soap import SoapResult, build_request, parse_response, soap_action_header
-from .ssdp import SsdpKind, SsdpMessage, build_msearch, parse_ssdp
+from .ssdp import (
+    SSDP_MEMO_KEY,
+    SsdpKind,
+    SsdpMessage,
+    decode_ssdp_shared,
+    peek_ssdp_kind,
+    seeded_msearch,
+)
 
 
 @dataclass
@@ -78,6 +85,7 @@ class UpnpControlPoint:
         self.on_byebye: Optional[Callable[[str], None]] = None
         self._searches: list[DeviceSearch] = []
 
+        self._parse_counter = node.network.parse_counter("upnp")
         # Unicast search responses come back to the ephemeral search socket;
         # NOTIFY traffic arrives on the shared SSDP group socket.
         self._search_socket = node.udp.socket()
@@ -102,10 +110,15 @@ class UpnpControlPoint:
         search.on_complete = on_complete
         self._searches.append(search)
 
-        payload = build_msearch(st, mx_s)
+        payload, parsed = seeded_msearch(st, mx_s)
+        self._parse_counter.note_seed()
         self.node.schedule(
             self.timings.msearch_build_us,
-            lambda: self._search_socket.sendto(payload, Endpoint(SSDP_GROUP, SSDP_PORT)),
+            lambda: self._search_socket.sendto(
+                payload,
+                Endpoint(SSDP_GROUP, SSDP_PORT),
+                decode_hint=(SSDP_MEMO_KEY, parsed),
+            ),
         )
 
         def finish() -> None:
@@ -118,11 +131,14 @@ class UpnpControlPoint:
         return search
 
     def _on_search_response(self, datagram) -> None:
-        try:
-            message = parse_ssdp(datagram.payload)
-        except Exception:
+        # Kind peek: the search socket only consumes 200 OK responses.
+        kind = peek_ssdp_kind(datagram.payload)
+        if kind is not None and kind is not SsdpKind.RESPONSE:
             return
-        if message.kind is not SsdpKind.RESPONSE:
+        message = decode_ssdp_shared(
+            datagram.payload, datagram.ensure_memo(), self._parse_counter
+        )
+        if message is None or message.kind is not SsdpKind.RESPONSE:
             return
 
         def deliver() -> None:
@@ -134,9 +150,15 @@ class UpnpControlPoint:
         self.node.schedule(self.timings.response_parse_us, deliver)
 
     def _on_notify(self, datagram) -> None:
-        try:
-            message = parse_ssdp(datagram.payload)
-        except Exception:
+        # Kind peek: the group socket also hears M-SEARCHes (and, with
+        # reuse, stray responses); only NOTIFY traffic is decoded.
+        kind = peek_ssdp_kind(datagram.payload)
+        if kind is SsdpKind.MSEARCH or kind is SsdpKind.RESPONSE:
+            return
+        message = decode_ssdp_shared(
+            datagram.payload, datagram.ensure_memo(), self._parse_counter
+        )
+        if message is None:
             return
         if message.kind is SsdpKind.ALIVE:
             entry = self._remember(message)

@@ -40,11 +40,13 @@ from .soap import (
     parse_soap_action_header,
 )
 from .ssdp import (
+    SSDP_MEMO_KEY,
     SsdpKind,
-    build_notify_alive,
-    build_notify_byebye,
-    build_search_response,
-    parse_ssdp,
+    decode_ssdp_shared,
+    peek_ssdp_kind,
+    seeded_notify_alive,
+    seeded_notify_byebye,
+    seeded_search_response,
     st_matches,
 )
 
@@ -111,6 +113,10 @@ class UpnpDevice:
         self.actions_invoked = 0
         self._action_handlers: dict[tuple[str, str], ActionHandler] = {}
 
+        #: Encode-once NOTIFY alive burst: (targets key, [(payload, message)]).
+        self._alive_burst: tuple[tuple[str, ...], list] | None = None
+        self._parse_counter = node.network.parse_counter("upnp")
+
         self._ssdp_socket = node.udp.socket().bind(SSDP_PORT, reuse=True)
         self._ssdp_socket.join_group(SSDP_GROUP)
         self._ssdp_socket.on_datagram(self._on_ssdp_datagram)
@@ -164,23 +170,51 @@ class UpnpDevice:
             self._notify_task = None
         if send_byebye:
             for target in self.notification_targets():
-                payload = build_notify_byebye(target, self.usn_for(target))
-                self._ssdp_socket.sendto(payload, Endpoint(SSDP_GROUP, SSDP_PORT))
+                payload, message = seeded_notify_byebye(target, self.usn_for(target))
+                self._parse_counter.note_seed()
+                self._ssdp_socket.sendto(
+                    payload,
+                    Endpoint(SSDP_GROUP, SSDP_PORT),
+                    decode_hint=(SSDP_MEMO_KEY, message),
+                )
 
     def _send_alive_burst(self) -> None:
-        for target in self.notification_targets():
-            payload = build_notify_alive(
-                nt=target,
-                usn=self.usn_for(target),
-                location=self.location,
-                max_age_s=DEFAULT_MAX_AGE_S,
+        # Encode-once: the burst is identical every period (targets,
+        # location and max-age are fixed), so the payloads and their
+        # pre-parsed messages are built on the first burst and reused —
+        # the decode hint seeds every frame, so receivers never parse.
+        targets = tuple(self.notification_targets())
+        if self._alive_burst is None or self._alive_burst[0] != targets:
+            burst = [
+                seeded_notify_alive(
+                    nt=target,
+                    usn=self.usn_for(target),
+                    location=self.location,
+                    max_age_s=DEFAULT_MAX_AGE_S,
+                )
+                for target in targets
+            ]
+            self._alive_burst = (targets, burst)
+        for payload, message in self._alive_burst[1]:
+            self._parse_counter.note_seed()
+            self._ssdp_socket.sendto(
+                payload,
+                Endpoint(SSDP_GROUP, SSDP_PORT),
+                decode_hint=(SSDP_MEMO_KEY, message),
             )
-            self._ssdp_socket.sendto(payload, Endpoint(SSDP_GROUP, SSDP_PORT))
 
     def _on_ssdp_datagram(self, datagram) -> None:
-        try:
-            message = parse_ssdp(datagram.payload)
-        except Exception:
+        # First-line kind peek: a device only acts on M-SEARCH, so the
+        # sibling alive/byebye floods of a device fleet are skipped with
+        # one prefix comparison — no memo lookup, no tokenizer.  Frames
+        # the peek cannot classify fall through to the shared decode.
+        kind = peek_ssdp_kind(datagram.payload)
+        if kind is not None and kind is not SsdpKind.MSEARCH:
+            return
+        message = decode_ssdp_shared(
+            datagram.payload, datagram.ensure_memo(), self._parse_counter
+        )
+        if message is None:
             return
         if message.kind is not SsdpKind.MSEARCH:
             return
@@ -196,13 +230,19 @@ class UpnpDevice:
         # A compliant responder answers once per matching target; one is
         # enough for discovery and keeps traces readable.
         target = matching[0]
-        response = build_search_response(
+        response, parsed = seeded_search_response(
             st=message.target if message.target != "ssdp:all" else target,
             usn=self.usn_for(target),
             location=self.location,
         )
         delay = self.timings.sample_search_delay(self._rng)
-        self.node.schedule(delay, lambda: self._ssdp_socket.sendto(response, source))
+        self._parse_counter.note_seed()
+        self.node.schedule(
+            delay,
+            lambda: self._ssdp_socket.sendto(
+                response, source, decode_hint=(SSDP_MEMO_KEY, parsed)
+            ),
+        )
 
     # -- HTTP server ---------------------------------------------------------------
 

@@ -36,6 +36,18 @@ class Headers:
             for name, value in pairs:
                 self.add(name, value)
 
+    @classmethod
+    def from_pairs(cls, pairs: "list[tuple[str, str]]") -> "Headers":
+        """Wrap an already-built ``(name, value)`` list without copying.
+
+        The single-pass SSDP tokenizer collects its header pairs in one
+        sweep; this constructor adopts that list directly instead of
+        re-appending pair by pair.  Callers hand over ownership.
+        """
+        headers = cls()
+        headers._items = pairs
+        return headers
+
     def add(self, name: str, value: str) -> None:
         self._items.append((str(name), str(value)))
 

@@ -32,8 +32,9 @@ from .constants import (
     SSDP_PORT,
     UPNP_ROOTDEVICE,
 )
-from .errors import HttpParseError, SsdpParseError
-from .http import Headers, HttpRequest, HttpResponse, parse_message
+from ...net import shared_decode
+from .errors import SsdpParseError
+from .http import HEADER_END, Headers, HttpRequest, HttpResponse
 
 
 class SsdpKind(Enum):
@@ -137,6 +138,115 @@ def build_notify_byebye(nt: str, usn: str) -> bytes:
     return HttpRequest(method="NOTIFY", target="*", headers=headers).render()
 
 
+# -- encode-once builders ---------------------------------------------------
+#
+# Each ``seeded_*`` helper renders the wire bytes *and* constructs the
+# exact :class:`SsdpMessage` that :func:`parse_ssdp` would return for
+# them, so a sender can pre-seed the outgoing frame's decode memo
+# (``decode_hint``) and no receiver ever runs the tokenizer.  Equivalence
+# is asserted by tests/sdp/test_ssdp_seeded.py (``parse_ssdp(payload) ==
+# message`` for every helper), which is what keeps seeding behaviourally
+# invisible.
+
+
+def seeded_msearch(
+    st: str, mx_s: int = DEFAULT_MX_S, hops: int | None = None
+) -> tuple[bytes, SsdpMessage]:
+    payload = build_msearch(st, mx_s=mx_s, hops=hops)
+    pairs = [
+        ("HOST", f"{SSDP_GROUP}:{SSDP_PORT}"),
+        ("MAN", f'"{SSDP_DISCOVER}"'),
+        ("MX", str(mx_s)),
+        ("ST", st),
+    ]
+    if hops is not None:
+        pairs.append((HOPS_HEADER, str(hops)))
+    message = SsdpMessage(
+        kind=SsdpKind.MSEARCH,
+        target=st,
+        mx_s=mx_s,
+        raw_headers=Headers.from_pairs(pairs),
+    )
+    return payload, message
+
+
+def seeded_search_response(
+    st: str,
+    usn: str,
+    location: str,
+    server: str = SERVER_STRING,
+    max_age_s: int = DEFAULT_MAX_AGE_S,
+) -> tuple[bytes, SsdpMessage]:
+    payload = build_search_response(
+        st, usn, location, server=server, max_age_s=max_age_s
+    )
+    pairs = [
+        ("CACHE-CONTROL", f"max-age={max_age_s}"),
+        ("EXT", ""),
+        ("LOCATION", location),
+        ("SERVER", server),
+        ("ST", st),
+        ("USN", usn),
+        ("CONTENT-LENGTH", "0"),
+    ]
+    message = SsdpMessage(
+        kind=SsdpKind.RESPONSE,
+        target=st,
+        usn=usn,
+        location=location,
+        max_age_s=max_age_s,
+        server=server,
+        raw_headers=Headers.from_pairs(pairs),
+    )
+    return payload, message
+
+
+def seeded_notify_alive(
+    nt: str,
+    usn: str,
+    location: str,
+    server: str = SERVER_STRING,
+    max_age_s: int = DEFAULT_MAX_AGE_S,
+) -> tuple[bytes, SsdpMessage]:
+    payload = build_notify_alive(nt, usn, location, server=server, max_age_s=max_age_s)
+    pairs = [
+        ("HOST", f"{SSDP_GROUP}:{SSDP_PORT}"),
+        ("CACHE-CONTROL", f"max-age={max_age_s}"),
+        ("LOCATION", location),
+        ("NT", nt),
+        ("NTS", SSDP_ALIVE),
+        ("SERVER", server),
+        ("USN", usn),
+    ]
+    message = SsdpMessage(
+        kind=SsdpKind.ALIVE,
+        target=nt,
+        usn=usn,
+        location=location,
+        max_age_s=max_age_s,
+        server=server,
+        raw_headers=Headers.from_pairs(pairs),
+    )
+    return payload, message
+
+
+def seeded_notify_byebye(nt: str, usn: str) -> tuple[bytes, SsdpMessage]:
+    payload = build_notify_byebye(nt, usn)
+    pairs = [
+        ("HOST", f"{SSDP_GROUP}:{SSDP_PORT}"),
+        ("NT", nt),
+        ("NTS", SSDP_BYEBYE),
+        ("USN", usn),
+    ]
+    message = SsdpMessage(
+        kind=SsdpKind.BYEBYE,
+        target=nt,
+        usn=usn,
+        raw_headers=Headers.from_pairs(pairs),
+    )
+    return payload, message
+
+
 def _parse_max_age(cache_control: str) -> int:
     for part in cache_control.split(","):
         name, sep, value = part.strip().partition("=")
@@ -148,68 +258,165 @@ def _parse_max_age(cache_control: str) -> int:
     return DEFAULT_MAX_AGE_S
 
 
+#: Per-frame decode-memo key for SSDP datagrams: every native device,
+#: control point, and the UPnP unit's SSDP parser share (or pre-seed)
+#: parsed :class:`SsdpMessage` values under this key on the delivering
+#: frame's :class:`~repro.net.FrameMemo`.
+SSDP_MEMO_KEY = "ssdp-msg"
+
+
+def peek_ssdp_kind(data: bytes) -> Optional[SsdpKind]:
+    """Cheap first-line kind peek without tokenizing the datagram.
+
+    Mirrors the SLP unit's DAAdvert header-byte peek: a handful of prefix
+    comparisons classify the frame before any header is split.  NOTIFY
+    needs the ``NTS`` header to distinguish alive from byebye, so it is
+    resolved with one substring probe over the raw bytes.  ``None`` means
+    "not SSDP-shaped" (uppercase wire forms only — anything else falls
+    through to the full tokenizer and its error reporting).
+    """
+    if data.startswith(b"NOTIFY "):
+        # The NTS header value decides the kind; ssdp:alive / ssdp:byebye
+        # cannot both appear (a header value occurs once per message).
+        if b"ssdp:alive" in data:
+            return SsdpKind.ALIVE
+        if b"ssdp:byebye" in data:
+            return SsdpKind.BYEBYE
+        return None
+    if data.startswith(b"M-SEARCH "):
+        return SsdpKind.MSEARCH
+    if data.startswith(b"HTTP/1.1 200") or data.startswith(b"HTTP/1.0 200"):
+        return SsdpKind.RESPONSE
+    return None
+
+
 def parse_ssdp(data: bytes) -> SsdpMessage:
-    """Parse a datagram into an :class:`SsdpMessage`.
+    """Parse a datagram into an :class:`SsdpMessage` in a single pass.
 
     Raises :class:`SsdpParseError` for datagrams that are not SSDP (the
     monitor component never calls this — detection is port-based — but the
     UPnP unit's parser does).
-    """
-    try:
-        message = parse_message(data)
-    except HttpParseError as exc:
-        raise SsdpParseError(f"not an HTTP-shaped datagram: {exc}") from exc
-    headers = message.headers
 
-    if isinstance(message, HttpResponse):
-        if message.status != 200:
-            raise SsdpParseError(f"unexpected SSDP response status {message.status}")
+    Unlike the generic HTTP codec this tokenizer sweeps the header block
+    exactly once, collecting the original ``(name, value)`` pairs for
+    ``raw_headers`` and a lowered-name index for O(1) field access —
+    no intermediate ``HttpRequest``/``HttpResponse`` and no per-field
+    linear scans.
+    """
+    head, sep, body = data.partition(HEADER_END)
+    if not sep:
+        raise SsdpParseError("not an HTTP-shaped datagram: no end-of-headers marker")
+    text = head.decode("latin-1")
+    lines = text.split("\r\n")
+    start = lines[0].strip()
+
+    pairs: list[tuple[str, str]] = []
+    fields: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, colon, value = line.partition(":")
+        if not colon:
+            raise SsdpParseError(f"malformed header line: {line!r}")
+        name = name.strip()
+        value = value.strip()
+        pairs.append((name, value))
+        # First value wins, matching Headers.get on repeated names.
+        fields.setdefault(name.lower(), value)
+
+    length_text = fields.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise SsdpParseError(
+                f"non-integer Content-Length header: {length_text!r}"
+            ) from exc
+        if length > len(body):
+            raise SsdpParseError(
+                f"body shorter than Content-Length ({len(body)} < {length})"
+            )
+
+    parts = start.split(" ", 2)
+    if parts[0].upper().startswith("HTTP/"):
+        status_text = parts[1] if len(parts) > 1 else ""
+        if not status_text.isdigit():
+            raise SsdpParseError(f"malformed status code: {status_text!r}")
+        status = int(status_text)
+        if status != 200:
+            raise SsdpParseError(f"unexpected SSDP response status {status}")
         return SsdpMessage(
             kind=SsdpKind.RESPONSE,
-            target=headers.get("ST", ""),
-            usn=headers.get("USN", ""),
-            location=headers.get("LOCATION", ""),
-            max_age_s=_parse_max_age(headers.get("CACHE-CONTROL", "")),
-            server=headers.get("SERVER", ""),
-            raw_headers=headers,
+            target=fields.get("st", ""),
+            usn=fields.get("usn", ""),
+            location=fields.get("location", ""),
+            max_age_s=_parse_max_age(fields.get("cache-control", "")),
+            server=fields.get("server", ""),
+            raw_headers=Headers.from_pairs(pairs),
         )
 
-    method = message.method.upper()
+    if len(parts) < 3:
+        raise SsdpParseError(f"malformed start line: {start!r}")
+    method, _target, version = parts
+    if not version.upper().startswith("HTTP/"):
+        raise SsdpParseError(f"malformed HTTP version: {version!r}")
+    method = method.upper()
     if method == "M-SEARCH":
-        man = (headers.get("MAN") or "").strip('"')
+        man = fields.get("man", "").strip('"')
         if man and man != SSDP_DISCOVER:
             raise SsdpParseError(f"M-SEARCH with unexpected MAN {man!r}")
         try:
-            mx = int(headers.get("MX", str(DEFAULT_MX_S)))
+            mx = int(fields.get("mx", str(DEFAULT_MX_S)))
         except ValueError:
             mx = DEFAULT_MX_S
         return SsdpMessage(
             kind=SsdpKind.MSEARCH,
-            target=headers.get("ST", ""),
+            target=fields.get("st", ""),
             mx_s=mx,
-            raw_headers=headers,
+            raw_headers=Headers.from_pairs(pairs),
         )
     if method == "NOTIFY":
-        nts = (headers.get("NTS") or "").lower()
+        nts = fields.get("nts", "").lower()
         if nts == SSDP_ALIVE:
             return SsdpMessage(
                 kind=SsdpKind.ALIVE,
-                target=headers.get("NT", ""),
-                usn=headers.get("USN", ""),
-                location=headers.get("LOCATION", ""),
-                max_age_s=_parse_max_age(headers.get("CACHE-CONTROL", "")),
-                server=headers.get("SERVER", ""),
-                raw_headers=headers,
+                target=fields.get("nt", ""),
+                usn=fields.get("usn", ""),
+                location=fields.get("location", ""),
+                max_age_s=_parse_max_age(fields.get("cache-control", "")),
+                server=fields.get("server", ""),
+                raw_headers=Headers.from_pairs(pairs),
             )
         if nts == SSDP_BYEBYE:
             return SsdpMessage(
                 kind=SsdpKind.BYEBYE,
-                target=headers.get("NT", ""),
-                usn=headers.get("USN", ""),
-                raw_headers=headers,
+                target=fields.get("nt", ""),
+                usn=fields.get("usn", ""),
+                raw_headers=Headers.from_pairs(pairs),
             )
         raise SsdpParseError(f"NOTIFY with unknown NTS {nts!r}")
     raise SsdpParseError(f"unknown SSDP method {method!r}")
+
+
+def _parse_or_none(payload: bytes) -> Optional[SsdpMessage]:
+    try:
+        return parse_ssdp(payload)
+    except SsdpParseError:
+        return None
+
+
+def decode_ssdp_shared(payload: bytes, memo, counter=None) -> Optional[SsdpMessage]:
+    """Parse-once entry point every SSDP receive path goes through.
+
+    ``memo`` is the delivering frame's :class:`~repro.net.FrameMemo` (or
+    None for raw bytes that did not arrive as a datagram): the first
+    receiver parses and stores, later receivers — other devices on the
+    segment, control points, the UPnP unit — reuse the stored message.
+    Failed parses are stored as ``None`` so the rejection is shared too.
+    ``counter`` is an optional :class:`~repro.net.ParseCounter` receiving
+    one decoded/shared observation.
+    """
+    return shared_decode(memo, SSDP_MEMO_KEY, payload, _parse_or_none, counter)
 
 
 def _split_urn(target: str) -> Optional[tuple[str, str, str, int]]:
@@ -267,12 +474,19 @@ def _loose_equal(st: str, offered: str) -> bool:
 
 __all__ = [
     "HOPS_HEADER",
+    "SSDP_MEMO_KEY",
     "SsdpKind",
     "SsdpMessage",
     "build_msearch",
     "build_search_response",
     "build_notify_alive",
     "build_notify_byebye",
+    "decode_ssdp_shared",
     "parse_ssdp",
+    "peek_ssdp_kind",
+    "seeded_msearch",
+    "seeded_notify_alive",
+    "seeded_notify_byebye",
+    "seeded_search_response",
     "st_matches",
 ]

@@ -42,7 +42,6 @@ from ..core.session import TranslationSession
 from ..core.unit import Unit, UnitRuntime
 from ..sdp.base import jini_class_name
 from ..sdp.jini import (
-    JiniDecodeError,
     LookupService,
     MulticastAnnouncement,
     MulticastRequest,
@@ -50,7 +49,7 @@ from ..sdp.jini import (
     RegistrarInfo,
     ServiceItem,
     ServiceTemplate,
-    decode_packet,
+    decode_packet_shared,
 )
 
 
@@ -61,10 +60,13 @@ class JiniEventParser(SdpParser):
     syntax = "jini"
 
     def parse(self, raw: bytes, meta: NetworkMeta) -> list[Event]:
-        try:
-            packet = decode_packet(raw)
-        except JiniDecodeError as exc:
-            raise ParseError(str(exc)) from exc
+        # Parse-once: registrars seed their announcements at send time and
+        # co-segment listeners store their decode, so the codec reader
+        # usually never runs here (see decode_packet_shared).
+        memo = getattr(meta, "memo", None)
+        packet = decode_packet_shared(raw, memo, self.parse_counter)
+        if packet is None:
+            raise ParseError("not a Jini discovery packet")
         events: list[Event] = []
         events.append(
             Event.of(SDP_NET_MULTICAST) if meta.multicast else Event.of(SDP_NET_UNICAST)

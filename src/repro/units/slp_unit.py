@@ -113,10 +113,15 @@ class SlpEventParser(SdpParser):
         # the frame first stored its decode.  Only truly foreign bytes are
         # decoded here.
         memo = getattr(meta, "memo", None)
+        counter = self.parse_counter
         message = MEMO_MISS if memo is None else memo.lookup(WIRE_MEMO_KEY, raw)
         if message is None:
+            if counter is not None:
+                counter.shared += 1
             raise ParseError("not an SLP message (shared negative decode)")
         if message is MEMO_MISS:
+            if counter is not None:
+                counter.decoded += 1
             try:
                 message = decode(raw)
             except SlpDecodeError as exc:
@@ -125,6 +130,8 @@ class SlpEventParser(SdpParser):
                 raise ParseError(str(exc)) from exc
             if memo is not None:
                 memo.store(WIRE_MEMO_KEY, raw, message)
+        elif counter is not None:
+            counter.shared += 1
 
         events: list[Event] = []
         events.append(
@@ -476,6 +483,8 @@ class SlpUnit(Unit):
 
         def transmit() -> None:
             for message in messages:
+                if message.decode_hint is not None:
+                    self.parse_counter.note_seed()
                 self.runtime.send_udp(
                     message.payload, message.destination,
                     decode_hint=message.decode_hint,
@@ -610,6 +619,8 @@ class SlpUnit(Unit):
 
         def transmit() -> None:
             for message in messages:
+                if message.decode_hint is not None:
+                    self.parse_counter.note_seed()
                 self.runtime.send_udp_from_new_socket(
                     message.payload, message.destination,
                     decode_hint=message.decode_hint,
@@ -629,6 +640,8 @@ class SlpUnit(Unit):
             events.append(Event.of(SDP_RES_ATTR, name=name, value=value))
         session = TranslationSession(origin_sdp="slp", requester=None)
         for message in self.composer.compose(bracket(events, sdp="slp"), session):
+            if message.decode_hint is not None:
+                self.parse_counter.note_seed()
             self.runtime.send_udp_from_new_socket(
                 message.payload, message.destination, decode_hint=message.decode_hint
             )

@@ -60,16 +60,16 @@ from ..sdp.upnp import (
     HttpStreamParser,
     SERVER_STRING,
     SSDP_GROUP,
+    SSDP_MEMO_KEY,
     SSDP_PORT,
     ServiceDescription,
     SsdpKind,
-    SsdpParseError,
-    build_msearch,
-    build_notify_alive,
-    build_search_response,
+    decode_ssdp_shared,
     join_url,
     parse_device_description,
-    parse_ssdp,
+    seeded_msearch,
+    seeded_notify_alive,
+    seeded_search_response,
 )
 from ..sdp.upnp.http import HttpRequest
 
@@ -91,10 +91,14 @@ class SsdpEventParser(SdpParser):
                 sdp="upnp",
                 function="HTTP-RESPONSE",
             )
-        try:
-            message = parse_ssdp(raw)
-        except SsdpParseError as exc:
-            raise ParseError(str(exc)) from exc
+        # Parse-once: the frame's memo usually already holds the decoded
+        # message — SSDP senders seed it at send time, and any native
+        # device or control point that heard the frame first stored its
+        # decode.  Only truly foreign bytes run the tokenizer here.
+        memo = getattr(meta, "memo", None)
+        message = decode_ssdp_shared(raw, memo, self.parse_counter)
+        if message is None:
+            raise ParseError("not an SSDP datagram")
 
         events: list[Event] = []
         events.append(
@@ -247,12 +251,14 @@ class UpnpEventComposer(SdpComposer):
         # Forwarded requests spend one hop per gateway traversal.
         hops = session.vars.get("hops")
         self.messages_composed += 1
+        payload, message = seeded_msearch(
+            st, mx_s=0, hops=None if hops is None else int(hops) - 1
+        )
         return OutboundMessage(
-            payload=build_msearch(
-                st, mx_s=0, hops=None if hops is None else int(hops) - 1
-            ),
+            payload=payload,
             destination=Endpoint(SSDP_GROUP, SSDP_PORT),
             label="msearch",
+            decode_hint=(SSDP_MEMO_KEY, message),
         )
 
     def _compose_search_response(
@@ -270,12 +276,14 @@ class UpnpEventComposer(SdpComposer):
         if session.requester is None:
             raise ComposeError("session has no requester to answer")
         self.messages_composed += 1
+        payload, message = seeded_search_response(
+            st=st, usn=usn, location=location, server=SERVER_STRING, max_age_s=ttl
+        )
         return OutboundMessage(
-            payload=build_search_response(
-                st=st, usn=usn, location=location, server=SERVER_STRING, max_age_s=ttl
-            ),
+            payload=payload,
             destination=session.requester,
             label="ssdp-response",
+            decode_hint=(SSDP_MEMO_KEY, message),
         )
 
     def _compose_alive(self, events: list[Event], session: TranslationSession) -> OutboundMessage:
@@ -283,10 +291,12 @@ class UpnpEventComposer(SdpComposer):
         nt = str(session.vars.get("st", ""))
         usn = str(session.vars.get("usn", f"uuid:indiss-{session.session_id}::{nt}"))
         self.messages_composed += 1
+        payload, message = seeded_notify_alive(nt=nt, usn=usn, location=location)
         return OutboundMessage(
-            payload=build_notify_alive(nt=nt, usn=usn, location=location),
+            payload=payload,
             destination=Endpoint(SSDP_GROUP, SSDP_PORT),
             label="notify-alive",
+            decode_hint=(SSDP_MEMO_KEY, message),
         )
 
 
@@ -418,6 +428,12 @@ class UpnpUnit(Unit):
         self._sessions_awaiting_ssdp: list[TranslationSession] = []
         self._machines: dict[int, StateMachine] = {}
         self._resolved_locations: set[str] = set()
+        #: Encode-once NOTIFY cache for re-advertised records, keyed by
+        #: record identity: (service_type, url) -> (attribute fingerprint,
+        #: composed OutboundMessage).  A record the pipeline re-announces
+        #: every native alive period reuses the same exported description,
+        #: payload bytes, and decode hint instead of rebuilding them all.
+        self._advert_cache: dict[tuple[str, str], tuple[tuple, object]] = {}
 
     # -- target side: foreign request -> native M-SEARCH (+ GET) -----------------
 
@@ -460,7 +476,12 @@ class UpnpUnit(Unit):
 
         def transmit() -> None:
             for message in messages:
-                self.runtime.send_udp(message.payload, message.destination)
+                if message.decode_hint is not None:
+                    self.parse_counter.note_seed()
+                self.runtime.send_udp(
+                    message.payload, message.destination,
+                    decode_hint=message.decode_hint,
+                )
 
         self.runtime.schedule(self.runtime.timings.compose_us, transmit)
 
@@ -560,7 +581,12 @@ class UpnpUnit(Unit):
 
         def transmit() -> None:
             for message in messages:
-                self.runtime.send_udp_from_new_socket(message.payload, message.destination)
+                if message.decode_hint is not None:
+                    self.parse_counter.note_seed()
+                self.runtime.send_udp_from_new_socket(
+                    message.payload, message.destination,
+                    decode_hint=message.decode_hint,
+                )
 
         self.runtime.schedule(delay, transmit)
 
@@ -623,20 +649,37 @@ class UpnpUnit(Unit):
     # -- active advertisement (Fig. 6 bottom) --------------------------------------
 
     def advertise_record(self, record: ServiceRecord) -> None:
-        session = TranslationSession(origin_sdp="upnp", requester=None)
-        session.vars["export_location"] = self.exporter.export(record, session.session_id)
-        session.vars["st"] = upnp_device_type(record.service_type or "service")
-        events = bracket(
-            [
-                Event.of(SDP_SERVICE_ALIVE),
-                Event.of(SDP_SERVICE_TYPE, type=record.service_type,
-                         normalized=record.service_type),
-                Event.of(SDP_RES_TTL, seconds=record.lifetime_s),
-            ],
-            sdp="upnp",
+        # Encode-once: the pipeline re-announces the same record every time
+        # the native advertisement is re-heard; identical records reuse the
+        # cached NOTIFY (and its exported description) instead of exporting
+        # a fresh document and rebuilding identical bytes per repeat.
+        key = (record.service_type, record.url)
+        fingerprint = (tuple(sorted(record.attributes.items())), record.lifetime_s)
+        cached = self._advert_cache.get(key)
+        if cached is not None and cached[0] == fingerprint:
+            message = cached[1]
+        else:
+            session = TranslationSession(origin_sdp="upnp", requester=None)
+            session.vars["export_location"] = self.exporter.export(
+                record, session.session_id
+            )
+            session.vars["st"] = upnp_device_type(record.service_type or "service")
+            events = bracket(
+                [
+                    Event.of(SDP_SERVICE_ALIVE),
+                    Event.of(SDP_SERVICE_TYPE, type=record.service_type,
+                             normalized=record.service_type),
+                    Event.of(SDP_RES_TTL, seconds=record.lifetime_s),
+                ],
+                sdp="upnp",
+            )
+            message = self.composer.compose(events, session)[0]
+            self._advert_cache[key] = (fingerprint, message)
+        if message.decode_hint is not None:
+            self.parse_counter.note_seed()
+        self.runtime.send_udp_from_new_socket(
+            message.payload, message.destination, decode_hint=message.decode_hint
         )
-        for message in self.composer.compose(events, session):
-            self.runtime.send_udp_from_new_socket(message.payload, message.destination)
 
 
 __all__ = [

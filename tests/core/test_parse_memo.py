@@ -176,3 +176,209 @@ class TestSharedNativeDecode:
         # loopback copy), but its payload is decoded exactly once; only
         # the unicast reply adds another decode.
         assert calls["n"] - baseline <= 3
+
+
+class TestCrossProtocolIsolation:
+    """Two protocols on the same frame (or the same group/port) must never
+    serve each other's memoized decodes: keys are per-protocol, and the
+    bytes-equality guard stops any cross-key aliasing attempt."""
+
+    def test_distinct_protocol_keys_never_cross_serve(self):
+        from repro.net.udp import Datagram
+        from repro.sdp.jini.discovery import JINI_MEMO_KEY
+        from repro.sdp.upnp.ssdp import SSDP_MEMO_KEY
+        from repro.sdp.slp.wire import WIRE_MEMO_KEY
+
+        frame = Datagram(
+            payload=b"ambiguous bytes",
+            source=Endpoint("192.168.1.1", 5000),
+            destination=Endpoint("239.255.255.250", 1900),
+        )
+        memo = frame.ensure_memo()
+        memo.store(SSDP_MEMO_KEY, frame.payload, "ssdp-decode")
+        assert memo.lookup(JINI_MEMO_KEY, frame.payload) is MEMO_MISS
+        assert memo.lookup(WIRE_MEMO_KEY, frame.payload) is MEMO_MISS
+        assert memo.lookup(SSDP_MEMO_KEY, frame.payload) == "ssdp-decode"
+
+    def test_ssdp_and_jini_negative_decodes_coexist(self):
+        """The same undecodable payload rejected by two protocols stores
+        two independent negative entries under their own keys."""
+        from repro.sdp.jini.discovery import decode_packet_shared
+        from repro.sdp.upnp.ssdp import decode_ssdp_shared
+
+        memo = FrameMemo()
+        payload = b"\xff\xfe neither protocol"
+        assert decode_ssdp_shared(payload, memo) is None
+        assert decode_packet_shared(payload, memo) is None
+        assert len(memo) == 2
+        # Each later receiver shares its own protocol's rejection.
+        assert decode_ssdp_shared(payload, memo) is None
+        assert decode_packet_shared(payload, memo) is None
+
+    def test_jini_collision_guard(self):
+        from repro.sdp.jini.discovery import (
+            JINI_MEMO_KEY,
+            MulticastAnnouncement,
+            decode_packet_shared,
+        )
+
+        first = MulticastAnnouncement(host="10.0.0.1", port=4160, service_id="sid-a")
+        second = MulticastAnnouncement(host="10.0.0.2", port=4160, service_id="sid-b")
+        memo = FrameMemo()
+        memo.store(JINI_MEMO_KEY, first.encode(), first)
+        decoded = decode_packet_shared(second.encode(), memo)
+        assert decoded == second  # stale entry not served
+        assert memo.collisions == 1
+
+
+class TestSsdpNativeSharing:
+    def test_device_fleet_shares_one_alive_decode(self, monkeypatch):
+        """An alive burst on a segment with several devices and a control
+        point is never tokenized: the sender seeds each frame, and every
+        receiver (including the sender's own loopback copy) shares it."""
+        import repro.sdp.upnp.ssdp as ssdp_module
+        from repro.sdp.upnp import CLOCK_DEVICE_TYPE, UpnpControlPoint, make_clock_device
+
+        calls = {"n": 0}
+        real = ssdp_module.parse_ssdp
+
+        def counting(payload):
+            calls["n"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(ssdp_module, "parse_ssdp", counting)
+
+        net = Network()
+        devices = [
+            make_clock_device(net.add_node(f"dev{i}"), seed=i, advertise=False)
+            for i in range(4)
+        ]
+        cp = UpnpControlPoint(net.add_node("cp"))
+        for device in devices:
+            device.start_advertising()
+        net.run(duration_us=300_000)
+        assert calls["n"] == 0, "seeded alive bursts must never be tokenized"
+        assert len(cp.known_devices) >= 4
+        upnp = net.parse_counter("upnp")
+        assert upnp.decoded == 0 and upnp.shared > 0 and upnp.seeded > 0
+
+    def test_msearch_fanout_decoded_at_most_once(self, monkeypatch):
+        """A control-point search against K devices: the M-SEARCH is seeded
+        (0 decodes) and each unicast response is seeded too."""
+        import repro.sdp.upnp.ssdp as ssdp_module
+        from repro.sdp.upnp import CLOCK_DEVICE_TYPE, UpnpControlPoint, make_clock_device
+
+        calls = {"n": 0}
+        real = ssdp_module.parse_ssdp
+
+        def counting(payload):
+            calls["n"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(ssdp_module, "parse_ssdp", counting)
+
+        net = Network()
+        for i in range(3):
+            make_clock_device(net.add_node(f"dev{i}"), seed=i, advertise=False)
+        cp = UpnpControlPoint(net.add_node("cp"))
+        done: list = []
+        cp.search(CLOCK_DEVICE_TYPE, wait_us=100_000, on_complete=done.append)
+        net.run(duration_us=400_000)
+        assert done and done[0].responses
+        assert calls["n"] == 0
+
+
+class TestJiniNativeSharing:
+    def test_listeners_share_announcement_decode(self, monkeypatch):
+        """Registrar announcements are seeded at send time; passive
+        discovery listeners on the segment never run the codec reader."""
+        import repro.sdp.jini.discovery as discovery_module
+        from repro.sdp.jini import LookupDiscovery, LookupService
+
+        calls = {"n": 0}
+        real = discovery_module.decode_packet
+
+        def counting(payload):
+            calls["n"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(discovery_module, "decode_packet", counting)
+
+        net = Network()
+        registrar = LookupService(
+            net.add_node("registrar"), announce_period_us=100_000
+        )
+        listeners = [LookupDiscovery(net.add_node(f"ld{i}")) for i in range(4)]
+        net.run(duration_us=400_000)
+        assert calls["n"] == 0, "seeded announcements must never hit the codec"
+        for listener in listeners:
+            assert registrar.service_id in listener.registrars
+        jini = net.parse_counter("jini")
+        assert jini.decoded == 0 and jini.shared > 0 and jini.seeded > 0
+
+    def test_unit_shares_announcement_with_native_listeners(self):
+        """A gateway's Jini unit rides the same frame memo as the native
+        listeners: its parse never re-runs the codec reader."""
+        from repro.sdp.jini import LookupDiscovery, LookupService
+
+        net = Network()
+        gw = Indiss(
+            net.add_node("gw"),
+            IndissConfig(units=("slp", "jini"), deployment="gateway"),
+        )
+        LookupDiscovery(net.add_node("ld"))
+        LookupService(net.add_node("registrar"), announce_period_us=100_000)
+        net.run(duration_us=400_000)
+        unit = gw.units["jini"]
+        assert unit.streams_parsed > 0
+        assert net.parse_counter("jini").decoded == 0
+        assert unit.known_registrars  # the shared decode fed the unit
+
+
+class TestMonitorAttribution:
+    def test_monitor_counts_seeded_frames(self):
+        """The monitor records, per protocol, how many frames arrived with
+        a pre-populated decode memo (sender seed or earlier receiver)."""
+        from repro.sdp.slp import SlpConfig, UserAgent
+
+        net = Network()
+        gw = _gateway(net, "gw")
+        ua = UserAgent(net.add_node("client"), config=SlpConfig(wait_us=50_000, retries=0))
+        ua.find_services("service:printer")
+        net.run(duration_us=300_000)
+        attribution = gw.monitor.parse_attribution()
+        assert attribution["slp"]["frames"] > 0
+        # The UA seeds its request frame, so the monitor saw it pre-decoded.
+        assert attribution["slp"]["seeded"] == attribution["slp"]["frames"]
+
+
+class TestParseOnceDisabled:
+    def test_null_memo_forces_per_receiver_decodes(self, monkeypatch):
+        """Network(parse_once=False): the same traffic, every receiver
+        tokenizes for itself — the A/B baseline the benchmarks price."""
+        import repro.sdp.upnp.ssdp as ssdp_module
+        from repro.sdp.upnp import UpnpControlPoint, make_clock_device
+
+        calls = {"n": 0}
+        real = ssdp_module.parse_ssdp
+
+        def counting(payload):
+            calls["n"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(ssdp_module, "parse_ssdp", counting)
+
+        net = Network(parse_once=False)
+        devices = [
+            make_clock_device(net.add_node(f"dev{i}"), seed=i, advertise=False)
+            for i in range(3)
+        ]
+        # Control points decode every NOTIFY (devices peek-skip them).
+        cps = [UpnpControlPoint(net.add_node(f"cp{i}")) for i in range(2)]
+        devices[0].start_advertising()
+        net.run(duration_us=100_000)
+        assert calls["n"] >= 2  # each control point tokenized for itself
+        upnp = net.parse_counter("upnp")
+        assert upnp.shared == 0 and upnp.decoded == calls["n"]
+        assert upnp.seeded == 0  # hints never reached a frame, so no seeds claimed
+        assert all(cp.known_devices for cp in cps)

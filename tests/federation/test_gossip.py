@@ -179,3 +179,61 @@ def test_gossip_requires_positive_period():
 
     with pytest.raises(ValueError):
         CacheGossiper(instances[0], fleet, instances[0].node.address, period_us=0)
+
+
+# -- encode-once payload reuse ---------------------------------------------------
+
+
+def test_digest_serialized_once_while_cache_unchanged():
+    """Steady state: digests keep flowing every round, but the payload is
+    serialized exactly once until the cache's version moves."""
+    net, fleet, (a, b, _) = build_fleet(member_count=3)
+    a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+    net.run(duration_us=6 * GOSSIP_PERIOD_US + 50_000)
+    gossiper = fleet.members[a.node.address].gossiper
+    assert gossiper.stats.digests_sent >= 5
+    # One serialization when the cache was empty at most, one after the
+    # store, plus at most one per delta-driven merge — far fewer than the
+    # rounds that reused the bytes.
+    assert gossiper.stats.digest_encodes < gossiper.stats.digests_sent
+    # Every peer converged all the same.
+    assert a.cache.digest() == b.cache.digest()
+
+
+def test_digest_reserialized_when_cache_changes():
+    net, fleet, (a, b) = build_fleet(member_count=2)
+    a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+    net.run(duration_us=2 * GOSSIP_PERIOD_US + 50_000)
+    gossiper = fleet.members[a.node.address].gossiper
+    encodes_before = gossiper.stats.digest_encodes
+    a.cache.store(record("printer", "http://10.0.0.9/ctl"))
+    net.run(duration_us=2 * GOSSIP_PERIOD_US + 50_000)
+    assert gossiper.stats.digest_encodes > encodes_before
+    assert len(b.cache) == 2  # the new record still propagated
+
+
+def test_delta_record_wire_form_reused_across_peers():
+    """A record pushed to several laggard peers is wire-encoded once."""
+    net, fleet, instances = build_fleet(member_count=4)
+    a = instances[0]
+    a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+    net.run(duration_us=8 * GOSSIP_PERIOD_US + 50_000)
+    gossiper = fleet.members[a.node.address].gossiper
+    assert gossiper.stats.records_sent >= 2  # pushed to multiple peers
+    assert gossiper.stats.record_encodes <= 1
+    for inst in instances[1:]:
+        assert len(inst.cache) == 1
+
+
+def test_cache_version_tracks_mutations_and_evictions():
+    clock = [0]
+    cache = ServiceCache(lambda: clock[0])
+    v0 = cache.version
+    cache.store(record(lifetime_s=10))
+    assert cache.version > v0
+    v1 = cache.version
+    cache.evict_expired()
+    assert cache.version == v1  # nothing expired: version stands
+    clock[0] = 11_000_000
+    cache.evict_expired()
+    assert cache.version > v1  # TTL eviction is a mutation too

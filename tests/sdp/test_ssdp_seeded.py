@@ -1,0 +1,165 @@
+"""SSDP single-pass tokenizer, kind peek, and encode-once seeded builders.
+
+The seeded builders must produce *exactly* the message ``parse_ssdp``
+would return for their bytes — that equivalence is what makes send-side
+memo seeding behaviourally invisible (golden traces stay bit-identical).
+"""
+
+import pytest
+
+from repro.net import FrameMemo, MEMO_MISS, ParseCounter
+from repro.sdp.upnp import SsdpParseError
+from repro.sdp.upnp.ssdp import (
+    SSDP_MEMO_KEY,
+    SsdpKind,
+    build_msearch,
+    decode_ssdp_shared,
+    parse_ssdp,
+    peek_ssdp_kind,
+    seeded_msearch,
+    seeded_notify_alive,
+    seeded_notify_byebye,
+    seeded_search_response,
+)
+
+
+class TestSeededBuildersMatchParser:
+    """parse_ssdp(payload) == message, field for field, headers included."""
+
+    def test_msearch(self):
+        payload, message = seeded_msearch("urn:schemas-upnp-org:device:clock:1", mx_s=2)
+        assert parse_ssdp(payload) == message
+        assert message.kind is SsdpKind.MSEARCH
+        assert message.mx_s == 2
+
+    def test_msearch_with_hops(self):
+        payload, message = seeded_msearch("ssdp:all", mx_s=0, hops=3)
+        assert parse_ssdp(payload) == message
+        assert message.raw_headers.get("HOPS.INDISS.ORG") == "3"
+
+    def test_search_response(self):
+        payload, message = seeded_search_response(
+            st="urn:schemas-upnp-org:device:clock:1",
+            usn="uuid:x::urn:schemas-upnp-org:device:clock:1",
+            location="http://192.168.1.9:4004/description.xml",
+            max_age_s=900,
+        )
+        assert parse_ssdp(payload) == message
+        assert message.kind is SsdpKind.RESPONSE
+        assert message.max_age_s == 900
+
+    def test_notify_alive(self):
+        payload, message = seeded_notify_alive(
+            nt="upnp:rootdevice",
+            usn="uuid:dev::upnp:rootdevice",
+            location="http://192.168.1.9:4004/description.xml",
+        )
+        assert parse_ssdp(payload) == message
+        assert message.kind is SsdpKind.ALIVE
+
+    def test_notify_byebye(self):
+        payload, message = seeded_notify_byebye("upnp:rootdevice", "uuid:dev")
+        assert parse_ssdp(payload) == message
+        assert message.kind is SsdpKind.BYEBYE
+
+
+class TestKindPeek:
+    def test_peeks_each_kind(self):
+        alive, _ = seeded_notify_alive("nt", "usn", "http://h/d.xml")
+        byebye, _ = seeded_notify_byebye("nt", "usn")
+        response, _ = seeded_search_response("st", "usn", "http://h/d.xml")
+        msearch = build_msearch("ssdp:all")
+        assert peek_ssdp_kind(alive) is SsdpKind.ALIVE
+        assert peek_ssdp_kind(byebye) is SsdpKind.BYEBYE
+        assert peek_ssdp_kind(response) is SsdpKind.RESPONSE
+        assert peek_ssdp_kind(msearch) is SsdpKind.MSEARCH
+
+    def test_peek_rejects_foreign_bytes(self):
+        assert peek_ssdp_kind(b"\x02\x00\x00\x10 slp frame") is None
+        assert peek_ssdp_kind(b"GET / HTTP/1.1\r\n\r\n") is None
+        assert peek_ssdp_kind(b"NOTIFY * HTTP/1.1\r\nNTS: weird\r\n\r\n") is None
+
+    def test_peek_agrees_with_parser(self):
+        for payload, message in (
+            seeded_msearch("ssdp:all"),
+            seeded_notify_alive("nt", "usn", "http://h/d.xml"),
+            seeded_notify_byebye("nt", "usn"),
+            seeded_search_response("st", "usn", "http://h/d.xml"),
+        ):
+            assert peek_ssdp_kind(payload) is message.kind
+
+
+class TestTokenizerErrors:
+    """The single-pass tokenizer keeps the old codec's rejections."""
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"not http at all",
+            b"HTTP/1.1 404 Not Found\r\n\r\n",
+            b"M-SEARCH * HTTP/1.1\r\nMAN: \"ssdp:other\"\r\n\r\n",
+            b"NOTIFY * HTTP/1.1\r\nNTS: ssdp:odd\r\n\r\n",
+            b"PUT * HTTP/1.1\r\n\r\n",
+            b"M-SEARCH * HTTP/1.1\r\nbroken line\r\n\r\n",
+            b"M-SEARCH *\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\nCONTENT-LENGTH: 99\r\n\r\nshort",
+            b"HTTP/1.1 200 OK\r\nCONTENT-LENGTH: soon\r\n\r\n",
+        ],
+    )
+    def test_rejects(self, payload):
+        with pytest.raises(SsdpParseError):
+            parse_ssdp(payload)
+
+    def test_lowercase_method_still_accepted(self):
+        # The old codec upper-cased methods; the tokenizer must too.
+        raw = b"notify * HTTP/1.1\r\nNT: x\r\nNTS: ssdp:byebye\r\nUSN: u\r\n\r\n"
+        assert parse_ssdp(raw).kind is SsdpKind.BYEBYE
+
+    def test_repeated_headers_first_value_wins(self):
+        raw = (
+            b"NOTIFY * HTTP/1.1\r\nNT: first\r\nNT: second\r\n"
+            b"NTS: ssdp:byebye\r\nUSN: u\r\n\r\n"
+        )
+        message = parse_ssdp(raw)
+        assert message.target == "first"
+        assert message.raw_headers.get("NT") == "first"
+
+
+class TestSharedDecode:
+    def test_first_decodes_rest_share(self):
+        payload, _ = seeded_notify_alive("nt", "usn", "http://h/d.xml")
+        memo = FrameMemo()
+        counter = ParseCounter()
+        first = decode_ssdp_shared(payload, memo, counter)
+        second = decode_ssdp_shared(payload, memo, counter)
+        assert first is second  # the stored message is reused, not re-parsed
+        assert counter.decoded == 1 and counter.shared == 1
+
+    def test_negative_decode_is_shared(self):
+        memo = FrameMemo()
+        counter = ParseCounter()
+        assert decode_ssdp_shared(b"junk", memo, counter) is None
+        assert decode_ssdp_shared(b"junk", memo, counter) is None
+        assert counter.decoded == 1 and counter.shared == 1
+
+    def test_seeded_frame_never_decodes(self):
+        payload, message = seeded_notify_alive("nt", "usn", "http://h/d.xml")
+        memo = FrameMemo()
+        memo.store(SSDP_MEMO_KEY, payload, message)  # sender's decode_hint
+        counter = ParseCounter()
+        assert decode_ssdp_shared(payload, memo, counter) is message
+        assert counter.decoded == 0 and counter.shared == 1
+
+    def test_collision_guard_reparses_on_differing_payload(self):
+        a, message_a = seeded_notify_alive("a", "usn-a", "http://h/a.xml")
+        b, _ = seeded_notify_alive("b", "usn-b", "http://h/b.xml")
+        memo = FrameMemo()
+        memo.store(SSDP_MEMO_KEY, a, message_a)
+        decoded_b = decode_ssdp_shared(b, memo)
+        assert decoded_b is not None and decoded_b.target == "b"
+        assert memo.collisions == 1
+
+    def test_no_memo_still_parses(self):
+        payload, message = seeded_msearch("ssdp:all")
+        assert decode_ssdp_shared(payload, None) == message
+        assert decode_ssdp_shared(b"junk", None) is None
