@@ -4,44 +4,64 @@ Run with::
 
     python examples/quickstart.py
 
-Builds the smallest useful world — one SLP client host, one UPnP clock
-device host carrying INDISS — and performs one translated discovery, then
-prints what happened.
+Declares the smallest useful world as a :class:`~repro.world.WorldSpec` —
+one SLP client host, one UPnP clock device host carrying INDISS — then
+compiles it with ``World.build`` and drives one translated discovery
+through the run-control surface (``run_until`` + a named probe).
+
+The spec is pure data: validate it, print it, or sweep its parameters
+without touching the simulator (``python -m repro.world`` does exactly
+that for the whole scenario catalog).
 """
 
-from repro import Indiss, IndissConfig, Network
-from repro.sdp.slp import UserAgent
-from repro.sdp.upnp import make_clock_device
+from repro.world import (
+    ClockDevice,
+    HostSpec,
+    IndissApp,
+    Probe,
+    SlpClient,
+    World,
+    WorldSpec,
+)
+
+#: A simulated 10 Mb/s home LAN: two hosts on the default segment.  The
+#: client runs a completely ordinary SLP user agent; the service host runs
+#: a stock UPnP clock device plus INDISS (paper Fig. 8 deployment).
+#: Neither endpoint knows anything about INDISS.
+QUICKSTART = WorldSpec(
+    name="quickstart",
+    description="SLP client -> [SLP-UPnP] INDISS -> UPnP clock device",
+    elements=(
+        HostSpec("client", apps=(SlpClient(),)),
+        HostSpec(
+            "service",
+            apps=(ClockDevice(), IndissApp(deployment="service")),
+        ),
+    ),
+    workload=(
+        Probe("clock", "service:clock", host="client", headline=True),
+    ),
+)
 
 
 def main() -> None:
-    # A simulated 10 Mb/s home LAN.
-    net = Network()
-    client_node = net.add_node("client")
-    service_node = net.add_node("service")
+    QUICKSTART.validate()
+    world = World.build(QUICKSTART, seed=0)
 
-    # A completely ordinary SLP client and UPnP device: neither knows
-    # anything about INDISS.
-    client = UserAgent(client_node)
-    device = make_clock_device(service_node)
+    # Issue the probe, then run just until the answer arrives (run-control:
+    # a predicate over the live world, not a fixed horizon).
+    world.run_workload()
+    world.run_until(lambda w: w.probe("clock").completed, horizon_us=2_000_000)
 
-    # INDISS rides along on the service host (paper Fig. 8 deployment).
-    indiss = Indiss(
-        service_node,
-        IndissConfig(units=("slp", "upnp"), deployment="service"),
-    )
-
-    searches = []
-    client.find_services("service:clock", on_complete=searches.append)
-    net.run(duration_us=2_000_000)
-
-    search = searches[0]
+    probe = world.probe("clock")
+    search = probe.search
     print("SLP client searched for 'service:clock' and received:")
     for entry in search.results:
         print(f"  {entry.url}  (lifetime {entry.lifetime_s}s)")
-    print(f"first answer after {search.first_latency_us / 1000:.2f} ms (virtual)")
+    print(f"first answer after {probe.latency_us / 1000:.2f} ms (virtual)")
     print()
     print("What INDISS did:")
+    indiss = world.instances[0]
     for session in indiss.sessions:
         for step in session.steps:
             print(f"  - {step}")

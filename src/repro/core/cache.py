@@ -27,18 +27,30 @@ class CacheEntry:
 
 
 class ServiceCache:
-    """TTL'd store of normalized service records, keyed by (type, url)."""
+    """TTL'd store of normalized service records, keyed by (type, url).
 
-    def __init__(self, clock: Callable[[], int]):
+    Removals plant short-lived **tombstones** (``tombstone_ttl_s``): while
+    a tombstone is live, :meth:`merge` refuses to re-adopt the key from a
+    federation peer, so a byebye retraction cannot be re-learnt from a
+    stale gossip partner before the retraction has propagated.  A local
+    :meth:`store` — the authoritative path a re-announcing service takes —
+    clears the tombstone immediately.
+    """
+
+    def __init__(self, clock: Callable[[], int], tombstone_ttl_s: int = 15):
         self._clock = clock
         self._entries: dict[tuple[str, str], CacheEntry] = {}
+        self.tombstone_ttl_s = tombstone_ttl_s
+        #: key -> (deleted_at_us, tombstone_expires_at_us); see the
+        #: class docstring.  Gossip digests and deltas carry these.
+        self._tombstones: dict[tuple[str, str], tuple[int, float]] = {}
         self.hits = 0
         self.misses = 0
         #: Monotonic mutation counter: bumped whenever the entry set (or an
-        #: entry's freshness) changes, including TTL evictions.  Consumers
-        #: that derive something expensive from the contents — the
-        #: gossiper's serialized digest — reuse their result while the
-        #: version stands still.
+        #: entry's freshness) changes, including TTL evictions and
+        #: tombstone plants/expiries.  Consumers that derive something
+        #: expensive from the contents — the gossiper's serialized digest —
+        #: reuse their result while the version stands still.
         self.version = 0
 
     def __len__(self) -> int:
@@ -48,7 +60,11 @@ class ServiceCache:
     def store(self, record: ServiceRecord) -> None:
         now = self._clock()
         expires = now + record.lifetime_s * 1_000_000
-        self._entries[(record.service_type, record.url)] = CacheEntry(
+        key = (record.service_type, record.url)
+        # A locally observed (re-)announcement is authoritative: the
+        # service is demonstrably back, so any retraction tombstone dies.
+        self._tombstones.pop(key, None)
+        self._entries[key] = CacheEntry(
             record=record, stored_at_us=now, expires_at_us=expires
         )
         self.version += 1
@@ -59,15 +75,28 @@ class ServiceCache:
         Unlike :meth:`store`, the expiry is the *absolute* virtual time the
         originating cache advertised, so a record never outlives its first
         TTL by being gossiped around — and an already-expired record is
-        never resurrected.  Returns True when the record was adopted.
+        never resurrected.  A key under a live tombstone is refused unless
+        the record was demonstrably observed *after* the retraction (its
+        implied observation time, ``expiry - lifetime``, postdates the
+        deletion — a genuine re-announcement, which also clears the
+        tombstone); a stale pre-retraction copy can never sneak back in.
+        Returns True when adopted.
         """
         now = self._clock()
         if expires_at_us <= now:
             return False
         key = (record.service_type, record.url)
+        tombstone = self._tombstones.get(key)
+        if tombstone is not None and tombstone[1] > now:
+            implied_observed_us = expires_at_us - record.lifetime_s * 1_000_000
+            if implied_observed_us <= tombstone[0]:
+                return False
         existing = self._entries.get(key)
         if existing is not None and existing.expires_at_us >= expires_at_us:
             return False
+        # Only an *adopted* record clears the tombstone — a copy rejected
+        # as staler than what we hold must not erase retraction protection.
+        self._tombstones.pop(key, None)
         self._entries[key] = CacheEntry(
             record=record, stored_at_us=now, expires_at_us=expires_at_us
         )
@@ -89,17 +118,19 @@ class ServiceCache:
         return list(self._entries.items())
 
     def remove_url(self, url: str) -> int:
-        """Drop every record for ``url`` (byebye handling); returns count."""
+        """Drop every record for ``url`` (byebye handling); returns count.
+
+        Each removed key gets a tombstone for ``tombstone_ttl_s``, so
+        gossip retracts the record fleet-wide instead of resurrecting it.
+        """
         keys = [key for key in self._entries if key[1] == url]
-        for key in keys:
-            del self._entries[key]
-        if keys:
-            self.version += 1
+        self._remove_keys(keys)
         return len(keys)
 
     def remove_type(self, service_type: str, source_sdp: str = "") -> int:
         """Drop records of one normalized type (SSDP byebye names only the
-        NT, never a service URL); returns count."""
+        NT, never a service URL); returns count.  Tombstoned like
+        :meth:`remove_url`."""
         wanted = normalize_service_type(service_type)
         keys = [
             key
@@ -107,11 +138,48 @@ class ServiceCache:
             if entry.record.service_type == wanted
             and (not source_sdp or entry.record.source_sdp == source_sdp)
         ]
+        self._remove_keys(keys)
+        return len(keys)
+
+    def _remove_keys(self, keys) -> None:
+        if not keys:
+            return
+        now = self._clock()
+        expires = now + self.tombstone_ttl_s * 1_000_000
         for key in keys:
             del self._entries[key]
-        if keys:
-            self.version += 1
-        return len(keys)
+            self._tombstones[key] = (now, expires)
+        self.version += 1
+
+    # -- tombstones ---------------------------------------------------------
+
+    def tombstones(self) -> dict[tuple[str, str], tuple[int, float]]:
+        """Live tombstones: key -> (deleted_at_us, expires_at_us)."""
+        self._evict()
+        return dict(self._tombstones)
+
+    def apply_tombstone(
+        self, key: tuple[str, str], deleted_at_us: int, expires_at_us: float
+    ) -> bool:
+        """Adopt a retraction learnt from a federation peer.
+
+        Drops the local entry only when it was stored at or before the
+        deletion (a record learnt *after* the retraction is a genuine
+        re-announcement and survives).  Returns True when anything
+        changed — the tombstone was news, or an entry was dropped.
+        """
+        now = self._clock()
+        if expires_at_us <= now:
+            return False
+        existing = self._tombstones.get(key)
+        if existing is not None and existing[1] >= expires_at_us:
+            return False
+        self._tombstones[key] = (deleted_at_us, expires_at_us)
+        entry = self._entries.get(key)
+        if entry is not None and entry.stored_at_us <= deleted_at_us:
+            del self._entries[key]
+        self.version += 1
+        return True
 
     def lookup(self, service_type: str) -> list[ServiceRecord]:
         """All live records whose normalized type matches."""
@@ -141,7 +209,8 @@ class ServiceCache:
         ]
 
     def evict_expired(self) -> None:
-        """Drop entries past their TTL now (bumps ``version`` if any go)."""
+        """Drop entries and tombstones past their TTL now (bumps
+        ``version`` if any go)."""
         self._evict()
 
     def _evict(self) -> None:
@@ -149,7 +218,12 @@ class ServiceCache:
         expired = [key for key, entry in self._entries.items() if entry.expires_at_us <= now]
         for key in expired:
             del self._entries[key]
-        if expired:
+        dead_tombstones = [
+            key for key, (_, expires) in self._tombstones.items() if expires <= now
+        ]
+        for key in dead_tombstones:
+            del self._tombstones[key]
+        if expired or dead_tombstones:
             self.version += 1
 
 

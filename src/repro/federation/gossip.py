@@ -18,6 +18,13 @@ expired record can never be resurrected by a slow peer
 (``source_sdp``) rides along, so a gossiped record still answers only
 requesters of *other* protocols, exactly like a locally learnt one.
 
+Retractions propagate as fast as discoveries: a removal (byebye) plants a
+short-lived **tombstone** in the cache, digests and deltas carry live
+tombstones, and a peer adopting one drops its stale copy — while the
+tombstone lives, the record cannot be re-learnt from a lagging peer, but a
+record whose implied observation time postdates the deletion (a genuine
+re-announcement) still wins.
+
 Rounds are staggered per member so a fleet does not gossip in lockstep.
 """
 
@@ -57,6 +64,10 @@ class GossipStats:
     records_applied: int = 0
     records_ignored: int = 0
     records_expired: int = 0
+    #: Retraction tombstones pushed to peers still holding the record.
+    tombstones_sent: int = 0
+    #: Tombstones adopted from a peer (entry dropped and/or news learnt).
+    tombstones_applied: int = 0
     decode_errors: int = 0
     #: Digest payloads actually serialized (encode-once: a digest is
     #: rebuilt only when the cache's version moved; steady-state rounds
@@ -161,10 +172,14 @@ class CacheGossiper:
             f"{key[0]}|{key[1]}": expires
             for key, expires in cache.digest().items()
         }
-        payload = json.dumps(
-            {"kind": "digest", "from": self.member_id, "entries": entries},
-            sort_keys=True,
-        ).encode("utf-8")
+        tombstones = {
+            f"{key[0]}|{key[1]}": [deleted, expires]
+            for key, (deleted, expires) in cache.tombstones().items()
+        }
+        message = {"kind": "digest", "from": self.member_id, "entries": entries}
+        if tombstones:
+            message["tombstones"] = tombstones
+        payload = json.dumps(message, sort_keys=True).encode("utf-8")
         self._digest_payload = (cache.version, payload)
         self.stats.digest_encodes += 1
         return payload
@@ -193,12 +208,30 @@ class CacheGossiper:
         else:
             self.stats.decode_errors += 1
 
+    def _apply_tombstones(self, wires) -> None:
+        """Adopt a peer's retraction tombstones (digests carry them too,
+        so retractions propagate as fast as discoveries)."""
+        if not isinstance(wires, dict):
+            self.stats.decode_errors += 1
+            return
+        for wire_key, pair in wires.items():
+            try:
+                deleted, expires = int(pair[0]), float(pair[1])
+                service_type, _, url = str(wire_key).partition("|")
+            except (TypeError, ValueError, IndexError):
+                self.stats.decode_errors += 1
+                continue
+            if self.indiss.cache.apply_tombstone((service_type, url), deleted, expires):
+                self.stats.tombstones_applied += 1
+
     def _handle_digest(self, message: dict, source: Endpoint) -> None:
         self.stats.digests_received += 1
         theirs = message.get("entries", {})
         if not isinstance(theirs, dict):
             self.stats.decode_errors += 1
             return
+        if "tombstones" in message:
+            self._apply_tombstones(message["tombstones"])
         records = []
         for key, entry in self.indiss.cache.live_entries():
             wire_key = f"{key[0]}|{key[1]}"
@@ -212,7 +245,16 @@ class CacheGossiper:
             records.append(self._wire_record(key, entry))
             if len(records) >= self.max_delta_records:
                 break
-        if not records:
+        # The peer advertises entries we hold tombstones for: push the
+        # retraction back so it stops offering (and serving) dead records.
+        tombstones = {}
+        our_tombstones = self.indiss.cache.tombstones()
+        if our_tombstones:
+            for key, (deleted, expires) in our_tombstones.items():
+                wire_key = f"{key[0]}|{key[1]}"
+                if wire_key in theirs:
+                    tombstones[wire_key] = [deleted, expires]
+        if not records and not tombstones:
             return  # digests agree: steady state moves no record data
         # Reply only to fleet members: a spoofed "from" must not steer the
         # delta (or crash the handler with an unroutable address).
@@ -222,7 +264,11 @@ class CacheGossiper:
         if peer == self.member_id:
             self.stats.decode_errors += 1
             return
-        self._send(peer, {"kind": "delta", "from": self.member_id, "records": records})
+        delta = {"kind": "delta", "from": self.member_id, "records": records}
+        if tombstones:
+            delta["tombstones"] = tombstones
+            self.stats.tombstones_sent += len(tombstones)
+        self._send(peer, delta)
         self.stats.deltas_sent += 1
         self.stats.records_sent += len(records)
 
@@ -242,6 +288,8 @@ class CacheGossiper:
 
     def _handle_delta(self, message: dict) -> None:
         self.stats.deltas_received += 1
+        if "tombstones" in message:
+            self._apply_tombstones(message["tombstones"])
         now = self.indiss.node.now_us
         records = message.get("records", ())
         if not isinstance(records, (list, tuple)):

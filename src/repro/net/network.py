@@ -180,11 +180,32 @@ class Network:
         Pending in-flight deliveries to its sockets still land (frames
         already on the wire); new unicasts to the address drop as
         unrouted, and cached delivery plans involving the node expire.
+        A detached host's own sends drop silently (NIC down), so its
+        periodic tasks may keep firing while it is off the network —
+        the membership-churn workloads rely on both properties.
         """
         for segment in list(node.segments):
             segment.detach(node)
         self._nodes.pop(node.address, None)
         self._note_topology_change()
+
+    def reattach_node(self, node: Node, segments=None) -> None:
+        """Re-attach a previously detached host (fleet churn rejoin).
+
+        The node keeps its address and sockets; every multicast group
+        membership is re-indexed on the segments it returns to, and all
+        cached delivery plans are flushed.  ``segments`` defaults to the
+        network's default segment; pass the detach-time list to restore a
+        gateway's bridged placement.
+        """
+        if node.address in self._nodes:
+            raise AddressError(f"address {node.address} already attached")
+        if node.segments:
+            raise NetworkError(f"node {node.name!r} is still attached")
+        self._nodes[node.address] = node
+        targets = list(segments) if segments else [self.default_segment]
+        for segment in targets:
+            self._resolve_segment(segment).attach(node)
 
     def node_at(self, address: str) -> Optional[Node]:
         return self._nodes.get(address)
@@ -288,7 +309,11 @@ class Network:
         unknown or unreachable across the segment graph.
         """
         if loopback or is_loopback(remote_host) or remote_host == sender.address:
+            if not sender.segments:  # detached host: loopback still works
+                return self.latency.delay_us(size_bytes, loopback=True)
             return sender.segment.delay_us(size_bytes, loopback=True)
+        if not sender.segments:
+            return None  # detached host: nothing reaches the wire
         target = self._nodes.get(remote_host)
         if target is None:
             return None
@@ -329,6 +354,10 @@ class Network:
         ``decode_hint`` pre-seeds the frame's decode memo with the sender's
         structured form of the payload (see :meth:`UdpSocket.sendto`).
         """
+        if not sender.segments:
+            # A detached host (fleet churn) has no NIC: the send drops.
+            self.unrouted += 1
+            return
         size = len(payload)
         self.traffic.record(
             self.scheduler.now_us,

@@ -40,7 +40,15 @@ class TcpConnection:
         self._data_handler: Optional[DataHandler] = None
         self._close_handler: Optional[CloseHandler] = None
         self._closed = False
-        self._recv_buffer: list[bytes] = []
+        self._recv_buffer: list[tuple[bytes, object]] = []
+        #: Decode memo attached to the chunk currently being delivered to
+        #: the data handler (``None`` outside delivery).  This is the TCP
+        #: leg of parse-once: a sender fanning one encoded message out to
+        #: many connections passes the same seeded
+        #: :class:`~repro.net.udp.FrameMemo` to every ``send``, and each
+        #: receiver's handler reads it here to skip the decode (GENA's
+        #: NOTIFY property-set fan-out).
+        self.inbound_memo = None
         #: Virtual time at which the last inbound chunk will have arrived;
         #: used to keep per-direction FIFO ordering.
         self._last_arrival_us = 0
@@ -65,8 +73,12 @@ class TcpConnection:
         self._data_handler = handler
         if self._recv_buffer:
             pending, self._recv_buffer = self._recv_buffer, []
-            for chunk in pending:
-                handler(chunk)
+            for chunk, memo in pending:
+                self.inbound_memo = memo
+                try:
+                    handler(chunk)
+                finally:
+                    self.inbound_memo = None
         return self
 
     def on_close(self, handler: CloseHandler) -> "TcpConnection":
@@ -75,8 +87,14 @@ class TcpConnection:
 
     # -- I/O -------------------------------------------------------------------
 
-    def send(self, data: bytes) -> None:
-        """Queue ``data`` for in-order delivery to the peer."""
+    def send(self, data: bytes, memo=None) -> None:
+        """Queue ``data`` for in-order delivery to the peer.
+
+        ``memo`` optionally attaches a decode memo the receiver's data
+        handler can consult via :attr:`inbound_memo` — the sender seeds it
+        with the structured form of an encoded message so no receiver of
+        the fan-out pays the decode (see ``repro.sdp.upnp.gena``).
+        """
         if self._closed:
             raise SocketClosedError("send on closed TCP connection")
         if self._peer is None:
@@ -99,17 +117,21 @@ class TcpConnection:
         )
         network.trace_message("tcp", self.local, self.remote, data)
         network.scheduler.schedule_at(
-            arrival, lambda: peer._receive(data), label="tcp-data"
+            arrival, lambda: peer._receive(data, memo), label="tcp-data"
         )
 
-    def _receive(self, data: bytes) -> None:
+    def _receive(self, data: bytes, memo=None) -> None:
         if self._closed:
             return
         self.bytes_received += len(data)
         if self._data_handler is not None:
-            self._data_handler(data)
+            self.inbound_memo = memo
+            try:
+                self._data_handler(data)
+            finally:
+                self.inbound_memo = None
         else:
-            self._recv_buffer.append(data)
+            self._recv_buffer.append((data, memo))
 
     def close(self) -> None:
         """Close this side; the peer sees EOF one latency later.
@@ -223,9 +245,13 @@ class TcpStack:
                 on_error(error)
 
         if remote_node is None or one_way is None:
-            # Unknown host or no link path between the segments: RST-like
-            # failure after one round trip on the sender's own segment.
-            rtt = 2 * self._node.segment.delay_us(0, loopback=loopback)
+            # Unknown host, no link path between the segments, or a
+            # detached (churned-out) sender: RST-like failure after one
+            # round trip on the sender's own segment.
+            if self._node.segments:
+                rtt = 2 * self._node.segment.delay_us(0, loopback=loopback)
+            else:
+                rtt = 2 * network.latency.delay_us(0, loopback=loopback)
             network.scheduler.schedule(rtt, refused, label="tcp-noroute")
             return
 

@@ -1,0 +1,95 @@
+"""The declarative World API: spec-built topologies with run control.
+
+``repro.world`` is the repo's public construction surface:
+
+* :mod:`repro.world.spec` — the validated spec vocabulary
+  (:class:`WorldSpec` → :class:`SegmentSpec` / :class:`HostSpec` /
+  :class:`BridgeSpec` / :class:`FleetSpec` plus app specs and the phased
+  workload steps ``Run`` / ``Probe`` / ``Chatter`` / ``Churn`` / ...);
+* :mod:`repro.world.build` — ``World.build`` compiles a spec into the
+  ``Network``/``Segment``/``GatewayFleet`` runtime and returns the
+  :class:`World` run-control handle (``run_until``, named probes, the
+  observer/metrics API feeding ``ScenarioOutcome.extras``);
+* :mod:`repro.world.scenarios` — the registered scenario catalog
+  (``SCENARIO_SPECS``), from the paper's Figs. 7-9 configurations to the
+  metro/media scale workloads and the spec-only churn/district sweeps;
+* ``python -m repro.world list|describe|validate`` — schema and
+  subnet-budget validation of every registered spec, without running one.
+"""
+
+from .build import BuildError, ProbeHandle, World, run_world
+from .outcome import ScenarioOutcome
+from .spec import (
+    BridgeSpec,
+    Chatter,
+    Check,
+    Churn,
+    ClockDevice,
+    Collect,
+    ControlPoint,
+    CpChatter,
+    Delta,
+    Emit,
+    Fill,
+    FleetSpec,
+    GenaFeed,
+    GenaSubscriber,
+    HostSpec,
+    IndissApp,
+    JiniItem,
+    JiniListener,
+    JiniRegistrar,
+    Probe,
+    RingOwnerLeaf,
+    Run,
+    SegmentSpec,
+    SetConfig,
+    SlpClient,
+    SlpService,
+    SlpServiceReg,
+    Snapshot,
+    SpecError,
+    TypeSweepReport,
+    TypedDevice,
+    WorldSpec,
+)
+
+__all__ = [
+    "World",
+    "WorldSpec",
+    "BuildError",
+    "SpecError",
+    "ProbeHandle",
+    "ScenarioOutcome",
+    "run_world",
+    "SegmentSpec",
+    "HostSpec",
+    "BridgeSpec",
+    "FleetSpec",
+    "Fill",
+    "RingOwnerLeaf",
+    "SlpClient",
+    "SlpService",
+    "SlpServiceReg",
+    "ClockDevice",
+    "TypedDevice",
+    "ControlPoint",
+    "IndissApp",
+    "JiniRegistrar",
+    "JiniListener",
+    "JiniItem",
+    "GenaSubscriber",
+    "GenaFeed",
+    "Run",
+    "Probe",
+    "Chatter",
+    "CpChatter",
+    "Churn",
+    "SetConfig",
+    "Snapshot",
+    "Delta",
+    "Collect",
+    "Emit",
+    "Check",
+    "TypeSweepReport",
+]

@@ -1,0 +1,117 @@
+"""``python -m repro.world`` — validate and inspect the scenario catalog.
+
+Commands:
+
+* ``list`` — one row per registered scenario spec (validated first);
+* ``describe <scenario> [param=value ...]`` — validate and pretty-print
+  one spec, optionally re-parameterized (ints parse as ints);
+* ``validate`` — schema + subnet-budget checks over **every** registered
+  spec, exiting non-zero on the first failure.  CI runs this as a fast
+  pre-test step: a malformed scenario fails in milliseconds, before any
+  simulation runs.
+
+No command ever builds a network — validation is pure spec analysis.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .scenarios import SCENARIO_SPECS
+from .spec import SpecError, WorldSpec
+
+
+def _parse_params(args: list[str]) -> dict:
+    params: dict = {}
+    for arg in args:
+        key, sep, value = arg.partition("=")
+        if not sep:
+            raise SystemExit(f"expected param=value, got {arg!r}")
+        try:
+            params[key] = int(value)
+        except ValueError:
+            if value in ("True", "False"):
+                params[key] = value == "True"
+            else:
+                params[key] = value
+    return params
+
+
+def _spec_for(name: str, params: dict) -> WorldSpec:
+    try:
+        builder = SCENARIO_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_SPECS))
+        raise SystemExit(f"unknown scenario {name!r}; known: {known}") from None
+    return builder(**params)
+
+
+def cmd_list() -> int:
+    width = max(len(name) for name in SCENARIO_SPECS)
+    failures = 0
+    for name, builder in SCENARIO_SPECS.items():
+        spec = builder()
+        problems = spec.problems()
+        row = spec.summary()
+        status = "ok" if not problems else f"INVALID ({problems[0]})"
+        print(
+            f"{name:<{width}}  segs={row['segments']:<3} hosts={row['hosts']:<4} "
+            f"fill={row['fill']:<5} fleets={row['fleets']} "
+            f"steps={row['steps']:<2} probes={row['probes']:<2} {status}"
+        )
+        failures += bool(problems)
+    return 1 if failures else 0
+
+
+def cmd_describe(name: str, params: dict) -> int:
+    spec = _spec_for(name, params)
+    try:
+        spec.validate()
+    except SpecError as exc:
+        print(spec.describe())
+        print(f"\nINVALID: {exc}", file=sys.stderr)
+        return 1
+    print(spec.describe())
+    print("\nvalid: schema and subnet budgets check out")
+    return 0
+
+
+def cmd_validate() -> int:
+    failures = []
+    for name, builder in SCENARIO_SPECS.items():
+        try:
+            spec = builder()
+            spec.validate()
+        except (SpecError, ValueError) as exc:
+            failures.append(f"{name}: {exc}")
+            continue
+        print(f"{name}: ok")
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"all {len(SCENARIO_SPECS)} scenario specs valid")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if len(argv) >= 2 else 2
+    command = argv[1]
+    if command == "list":
+        return cmd_list()
+    if command == "describe":
+        if len(argv) < 3:
+            print("usage: python -m repro.world describe <scenario> [param=value ...]",
+                  file=sys.stderr)
+            return 2
+        return cmd_describe(argv[2], _parse_params(argv[3:]))
+    if command == "validate":
+        return cmd_validate()
+    print(f"unknown command {command!r}; try list, describe, validate", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,755 @@
+"""``World.build``: compile a :class:`WorldSpec` into a running simulation.
+
+The compiler walks the spec's ordered element list and issues exactly the
+same construction calls a hand-written builder would — ``Network`` /
+``add_segment`` / ``add_node`` / agent constructors / ``GatewayFleet`` —
+then the workload interpreter executes the phased steps.  Ordering is
+preserved element-for-element, which is why spec-built worlds reproduce
+the legacy builders' event schedules bit-for-bit (the golden-parity tests
+in ``tests/world`` pin this).
+
+The returned :class:`World` is the run-control surface:
+
+* ``run(duration_us)`` / ``run_until(predicate, horizon_us)`` advance
+  virtual time, the latter until a condition on the world holds;
+* named probes (``world.probe("local")``) expose each discovery's results;
+* the observer API (``collect``/``add_observer``) feeds one reusable
+  metrics pipeline into ``ScenarioOutcome.extras``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core import Indiss, IndissConfig
+from ..net import Network, NetworkError
+from ..sdp.slp import (
+    ServiceAgent,
+    ServiceType,
+    SlpConfig,
+    SlpRegistration,
+    UserAgent,
+)
+from ..sdp.upnp import UpnpControlPoint, make_clock_device
+from .observers import COLLECTORS
+from .outcome import ScenarioOutcome
+from .spec import (
+    BridgeSpec,
+    Chatter,
+    Check,
+    Churn,
+    ClockDevice,
+    Collect,
+    ControlPoint,
+    CpChatter,
+    Delta,
+    Emit,
+    Fill,
+    FleetSpec,
+    GenaFeed,
+    GenaSubscriber,
+    HostSpec,
+    IndissApp,
+    JiniListener,
+    JiniRegistrar,
+    Probe,
+    RingOwnerLeaf,
+    Run,
+    SegmentSpec,
+    SetConfig,
+    SlpClient,
+    SlpService,
+    Snapshot,
+    SpecError,
+    TypeSweepReport,
+    TypedDevice,
+    WorldSpec,
+)
+
+
+class BuildError(RuntimeError):
+    """A validated spec could not be realised against the simulator."""
+
+
+class ProbeHandle:
+    """One named discovery: its pending search and derived readings.
+
+    Readings come from the live search handle, so a probe's partial
+    results are visible before its convergence timer fires — what
+    ``run_until(lambda w: w.probe("x").results > 0)`` loops poll.
+    """
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+        self.done: list = []
+        #: The agent's pending-search handle, set at issue time.
+        self.pending = None
+
+    @property
+    def search(self):
+        return self.done[0] if self.done else self.pending
+
+    @property
+    def completed(self) -> bool:
+        return bool(self.done)
+
+    @property
+    def results(self) -> int:
+        search = self.search
+        if search is None:
+            return 0
+        found = search.responses if self.kind == "upnp" else search.results
+        return len(found)
+
+    @property
+    def latency_us(self) -> Optional[int]:
+        search = self.search
+        return None if search is None else search.first_latency_us
+
+
+class World:
+    """A built world: the network, its hosts/agents, and run control."""
+
+    def __init__(self, spec: WorldSpec, net: Network, seed: int, costs):
+        self.spec = spec
+        self.net = net
+        self.seed = seed
+        self.costs = costs
+        #: host name -> Node (spec hosts only; fill/chatter hosts excluded).
+        self.hosts: dict = {}
+        #: (host, slot) -> app object; slots: "ua", "sa", "cp", "indiss",
+        #: "device", "jini", "gena".
+        self._apps: dict = {}
+        #: Every INDISS instance, in creation order.
+        self.instances: list[Indiss] = []
+        #: Every UPnP device, in creation order.
+        self.devices: list = []
+        self.gena_subscribers: list = []
+        #: fleet name -> GatewayFleet.
+        self.fleets: dict = {}
+        self._fleet_specs: dict[str, FleetSpec] = {}
+        #: service type -> segment name a TypedDevice was placed on.
+        self.placements: dict[str, str] = {}
+        #: load group -> per-client accounting dicts (Chatter/CpChatter/Churn).
+        self.load_groups: dict[str, list] = {}
+        self.probes: dict[str, ProbeHandle] = {}
+        self.extras: dict = {}
+        self._snapshots: dict[str, dict] = {}
+        self._headline: Optional[str] = None
+        self._pending_probe_extras: list[tuple[str, str]] = []
+        self._observers: dict[str, Callable] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        spec: WorldSpec,
+        seed: int = 0,
+        costs=None,
+        capture: Optional[bool] = None,
+        parse_once: Optional[bool] = None,
+    ) -> "World":
+        """Validate ``spec`` and compile its elements into a live world.
+
+        The workload has not run yet — call :meth:`run_workload` (or the
+        one-shot :func:`run_world`).  ``capture``/``parse_once`` override
+        the spec's settings for A/B runs.
+        """
+        if costs is None:
+            from ..bench.calibration import PAPER_TESTBED
+
+            costs = PAPER_TESTBED
+        spec.validate()
+        net = Network(
+            latency=costs.latency_model(seed),
+            subnet=spec.subnet if spec.subnet is not None else "192.168.1",
+            capture=spec.capture if capture is None else capture,
+            parse_once=spec.parse_once if parse_once is None else parse_once,
+        )
+        world = cls(spec, net, seed, costs)
+        for element in spec.elements:
+            world._apply_element(element)
+        return world
+
+    def _apply_element(self, element) -> None:
+        if isinstance(element, SegmentSpec):
+            latency = None
+            if element.seed_offset is not None:
+                latency = self.costs.latency_model(self.seed + element.seed_offset)
+            segment = self.net.add_segment(
+                element.name, subnet=element.subnet, latency=latency
+            )
+            if element.link_to is not None:
+                if element.link_latency_us is not None:
+                    self.net.link(
+                        element.link_to, segment, latency_us=element.link_latency_us
+                    )
+                else:
+                    self.net.link(element.link_to, segment)
+        elif isinstance(element, HostSpec):
+            segment = self._resolve_segment(element.segment)
+            node = self.net.add_node(element.name, segment=segment)
+            self.hosts[element.name] = node
+            for app in element.apps:
+                self._apply_app(app, element.name)
+        elif isinstance(element, BridgeSpec):
+            self.net.bridge(self.hosts[element.host], *element.segments)
+        elif isinstance(element, FleetSpec):
+            from ..federation import GatewayFleet
+
+            fleet = GatewayFleet(self.net, element.backbone)
+            for member in element.members:
+                fleet.join(
+                    self._app(member, "indiss"),
+                    gossip_period_us=element.gossip_period_us,
+                )
+            self.fleets[element.name] = fleet
+            self._fleet_specs[element.name] = element
+        elif isinstance(element, Fill):
+            self._fill(element.total_nodes)
+        elif isinstance(element, (Chatter, CpChatter)):
+            self._apply_step(element)
+        else:  # a standalone app spec carrying its own host reference
+            host = getattr(element, "host", None)
+            if host is None and isinstance(element, GenaFeed):
+                host = element.publisher_host
+            self._apply_app(element, host)
+
+    def _resolve_segment(self, ref):
+        if ref is None:
+            return None
+        if isinstance(ref, RingOwnerLeaf):
+            fleet = self.fleets.get(ref.fleet)
+            if fleet is None:
+                raise BuildError(f"RingOwnerLeaf before fleet {ref.fleet!r} exists")
+            owner = fleet.ring.owner(ref.key)
+            if owner is None:
+                raise BuildError(f"fleet {ref.fleet!r} has an empty ring")
+            return fleet.members[owner].indiss.node.segments[0]
+        return self.net.segment(ref)
+
+    # -- application construction -------------------------------------------
+
+    def _slp_config(self, wait_us: int = 400_000, retries: int = 0) -> SlpConfig:
+        return SlpConfig(timings=self.costs.slp, wait_us=wait_us, retries=retries)
+
+    def _indiss_config(self, app: IndissApp) -> IndissConfig:
+        costs = self.costs
+        seed = self.seed + app.seed_offset
+        if app.profile == "paper":
+            return IndissConfig(
+                units=("slp", "upnp"),
+                deployment=app.deployment,
+                answer_from_cache=app.answer_from_cache,
+                timings=costs.indiss,
+                upnp_responder_delay_us=costs.indiss_upnp_responder_delay_us,
+                upnp_wait_us=300_000,
+                slp_wait_us=15_000,
+                seed=seed,
+            )
+        if app.profile == "chain":
+            return IndissConfig(
+                units=("slp", "upnp"),
+                deployment="gateway",
+                dispatch="gateway-forward",
+                timings=costs.indiss,
+                upnp_responder_delay_us=costs.indiss_upnp_responder_delay_us,
+                upnp_wait_us=300_000,
+                slp_wait_us=350_000,
+                seed=seed,
+            )
+        if app.profile == "fleet":
+            return IndissConfig(
+                units=("slp", "upnp"),
+                deployment="gateway",
+                dispatch="shard-ring",
+                timings=costs.indiss,
+                upnp_responder_delay_us=costs.indiss_upnp_responder_delay_us,
+                upnp_wait_us=300_000,
+                slp_wait_us=350_000,
+                seed=seed,
+            )
+        if app.profile == "slp-jini":
+            return IndissConfig(
+                units=("slp", "jini"),
+                deployment="gateway",
+                timings=costs.indiss,
+                slp_wait_us=15_000,
+                seed=seed,
+            )
+        if app.profile == "media":
+            return IndissConfig(
+                units=("slp", "upnp", "jini"),
+                deployment="gateway",
+                dispatch="shard-ring",
+                timings=costs.indiss,
+                upnp_responder_delay_us=costs.indiss_upnp_responder_delay_us,
+                upnp_wait_us=300_000,
+                slp_wait_us=350_000,
+                seed=seed,
+            )
+        raise BuildError(f"unknown INDISS profile {app.profile!r}")
+
+    def _apply_app(self, app, host: Optional[str]) -> None:
+        if host is None:
+            raise BuildError(f"{type(app).__name__} has no host")
+        node = self.hosts[host]
+        if isinstance(app, SlpClient):
+            agent = UserAgent(
+                node, config=self._slp_config(wait_us=app.wait_us, retries=app.retries)
+            )
+            self._apps[(host, "ua")] = agent
+        elif isinstance(app, SlpService):
+            agent = ServiceAgent(node, config=self._slp_config())
+            for reg in app.registrations:
+                agent.register(
+                    SlpRegistration(
+                        url=reg.url.format(address=node.address),
+                        service_type=ServiceType.parse(reg.service_type),
+                        attributes=dict(reg.attributes),
+                    )
+                )
+            self._apps[(host, "sa")] = agent
+        elif isinstance(app, ClockDevice):
+            kwargs = {}
+            if app.notify_period_us is not None:
+                kwargs["notify_period_us"] = app.notify_period_us
+            device = make_clock_device(
+                node,
+                timings=self.costs.upnp,
+                seed=self.seed + app.seed_offset,
+                advertise=app.advertise,
+                **kwargs,
+            )
+            self.devices.append(device)
+            self._apps[(host, "device")] = device
+        elif isinstance(app, TypedDevice):
+            device = _make_typed_device(
+                node,
+                app.type_name,
+                self.costs,
+                self.seed + app.seed_offset,
+                advertise=app.advertise,
+                notify_period_us=app.notify_period_us,
+                udn_suffix=app.udn_suffix,
+            )
+            self.devices.append(device)
+            self._apps[(host, "device")] = device
+            self.placements[app.type_name] = node.segments[0].name
+        elif isinstance(app, ControlPoint):
+            self._apps[(host, "cp")] = UpnpControlPoint(node, timings=self.costs.upnp)
+        elif isinstance(app, IndissApp):
+            instance = Indiss(node, self._indiss_config(app))
+            self.instances.append(instance)
+            self._apps[(host, "indiss")] = instance
+        elif isinstance(app, JiniRegistrar):
+            from ..sdp.jini import JiniTimings, LookupService, ServiceItem
+
+            kwargs = {}
+            if app.announce_period_us is not None:
+                kwargs["announce_period_us"] = app.announce_period_us
+            if app.service_id_seed is not None:
+                kwargs["service_id_seed"] = app.service_id_seed
+            registrar = LookupService(node, timings=JiniTimings(), **kwargs)
+            for item in app.items:
+                registrar.registry[item.service_id] = ServiceItem(
+                    service_id=item.service_id,
+                    class_names=item.class_names,
+                    attributes=dict(item.attributes),
+                    endpoint_url=item.endpoint_url.format(address=node.address),
+                )
+            self._apps[(host, "jini")] = registrar
+        elif isinstance(app, JiniListener):
+            from ..sdp.jini import LookupDiscovery
+
+            self._apps[(host, "jini")] = LookupDiscovery(node)
+        elif isinstance(app, GenaSubscriber):
+            from ..sdp.upnp.gena import EventSubscriber
+
+            publisher = self._app(app.publisher_host, "device")
+            subscriber = EventSubscriber(node, callback_port=app.callback_port)
+            self.gena_subscribers.append(subscriber)
+            service = publisher.description.services[app.service_index]
+            sub_url = (
+                f"http://{publisher.node.address}:{publisher.http_port}"
+                f"{service.event_sub_url}"
+            )
+            node.schedule(
+                app.subscribe_delay_us, lambda u=sub_url, s=subscriber: s.subscribe(u)
+            )
+            self._apps[(host, "gena")] = subscriber
+        elif isinstance(app, GenaFeed):
+            publisher = self._app(app.publisher_host, "device")
+            properties = dict(app.properties)
+            publisher.node.every(
+                app.period_us,
+                lambda p=publisher, pr=properties: p.notify_state_change(pr),
+                initial_delay_us=app.initial_delay_us,
+            )
+        else:
+            raise BuildError(f"unsupported app spec {type(app).__name__}")
+
+    def _app(self, host: str, slot: str):
+        try:
+            return self._apps[(host, slot)]
+        except KeyError:
+            raise BuildError(f"host {host!r} carries no {slot!r} app") from None
+
+    def _fill(self, total_nodes: int) -> None:
+        """Pad segments round-robin with idle hosts up to ``total_nodes``."""
+        segments = list(self.net.segments.values())
+        existing = len(self.net.nodes)
+        for i in range(max(0, total_nodes - existing)):
+            segment = segments[i % len(segments)]
+            if not segment.has_free_address():
+                open_segments = [s for s in segments if s.has_free_address()]
+                if not open_segments:
+                    raise NetworkError(
+                        f"all subnets exhausted after {len(self.net.nodes)} nodes; "
+                        f"use wider (two-octet) segment subnets for this scale"
+                    )
+                segment = open_segments[i % len(open_segments)]
+            self.net.add_node(f"bg-{segment.name}-{i}", segment=segment)
+
+    # -- run control --------------------------------------------------------
+
+    def run(self, duration_us: Optional[int] = None) -> None:
+        """Advance virtual time (until idle when no duration is given)."""
+        self.net.run(duration_us=duration_us)
+
+    def run_until(
+        self,
+        predicate: Optional[Callable[["World"], bool]] = None,
+        horizon_us: Optional[int] = None,
+        check_every_us: int = 25_000,
+    ) -> bool:
+        """Run until ``predicate(world)`` holds or ``horizon_us`` elapses.
+
+        With no predicate this is ``run(horizon_us)``; with no horizon the
+        run continues until the predicate holds or the scheduler goes
+        idle.  Returns whether the predicate held when the run stopped.
+        """
+        if predicate is None:
+            self.net.run(duration_us=horizon_us)
+            return True
+        scheduler = self.net.scheduler
+        deadline = None if horizon_us is None else scheduler.now_us + horizon_us
+        while True:
+            if predicate(self):
+                return True
+            if deadline is not None and scheduler.now_us >= deadline:
+                return False
+            if not scheduler.pending:
+                return predicate(self)
+            slice_us = check_every_us
+            if deadline is not None:
+                slice_us = min(slice_us, deadline - scheduler.now_us)
+            self.net.run(duration_us=slice_us)
+
+    def run_workload(self) -> None:
+        """Execute the spec's phased workload steps, in order."""
+        for step in self.spec.workload:
+            self._apply_step(step)
+
+    # -- probes and observers ------------------------------------------------
+
+    def probe(self, name: str) -> ProbeHandle:
+        try:
+            return self.probes[name]
+        except KeyError:
+            raise BuildError(f"no probe named {name!r}") from None
+
+    def add_observer(self, name: str, collector: Callable[["World"], dict]) -> None:
+        """Register a scenario-specific collector for ``Collect(name)``."""
+        self._observers[name] = collector
+
+    def collect(self, provider: str, **params) -> dict:
+        fn = self._observers.get(provider) or COLLECTORS.get(provider)
+        if fn is None:
+            raise BuildError(f"no collector named {provider!r}")
+        return fn(self, **params)
+
+    def metric(self, metric: str) -> int:
+        """One live counter; the closed vocabulary Snapshot/Delta use."""
+        name, _, arg = metric.partition(":")
+        if name == "translations":
+            return sum(i.stats.translated for i in self.instances)
+        if name == "cache_answers":
+            return self._app(arg, "indiss").stats.answered_from_cache
+        raise BuildError(f"unknown metric {metric!r}")
+
+    def outcome(self) -> ScenarioOutcome:
+        """Resolve probes into the scenario's ScenarioOutcome."""
+        for prefix, probe_name in self._pending_probe_extras:
+            handle = self.probes[probe_name]
+            self.extras[f"{prefix}_results"] = handle.results
+            self.extras[f"{prefix}_latency_us"] = handle.latency_us
+        self._pending_probe_extras = []
+        if self._headline is None:
+            return ScenarioOutcome(None, 0, self.net, extras=self.extras)
+        handle = self.probes[self._headline]
+        if handle.latency_us is None:
+            return ScenarioOutcome(None, 0, self.net, extras=self.extras)
+        return ScenarioOutcome(
+            handle.latency_us, handle.results, self.net, extras=self.extras
+        )
+
+    # -- workload interpreter -------------------------------------------------
+
+    def _apply_step(self, step) -> None:
+        if isinstance(step, Run):
+            self.net.run(duration_us=step.duration_us)
+        elif isinstance(step, Fill):
+            self._fill(step.total_nodes)
+        elif isinstance(step, Probe):
+            self._issue_probe(step)
+        elif isinstance(step, Chatter):
+            self._start_chatter(step)
+        elif isinstance(step, CpChatter):
+            self._start_cp_chatter(step)
+        elif isinstance(step, Churn):
+            self._run_churn(step)
+        elif isinstance(step, SetConfig):
+            self._set_config(step)
+        elif isinstance(step, Snapshot):
+            self._snapshots[step.name] = {m: self.metric(m) for m in step.metrics}
+        elif isinstance(step, Delta):
+            base = self._snapshots[step.since][step.metric]
+            self.extras[step.key] = self.metric(step.metric) - base
+        elif isinstance(step, Collect):
+            row = self.collect(step.provider, **dict(step.params))
+            if step.key is None:
+                self.extras.update(row)
+            elif len(row) == 1 and step.key in row:
+                self.extras[step.key] = row[step.key]
+            else:
+                self.extras[step.key] = row
+        elif isinstance(step, Emit):
+            self.extras[step.key] = step.value
+        elif isinstance(step, Check):
+            self._check(step)
+        elif isinstance(step, TypeSweepReport):
+            self._type_sweep_report(step)
+        else:
+            raise BuildError(f"unsupported workload step {type(step).__name__}")
+
+    def _issue_probe(self, step: Probe) -> None:
+        if step.host is not None:
+            node = self.hosts[step.host]
+            agent = self._apps.get((step.host, "cp" if step.kind == "upnp" else "ua"))
+            if agent is None:
+                raise BuildError(f"probe {step.name!r}: host {step.host!r} has no agent")
+        else:
+            node = self.net.add_node(
+                step.node_name or step.name, segment=self.net.segment(step.segment)
+            )
+            if step.kind == "upnp":
+                agent = UpnpControlPoint(node, timings=self.costs.upnp)
+            else:
+                agent = UserAgent(node, config=self._slp_config())
+        handle = ProbeHandle(step.name, step.kind)
+        self.probes[step.name] = handle
+        if step.kind == "upnp":
+            handle.pending = agent.search(
+                step.target,
+                wait_us=step.wait_us if step.wait_us is not None else 300_000,
+                on_complete=handle.done.append,
+            )
+        else:
+            kwargs = {}
+            if step.wait_us is not None:
+                kwargs["wait_us"] = step.wait_us
+            handle.pending = agent.find_services(
+                step.target, on_complete=handle.done.append, **kwargs
+            )
+        if step.headline:
+            self._headline = step.name
+        if step.extras_prefix is not None:
+            self._pending_probe_extras.append((step.extras_prefix, step.name))
+        if step.horizon_us is not None:
+            self.net.run(duration_us=step.horizon_us)
+
+    def _start_chatter(self, step: Chatter) -> None:
+        """Background SLP clients, staggered across one period."""
+        group = self.load_groups.setdefault(step.group, [])
+        leaves = [self.net.segment(name) for name in step.leaves]
+        total = max(1, len(leaves) * step.per_leaf)
+        idx = 0
+        for leaf in leaves:
+            for j in range(step.per_leaf):
+                node = self.net.add_node(f"chat-{leaf.name}-{j}", segment=leaf)
+                ua = UserAgent(node, config=self._slp_config())
+                target = step.types[idx % len(step.types)]
+                stats = {"target": target, "issued": 0, "completed": 0, "found": 0}
+
+                def kick(ua=ua, target=target, stats=stats) -> None:
+                    stats["issued"] += 1
+
+                    def done(search, stats=stats) -> None:
+                        stats["completed"] += 1
+                        if search.results:
+                            stats["found"] += 1
+
+                    ua.find_services(f"service:{target}", on_complete=done)
+
+                node.every(
+                    step.period_us,
+                    kick,
+                    initial_delay_us=step.start_delay_us
+                    + (idx * step.period_us) // total,
+                )
+                group.append(stats)
+                idx += 1
+
+    def _start_cp_chatter(self, step: CpChatter) -> None:
+        """Background control points; the stagger spans a global cohort."""
+        group = self.load_groups.setdefault(step.group, [])
+        index = step.index0
+        for leaf_name in step.leaves:
+            leaf = self.net.segment(leaf_name)
+            for j in range(step.per_leaf):
+                cp_node = self.net.add_node(f"cp-{leaf.name}n{j}", segment=leaf)
+                cp = UpnpControlPoint(cp_node, timings=self.costs.upnp)
+                target = step.types[index % len(step.types)]
+                st = f"urn:schemas-upnp-org:device:{target}:1"
+                stats = {"issued": 0, "completed": 0, "found": 0}
+
+                def kick(cp=cp, st=st, stats=stats) -> None:
+                    stats["issued"] += 1
+
+                    def done(search, stats=stats) -> None:
+                        stats["completed"] += 1
+                        if search.responses:
+                            stats["found"] += 1
+
+                    cp.search(st, wait_us=step.wait_us, on_complete=done)
+
+                cp_node.every(
+                    step.period_us,
+                    kick,
+                    initial_delay_us=step.stagger_base_us
+                    + (index * step.period_us) // max(1, step.total),
+                )
+                group.append(stats)
+                index += 1
+
+    def _run_churn(self, step: Churn) -> None:
+        """Sustained membership churn over one fleet.
+
+        Every cycle detaches the victim's host from the internetwork
+        (dropping route plans and multicast index entries), removes it
+        from the fleet (releasing its ring keys, stopping its gossiper),
+        runs degraded, then re-attaches, re-joins, and runs the recovery
+        window.  Per-cycle records land in the step's load group.
+        """
+        fleet = self.fleets[step.fleet]
+        spec = self._fleet_specs[step.fleet]
+        group = self.load_groups.setdefault(step.group, [])
+        rotation = sorted(fleet.members)
+        for cycle in range(step.cycles):
+            member_id = rotation[cycle % len(rotation)]
+            member = fleet.members[member_id]
+            instance = member.indiss
+            node = instance.node
+            home_segments = list(node.segments)
+            fleet.leave(member_id)
+            self.net.detach_node(node)
+            record = {
+                "cycle": cycle,
+                "member": member_id,
+                "down_at_us": self.net.scheduler.now_us,
+                "ring_size_down": len(fleet.ring),
+                "rejoined": False,
+            }
+            group.append(record)
+            self.net.run(duration_us=step.down_us)
+            self.net.reattach_node(node, home_segments)
+            fleet.join(instance, gossip_period_us=spec.gossip_period_us)
+            record["rejoined"] = True
+            record["ring_size_up"] = len(fleet.ring)
+            self.net.run(duration_us=step.recover_us)
+
+    def _set_config(self, step: SetConfig) -> None:
+        targets: list[Indiss] = []
+        if step.fleet is not None:
+            targets.extend(
+                member.indiss for member in self.fleets[step.fleet].members.values()
+            )
+        for host in step.hosts:
+            targets.append(self._app(host, "indiss"))
+        for instance in targets:
+            setattr(instance.config, step.attr, step.value)
+
+    def _check(self, step: Check) -> None:
+        if step.kind == "cache_nonempty":
+            instance = self._app(step.host, "indiss")
+            if len(instance.cache) < 1:
+                raise BuildError(
+                    f"check failed: INDISS on {step.host!r} has an empty cache"
+                )
+        else:
+            raise BuildError(f"unknown check kind {step.kind!r}")
+
+    def _type_sweep_report(self, step: TypeSweepReport) -> None:
+        fleet = self.fleets[step.fleet]
+        report = {}
+        for type_name, warm, probe_name in step.entries:
+            handle = self.probes[probe_name]
+            report[type_name] = {
+                "warm": warm,
+                "owner": fleet.ring.owner(type_name),
+                "placed_on": self.placements.get(type_name),
+                "results": handle.results,
+                "latency_us": handle.latency_us,
+            }
+        self.extras[step.key] = report
+
+
+def _make_typed_device(node, type_name: str, costs, seed: int, advertise: bool,
+                       notify_period_us=None, udn_suffix: str = ""):
+    """A one-service UPnP device of a synthetic ``type_name`` type."""
+    from ..sdp.upnp import DeviceDescription, ServiceDescription, UpnpDevice
+
+    description = DeviceDescription(
+        device_type=f"urn:schemas-upnp-org:device:{type_name}:1",
+        friendly_name=f"Sensor {type_name}",
+        udn=f"uuid:{type_name}-device{udn_suffix}",
+        manufacturer="INDISS bench",
+        model_name=type_name,
+        services=[
+            ServiceDescription(
+                service_type=f"urn:schemas-upnp-org:service:{type_name}:1",
+                service_id=f"urn:upnp-org:serviceId:{type_name}:1",
+                scpd_url=f"/service/{type_name}/scpd.xml",
+                control_url=f"/service/{type_name}/control",
+                event_sub_url=f"/service/{type_name}/event",
+            )
+        ],
+    )
+    kwargs = {}
+    if notify_period_us is not None:
+        kwargs["notify_period_us"] = notify_period_us
+    return UpnpDevice(
+        node, description, timings=costs.upnp, seed=seed, advertise=advertise,
+        **kwargs,
+    )
+
+
+def run_world(
+    spec: WorldSpec,
+    seed: int = 0,
+    costs=None,
+    capture: Optional[bool] = None,
+    parse_once: Optional[bool] = None,
+) -> ScenarioOutcome:
+    """Build ``spec``, run its workload, and return the outcome."""
+    world = World.build(
+        spec, seed=seed, costs=costs, capture=capture, parse_once=parse_once
+    )
+    world.run_workload()
+    return world.outcome()
+
+
+__all__ = ["World", "BuildError", "ProbeHandle", "run_world", "SpecError"]

@@ -1,0 +1,185 @@
+"""The world's reusable metrics collectors (the observer API).
+
+One collector registry replaces the per-scenario stat plumbing the legacy
+builders carried around (``_hotpath_stats`` / ``_chatter_extras`` /
+``_fleet_extras``): a workload's :class:`~repro.world.spec.Collect` steps
+name a provider, the provider reads the built world, and the rows merge
+into ``ScenarioOutcome.extras``.  Scenario-specific observers register at
+runtime through :meth:`World.add_observer`.
+
+Providers receive ``(world, **params)`` and return a dict.  Values are
+captured *when the step runs* — a ``Collect`` placed right after warmup
+reports the warmed-up state, not the end-of-run state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def hotpath_stats(world) -> dict:
+    """Core hot-path counters the perf benchmarks read.
+
+    Written defensively with ``getattr`` so the same benchmark script can
+    measure a pre-optimization core (no wheel compactions, no route cache,
+    no parse memo) and report zeros instead of crashing.
+
+    ``parse_dedup_rate`` is decode-level across *every* memo-aware
+    receiver (native endpoints and units alike, from the network's
+    per-protocol :class:`~repro.net.ParseCounter` registry); per-protocol
+    rates ride along as ``parse_dedup_rate_<proto>``.  The unit-level
+    stream counters (``streams_parsed``/``streams_shared``) keep their
+    historical meaning.
+    """
+    net = world.net
+    sched = net.scheduler
+    units = [u for inst in world.instances for u in inst.units.values()]
+    parsed = sum(u.streams_parsed for u in units)
+    shared = sum(getattr(u, "streams_shared", 0) for u in units)
+    hits = getattr(net, "route_cache_hits", 0)
+    misses = getattr(net, "route_cache_misses", 0)
+    row = {
+        "events_fired": sched.events_fired,
+        "sched_compactions": getattr(sched, "compactions", 0),
+        "route_cache_hits": hits,
+        "route_cache_misses": misses,
+        "route_cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "streams_parsed": parsed,
+        "streams_shared": shared,
+        "parse_dedup_rate": shared / (parsed + shared) if parsed + shared else 0.0,
+    }
+    counters = getattr(net, "parse_stats", None) or {}
+    if counters:
+        decoded_total = sum(c.decoded for c in counters.values())
+        shared_total = sum(c.shared for c in counters.values())
+        row["parse_decoded"] = decoded_total
+        row["parse_shared"] = shared_total
+        row["parse_seeded"] = sum(c.seeded for c in counters.values())
+        if decoded_total + shared_total:
+            row["parse_dedup_rate"] = shared_total / (decoded_total + shared_total)
+        for proto, counter in sorted(counters.items()):
+            row[f"parse_dedup_rate_{proto}"] = round(counter.dedup_rate, 4)
+    return row
+
+
+def chatter_stats(world, group: str = "chatter") -> dict:
+    """Aggregate the per-client accounting of one SLP chatter group."""
+    chatter = world.load_groups.get(group, [])
+    issued = sum(c["issued"] for c in chatter)
+    completed = sum(c["completed"] for c in chatter)
+    found = sum(c["found"] for c in chatter)
+    return {
+        "chatter_clients": len(chatter),
+        "chatter_searches_issued": issued,
+        "chatter_searches_completed": completed,
+        "chatter_found_rate": found / completed if completed else 0.0,
+    }
+
+
+def cp_chatter_stats(world, group: str = "cp") -> dict:
+    """Aggregate one control-point chatter group (UPnP M-SEARCH load)."""
+    stats = world.load_groups.get(group, [])
+    completed = sum(c["completed"] for c in stats)
+    found = sum(c["found"] for c in stats)
+    return {
+        "cp_clients": len(stats),
+        "cp_searches_completed": completed,
+        "cp_found_rate": found / completed if completed else 0.0,
+    }
+
+
+def fleet_stats(world, fleet=None) -> dict:
+    """The federation family's shared extras block: instance-level cache
+    and translation counters over every INDISS in the world, plus the
+    named fleet's federation and gossip aggregates."""
+    instances = world.instances
+    extras = {
+        "fleet_size": len(instances),
+        "translations_total": sum(i.stats.translated for i in instances),
+        "cache_hits": sum(i.cache.hits for i in instances),
+        "cache_misses": sum(i.cache.misses for i in instances),
+        "cache_sizes": {i.node.address: len(i.cache) for i in instances},
+    }
+    handle = world.fleets.get(fleet) if fleet is not None else None
+    if handle is not None:
+        extras["federation"] = handle.aggregate_stats()
+        extras["gossip"] = handle.aggregate_gossip_stats()
+    return extras
+
+
+def warm_members(world, fleet=None) -> dict:
+    """How many gateways hold at least one cached record (fleet members
+    when a fleet is named, every INDISS instance otherwise)."""
+    if fleet is not None:
+        instances = [m.indiss for m in world.fleets[fleet].members.values()]
+    else:
+        instances = world.instances
+    count = sum(1 for instance in instances if len(instance.cache) > 0)
+    return {"warm_members_after_gossip": count}
+
+
+def gateway_count(world) -> dict:
+    return {"gateways": len(world.instances)}
+
+
+def node_count(world) -> dict:
+    return {"total_nodes": len(world.net.nodes)}
+
+
+def device_count(world) -> dict:
+    return {"devices": len(world.devices)}
+
+
+def gena_events(world) -> dict:
+    return {"gena_events": sum(s.events_received for s in world.gena_subscribers)}
+
+
+def monitor_attribution(world) -> dict:
+    """Per-SDP frame/seed attribution summed over every INDISS monitor."""
+    aggregated: dict[str, dict[str, int]] = {}
+    for instance in world.instances:
+        for sdp_id, row in instance.monitor.parse_attribution().items():
+            agg = aggregated.setdefault(sdp_id, {"frames": 0, "seeded": 0})
+            agg["frames"] += row["frames"]
+            agg["seeded"] += row["seeded"]
+    return {"monitor_attribution": aggregated}
+
+
+def ring_spread(world, fleet: str, keys: tuple = ()) -> dict:
+    return {"owner_spread": world.fleets[fleet].ring.spread(tuple(keys))}
+
+
+def parse_once_flag(world) -> dict:
+    return {"parse_once": world.net.parse_once}
+
+
+def churn_stats(world, group: str = "churn") -> dict:
+    """Aggregate the Churn step's per-cycle records."""
+    cycles = world.load_groups.get(group, [])
+    return {
+        "churn_cycles": len(cycles),
+        "churn_members_hit": len({c["member"] for c in cycles}),
+        "churn_rejoins": sum(1 for c in cycles if c.get("rejoined")),
+        "churn_log": list(cycles),
+    }
+
+
+#: provider name -> callable(world, **params) -> dict
+COLLECTORS: dict[str, Callable[..., dict]] = {
+    "hotpaths": hotpath_stats,
+    "chatter": chatter_stats,
+    "cp_chatter": cp_chatter_stats,
+    "fleet": fleet_stats,
+    "warm_members": warm_members,
+    "gateway_count": gateway_count,
+    "node_count": node_count,
+    "device_count": device_count,
+    "gena_events": gena_events,
+    "monitor_attribution": monitor_attribution,
+    "ring_spread": ring_spread,
+    "parse_once": parse_once_flag,
+    "churn": churn_stats,
+}
+
+
+__all__ = ["COLLECTORS", "hotpath_stats", "chatter_stats", "fleet_stats"]

@@ -1,0 +1,28 @@
+"""The result of running one scenario (spec-built or hand-built)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..net import Network
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one trial produced."""
+
+    latency_us: Optional[int]
+    results: int
+    world: Network
+    #: Scenario-specific measurements beyond the headline latency — fed by
+    #: the world's observer collectors (hot-path counters, fleet and
+    #: gossip aggregates, chatter accounting, probe extras).
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        return None if self.latency_us is None else self.latency_us / 1000.0
+
+
+__all__ = ["ScenarioOutcome"]

@@ -237,3 +237,144 @@ def test_cache_version_tracks_mutations_and_evictions():
     clock[0] = 11_000_000
     cache.evict_expired()
     assert cache.version > v1  # TTL eviction is a mutation too
+
+
+# -- byebye tombstones ------------------------------------------------------------
+
+
+class TestTombstones:
+    def test_remove_url_plants_a_ttl_tombstone(self):
+        clock = [0]
+        cache = ServiceCache(lambda: clock[0], tombstone_ttl_s=10)
+        cache.store(record("clock", "http://10.0.0.1/ctl"))
+        assert cache.remove_url("http://10.0.0.1/ctl") == 1
+        tombstones = cache.tombstones()
+        assert ("clock", "http://10.0.0.1/ctl") in tombstones
+        deleted, expires = tombstones[("clock", "http://10.0.0.1/ctl")]
+        assert deleted == 0 and expires == 10_000_000
+        # Expired tombstones evict (and bump the version for the digest).
+        clock[0] = 10_000_001
+        assert cache.tombstones() == {}
+
+    def test_merge_refused_while_tombstone_lives(self):
+        clock = [0]
+        cache = ServiceCache(lambda: clock[0], tombstone_ttl_s=10)
+        cache.store(record("clock", "http://10.0.0.1/ctl"))
+        cache.remove_url("http://10.0.0.1/ctl")
+        # A stale peer offers the record back: refused until TTL expiry.
+        assert not cache.merge(
+            record("clock", "http://10.0.0.1/ctl"), expires_at_us=3_600_000_000
+        )
+        assert len(cache) == 0
+        clock[0] = 10_000_001
+        assert cache.merge(
+            record("clock", "http://10.0.0.1/ctl"), expires_at_us=3_600_000_000
+        )
+
+    def test_local_store_overrides_tombstone(self):
+        """A re-announcing service heard first-hand beats its retraction."""
+        clock = [0]
+        cache = ServiceCache(lambda: clock[0], tombstone_ttl_s=10)
+        cache.store(record("clock", "http://10.0.0.1/ctl"))
+        cache.remove_url("http://10.0.0.1/ctl")
+        cache.store(record("clock", "http://10.0.0.1/ctl"))
+        assert len(cache) == 1
+        assert cache.tombstones() == {}
+
+    def test_apply_tombstone_drops_older_entry_keeps_newer(self):
+        clock = [100]
+        cache = ServiceCache(lambda: clock[0])
+        cache.store(record("clock", "http://10.0.0.1/ctl"))
+        # A retraction dated after our store drops the entry.
+        assert cache.apply_tombstone(
+            ("clock", "http://10.0.0.1/ctl"), deleted_at_us=200, expires_at_us=5_000_000
+        )
+        assert len(cache) == 0
+        # A record stored after the deletion survives a replayed tombstone.
+        clock[0] = 300
+        cache.store(record("printer", "http://10.0.0.2/ctl"))
+        assert not cache.apply_tombstone(
+            ("printer", "http://10.0.0.2/ctl"), deleted_at_us=200, expires_at_us=5_000_000
+        ) or len(cache) == 1
+        assert cache.apply_tombstone(
+            ("printer", "http://10.0.0.2/ctl"), deleted_at_us=250, expires_at_us=6_000_000
+        )
+        assert len(cache) == 1  # stored_at 300 > deleted_at 250: kept
+
+    def test_retraction_not_relearnt_from_stale_peer(self):
+        """The satellite's acceptance case: A removes a record, B still
+        holds it; gossip must not resurrect it at A inside the TTL, and
+        must retract it at B instead."""
+        net, fleet, (a, b) = build_fleet()
+        a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+        net.run(duration_us=3 * GOSSIP_PERIOD_US)
+        assert len(b.cache) == 1  # replicated
+        removed = a.cache.remove_url("http://10.0.0.1/ctl")
+        assert removed == 1
+        # Many rounds inside the tombstone TTL (15s vs 0.2s periods): the
+        # record must not come back to A, and B must drop it.
+        net.run(duration_us=6 * GOSSIP_PERIOD_US)
+        assert len(a.cache) == 0, "retraction re-learnt from a stale peer"
+        assert len(b.cache) == 0, "peer kept serving the retracted record"
+        stats = fleet.aggregate_gossip_stats()
+        assert stats["tombstones_applied"] >= 1
+        assert len(a.cache.tombstones()) == 1
+
+    def test_tombstones_ride_both_digests_and_deltas(self):
+        net, fleet, (a, b) = build_fleet()
+        a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+        net.run(duration_us=3 * GOSSIP_PERIOD_US)
+        b.cache.remove_url("http://10.0.0.1/ctl")
+        net.run(duration_us=6 * GOSSIP_PERIOD_US)
+        assert len(a.cache) == 0 and len(b.cache) == 0
+        # Encode-once still holds: planting the tombstone bumped the cache
+        # version exactly once, so the digest re-encoded, then froze again.
+        stats = fleet.aggregate_gossip_stats()
+        assert stats["digest_encodes"] < stats["digests_sent"]
+
+    def test_fresh_readvertisement_beats_the_tombstone_fleetwide(self):
+        net, fleet, (a, b) = build_fleet()
+        a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+        net.run(duration_us=3 * GOSSIP_PERIOD_US)
+        a.cache.remove_url("http://10.0.0.1/ctl")
+        net.run(duration_us=4 * GOSSIP_PERIOD_US)
+        assert len(a.cache) == 0 and len(b.cache) == 0
+        # The service re-announces; gateway A hears it first-hand.
+        a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+        net.run(duration_us=6 * GOSSIP_PERIOD_US)
+        assert len(a.cache) == 1
+        assert len(b.cache) == 1, "re-announced record failed to re-replicate"
+
+    def test_rejected_merge_does_not_erase_the_tombstone(self):
+        """A re-announcement copy *staler than what we hold* must be
+        rejected without clearing retraction protection (review fix)."""
+        clock = [2_000_000]
+        cache = ServiceCache(lambda: clock[0], tombstone_ttl_s=100)
+        # Entry stored at t=2s; a replayed tombstone dated t=1s arrives:
+        # the entry survives (post-deletion store) and the tombstone is
+        # adopted — the coexistence state.
+        cache.store(record("clock", "http://10.0.0.1/ctl", lifetime_s=3600))
+        assert cache.apply_tombstone(
+            ("clock", "http://10.0.0.1/ctl"), deleted_at_us=1_000_000,
+            expires_at_us=101_000_000,
+        )
+        assert len(cache) == 1 and len(cache.tombstones()) == 1
+        version = cache.version
+        # A post-retraction but *staler-than-ours* copy (implied observed
+        # 1.5s > deleted 1s; expiry below our entry's 3602s): rejected by
+        # the freshness rule — and must not clear the tombstone or bump
+        # the version on the way out.
+        assert not cache.merge(
+            record("clock", "http://10.0.0.1/ctl", lifetime_s=10),
+            expires_at_us=11_500_000,
+        )
+        assert cache.version == version, "rejected merge mutated the cache"
+        assert len(cache.tombstones()) == 1, "rejected merge ate the tombstone"
+        # With the entry gone, a stale pre-retraction copy still bounces
+        # off the preserved tombstone.
+        cache._entries.clear()
+        assert not cache.merge(
+            record("clock", "http://10.0.0.1/ctl", lifetime_s=3600),
+            expires_at_us=900_000_000,  # implied observed < 0 < deleted_at
+        )
+        assert len(cache) == 0, "stale copy resurrected after rejected merge"

@@ -149,3 +149,91 @@ class TestSubscription:
         assert device.notify_state_change({"Time": "t"}) == 2
         net.run()
         assert got1 == [{"Time": "t"}] and got2 == [{"Time": "t"}]
+
+
+class TestEncodeOnceFanout:
+    """GENA at scale: one property-set encode per event, zero subscriber
+    decodes, attributed in ``Network.parse_stats["gena"]``."""
+
+    def _fanout_world(self, subscribers: int, parse_once: bool = True):
+        net = Network(latency=LatencyModel(jitter_us=0), parse_once=parse_once)
+        dev_node = net.add_node("dev")
+        device = make_clock_device(dev_node)
+        event_url = f"http://{dev_node.address}:{device.http_port}{CLOCK_EVENT_PATH}"
+        received = []
+        subs = []
+        for i in range(subscribers):
+            sub_node = net.add_node(f"sub{i}")
+            subscriber = EventSubscriber(sub_node)
+            subscriber.on_event = (
+                lambda sid, props, i=i: received.append((i, dict(props)))
+            )
+            subscriber.subscribe(event_url)
+            subs.append(subscriber)
+        net.run()
+        return net, device, subs, received
+
+    def test_body_encoded_once_per_event_across_subscribers(self):
+        net, device, subs, received = self._fanout_world(5)
+        device.notify_state_change({"Status": "tick", "Load": 3})
+        net.run()
+        assert len(received) == 5
+        assert all(props == {"Status": "tick", "Load": "3"} for _, props in received)
+        assert device.events.bodies_encoded == 1
+        assert device.events.notifications_sent == 5
+        device.notify_state_change({"Status": "tock"})
+        net.run()
+        assert device.events.bodies_encoded == 2
+        assert device.events.notifications_sent == 10
+
+    def test_seeded_memo_means_zero_decodes(self):
+        net, device, subs, received = self._fanout_world(4)
+        device.notify_state_change({"Status": "tick"})
+        net.run()
+        counter = net.parse_stats["gena"]
+        assert counter.seeded == 1  # one seed per event
+        assert counter.shared == 4  # every subscriber reused it
+        assert counter.decoded == 0  # nobody ran the XML parser
+        assert len(received) == 4
+
+    def test_seed_equals_what_the_parser_would_produce(self):
+        from repro.sdp.upnp.gena import build_property_set
+
+        properties = {"A": "x<y&z", "B": 7}
+        body = build_property_set(properties).encode("utf-8")
+        assert parse_property_set(body) == {k: str(v) for k, v in properties.items()}
+
+    def test_parse_once_off_decodes_per_subscriber(self):
+        net, device, subs, received = self._fanout_world(3, parse_once=False)
+        device.notify_state_change({"Status": "tick"})
+        net.run()
+        counter = net.parse_stats["gena"]
+        assert counter.seeded == 0  # seeds suppressed with sharing off
+        assert counter.shared == 0
+        assert counter.decoded == 3  # each subscriber pays the parse
+        assert len(received) == 3  # ... and behaviour is identical
+
+    def test_publish_without_subscribers_encodes_nothing(self):
+        net = Network(latency=LatencyModel(jitter_us=0))
+        dev_node = net.add_node("dev")
+        device = make_clock_device(dev_node)
+        assert device.notify_state_change({"Status": "tick"}) == 0
+        assert device.events.bodies_encoded == 0
+        assert net.parse_stats["gena"].seeded == 0
+
+    def test_handler_mutation_cannot_leak_between_subscribers(self):
+        """Each handler gets its own dict even when the decode is served
+        from the shared fan-out memo (review fix)."""
+        for parse_once in (True, False):
+            net, device, subs, received = self._fanout_world(
+                2, parse_once=parse_once
+            )
+            seen = []
+            for i, subscriber in enumerate(subs):
+                def handler(sid, props, seen=seen):
+                    props.pop("Status", None)  # hostile mutation
+                    seen.append(dict(props))
+                subscriber.on_event = handler
+            device.notify_state_change({"Status": "tick", "Load": 3})
+            net.run()
+            assert seen == [{"Load": "3"}, {"Load": "3"}], (parse_once, seen)

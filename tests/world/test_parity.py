@@ -1,0 +1,107 @@
+"""Golden parity: spec-built scenarios == the frozen imperative builders.
+
+Every legacy ``SCENARIOS`` entry is now compiled from a
+:class:`~repro.world.WorldSpec`.  These tests run each one side by side
+with the frozen pre-redesign builder (``legacy_builders.py``) and assert
+the outcomes are identical:
+
+* the scheduler fired the **same number of events** (the construction
+  order, and therefore the whole event schedule, is reproduced);
+* the headline discovery returned the same result count and the same
+  first-answer latency in virtual microseconds;
+* the extras carry the same key set (the observer pipeline reproduces
+  every measurement the hand-rolled stat plumbing made).
+
+The scale scenarios run under the repo's SMALL_SCALE_OVERRIDES so tier-1
+stays fast.
+"""
+
+import itertools
+
+import pytest
+
+import repro.core.session as session_module
+from repro.bench.scenarios import SCENARIOS, SMALL_SCALE_OVERRIDES
+
+from . import legacy_builders
+
+LEGACY = legacy_builders.SCENARIOS
+
+
+def _run(fn, **kwargs):
+    """Run one scenario with the process-global session-id counter reset.
+
+    Session ids leak into wire payloads (translated USNs and export
+    paths), so payload *lengths* — and with them serialization delays —
+    depend on how many sessions earlier tests burned.  Resetting the
+    counter gives the legacy oracle and the spec-built world the same
+    environment, which is the property under test.
+    """
+    session_module._session_ids = itertools.count(1)
+    return fn(**kwargs)
+
+
+def _outcome_signature(outcome):
+    return {
+        "events_fired": outcome.world.scheduler.events_fired,
+        "latency_us": outcome.latency_us,
+        "results": outcome.results,
+        "extras_keys": set(outcome.extras),
+        "nodes": len(outcome.world.nodes),
+        "segments": sorted(outcome.world.segments),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY))
+def test_spec_built_scenario_matches_legacy_builder(name):
+    kwargs = SMALL_SCALE_OVERRIDES.get(name, {})
+    legacy = _run(LEGACY[name], seed=0, **kwargs)
+    modern = _run(SCENARIOS[name], seed=0, **kwargs)
+    assert _outcome_signature(modern) == _outcome_signature(legacy)
+
+
+@pytest.mark.parametrize("name", ["fig7_native_upnp", "multi_segment_home"])
+def test_parity_holds_across_seeds(name):
+    kwargs = SMALL_SCALE_OVERRIDES.get(name, {})
+    for seed in (1, 4):
+        legacy = _run(LEGACY[name], seed=seed, **kwargs)
+        modern = _run(SCENARIOS[name], seed=seed, **kwargs)
+        assert _outcome_signature(modern) == _outcome_signature(legacy)
+
+
+def test_warm_cache_off_variant_matches():
+    legacy = _run(LEGACY["fig9_upnp_to_slp_client_side"], seed=2, warm_cache=False)
+    modern = _run(SCENARIOS["fig9_upnp_to_slp_client_side"], seed=2, warm_cache=False)
+    assert _outcome_signature(modern) == _outcome_signature(legacy)
+
+
+def test_federated_campus_extras_values_match():
+    """Beyond key-set parity: the federation family's measured values are
+    what downstream tests assert on, so they must match exactly too."""
+    kwargs = {"segments": 5, "nodes": 60}
+    legacy = _run(LEGACY["federated_campus"], seed=0, **kwargs)
+    modern = _run(SCENARIOS["federated_campus"], seed=0, **kwargs)
+    for key in (
+        "warm_members_after_gossip",
+        "query_translations",
+        "repeat_translations",
+        "repeat_cache_answers",
+        "warm_edge_translations",
+        "fleet_size",
+        "translations_total",
+    ):
+        assert modern.extras[key] == legacy.extras[key], key
+    assert modern.extras["federation"] == legacy.extras["federation"]
+
+
+def test_sharded_backbone_per_type_matches():
+    kwargs = {"members": 4, "nodes": 80, "service_types": 4}
+    legacy = _run(LEGACY["sharded_backbone"], seed=0, **kwargs)
+    modern = _run(SCENARIOS["sharded_backbone"], seed=0, **kwargs)
+    assert modern.extras["per_type"] == legacy.extras["per_type"]
+    assert modern.extras["owner_spread"] == legacy.extras["owner_spread"]
+    assert modern.extras["query_translations"] == legacy.extras["query_translations"]
+    assert (
+        modern.extras["hotpaths"]["events_fired"]
+        == legacy.extras["hotpaths"]["events_fired"]
+    )
