@@ -15,14 +15,23 @@ three engineered hot paths:
   (device fleets, control-point and GENA chatter, SLP islands, a Jini
   corner), measured twice: with the frame memo on, and with
   ``parse_once=False`` so the speedup and the per-protocol
-  ``parse_dedup_rate_*`` attribution stay auditable side by side.
+  ``parse_dedup_rate_*`` attribution stay auditable side by side;
+* ``district_grid`` at 20000+ nodes — the genuinely multi-district world
+  (unbridged chained backbones), measured three ways: single-threaded
+  wheel, the district-sharded partitioned engine in-process, and the
+  forked one-process-per-district backend.  The single and partitioned
+  rows are the gated A/B pair; the ``_mp`` row reports the fork backend's
+  wall time for the record (on a single-CPU runner it can only lose —
+  parallel speedup needs cores).
 
-Results go to ``BENCH_core.json``.  ``--check <baseline.json>`` compares
-the measured events/sec against every committed gate (``gate`` plus the
-``gates`` list in the baseline file) and exits non-zero on a >20%
-regression (the CI perf gate).  The committed pre-optimization baseline
-lives in ``benchmarks/BENCH_core.baseline.json`` so the speedup
-trajectory stays auditable.
+Results go to ``BENCH_core.json``.  ``--check`` compares the measured
+events/sec against every committed gate (``gate`` plus the ``gates`` list
+in the baseline file) and exits non-zero on a >20% regression (the CI
+perf gate).  ``--profile`` reruns each tier under cProfile and writes the
+top-25 cumulative lines to ``BENCH_core.profile.<tier>.txt`` next to the
+JSON.  The committed pre-optimization baseline lives in
+``benchmarks/BENCH_core.baseline.json`` so the speedup trajectory stays
+auditable.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_core_hotpaths.py``)
 or through pytest for the smoke test.
@@ -30,12 +39,22 @@ or through pytest for the smoke test.
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
+import pstats
 import sys
 import time
 from pathlib import Path
 
-from repro.bench.scenarios import media_city, metro_backbone, sharded_backbone
+from repro.bench.scenarios import (
+    district_grid,
+    media_city,
+    metro_backbone,
+    sharded_backbone,
+)
+from repro.world.engine import run_world_mp
+from repro.world.scenarios import district_grid_spec
 
 RESULT_FILE = "BENCH_core.json"
 BASELINE_FILE = Path(__file__).parent / "BENCH_core.baseline.json"
@@ -44,6 +63,24 @@ BASELINE_FILE = Path(__file__).parent / "BENCH_core.baseline.json"
 #: of the committed gate value.
 GATE_FRACTION = 0.8
 GATE_KEY = "sharded_backbone_2000_chatter16"
+
+#: ``--profile`` flips this on: every named tier gets one extra run under
+#: cProfile, with the top cumulative lines written next to the JSON.
+PROFILE = False
+PROFILE_LINES = 25
+
+
+def _profile_tier(name: str, fn, **kwargs) -> None:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn(**kwargs)
+    profiler.disable()
+    sink = io.StringIO()
+    stats = pstats.Stats(profiler, stream=sink)
+    stats.sort_stats("cumulative").print_stats(PROFILE_LINES)
+    path = Path(f"BENCH_core.profile.{name}.txt")
+    path.write_text(sink.getvalue())
+    print(f"profiled {name} -> {path}")
 
 
 def _machine_ref_score(loops: int = 400_000) -> float:
@@ -69,13 +106,16 @@ def _machine_ref_score(loops: int = 400_000) -> float:
     return loops / best
 
 
-def _measure(fn, runs: int = 3, **kwargs) -> dict:
+def _measure(fn, runs: int = 3, name: str | None = None, **kwargs) -> dict:
     """Run one scenario ``runs`` times, reporting the best run.
 
     Virtual-time behaviour is deterministic (identical events fired every
     run); only wall time varies with host noise, so best-of-N is the
-    stable estimator of what the code costs.
+    stable estimator of what the code costs.  Under ``--profile``, a tier
+    that was given a ``name`` gets one extra profiled run.
     """
+    if PROFILE and name:
+        _profile_tier(name, fn, **kwargs)
     best_wall = None
     outcome = None
     for _ in range(max(1, runs)):
@@ -117,6 +157,8 @@ def _measure(fn, runs: int = 3, **kwargs) -> dict:
         "chatter_found_rate",
         "cp_searches_completed",
         "cp_found_rate",
+        "ping_sent",
+        "ping_received",
     ):
         if key in outcome.extras:
             row[key] = outcome.extras[key]
@@ -126,21 +168,22 @@ def _measure(fn, runs: int = 3, **kwargs) -> dict:
 def run_backbone_sizes(sizes=(500, 2000), chatter_per_leaf: int = 8) -> dict:
     results = {}
     for nodes in sizes:
-        results[f"sharded_backbone_{nodes}"] = _measure(
-            sharded_backbone, seed=0, nodes=nodes, chatter_per_leaf=chatter_per_leaf
+        key = f"sharded_backbone_{nodes}"
+        results[key] = _measure(
+            sharded_backbone, seed=0, nodes=nodes,
+            chatter_per_leaf=chatter_per_leaf, name=key,
         )
     # The perf-gate workload: dense edge chatter, where the pre-overhaul
     # core degraded super-linearly (per-receiver re-parse of every frame).
     results[GATE_KEY] = _measure(
-        sharded_backbone, seed=0, nodes=2000, chatter_per_leaf=16
+        sharded_backbone, seed=0, nodes=2000, chatter_per_leaf=16, name=GATE_KEY
     )
     return results
 
 
 def run_metro(nodes: int = 5000) -> dict:
-    return {
-        f"metro_backbone_{nodes}": _measure(metro_backbone, seed=0, nodes=nodes, runs=2)
-    }
+    key = f"metro_backbone_{nodes}"
+    return {key: _measure(metro_backbone, seed=0, nodes=nodes, runs=2, name=key)}
 
 
 def run_media_city(nodes: int = 3000) -> dict:
@@ -151,18 +194,73 @@ def run_media_city(nodes: int = 3000) -> dict:
     memo removes host CPU, not simulated behaviour) and the events/sec
     ratio is the measured price of per-receiver re-parsing.
     """
+    key = f"media_city_{nodes}"
     return {
-        f"media_city_{nodes}": _measure(media_city, seed=0, nodes=nodes, runs=2),
-        f"media_city_{nodes}_noshare": _measure(
+        key: _measure(media_city, seed=0, nodes=nodes, runs=2, name=key),
+        f"{key}_noshare": _measure(
             media_city, seed=0, nodes=nodes, runs=2, parse_once=False
         ),
     }
 
 
-def run(metro_nodes: int = 5000, media_nodes: int = 3000) -> dict:
+#: The district_grid tier's shape: dense enough load that throughput
+#: tracks event processing rather than the one-time 20k-node build.
+DISTRICT_GRID_PARAMS = dict(
+    districts=8,
+    leaves_per_district=6,
+    chatter_per_leaf=4,
+    chatter_period_us=150_000,
+    ping_period_us=50_000,
+    run_us=5_000_000,
+)
+
+
+def run_district_grid(nodes: int = 20_000) -> dict:
+    """The partitioned-engine A/B tier on the multi-district world.
+
+    Three rows over the identical spec: the single-threaded wheel, the
+    in-process district-sharded engine (both gated — they fire identical
+    schedules, so the delta is pure engine overhead), and the forked
+    one-worker-per-district backend, reported for the record with the
+    driver's own wall clock (build + fork + barriers + merge).
+    """
+    key = f"district_grid_{nodes}"
+    results = {
+        key: _measure(
+            district_grid, seed=0, nodes=nodes, name=key, runs=2,
+            **DISTRICT_GRID_PARAMS,
+        ),
+        f"{key}_partitioned": _measure(
+            district_grid, seed=0, nodes=nodes, engine="partitioned", runs=2,
+            name=f"{key}_partitioned", **DISTRICT_GRID_PARAMS,
+        ),
+    }
+    mp = run_world_mp(district_grid_spec(nodes=nodes, **DISTRICT_GRID_PARAMS), seed=0)
+    results[f"{key}_mp"] = {
+        "wall_s": mp["wall_s"],
+        "events_fired": mp["events_fired"],
+        "events_per_sec": round(mp["events_fired"] / mp["wall_s"]) if mp["wall_s"] else 0,
+        "runs": 1,
+        "backend": mp["backend"],
+        "processes": mp["processes"],
+        "partitions": mp["partitions"],
+        "lookahead_us": mp["lookahead_us"],
+        "barrier_windows": mp["windows"],
+        "ping_sent": mp["extras"].get("ping_sent"),
+        "ping_received": mp["extras"].get("ping_received"),
+        "chatter_searches_completed": mp["extras"].get("chatter_searches_completed"),
+        "note": "wall includes the shared build + fork + barrier exchange; "
+        "speedup over the partitioned row needs one core per district",
+    }
+    return results
+
+
+def run(metro_nodes: int = 5000, media_nodes: int = 3000,
+        grid_nodes: int = 20_000) -> dict:
     results = run_backbone_sizes()
     results.update(run_metro(nodes=metro_nodes))
     results.update(run_media_city(nodes=media_nodes))
+    results.update(run_district_grid(nodes=grid_nodes))
     results["machine_ref_score"] = round(_machine_ref_score())
     return results
 
@@ -267,17 +365,31 @@ def test_core_hotpaths_smoke():
     )
     assert noshare["events_fired"] == media["events_fired"]
     assert noshare["parse_dedup_rate"] == 0.0
+    # The partitioned engine fires the identical schedule on the
+    # multi-district world (the full parity suite lives in tests/world).
+    grid_params = dict(districts=3, leaves_per_district=2, run_us=2_000_000)
+    single = _measure(district_grid, seed=0, runs=1, **grid_params)
+    sharded = _measure(
+        district_grid, seed=0, runs=1, engine="partitioned", **grid_params
+    )
+    assert single["events_fired"] == sharded["events_fired"]
+    assert single["ping_received"] == sharded["ping_received"] > 0
+    assert single["chatter_found_rate"] > 0.8
 
 
 def main(argv: list[str]) -> int:
+    global PROFILE
     args = list(argv[1:])
     check = "--check" in args
     if check:
         args.remove("--check")
+    if "--profile" in args:
+        args.remove("--profile")
+        PROFILE = True
     try:
         metro_nodes = int(args[0]) if args else 5000
     except ValueError:
-        print(f"usage: {argv[0]} [--check] [metro_nodes]", file=sys.stderr)
+        print(f"usage: {argv[0]} [--check] [--profile] [metro_nodes]", file=sys.stderr)
         return 2
     results = run(metro_nodes=metro_nodes)
     write_results(results)

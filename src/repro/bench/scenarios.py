@@ -25,6 +25,7 @@ from ..world import ScenarioOutcome, run_world
 from ..world.scenarios import (
     campus_fanout_spec,
     churn_backbone_spec,
+    district_grid_spec,
     district_sweep_spec,
     federated_campus_spec,
     gateway_chain_spec,
@@ -316,6 +317,19 @@ def district_sweep(
     return run_world(district_sweep_spec(**params), seed=seed, costs=costs)
 
 
+def district_grid(
+    seed: int = 0,
+    costs: CostModel = PAPER_TESTBED,
+    engine: str = "single",
+    **params,
+) -> ScenarioOutcome:
+    """Unbridged chained backbones — the multi-district world the
+    partitioned engine shards (``engine="partitioned"`` runs the same
+    spec on district-sharded event loops with conservative lookahead)."""
+    return run_world(district_grid_spec(**params), seed=seed, costs=costs,
+                     engine=engine)
+
+
 #: Reduced parameters for scenarios whose defaults are sized for the perf
 #: benchmarks, not the test suite; the behavioural tests apply these so
 #: tier-1 stays fast while the benchmarks keep the full-scale defaults.
@@ -348,6 +362,11 @@ SMALL_SCALE_OVERRIDES: dict[str, dict] = {
         "probe_wait_us": 2_500_000,
         "run_us": 4_000_000,
     },
+    "district_grid": {
+        "districts": 3,
+        "leaves_per_district": 2,
+        "run_us": 2_000_000,
+    },
 }
 
 
@@ -370,6 +389,7 @@ SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "media_city": media_city,
     "churn_backbone": churn_backbone,
     "district_sweep": district_sweep,
+    "district_grid": district_grid,
 }
 
 
@@ -394,4 +414,5 @@ __all__ = [
     "media_city",
     "churn_backbone",
     "district_sweep",
+    "district_grid",
 ]

@@ -122,6 +122,7 @@ class Indiss:
             clock=lambda: node.now_us,
             dedup_window_us=self.config.dedup_window_us,
             dedup_scope=self.policy.dedup_scope,
+            session_id_source=node.network.session_id_source(node),
         )
         self.advertisements = AdvertisementPipeline(self)
         #: Set by :meth:`repro.federation.GatewayFleet.join`; the

@@ -70,6 +70,15 @@ class LatencyModel:
             delay += self._rng.randint(0, self.jitter_us)
         return max(delay, 1)
 
+    def det_delay_us(self, size_bytes: int) -> int:
+        """The deterministic part of :meth:`delay_us`: no jitter draw.
+
+        Cross-partition deliveries use this so the jitter RNG's draw order
+        stays identical between the single-threaded and partitioned
+        engines (with ``jitter_us == 0`` the two methods are equal).
+        """
+        return max(self.lan_latency_us + self.transmission_us(size_bytes), 1)
+
 
 @dataclass
 class LossModel:

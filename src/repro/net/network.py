@@ -21,8 +21,9 @@ Delivery rules:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .addressing import (
     Endpoint,
@@ -35,10 +36,19 @@ from .addressing import (
 from .errors import AddressError, NetworkError
 from .latency import LatencyModel, LossModel
 from .node import Node
+from .parallel import CROSS_LABEL, CrossFrame
+from .partition import PartitionMap
 from .segment import Bridge, DEFAULT_LINK_LATENCY_US, Link, Router, Segment
 from .simclock import Scheduler
 from .traffic import TrafficMonitor
 from .udp import Datagram, NULL_MEMO, ParseCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .parallel import ShardedScheduler
+
+#: Base of each district's session-id block under a partitioned topology:
+#: district ``p`` allocates ids from ``(p + 1) * SESSION_ID_BLOCK``.
+SESSION_ID_BLOCK = 10**8
 
 
 @dataclass
@@ -101,6 +111,18 @@ class Network:
         #: memo-aware receive path registers its decode/share here through
         #: :meth:`parse_counter`.
         self.parse_stats: dict[str, ParseCounter] = {}
+        #: Attached :class:`~repro.net.parallel.ShardedScheduler`, if the
+        #: world was built for the partitioned engine (``scheduler`` is then
+        #: the same object).  ``None`` means classic single-wheel execution.
+        self.engine: "ShardedScheduler | None" = None
+        #: Partition map frozen at build completion by partition-aware
+        #: builders (both engines; see :meth:`freeze_partitions`).  ``None``
+        #: on hand-built networks: all partition semantics stay off and
+        #: behaviour is exactly the classic single-district model.
+        self._pmap: PartitionMap | None = None
+        #: Per-district session-id counters (only when the frozen map has
+        #: more than one district); see :meth:`session_id_source`.
+        self._session_counters: list | None = None
         self.default_segment = self.add_segment(
             self.DEFAULT_SEGMENT, subnet=subnet, latency=self.latency
         )
@@ -116,6 +138,11 @@ class Network:
         """Create a new LAN segment; the subnet is auto-allocated if omitted."""
         if name in self.segments:
             raise NetworkError(f"segment {name!r} already exists")
+        if self.engine is not None and name not in self.engine.pmap.pid_of:
+            raise NetworkError(
+                f"segment {name!r} is not in the frozen partition map; the "
+                "partitioned engine cannot grow new districts mid-run"
+            )
         if subnet is None:
             used = {s.subnet for s in self.segments.values()}
             while f"192.168.{self._next_auto_subnet}" in used:
@@ -148,6 +175,19 @@ class Network:
     ) -> Link:
         """Connect two segments with a routed point-to-point link."""
         seg_a, seg_b = self._resolve_segment(a), self._resolve_segment(b)
+        engine = self.engine
+        if engine is not None:
+            pmap = engine.pmap
+            lookahead = pmap.lookahead_us
+            if (
+                pmap.pid_of.get(seg_a.name) != pmap.pid_of.get(seg_b.name)
+                and lookahead is not None
+                and latency_us < lookahead
+            ):
+                raise NetworkError(
+                    f"link {seg_a.name}-{seg_b.name} ({latency_us} us) is "
+                    f"faster than the engine's lookahead ({lookahead} us)"
+                )
         return self.router.connect(seg_a.name, seg_b.name, latency_us)
 
     def add_node(
@@ -172,7 +212,20 @@ class Network:
 
     def bridge(self, node: Node, *segments: Segment | str) -> Bridge:
         """Multi-home ``node`` onto additional segments (gateway placement)."""
-        return Bridge(node, *(self._resolve_segment(s) for s in segments))
+        resolved = [self._resolve_segment(s) for s in segments]
+        if self.engine is not None:
+            pmap = self.engine.pmap
+            pids = {
+                pmap.pid_of[seg.name]
+                for seg in [*node.segments, *resolved]
+                if seg.name in pmap.pid_of
+            }
+            if len(pids) > 1:
+                raise NetworkError(
+                    f"bridging {node.name!r} across districts {sorted(pids)} "
+                    "would merge partitions the engine already sharded"
+                )
+        return Bridge(node, *resolved)
 
     def detach_node(self, node: Node) -> None:
         """Remove a host from every segment it is attached to.
@@ -202,10 +255,94 @@ class Network:
             raise AddressError(f"address {node.address} already attached")
         if node.segments:
             raise NetworkError(f"node {node.name!r} is still attached")
+        targets = [
+            self._resolve_segment(s)
+            for s in (segments if segments else [self.default_segment])
+        ]
+        if self.engine is not None and node._pid is not None:
+            pmap = self.engine.pmap
+            for segment in targets:
+                pid = pmap.pid_of.get(segment.name)
+                if pid is not None and pid != node._pid:
+                    raise NetworkError(
+                        f"cannot reattach {node.name!r} to district {pid}: its "
+                        f"timers live on district {node._pid}'s wheel"
+                    )
         self._nodes[node.address] = node
-        targets = list(segments) if segments else [self.default_segment]
         for segment in targets:
-            self._resolve_segment(segment).attach(node)
+            segment.attach(node)
+
+    # -- partitions & the parallel engine -------------------------------------
+
+    def freeze_partitions(self, pmap: PartitionMap) -> None:
+        """Fix the district map for the rest of the run (both engines).
+
+        Partition-aware builders call this once the topology is complete.
+        The map is deliberately *not* recomputed on later attach/detach:
+        a churned-out gateway must keep its home district (its timers keep
+        firing on the same wheel, and the single-threaded oracle must make
+        identical delay decisions), so membership is a build-time property.
+
+        Multi-district maps also switch session-id allocation to disjoint
+        per-district blocks, so the single, inline, and multiprocess
+        backends all mint identical ids (a global counter's values would
+        depend on cross-district interleaving).
+        """
+        self._pmap = pmap
+        if pmap.count > 1:
+            self._session_counters = [
+                itertools.count((pid + 1) * SESSION_ID_BLOCK)
+                for pid in range(pmap.count)
+            ]
+
+    def attach_engine(self, engine: "ShardedScheduler") -> None:
+        """Bind a partitioned engine (its façade is ``self.scheduler``)."""
+        if self.loss is not None:
+            raise NetworkError(
+                "the partitioned engine does not support a loss model: "
+                "per-receiver drop draws are not reproducible across shards"
+            )
+        self.engine = engine
+        engine.bind(self)
+        self.freeze_partitions(engine.pmap)
+
+    @property
+    def partition_map(self) -> PartitionMap | None:
+        return self.engine.pmap if self.engine is not None else self._pmap
+
+    def partition_of_node(self, node: Node) -> int:
+        """The district a node belongs to (0 on partition-unaware networks).
+
+        A detached node (fleet churn) keeps its last known district.
+        """
+        pmap = self.partition_map
+        if pmap is None:
+            return 0
+        if node.segments:
+            pid = pmap.pid_of.get(node.segments[0].name)
+            if pid is None:
+                return node._pid or 0
+            node._pid = pid
+            return pid
+        return node._pid or 0
+
+    def scheduler_for(self, node: Node) -> Scheduler:
+        """The wheel a node's events belong on: its district's shard under
+        the partitioned engine, the shared scheduler otherwise.  Every
+        node-level scheduling convenience routes through here."""
+        engine = self.engine
+        if engine is None:
+            return self.scheduler
+        return engine.shards[self.partition_of_node(node)]
+
+    def session_id_source(self, node: Node) -> Callable[[], int] | None:
+        """Per-district session-id allocator, or ``None`` for the classic
+        global counter (single-district topologies are unchanged)."""
+        counters = self._session_counters
+        if counters is None:
+            return None
+        counter = counters[self.partition_of_node(node)]
+        return lambda: next(counter)
 
     def node_at(self, address: str) -> Optional[Node]:
         return self._nodes.get(address)
@@ -420,12 +557,144 @@ class Network:
             self.unrouted += 1
             return
         traversed, link_latency = route
+        pmap = self.partition_map
+        if pmap is not None and len(traversed) > 1:
+            src_pid = pmap.pid_of.get(traversed[0].name)
+            dst_pid = pmap.pid_of.get(traversed[-1].name)
+            if src_pid is not None and dst_pid is not None and src_pid != dst_pid:
+                self._deliver_cross(
+                    sender, datagram, traversed, link_latency, src_pid, dst_pid
+                )
+                return
         for segment in traversed:
             self._record_on_segment(segment, datagram, multicast=False)
         # Upstream (pre-final-hop) cost is drawn once; the final-segment
         # delay is drawn per receiving socket, like local delivery.
         prefix = sum(s.delay_us(size) for s in traversed[:-1]) + link_latency
         self._schedule_delivery(target, datagram, False, traversed[-1], prefix)
+
+    def _deliver_cross(
+        self,
+        sender: Node,
+        datagram: Datagram,
+        traversed: tuple[Segment, ...],
+        link_latency: int,
+        src_pid: int,
+        dst_pid: int,
+    ) -> None:
+        """Unicast across a district boundary — identical in both engines.
+
+        Rules that keep the single-threaded oracle and the partitioned
+        backends bit-compatible:
+
+        * the delay is the *deterministic* per-segment cost plus the link
+          latency — no jitter draws, so the sender district's RNG stream
+          does not depend on cross-district traffic interleaving;
+        * one event delivers to every bound socket of the target (instead
+          of one event per socket), so ``events_fired`` is backend-free;
+        * the frame is rebuilt without the sender's decode seed — the
+          multiprocess backend ships wire bytes only, so the in-process
+          paths must re-decode on the far side too;
+        * the target is resolved by address *at delivery time*: a host
+          that churned out while the frame crossed the link drops it.
+
+        Only sender-district segments (and the final, target-district one)
+        record traffic: a multiprocess worker never sees transit districts.
+        """
+        size = len(datagram.payload)
+        final = traversed[-1]
+        pid_of = self.partition_map.pid_of
+        for segment in traversed:
+            if pid_of.get(segment.name) == src_pid:
+                self._record_on_segment(segment, datagram, multicast=False)
+        delay = (
+            sum(s.det_delay_us(size) for s in traversed[:-1])
+            + link_latency
+            + final.det_delay_us(size)
+        )
+        engine = self.engine
+        send_time = self.scheduler_for(sender).now_us
+        destination = datagram.destination
+        if engine is not None:
+            engine.enqueue_cross(
+                CrossFrame(
+                    due_us=send_time + delay,
+                    src_pid=src_pid,
+                    seq=engine.next_cross_seq(src_pid),
+                    dst_pid=dst_pid,
+                    payload=datagram.payload,
+                    source_host=datagram.source.host,
+                    source_port=datagram.source.port,
+                    dest_host=destination.host,
+                    dest_port=destination.port,
+                    final_segment=final.name,
+                    send_time_us=send_time,
+                )
+            )
+            return
+        # Single-threaded oracle: same delay, same single event, but the
+        # frame never leaves the process.  Loss (forbidden under the
+        # engine) draws once per frame here.
+        if self.loss is not None and self.loss.should_drop():
+            return
+        self._record_on_segment(final, datagram, multicast=False)
+        fresh = self._cross_datagram(datagram.payload, datagram.source, destination)
+        self.scheduler.post(
+            delay,
+            lambda: self._deliver_cross_frame(destination.host, destination.port, fresh),
+            label=CROSS_LABEL,
+        )
+
+    def _cross_datagram(
+        self, payload: bytes, source: Endpoint, destination: Endpoint
+    ) -> Datagram:
+        """A fresh frame for the far side of a district boundary; its memo
+        starts empty (parse-once restarts among the target's sockets)."""
+        if self.parse_once:
+            return Datagram(payload=payload, source=source, destination=destination)
+        return Datagram(
+            payload=payload, source=source, destination=destination, memo=NULL_MEMO
+        )
+
+    def _deliver_cross_frame(
+        self, dest_host: str, dest_port: int, datagram: Datagram
+    ) -> None:
+        target = self._nodes.get(dest_host)
+        if target is None:
+            # Churned out while the frame crossed the link.
+            self.unrouted += 1
+            return
+        stack = target.udp_stack
+        if stack is None:
+            return
+        for sock in stack.sockets_for(dest_port):
+            sock.deliver(datagram)
+
+    def inject_cross(self, frame: CrossFrame) -> None:
+        """Schedule one barrier-exchanged frame on its target shard."""
+        source = Endpoint(frame.source_host, frame.source_port)
+        destination = Endpoint(frame.dest_host, frame.dest_port)
+        datagram = self._cross_datagram(frame.payload, source, destination)
+        final = self.segments.get(frame.final_segment)
+        if final is not None:
+            # Books the frame at its (earlier) send time, mirroring what
+            # the single-threaded oracle recorded inline.
+            final.traffic.record(
+                frame.send_time_us,
+                frame.dest_port,
+                len(frame.payload),
+                "udp",
+                multicast=False,
+            )
+            self.trace_message(
+                "udp", source, destination, frame.payload, segment=final.name
+            )
+        shard = self.engine.shards[frame.dst_pid]
+        shard.post(
+            frame.due_us - shard._now_us,
+            lambda: self._deliver_cross_frame(frame.dest_host, frame.dest_port, datagram),
+            label=CROSS_LABEL,
+        )
 
     def _deliver_multicast(self, sender: Node, datagram: Datagram) -> None:
         """Fan a datagram out to the group on each of the sender's segments.
@@ -443,6 +712,10 @@ class Network:
         group = datagram.destination.host
         port = datagram.destination.port
         size = len(datagram.payload)
+        # Multicast is segment-scoped, so every receiver shares the
+        # sender's district: its shard carries the whole fan-out (and this
+        # also keeps workload-time sends off the engine façade).
+        scheduler = self.scheduler_for(sender)
         for segment in sender.segments:
             self._record_on_segment(segment, datagram, multicast=True)
             lan_delay = segment.delay_us(size)
@@ -456,7 +729,7 @@ class Network:
                         continue
                     sock.deliver(datagram)
 
-            self.scheduler.post(lan_delay, deliver_lan, label="udp-mcast")
+            scheduler.post(lan_delay, deliver_lan, label="udp-mcast")
 
         loop_delay = sender.segment.delay_us(size, loopback=True)
 
@@ -464,7 +737,7 @@ class Network:
             for sock in sender.udp.sockets_for_group(group, port):
                 sock.deliver(datagram)
 
-        self.scheduler.post(loop_delay, deliver_loopback, label="udp-mcast-loop")
+        scheduler.post(loop_delay, deliver_loopback, label="udp-mcast-loop")
 
     def _deliver_broadcast(self, sender: Node, datagram: Datagram) -> None:
         delivered: set[str] = set()
@@ -501,7 +774,9 @@ class Network:
         if self.loss is not None and not loopback and self.loss.should_drop():
             return
         delay = prefix_delay + segment.delay_us(len(datagram.payload), loopback=loopback)
-        self.scheduler.post(delay, lambda: sock.deliver(datagram), label="udp-delivery")
+        self.scheduler_for(sock.node).post(
+            delay, lambda: sock.deliver(datagram), label="udp-delivery"
+        )
 
     # -- run helpers ------------------------------------------------------------
 

@@ -35,6 +35,10 @@ class Node:
         #: :meth:`repro.net.segment.Segment.attach`.  A gateway host
         #: bridged across two LANs has two entries.
         self.segments: list["Segment"] = []
+        #: Cached district id under a partition-aware network; remembered
+        #: across detach windows so a churned-out host keeps scheduling on
+        #: its home partition's wheel.
+        self._pid: int | None = None
 
     @property
     def udp(self) -> UdpStack:
@@ -67,13 +71,13 @@ class Node:
 
     @property
     def now_us(self) -> int:
-        return self.network.scheduler.now_us
+        return self.network.scheduler_for(self).now_us
 
     def schedule(self, delay_us: int, callback: Callable[[], None], label: str = "") -> EventHandle:
-        return self.network.scheduler.schedule(delay_us, callback, label=label)
+        return self.network.scheduler_for(self).schedule(delay_us, callback, label=label)
 
     def timer(self, callback: Callable[[], None]) -> Timer:
-        return Timer(self.network.scheduler, callback)
+        return Timer(self.network.scheduler_for(self), callback)
 
     def every(
         self,
@@ -83,7 +87,7 @@ class Node:
         max_firings: int | None = None,
     ) -> PeriodicTask:
         return PeriodicTask(
-            self.network.scheduler,
+            self.network.scheduler_for(self),
             period_us,
             callback,
             initial_delay_us=initial_delay_us,

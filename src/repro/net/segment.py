@@ -135,6 +135,17 @@ class Segment:
     def delay_us(self, size_bytes: int, loopback: bool = False) -> int:
         return self.latency.delay_us(size_bytes, loopback=loopback)
 
+    def det_delay_us(self, size_bytes: int) -> int:
+        """Jitter-free delivery delay, for cross-partition unicast.
+
+        Frames crossing a partition boundary must not consume the segment's
+        jitter RNG: the draw order would depend on which partition ran
+        first, breaking the partitioned engine's determinism.  The parallel
+        and single-threaded engines both use this deterministic rule for
+        boundary-crossing frames, so their schedules agree exactly.
+        """
+        return self.latency.det_delay_us(size_bytes)
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"Segment({self.name!r}, {self.subnet}.0/24, nodes={len(self._nodes)})"
 
@@ -182,6 +193,21 @@ class Router:
 
     def neighbors(self, name: str) -> list[str]:
         return [link.other(name) for link in self._adjacency.get(name, ())]
+
+    def links(self) -> list[tuple[str, str, int]]:
+        """Every link once, as ``(a, b, latency_us)``, in creation order.
+
+        Each :class:`Link` is registered under both endpoints, so the
+        adjacency lists are deduplicated by object identity.
+        """
+        seen: set[int] = set()
+        result: list[tuple[str, str, int]] = []
+        for links in self._adjacency.values():
+            for link in links:
+                if id(link) not in seen:
+                    seen.add(id(link))
+                    result.append((link.a, link.b, link.latency_us))
+        return result
 
     def path(self, source: str, destination: str) -> Optional[list[Link]]:
         """Min-hop link sequence from ``source`` to ``destination``.

@@ -110,13 +110,14 @@ class TcpConnection:
             # be a synthetic endpoint); charge the default segment cost.
             delay = network.latency.delay_us(len(data), loopback=self.is_loopback)
         peer = self._peer
-        arrival = max(network.scheduler.now_us + delay, peer._last_arrival_us + 1)
+        scheduler = network.scheduler_for(self._node)
+        arrival = max(scheduler.now_us + delay, peer._last_arrival_us + 1)
         peer._last_arrival_us = arrival
         network.traffic.record(
-            network.scheduler.now_us, self.remote.port, len(data), "tcp", multicast=False
+            scheduler.now_us, self.remote.port, len(data), "tcp", multicast=False
         )
         network.trace_message("tcp", self.local, self.remote, data)
-        network.scheduler.schedule_at(
+        scheduler.schedule_at(
             arrival, lambda: peer._receive(data, memo), label="tcp-data"
         )
 
@@ -150,9 +151,10 @@ class TcpConnection:
             )
             if delay is None:
                 delay = network.latency.delay_us(0, loopback=self.is_loopback)
-            arrival = max(network.scheduler.now_us + delay, peer._last_arrival_us + 1)
+            scheduler = network.scheduler_for(self._node)
+            arrival = max(scheduler.now_us + delay, peer._last_arrival_us + 1)
             peer._last_arrival_us = arrival
-            network.scheduler.schedule_at(arrival, peer._peer_closed, label="tcp-fin")
+            scheduler.schedule_at(arrival, peer._peer_closed, label="tcp-fin")
 
     def _peer_closed(self) -> None:
         if self._closed:
@@ -237,6 +239,20 @@ class TcpStack:
         loopback = remote.host == self._node.address
 
         remote_node = network.node_at(remote.host)
+        if (
+            remote_node is not None
+            and network.engine is not None
+            and network.partition_of_node(remote_node)
+            != network.partition_of_node(self._node)
+        ):
+            # The stream abstraction schedules both directions on one
+            # wheel; across districts that would race the lookahead
+            # window.  District-crossing scenarios use UDP (as the paper's
+            # discovery traffic does).
+            raise ConnectionRefusedError(
+                f"TCP across districts is not supported by the partitioned "
+                f"engine: {self._node.name} -> {remote}"
+            )
         one_way = network.unicast_delay_us(self._node, remote.host, 0, loopback=loopback)
 
         def refused() -> None:
@@ -252,7 +268,7 @@ class TcpStack:
                 rtt = 2 * self._node.segment.delay_us(0, loopback=loopback)
             else:
                 rtt = 2 * network.latency.delay_us(0, loopback=loopback)
-            network.scheduler.schedule(rtt, refused, label="tcp-noroute")
+            network.scheduler_for(self._node).schedule(rtt, refused, label="tcp-noroute")
             return
 
         def complete_handshake() -> None:
@@ -270,8 +286,9 @@ class TcpStack:
             on_connected(client_side)
 
         # SYN + SYN-ACK + ACK before data can flow.
-        network.traffic.record(network.scheduler.now_us, remote.port, 40, "tcp", False)
-        network.scheduler.schedule(3 * one_way, complete_handshake, label="tcp-handshake")
+        scheduler = network.scheduler_for(self._node)
+        network.traffic.record(scheduler.now_us, remote.port, 40, "tcp", False)
+        scheduler.schedule(3 * one_way, complete_handshake, label="tcp-handshake")
 
 
 __all__ = ["TcpConnection", "TcpListener", "TcpStack"]

@@ -447,7 +447,7 @@ class UserAgent(_SlpEndpointBase):
         build_delay = self.config.timings.request_build_us
         self.node.schedule(build_delay, lambda: transmit(0, request))
 
-        timer = Timer(self.node.network.scheduler, lambda: self._finish(xid))
+        timer = Timer(self.node.network.scheduler_for(self.node), lambda: self._finish(xid))
         timer.start(build_delay + wait)
         self._timers[xid] = timer
         return search

@@ -126,7 +126,7 @@ class UpnpControlPoint:
                 self._searches.remove(search)
             search._complete()
 
-        timer = Timer(self.node.network.scheduler, finish)
+        timer = Timer(self.node.network.scheduler_for(self.node), finish)
         timer.start(self.timings.msearch_build_us + wait_us)
         return search
 

@@ -10,6 +10,11 @@
   ``Network``/``Segment``/``GatewayFleet`` runtime and returns the
   :class:`World` run-control handle (``run_until``, named probes, the
   observer/metrics API feeding ``ScenarioOutcome.extras``);
+* :mod:`repro.world.partition` / :mod:`repro.world.engine` — spec-level
+  district analysis and the partition run drivers: ``World.build(...,
+  engine="partitioned")`` shards the event loop per district with
+  conservative lookahead, and :func:`run_world_mp` forks one worker
+  process per district;
 * :mod:`repro.world.scenarios` — the registered scenario catalog
   (``SCENARIO_SPECS``), from the paper's Figs. 7-9 configurations to the
   metro/media scale workloads and the spec-only churn/district sweeps;
@@ -18,7 +23,9 @@
 """
 
 from .build import BuildError, ProbeHandle, World, run_world
+from .engine import run_world_mp, run_world_partitioned
 from .outcome import ScenarioOutcome
+from .partition import spec_partition_map
 from .spec import (
     BridgeSpec,
     Chatter,
@@ -39,6 +46,7 @@ from .spec import (
     JiniItem,
     JiniListener,
     JiniRegistrar,
+    Ping,
     Probe,
     RingOwnerLeaf,
     Run,
@@ -62,6 +70,9 @@ __all__ = [
     "ProbeHandle",
     "ScenarioOutcome",
     "run_world",
+    "run_world_mp",
+    "run_world_partitioned",
+    "spec_partition_map",
     "SegmentSpec",
     "HostSpec",
     "BridgeSpec",
@@ -82,6 +93,7 @@ __all__ = [
     "GenaFeed",
     "Run",
     "Probe",
+    "Ping",
     "Chatter",
     "CpChatter",
     "Churn",

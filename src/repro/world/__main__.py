@@ -4,7 +4,8 @@ Commands:
 
 * ``list`` — one row per registered scenario spec (validated first);
 * ``describe <scenario> [param=value ...]`` — validate and pretty-print
-  one spec, optionally re-parameterized (ints parse as ints);
+  one spec, optionally re-parameterized (ints parse as ints), including
+  the computed district partition map the parallel engine would use;
 * ``validate`` — schema + subnet-budget checks over **every** registered
   spec, exiting non-zero on the first failure.  CI runs this as a fast
   pre-test step: a malformed scenario fails in milliseconds, before any
@@ -17,6 +18,7 @@ from __future__ import annotations
 
 import sys
 
+from .partition import spec_partition_map
 from .scenarios import SCENARIO_SPECS
 from .spec import SpecError, WorldSpec
 
@@ -72,6 +74,13 @@ def cmd_describe(name: str, params: dict) -> int:
         print(f"\nINVALID: {exc}", file=sys.stderr)
         return 1
     print(spec.describe())
+    try:
+        pmap, hosts_of = spec_partition_map(spec)
+    except SpecError as exc:
+        print(f"\npartitions: unresolvable from the spec ({exc})")
+    else:
+        print()
+        print(pmap.describe(hosts_of))
     print("\nvalid: schema and subnet budgets check out")
     return 0
 

@@ -22,7 +22,9 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..core import Indiss, IndissConfig
-from ..net import Network, NetworkError
+from ..net import Endpoint, Network, NetworkError
+from ..net.parallel import ShardedScheduler
+from ..net.partition import network_partition_map
 from ..sdp.slp import (
     ServiceAgent,
     ServiceType,
@@ -52,6 +54,7 @@ from .spec import (
     IndissApp,
     JiniListener,
     JiniRegistrar,
+    Ping,
     Probe,
     RingOwnerLeaf,
     Run,
@@ -139,6 +142,8 @@ class World:
         self._headline: Optional[str] = None
         self._pending_probe_extras: list[tuple[str, str]] = []
         self._observers: dict[str, Callable] = {}
+        #: Which execution backend built this world ("single"/"partitioned").
+        self.engine_kind = "single"
 
     # -- construction -------------------------------------------------------
 
@@ -150,27 +155,64 @@ class World:
         costs=None,
         capture: Optional[bool] = None,
         parse_once: Optional[bool] = None,
+        engine: str = "single",
     ) -> "World":
         """Validate ``spec`` and compile its elements into a live world.
 
         The workload has not run yet — call :meth:`run_workload` (or the
         one-shot :func:`run_world`).  ``capture``/``parse_once`` override
         the spec's settings for A/B runs.
+
+        ``engine`` selects the execution backend:
+
+        * ``"single"`` — the classic one-wheel scheduler.  When the spec
+          declares ``partitioned=True`` the spec's district map is still
+          frozen onto the network, so cross-district delivery already
+          takes the deterministic path: this run is the golden oracle the
+          partitioned backends are compared against, bit for bit.
+        * ``"partitioned"`` — district-sharded wheels with conservative
+          lookahead windows (:class:`~repro.net.parallel.ShardedScheduler`).
+          The district map is computed from the spec *before* the network
+          exists, and the built topology is cross-checked against it.
         """
         if costs is None:
             from ..bench.calibration import PAPER_TESTBED
 
             costs = PAPER_TESTBED
+        if engine not in ("single", "partitioned"):
+            raise BuildError(f"unknown engine {engine!r}")
         spec.validate()
-        net = Network(
+        pmap = None
+        if engine == "partitioned" or spec.partitioned:
+            from .partition import spec_partition_map
+
+            pmap, _ = spec_partition_map(spec)
+        kwargs = dict(
             latency=costs.latency_model(seed),
             subnet=spec.subnet if spec.subnet is not None else "192.168.1",
             capture=spec.capture if capture is None else capture,
             parse_once=spec.parse_once if parse_once is None else parse_once,
         )
+        if engine == "partitioned":
+            shards = ShardedScheduler(pmap)
+            net = Network(scheduler=shards, **kwargs)
+            net.attach_engine(shards)
+        else:
+            net = Network(**kwargs)
+            if pmap is not None:
+                net.freeze_partitions(pmap)
         world = cls(spec, net, seed, costs)
+        world.engine_kind = engine
         for element in spec.elements:
             world._apply_element(element)
+        if pmap is not None:
+            live = network_partition_map(net)
+            if live.pid_of != pmap.pid_of or live.lookahead_us != pmap.lookahead_us:
+                raise BuildError(
+                    f"spec {spec.name!r}: the spec-level partition map "
+                    "disagrees with the built topology (a placement "
+                    "resolver or fleet bridged across the analysed districts?)"
+                )
         return world
 
     def _apply_element(self, element) -> None:
@@ -209,6 +251,8 @@ class World:
             self._fleet_specs[element.name] = element
         elif isinstance(element, Fill):
             self._fill(element.total_nodes)
+        elif isinstance(element, Ping):
+            self._start_ping(element)
         elif isinstance(element, (Chatter, CpChatter)):
             self._apply_step(element)
         else:  # a standalone app spec carrying its own host reference
@@ -434,6 +478,15 @@ class World:
         if predicate is None:
             self.net.run(duration_us=horizon_us)
             return True
+        engine = self.net.engine
+        if engine is not None and engine._exchange is not None:
+            # Each multiprocess worker evaluates predicates on local state
+            # only; divergent verdicts would desynchronise the barrier
+            # sequence.  Multiprocess workloads use bounded Run steps.
+            raise BuildError(
+                "run_until(predicate) is not available in a multiprocess "
+                "partition worker; use bounded Run steps"
+            )
         scheduler = self.net.scheduler
         deadline = None if horizon_us is None else scheduler.now_us + horizon_us
         while True:
@@ -635,6 +688,34 @@ class World:
                 group.append(stats)
                 index += 1
 
+    def _start_ping(self, step: Ping) -> None:
+        """One standing unicast flow with per-flow send/receive counters.
+
+        The payload is fixed at build time and the sink counts frames, so
+        the flow's accounting is purely event-driven — which is what lets
+        the multiprocess backend sum per-worker counters exactly.
+        """
+        group = self.load_groups.setdefault(step.group, [])
+        src = self.hosts[step.src_host]
+        dst = self.hosts[step.dst_host]
+        stats = {
+            "src": step.src_host, "dst": step.dst_host, "sent": 0, "received": 0,
+        }
+        sink = dst.udp.socket().bind(step.port, reuse=True)
+        sink.on_datagram(lambda datagram, stats=stats: stats.__setitem__(
+            "received", stats["received"] + 1
+        ))
+        payload = f"ping:{step.src_host}:".encode() + b"\x00" * step.payload_bytes
+        target = Endpoint(dst.address, step.port)
+        tx = src.udp.socket()
+
+        def kick(tx=tx, payload=payload, target=target, stats=stats) -> None:
+            stats["sent"] += 1
+            tx.sendto(payload, target)
+
+        src.every(step.period_us, kick, initial_delay_us=step.start_delay_us)
+        group.append(stats)
+
     def _run_churn(self, step: Churn) -> None:
         """Sustained membership churn over one fleet.
 
@@ -743,10 +824,12 @@ def run_world(
     costs=None,
     capture: Optional[bool] = None,
     parse_once: Optional[bool] = None,
+    engine: str = "single",
 ) -> ScenarioOutcome:
     """Build ``spec``, run its workload, and return the outcome."""
     world = World.build(
-        spec, seed=seed, costs=costs, capture=capture, parse_once=parse_once
+        spec, seed=seed, costs=costs, capture=capture, parse_once=parse_once,
+        engine=engine,
     )
     world.run_workload()
     return world.outcome()

@@ -62,18 +62,41 @@ def hotpath_stats(world) -> dict:
     return row
 
 
-def chatter_stats(world, group: str = "chatter") -> dict:
-    """Aggregate the per-client accounting of one SLP chatter group."""
-    chatter = world.load_groups.get(group, [])
-    issued = sum(c["issued"] for c in chatter)
-    completed = sum(c["completed"] for c in chatter)
-    found = sum(c["found"] for c in chatter)
+def chatter_rows_summary(rows) -> dict:
+    """Sums over one chatter group's per-client records.
+
+    Shared with the multiprocess partition driver, which aggregates the
+    merged per-worker rows with the same arithmetic the inline collector
+    uses — so both backends report comparable fields.
+    """
+    issued = sum(c["issued"] for c in rows)
+    completed = sum(c["completed"] for c in rows)
+    found = sum(c["found"] for c in rows)
     return {
-        "chatter_clients": len(chatter),
+        "chatter_clients": len(rows),
         "chatter_searches_issued": issued,
         "chatter_searches_completed": completed,
         "chatter_found_rate": found / completed if completed else 0.0,
     }
+
+
+def chatter_stats(world, group: str = "chatter") -> dict:
+    """Aggregate the per-client accounting of one SLP chatter group."""
+    return chatter_rows_summary(world.load_groups.get(group, []))
+
+
+def ping_rows_summary(rows) -> dict:
+    """Sums over one ping group's per-flow records (see ``Ping``)."""
+    return {
+        "ping_flows": len(rows),
+        "ping_sent": sum(r["sent"] for r in rows),
+        "ping_received": sum(r["received"] for r in rows),
+    }
+
+
+def ping_stats(world, group: str = "ping") -> dict:
+    """Aggregate the standing unicast flows of one ``Ping`` group."""
+    return ping_rows_summary(world.load_groups.get(group, []))
 
 
 def cp_chatter_stats(world, group: str = "cp") -> dict:
@@ -153,6 +176,19 @@ def parse_once_flag(world) -> dict:
     return {"parse_once": world.net.parse_once}
 
 
+def partition_stats(world) -> dict:
+    """The frozen district map and, when partitioned, per-shard counters."""
+    pmap = world.net.partition_map
+    if pmap is None:
+        return {"partitions": 1}
+    row = {"partitions": pmap.count, "lookahead_us": pmap.lookahead_us}
+    engine = world.net.engine
+    if engine is not None:
+        row["events_by_partition"] = engine.events_by_partition()
+        row["barrier_windows"] = engine.windows
+    return row
+
+
 def churn_stats(world, group: str = "churn") -> dict:
     """Aggregate the Churn step's per-cycle records."""
     cycles = world.load_groups.get(group, [])
@@ -179,7 +215,18 @@ COLLECTORS: dict[str, Callable[..., dict]] = {
     "ring_spread": ring_spread,
     "parse_once": parse_once_flag,
     "churn": churn_stats,
+    "ping": ping_stats,
+    "partitions": partition_stats,
 }
 
 
-__all__ = ["COLLECTORS", "hotpath_stats", "chatter_stats", "fleet_stats"]
+__all__ = [
+    "COLLECTORS",
+    "hotpath_stats",
+    "chatter_stats",
+    "chatter_rows_summary",
+    "ping_stats",
+    "ping_rows_summary",
+    "partition_stats",
+    "fleet_stats",
+]

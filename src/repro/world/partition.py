@@ -1,0 +1,80 @@
+"""Spec-level district analysis: partition a :class:`WorldSpec` by name.
+
+``World.build`` needs the partition map *before* any network object exists
+— the partitioned engine's shards are constructed first and every
+build-time guard (``add_segment`` / ``link`` / ``bridge``) checks against
+the frozen map.  This module runs the same union-find the live network
+uses (:func:`repro.net.partition.compute_partition_map`) over the spec's
+declared topology:
+
+* segment order is the implicit default segment (``lan0``) followed by
+  the :class:`~repro.world.spec.SegmentSpec` elements in declaration
+  order — the order fixes the deterministic district numbering;
+* ``link_to`` edges are the router links (latency-bearing cut edges);
+* a :class:`~repro.world.spec.BridgeSpec` merges the bridged host's home
+  segment with every segment it bridges onto (multi-homing is what fuses
+  segments into one district).
+
+``World.build`` cross-checks the result against the *built* network's map
+(:func:`repro.net.partition.network_partition_map`), so a spec construct
+this analysis cannot see — a placement resolver bridging somewhere
+unexpected — fails loudly instead of silently misgrouping.
+"""
+
+from __future__ import annotations
+
+from ..net import DEFAULT_LINK_LATENCY_US
+from ..net.partition import PartitionMap, compute_partition_map
+from .spec import BridgeSpec, HostSpec, SegmentSpec, SpecError, WorldSpec
+
+DEFAULT_SEGMENT = "lan0"
+
+
+def spec_partition_map(spec: WorldSpec) -> tuple[PartitionMap, dict[int, list[str]]]:
+    """The spec's district map plus each district's declared hosts.
+
+    Returns ``(pmap, hosts_of)`` where ``hosts_of[pid]`` lists the spec's
+    host names homed in district ``pid`` (placement-resolver hosts, whose
+    segment is only known at build time, are omitted).  Raises
+    :class:`SpecError` when a bridged host's home segment cannot be
+    resolved from the spec alone.
+    """
+    segment_names: list[str] = [DEFAULT_SEGMENT]
+    links: list[tuple[str, str, int]] = []
+    home_of: dict[str, object] = {}
+    bridge_groups: list[list[str]] = []
+
+    for element in spec.elements:
+        if isinstance(element, SegmentSpec):
+            segment_names.append(element.name)
+            if element.link_to is not None:
+                latency = (
+                    element.link_latency_us
+                    if element.link_latency_us is not None
+                    else DEFAULT_LINK_LATENCY_US
+                )
+                links.append((element.link_to, element.name, latency))
+        elif isinstance(element, HostSpec):
+            home_of[element.name] = element.segment
+        elif isinstance(element, BridgeSpec):
+            home = home_of.get(element.host, None)
+            if home is not None and not isinstance(home, str):
+                raise SpecError(
+                    f"spec {spec.name!r}: cannot partition — bridged host "
+                    f"{element.host!r} uses a placement resolver for its "
+                    "home segment"
+                )
+            bridge_groups.append([home or DEFAULT_SEGMENT, *element.segments])
+
+    pmap = compute_partition_map(segment_names, bridge_groups, links)
+
+    hosts_of: dict[int, list[str]] = {}
+    for host, home in home_of.items():
+        if home is None or isinstance(home, str):
+            pid = pmap.pid_of.get(home or DEFAULT_SEGMENT)
+            if pid is not None:
+                hosts_of.setdefault(pid, []).append(host)
+    return pmap, hosts_of
+
+
+__all__ = ["spec_partition_map", "DEFAULT_SEGMENT"]

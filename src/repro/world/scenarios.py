@@ -43,6 +43,7 @@ from .spec import (
     JiniItem,
     JiniListener,
     JiniRegistrar,
+    Ping,
     Probe,
     RingOwnerLeaf,
     Run,
@@ -990,6 +991,118 @@ def district_sweep_spec(
     )
 
 
+# -- District grid (the partitioned engine's workload) -----------------------------
+
+
+def district_grid_spec(
+    districts: int = 4,
+    leaves_per_district: int = 3,
+    nodes: int = 0,
+    chatter_per_leaf: int = 2,
+    chatter_period_us: int = 300_000,
+    ping_period_us: int = 150_000,
+    ping_payload: int = 96,
+    link_latency_us: int = 30_000,
+    warmup_us: int = 500_000,
+    run_us: int = 3_000_000,
+) -> WorldSpec:
+    """A world that actually *has* districts: chained backbones that are
+    never bridged, so each one (plus its leaves) is its own partition.
+
+    The metro/media worlds collapse to a single district — their
+    inter-district gateways are multi-homed bridges, which is exactly what
+    fuses segments.  Here the backbones touch only through router links
+    (latency ``link_latency_us``, which becomes the conservative
+    lookahead), intra-district load is native SLP chatter against each
+    leaf's own service, and cross-district load is a ring of plain-UDP
+    ping flows, including the wrap flow that transits every intermediate
+    district.  ``partitioned=True`` freezes the district map on the
+    single-threaded engine too, keeping the two engines bit-identical.
+
+    Every segment carries an explicit ``seed_offset`` so no latency model
+    is shared across districts: a shard draws jitter only from its own
+    events and the streams stay identical under any engine.
+    """
+    if districts < 1 or leaves_per_district < 1:
+        raise ValueError("district_grid needs at least one district and leaf")
+    _guard_metro_shape("district_grid", districts, leaves_per_district)
+    backbones = ["lan0"]
+    elements: list = []
+    for d in range(1, districts):
+        name = f"grid{d}"
+        elements.append(
+            SegmentSpec(
+                name, subnet=f"10.{200 + d}", seed_offset=10 + d,
+                link_to=backbones[d - 1], link_latency_us=link_latency_us,
+            )
+        )
+        backbones.append(name)
+    for d, backbone in enumerate(backbones):
+        for l in range(leaves_per_district):
+            leaf = f"g{d}l{l}"
+            type_name = f"grid{d}t{l}"
+            elements += [
+                SegmentSpec(
+                    leaf,
+                    subnet=f"10.{d * leaves_per_district + l + 1}",
+                    seed_offset=100 * d + l + 20,
+                    link_to=backbone,
+                ),
+                HostSpec(f"gw-{leaf}", segment=leaf),
+                BridgeSpec(f"gw-{leaf}", (backbone,)),
+                HostSpec(f"svc-{leaf}", segment=leaf),
+                SlpService(
+                    host=f"svc-{leaf}",
+                    registrations=(
+                        SlpServiceReg(
+                            url=f"service:{type_name}://{{address}}",
+                            service_type=f"service:{type_name}",
+                        ),
+                    ),
+                ),
+                # Multicast never leaves a segment, so each leaf's chatter
+                # searches only the service registered on that same leaf.
+                Chatter((leaf,), (type_name,), chatter_per_leaf, chatter_period_us),
+            ]
+    for d in range(districts):
+        if districts < 2:
+            break
+        dst_district = (d + 1) % districts
+        elements += [
+            HostSpec(f"ping-src-{d}", segment=backbones[d]),
+            HostSpec(f"ping-dst-{d}", segment=backbones[dst_district]),
+            Ping(
+                f"ping-src-{d}", f"ping-dst-{d}", ping_period_us,
+                payload_bytes=ping_payload,
+                start_delay_us=100_000 + 10_000 * d,
+            ),
+        ]
+    workload: list = [
+        Fill(nodes),
+        Run(warmup_us),
+        # Headline: an intra-district query on district 0's first leaf —
+        # native SLP, so it must be untouched by the engine's sharding.
+        Probe(
+            "local", "service:grid0t0", segment="g0l0",
+            node_name="probe-local", headline=True,
+        ),
+        Run(run_us),
+        Emit("districts", districts),
+        Collect("node_count", key="total_nodes"),
+        Collect("ping"),
+        Collect("chatter"),
+    ]
+    return WorldSpec(
+        name="district_grid",
+        description="Unbridged chained backbones (one district each) under "
+        "leaf-local SLP chatter and a cross-district UDP ping ring.",
+        subnet="10.200",
+        partitioned=True,
+        elements=tuple(elements),
+        workload=tuple(workload),
+    )
+
+
 #: scenario name -> parameterized spec builder.
 SCENARIO_SPECS: dict[str, Callable[..., WorldSpec]] = {
     "native_slp": native_slp_spec,
@@ -1009,6 +1122,7 @@ SCENARIO_SPECS: dict[str, Callable[..., WorldSpec]] = {
     "media_city": media_city_spec,
     "churn_backbone": churn_backbone_spec,
     "district_sweep": district_sweep_spec,
+    "district_grid": district_grid_spec,
 }
 
 

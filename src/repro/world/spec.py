@@ -110,6 +110,29 @@ class Fill:
     total_nodes: int
 
 
+@dataclass(frozen=True)
+class Ping:
+    """A standing unicast stream: ``src_host`` periodically sends a fixed
+    payload to a UDP sink bound on ``dst_host``.
+
+    This is the district-crossing load generator for the partitioned
+    engine's worlds (``district_grid``): plain UDP with no protocol on
+    top, so a flow between districts exercises exactly the conservative
+    cross-frame path.  Per-flow counters (``sent``/``received``) aggregate
+    under ``group`` (see ``Collect("ping")``).  Give each flow its own
+    ``dst_host`` — sinks sharing a node and port would each count every
+    arriving frame.
+    """
+
+    src_host: str
+    dst_host: str
+    period_us: int
+    payload_bytes: int = 64
+    port: int = 4999
+    start_delay_us: int = 100_000
+    group: str = "ping"
+
+
 # -- applications -----------------------------------------------------------
 #
 # Each app spec may be nested in a HostSpec's ``apps`` (host implied) or
@@ -444,7 +467,7 @@ WORKLOAD_STEPS = (
 )
 
 #: Everything legal in WorldSpec.elements.
-ELEMENT_SPECS = (SegmentSpec, HostSpec, BridgeSpec, FleetSpec, Fill) + APP_SPECS + (
+ELEMENT_SPECS = (SegmentSpec, HostSpec, BridgeSpec, FleetSpec, Fill, Ping) + APP_SPECS + (
     Chatter,
     CpChatter,
 )
@@ -465,6 +488,13 @@ class WorldSpec:
     subnet: Optional[str] = None
     capture: bool = False
     parse_once: bool = True
+    #: Declares this world district-partitionable: ``World.build`` freezes
+    #: the spec's partition map even under the single-threaded engine, so
+    #: cross-district delivery takes the deterministic (jitter-free) path
+    #: in *every* backend and single<->partitioned runs stay bit-identical.
+    #: Leave False for worlds that never run partitioned — frozen maps
+    #: change cross-district delay draws, which would shift their goldens.
+    partitioned: bool = False
 
     # -- validation ---------------------------------------------------------
 
@@ -562,6 +592,12 @@ class WorldSpec:
             elif isinstance(element, Fill):
                 if element.total_nodes < 0:
                     problems.append(f"{where}: negative fill")
+            elif isinstance(element, Ping):
+                for role, host in (("src", element.src_host), ("dst", element.dst_host)):
+                    if host not in hosts:
+                        problems.append(f"{where}: ping {role} host {host!r} unknown")
+                if element.period_us <= 0 or element.payload_bytes < 0:
+                    problems.append(f"{where}: bad ping sizing")
             elif isinstance(element, (Chatter, CpChatter)):
                 self._check_load_step(element, segments, where, problems)
             elif isinstance(element, APP_SPECS):
@@ -736,6 +772,7 @@ __all__ = [
     "BridgeSpec",
     "FleetSpec",
     "Fill",
+    "Ping",
     "RingOwnerLeaf",
     "SlpClient",
     "SlpService",

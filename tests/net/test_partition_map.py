@@ -1,0 +1,180 @@
+"""District computation and the partitioned engine's topology guards.
+
+The partition map is the contract everything else leans on: districts are
+the connected components of the segment graph under *bridges* (multi-homed
+nodes), while router links are latency-bearing cut edges that keep
+districts separate — and whose minimum latency becomes the conservative
+lookahead.  These tests pin the union-find, the live-network derivation,
+and every mutation guard the frozen map imposes on a sharded run.
+"""
+
+import pytest
+
+from repro.net import Endpoint, Network
+from repro.net.errors import NetworkError
+from repro.net.parallel import ShardedScheduler
+from repro.net.partition import compute_partition_map, network_partition_map
+
+
+class TestComputePartitionMap:
+    def test_isolated_segments_are_their_own_districts(self):
+        pmap = compute_partition_map(["lan0", "a", "b"], [], [])
+        assert pmap.count == 3
+        assert pmap.pid_of == {"lan0": 0, "a": 1, "b": 2}
+        assert pmap.lookahead_us is None
+        assert list(pmap.cross_links) == []
+
+    def test_bridges_merge_links_do_not(self):
+        pmap = compute_partition_map(
+            ["lan0", "leaf", "far"],
+            [["lan0", "leaf"]],
+            [("lan0", "far", 40_000)],
+        )
+        assert pmap.count == 2
+        assert pmap.pid_of["leaf"] == pmap.pid_of["lan0"] == 0
+        assert pmap.pid_of["far"] == 1
+        assert pmap.lookahead_us == 40_000
+
+    def test_lookahead_is_min_cross_latency_intra_links_ignored(self):
+        pmap = compute_partition_map(
+            ["lan0", "leaf", "b", "c"],
+            [["lan0", "leaf"]],
+            [
+                ("lan0", "leaf", 100),      # intra-district: must not count
+                ("lan0", "b", 50_000),
+                ("b", "c", 20_000),
+            ],
+        )
+        assert pmap.count == 3
+        assert pmap.lookahead_us == 20_000
+        assert ("lan0", "leaf", 100) not in pmap.cross_links
+
+    def test_numbering_follows_declaration_order(self):
+        pmap = compute_partition_map(
+            ["lan0", "z", "a"], [], [("lan0", "z", 1_000), ("z", "a", 1_000)]
+        )
+        assert pmap.pid_of == {"lan0": 0, "z": 1, "a": 2}
+
+    def test_transitive_bridge_chain_is_one_district(self):
+        pmap = compute_partition_map(
+            ["lan0", "a", "b", "c"], [["lan0", "a"], ["a", "b"], ["b", "c"]], []
+        )
+        assert pmap.count == 1
+
+
+class TestNetworkPartitionMap:
+    def test_live_network_matches_declared_topology(self):
+        net = Network()
+        leaf = net.add_segment("leaf")
+        far = net.add_segment("far")
+        gw = net.add_node("gw")
+        net.bridge(gw, leaf)
+        net.link(net.default_segment, far, latency_us=25_000)
+        pmap = network_partition_map(net)
+        assert pmap.count == 2
+        assert pmap.pid_of == {"lan0": 0, "leaf": 0, "far": 1}
+        assert pmap.lookahead_us == 25_000
+
+
+def _sharded_net(latency_us: int = 10_000):
+    """A two-district network bound to the partitioned engine."""
+    pmap = compute_partition_map(
+        ["lan0", "east"], [], [("lan0", "east", latency_us)]
+    )
+    engine = ShardedScheduler(pmap)
+    net = Network(scheduler=engine)
+    net.add_segment("east")
+    net.link(net.default_segment, "east", latency_us=latency_us)
+    net.attach_engine(engine)
+    return net, engine
+
+
+class TestEngineGuards:
+    def test_new_segment_outside_frozen_map_rejected(self):
+        net, _ = _sharded_net()
+        with pytest.raises(NetworkError, match="frozen partition map"):
+            net.add_segment("surprise")
+
+    def test_cross_link_faster_than_lookahead_rejected(self):
+        net, _ = _sharded_net(latency_us=10_000)
+        with pytest.raises(NetworkError, match="lookahead"):
+            net.link(net.default_segment, "east", latency_us=500)
+
+    def test_cross_district_bridge_rejected(self):
+        net, _ = _sharded_net()
+        gw = net.add_node("gw")
+        with pytest.raises(NetworkError, match="merge partitions"):
+            net.bridge(gw, "east")
+
+    def test_reattach_to_another_district_rejected(self):
+        net, engine = _sharded_net()
+        node = net.add_node("roamer")
+        # Give the node a timer so its district is pinned to shard 0.
+        net.scheduler_for(node).schedule(1_000, lambda: None)
+        net.detach_node(node)
+        with pytest.raises(NetworkError, match="district"):
+            net.reattach_node(node, segments=["east"])
+        # Rejoining its own district is fine.
+        net.reattach_node(node, segments=[net.default_segment])
+        assert node.segments == [net.default_segment]
+
+    def test_loss_model_refused(self):
+        pmap = compute_partition_map(["lan0"], [], [])
+        engine = ShardedScheduler(pmap)
+
+        class AlwaysDrop:
+            def should_drop(self):
+                return True
+
+        net = Network(scheduler=engine, loss=AlwaysDrop())
+        with pytest.raises(NetworkError, match="loss model"):
+            net.attach_engine(engine)
+
+    def test_cross_district_tcp_refused(self):
+        from repro.net.errors import ConnectionRefusedError as TcpRefused
+
+        net, _ = _sharded_net()
+        server = net.add_node("server", segment="east")
+        client = net.add_node("client")
+        server.tcp.listen(9000, lambda conn: None)
+        with pytest.raises(TcpRefused, match="districts"):
+            client.tcp.connect(Endpoint(server.address, 9000), lambda conn: None)
+        net.scheduler.run_until_idle()
+
+
+class TestShardedRun:
+    def test_cross_district_datagram_arrives_with_deterministic_delay(self):
+        net, engine = _sharded_net(latency_us=10_000)
+        src = net.add_node("src")
+        dst = net.add_node("dst", segment="east")
+        got = []
+        dst.udp.socket().bind(5000).on_datagram(
+            lambda dg: got.append((dg.payload, engine.now_us))
+        )
+        tx = src.udp.socket()
+        net.scheduler_for(src).schedule(
+            1_000, lambda: tx.sendto(b"hi", Endpoint(dst.address, 5000))
+        )
+        net.scheduler.run_until_idle()
+        assert len(got) == 1
+        assert got[0][0] == b"hi"
+        # One barrier at least, and both shards saw work.
+        assert engine.windows >= 1
+        by_pid = engine.events_by_partition()
+        assert len(by_pid) == 2 and all(n >= 1 for n in by_pid)
+        assert engine.events_fired == sum(by_pid)
+
+    def test_detached_destination_counts_unrouted_not_crash(self):
+        net, engine = _sharded_net(latency_us=10_000)
+        src = net.add_node("src")
+        dst = net.add_node("dst", segment="east")
+        dst.udp.socket().bind(5000).on_datagram(lambda dg: None)
+        tx = src.udp.socket()
+        net.scheduler_for(src).schedule(
+            1_000, lambda: tx.sendto(b"gone?", Endpoint(dst.address, 5000))
+        )
+        # Detach the destination before the frame can cross the barrier.
+        net.scheduler_for(dst).schedule(2_000, lambda: net.detach_node(dst))
+        before = net.unrouted
+        net.scheduler.run_until_idle()
+        assert net.unrouted == before + 1

@@ -229,3 +229,110 @@ def test_reschedule_of_fired_handle_schedules_fresh():
     assert sched.pending == 0
     assert sched._dead == 0
     assert not new_handle.cancelled
+
+
+def test_reschedule_walks_near_far_overflow_and_back():
+    """One handle re-armed through every wheel level fires exactly once,
+    at the final re-arm time, with clean counters."""
+    sched = Scheduler()
+    fired = []
+    handle = sched.schedule(50_000, lambda: fired.append(sched.now_us))  # near
+    handle = sched.reschedule(handle, 5_000_000)        # far wheel
+    handle = sched.reschedule(handle, 500_000_000)      # overflow heap
+    handle = sched.reschedule(handle, 1_000)            # back to near
+    assert sched.pending == 1
+    sched.run_until_idle()
+    assert fired == [1_000]
+    assert sched.pending == 0
+    assert sched._dead == 0
+
+
+def test_reschedule_far_entry_after_time_advanced():
+    """Re-arming an entry parked in the far wheel while the clock sits
+    mid-run lands it relative to *now*, not relative to its old slot."""
+    sched = Scheduler()
+    fired = []
+    handle = sched.schedule(5_000_000, lambda: fired.append(sched.now_us))
+    sched.run_until(2_000_000)
+    sched.reschedule(handle, 10_000)
+    sched.run_until_idle()
+    assert fired == [2_010_000]
+
+
+def test_cancel_after_fire_from_far_and_overflow_levels():
+    """The cancel-after-fire no-op holds for entries that lived in the far
+    wheel and the overflow heap, not just the ready/near path."""
+    sched = Scheduler()
+    handles = [
+        sched.schedule(5_000_000, lambda: None),     # far wheel
+        sched.schedule(500_000_000, lambda: None),   # overflow heap
+    ]
+    sched.run_until_idle()
+    assert sched.pending == 0
+    for handle in handles:
+        handle.cancel()
+        handle.cancel()
+    assert sched.pending == 0
+    assert sched._dead == 0
+
+
+def test_seeded_random_ops_match_heap_oracle():
+    """Randomized schedule/cancel/reschedule churn across all wheel levels
+    fires in exactly the (time, seq) order a plain sorted oracle predicts.
+
+    The oracle mirrors the scheduler's contract: every schedule *and*
+    every reschedule consumes one fresh sequence number; cancelling or
+    re-arming an already-fired handle schedules fresh / no-ops.
+    """
+    import random
+
+    rng = random.Random(0xC0FFEE)
+    sched = Scheduler()
+    fired: list = []
+    oracle_fired: list = []
+    live = {}    # key -> handle (pending or already fired)
+    oracle = {}  # key -> (time_us, seq), pending only
+    seq = 0
+    now = 0
+    next_key = 0
+
+    def oracle_run_until(t):
+        due = sorted(
+            ((time_us, s, key) for key, (time_us, s) in oracle.items() if time_us <= t)
+        )
+        for _, _, key in due:
+            oracle_fired.append(key)
+            del oracle[key]
+
+    for _ in range(40):
+        for _ in range(rng.randrange(1, 25)):
+            delay = rng.choice(
+                (
+                    rng.randrange(0, 1_000),          # ready / same granule
+                    rng.randrange(0, 300_000),        # near wheel
+                    rng.randrange(0, 70_000_000),     # far wheel
+                    rng.randrange(0, 600_000_000),    # overflow heap
+                )
+            )
+            key = next_key
+            next_key += 1
+            live[key] = sched.schedule(delay, lambda k=key: fired.append(k))
+            oracle[key] = (now + delay, seq)
+            seq += 1
+        for key in rng.sample(sorted(live), k=min(len(live), rng.randrange(0, 6))):
+            live.pop(key).cancel()   # no-op when the event already fired
+            oracle.pop(key, None)
+        for key in rng.sample(sorted(live), k=min(len(live), rng.randrange(0, 6))):
+            delay = rng.randrange(0, 100_000_000)
+            live[key] = sched.reschedule(live[key], delay)
+            oracle.pop(key, None)    # fired handles reschedule fresh
+            oracle[key] = (now + delay, seq)
+            seq += 1
+        now += rng.randrange(0, 50_000_000)
+        sched.run_until(now)
+        oracle_run_until(now)
+
+    sched.run_until_idle()
+    oracle_run_until(max((t for t, _ in oracle.values()), default=now))
+    assert fired == oracle_fired
+    assert sched.pending == 0

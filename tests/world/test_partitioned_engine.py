@@ -1,0 +1,183 @@
+"""The partitioned engine vs the single-threaded oracle, end to end.
+
+The single wheel is the golden reference: for every scenario the
+district-sharded engine (and the forked multiprocess backend on top of
+it) must fire the identical virtual-time schedule and report identical
+measurements.  These tests pin that contract on the catalog's scale
+worlds (which all collapse to one district — the engine must not perturb
+them) and on ``district_grid``, the genuinely multi-district world, where
+conservative-lookahead windows and cross-district frame batches actually
+engage.
+"""
+
+import itertools
+
+import pytest
+
+import repro.core.session as session_module
+from repro.world import SpecError, World, run_world, run_world_mp, spec_partition_map
+from repro.world.engine import run_world_partitioned
+from repro.world.scenarios import (
+    churn_backbone_spec,
+    district_grid_spec,
+    media_city_spec,
+    metro_backbone_spec,
+)
+
+#: Small-scale parameters (mirroring SMALL_SCALE_OVERRIDES) so tier-1 stays fast.
+SCALE = {
+    "metro_backbone": (
+        metro_backbone_spec,
+        {"districts": 2, "leaves_per_district": 3, "nodes": 300,
+         "chatter_per_leaf": 2, "run_us": 2_500_000},
+    ),
+    "media_city": (
+        media_city_spec,
+        {"districts": 2, "leaves_per_district": 3, "nodes": 250,
+         "devices_per_leaf": 3, "cp_per_leaf": 2, "run_us": 2_000_000},
+    ),
+    "churn_backbone": (
+        churn_backbone_spec,
+        {"members": 3, "nodes": 80, "service_types": 2, "churn_cycles": 2},
+    ),
+    "district_grid": (
+        district_grid_spec,
+        {"districts": 3, "leaves_per_district": 2, "run_us": 2_000_000},
+    ),
+}
+
+
+def _run(spec, seed, engine):
+    """One engine run with the process-global session counter reset, so
+    both engines mint identical wire payloads (see test_parity._run)."""
+    session_module._session_ids = itertools.count(1)
+    return run_world(spec, seed=seed, engine=engine)
+
+
+def _signature(outcome):
+    return {
+        "events_fired": outcome.world.scheduler.events_fired,
+        "latency_us": outcome.latency_us,
+        "results": outcome.results,
+        "extras": outcome.extras,
+        "nodes": len(outcome.world.nodes),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(SCALE))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_partitioned_engine_matches_single_oracle(name, seed):
+    builder, params = SCALE[name]
+    spec = builder(**params)
+    single = _run(spec, seed, "single")
+    sharded = _run(spec, seed, "partitioned")
+    assert _signature(sharded) == _signature(single)
+
+
+def test_district_grid_actually_shards():
+    spec = district_grid_spec(districts=3, leaves_per_district=2)
+    pmap, hosts_of = spec_partition_map(spec)
+    assert pmap.count == 3
+    assert pmap.lookahead_us == 30_000
+    # Every district got hosts, and the map renders.
+    assert set(hosts_of) == {0, 1, 2}
+    assert "lookahead" in pmap.describe(hosts_of)
+    world = World.build(spec, engine="partitioned")
+    engine = world.net.engine
+    world.run_workload()
+    assert engine.windows > 10
+    by_pid = engine.events_by_partition()
+    assert len(by_pid) == 3 and all(n > 50 for n in by_pid)
+
+
+def test_catalog_scale_worlds_collapse_to_one_district():
+    for name in ("metro_backbone", "media_city", "churn_backbone"):
+        builder, params = SCALE[name]
+        pmap, _ = spec_partition_map(builder(**params))
+        assert pmap.count == 1, f"{name} unexpectedly multi-district"
+
+
+def test_multiprocess_backend_matches_inline():
+    spec = district_grid_spec(districts=3, leaves_per_district=2,
+                              run_us=2_000_000)
+    session_module._session_ids = itertools.count(1)
+    inline = run_world_partitioned(spec, seed=0)
+    session_module._session_ids = itertools.count(1)
+    mp = run_world_mp(spec, seed=0)
+    assert mp["backend"] == "multiprocess"
+    assert mp["processes"] == 3
+    for key in ("partitions", "lookahead_us", "events_fired",
+                "events_by_partition", "windows", "unrouted", "extras",
+                "latency_us", "results"):
+        assert mp[key] == inline[key], key
+    assert mp["extras"]["ping_received"] > 0
+    assert mp["extras"]["chatter_found_rate"] > 0.8
+
+
+def test_mp_driver_falls_back_inline_for_single_district():
+    builder, params = SCALE["churn_backbone"]
+    session_module._session_ids = itertools.count(1)
+    result = run_world_mp(builder(**params), seed=0)
+    assert result["backend"] == "inline"
+    assert result["partitions"] == 1
+
+
+def test_churn_under_partitioned_engine_matches_single():
+    """Detach/reattach cycles (fleet churn) with the engine bound: the
+    reattach path must restore per-partition placement and caches, and
+    the run must stay bit-identical to the single wheel's."""
+    builder, params = SCALE["churn_backbone"]
+    spec = builder(**params)
+    single = _run(spec, 0, "single")
+    sharded = _run(spec, 0, "partitioned")
+    assert sharded.extras["churn_rejoins"] == single.extras["churn_rejoins"] > 0
+    assert _signature(sharded) == _signature(single)
+
+
+def test_partitioned_spec_freezes_map_on_single_engine_too():
+    spec = district_grid_spec(districts=3, leaves_per_district=2)
+    assert spec.partitioned
+    world = World.build(spec, engine="single")
+    assert world.engine_kind == "single"
+    assert world.net.engine is None
+    assert world.net.partition_map is not None
+    assert world.net.partition_map.count == 3
+
+
+def test_bridged_resolver_host_is_a_spec_error():
+    from repro.world import BridgeSpec, HostSpec, RingOwnerLeaf, SegmentSpec, WorldSpec
+
+    spec = WorldSpec(
+        name="bad",
+        elements=(
+            SegmentSpec("leaf"),
+            HostSpec("gw", segment=RingOwnerLeaf("fleet", "svc")),
+            BridgeSpec("gw", ("leaf",)),
+        ),
+    )
+    with pytest.raises(SpecError, match="placement resolver"):
+        spec_partition_map(spec)
+
+
+def test_ping_spec_validation():
+    from repro.world import HostSpec, Ping, WorldSpec
+
+    bad = WorldSpec(
+        name="bad",
+        elements=(HostSpec("a"), Ping("a", "nowhere", 1_000)),
+    )
+    assert any("nowhere" in p for p in bad.problems())
+    zero = WorldSpec(
+        name="bad2",
+        elements=(HostSpec("a"), HostSpec("b"), Ping("a", "b", 0)),
+    )
+    assert zero.problems()
+
+
+def test_describe_prints_partition_map(capsys):
+    from repro.world.__main__ import main
+
+    assert main(["prog", "describe", "district_grid", "districts=3"]) == 0
+    out = capsys.readouterr().out
+    assert "partitions: 3 (lookahead 30000 us)" in out
+    assert "cross link: lan0 <-> grid1 (30000 us)" in out
