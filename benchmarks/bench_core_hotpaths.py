@@ -17,12 +17,14 @@ three engineered hot paths:
   ``parse_once=False`` so the speedup and the per-protocol
   ``parse_dedup_rate_*`` attribution stay auditable side by side;
 * ``district_grid`` at 20000+ nodes — the genuinely multi-district world
-  (unbridged chained backbones), measured three ways: single-threaded
-  wheel, the district-sharded partitioned engine in-process, and the
-  forked one-process-per-district backend.  The single and partitioned
-  rows are the gated A/B pair; the ``_mp`` row reports the fork backend's
-  wall time for the record (on a single-CPU runner it can only lose —
-  parallel speedup needs cores).
+  (unbridged chained backbones), measured four ways: single-threaded
+  wheel, the district-sharded partitioned engine in-process, the same
+  single-wheel run with the flight recorder on (the ``_traced`` row,
+  whose ``overhead_vs_untraced`` keeps the recording cost auditable),
+  and the forked one-process-per-district backend.  The single and
+  partitioned rows are the gated A/B pair; the ``_mp`` row reports the
+  fork backend's wall time for the record (on a single-CPU runner it can
+  only lose — parallel speedup needs cores).
 
 Results go to ``BENCH_core.json``.  ``--check`` compares the measured
 events/sec against every committed gate (``gate`` plus the ``gates`` list
@@ -225,16 +227,35 @@ def run_district_grid(nodes: int = 20_000) -> dict:
     driver's own wall clock (build + fork + barriers + merge).
     """
     key = f"district_grid_{nodes}"
+    # One unmeasured warm-up at full scale: the tier's first 20k-node
+    # build pays allocator/page-cache costs the later rows don't, which
+    # would otherwise bias the traced-vs-untraced delta below.
+    district_grid(seed=0, nodes=nodes, **DISTRICT_GRID_PARAMS)
     results = {
         key: _measure(
             district_grid, seed=0, nodes=nodes, name=key, runs=2,
             **DISTRICT_GRID_PARAMS,
         ),
-        f"{key}_partitioned": _measure(
-            district_grid, seed=0, nodes=nodes, engine="partitioned", runs=2,
-            name=f"{key}_partitioned", **DISTRICT_GRID_PARAMS,
-        ),
     }
+    # The flight-recorder A/B row: the identical single-wheel run with
+    # metrics + trace recording on, measured back-to-back with the
+    # untraced baseline so host drift doesn't pollute the delta.
+    # ``overhead_vs_untraced`` is the fractional wall-time cost of
+    # recording (the ISSUE budget is <=10%).
+    traced = _measure(
+        district_grid, seed=0, nodes=nodes, record=True, runs=2,
+        **DISTRICT_GRID_PARAMS,
+    )
+    traced["recording"] = True
+    base_wall = results[key]["wall_s"]
+    traced["overhead_vs_untraced"] = (
+        round(traced["wall_s"] / base_wall - 1.0, 4) if base_wall else None
+    )
+    results[f"{key}_traced"] = traced
+    results[f"{key}_partitioned"] = _measure(
+        district_grid, seed=0, nodes=nodes, engine="partitioned", runs=2,
+        name=f"{key}_partitioned", **DISTRICT_GRID_PARAMS,
+    )
     mp = run_world_mp(district_grid_spec(nodes=nodes, **DISTRICT_GRID_PARAMS), seed=0)
     results[f"{key}_mp"] = {
         "wall_s": mp["wall_s"],

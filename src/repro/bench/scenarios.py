@@ -321,13 +321,16 @@ def district_grid(
     seed: int = 0,
     costs: CostModel = PAPER_TESTBED,
     engine: str = "single",
+    record=False,
     **params,
 ) -> ScenarioOutcome:
     """Unbridged chained backbones — the multi-district world the
     partitioned engine shards (``engine="partitioned"`` runs the same
-    spec on district-sharded event loops with conservative lookahead)."""
+    spec on district-sharded event loops with conservative lookahead).
+    ``record=True`` runs with the flight recorder on (the traced A/B
+    row in ``bench_core_hotpaths`` measures its overhead)."""
     return run_world(district_grid_spec(**params), seed=seed, costs=costs,
-                     engine=engine)
+                     engine=engine, record=record)
 
 
 #: Reduced parameters for scenarios whose defaults are sized for the perf

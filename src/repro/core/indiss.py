@@ -21,6 +21,7 @@ internetwork of INDISS gateways.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -131,6 +132,12 @@ class Indiss:
         self.federation = None
         self.detections: list[str] = []
         self._factories = dict(unit_factories or {})
+        #: Flight-recorder state (only written while recording is on):
+        #: the current frame's identity (crc32 of the raw payload — stable
+        #: across forked workers, unlike salted ``hash()``) and this
+        #: node's district, memoized on first use.
+        self._obs_frame: int | None = None
+        self._obs_pid: int | None = None
         #: Application-layer listeners tracing every parsed stream
         #: (paper §2.3: upper layers "trace, in real time, SDP internal
         #: mechanisms").
@@ -225,6 +232,8 @@ class Indiss:
         stream = unit.handle_environment_message(raw, meta)
         if stream is None:
             return
+        if self.node.network.obs.on:
+            self._obs_frame = zlib.crc32(raw)
         for listener in self.stream_listeners:
             listener(sdp_id, stream, meta)
         classified = self.classifier.classify(stream, meta)
@@ -239,7 +248,68 @@ class Indiss:
 
     # -- request translation -------------------------------------------------------
 
+    def _obs_district(self) -> int:
+        pid = self._obs_pid
+        if pid is None:
+            pid = self._obs_pid = self.node.network.partition_of_node(self.node)
+        return pid
+
+    def _obs_session_open(self, session: TranslationSession, classified) -> None:
+        """Record the request's entry into the translation pipeline, linked
+        to the triggering frame (crc32) the monitor instants also carry."""
+        obs = self.node.network.obs
+        session.vars["_obs_frame"] = self._obs_frame
+        obs.trace.instant(
+            "session.open",
+            self.node.now_us,
+            self._obs_district(),
+            tid=self.node.name,
+            cat="session",
+            args={
+                "sid": session.session_id,
+                "sdp": session.origin_sdp,
+                "st": classified.service_type,
+                "frame": self._obs_frame,
+            },
+        )
+
+    def _obs_session_done(self, session: TranslationSession, reply_stream) -> None:
+        """The closing span of the lifecycle: open -> reply delivery."""
+        obs = self.node.network.obs
+        now = self.node.now_us
+        if session.answered_from_cache:
+            outcome = "cache"
+        elif stream_has_result(reply_stream):
+            outcome = "translated"
+        else:
+            outcome = "silent"
+        duration = now - session.created_at_us
+        policy = getattr(self.policy, "name", "")
+        obs.trace.span(
+            "session",
+            session.created_at_us,
+            duration,
+            self._obs_district(),
+            tid=self.node.name,
+            cat="session",
+            args={
+                "sid": session.session_id,
+                "sdp": session.origin_sdp,
+                "st": str(session.vars.get("service_type", "")),
+                "frame": session.vars.get("_obs_frame"),
+                "outcome": outcome,
+                "policy": policy,
+                "steps": len(session.steps),
+            },
+        )
+        metrics = obs.metrics
+        metrics.histogram("core.session.latency_us", sdp=session.origin_sdp).observe(duration)
+        metrics.counter(
+            "core.session.outcome", sdp=session.origin_sdp, outcome=outcome
+        ).inc()
+
     def _handle_request(self, origin_sdp: str, classified: ClassifiedStream) -> None:
+        obs = self.node.network.obs
         requester = classified.meta.source if classified.meta is not None else None
         key = self.session_manager.dedup_key(
             origin_sdp,
@@ -249,6 +319,8 @@ class Indiss:
             classified.xid,
         )
         if self.session_manager.is_duplicate(key):
+            if obs.on:
+                obs.metrics.counter("core.dedup.suppressed", sdp=origin_sdp).inc()
             # Service-type-scoped dedup (gateway-forward) collapses
             # *different* requesters asking for the same thing; dropping a
             # second client outright would starve it, since the first
@@ -274,6 +346,8 @@ class Indiss:
                     session.log(
                         "indiss: duplicate request answered from service cache"
                     )
+                    if obs.on:
+                        self._obs_session_open(session, classified)
                     self._answer_from_cache(session, record)
             return
 
@@ -289,6 +363,8 @@ class Indiss:
         session.log(
             f"indiss: {origin_sdp} request for {classified.service_type!r} entered"
         )
+        if obs.on:
+            self._obs_session_open(session, classified)
 
         record = self.policy.cache_answer(self, session)
         if record is not None:
@@ -296,6 +372,25 @@ class Indiss:
             return
 
         targets = self.policy.select_targets(self, session)
+        if obs.on:
+            policy = getattr(self.policy, "name", "")
+            name = "dispatch.forward" if targets else "dispatch.suppressed"
+            obs.trace.instant(
+                name,
+                self.node.now_us,
+                self._obs_district(),
+                tid=self.node.name,
+                cat="dispatch",
+                args={
+                    "sid": session.session_id,
+                    "policy": policy,
+                    "targets": len(targets),
+                },
+            )
+            obs.metrics.counter(
+                "core.dispatch.forwards" if targets else "core.dispatch.suppressed",
+                policy=policy,
+            ).inc()
         if not targets:
             session.complete_with([])
             return
@@ -311,6 +406,16 @@ class Indiss:
         self.session_manager.record_cache_answer(session)
         reply = stream_from_record(record, session.origin_sdp)
         session.log("indiss: answered from service cache")
+        obs = self.node.network.obs
+        if obs.on:
+            obs.trace.instant(
+                "session.cache_answer",
+                self.node.now_us,
+                self._obs_district(),
+                tid=self.node.name,
+                cat="session",
+                args={"sid": session.session_id, "sdp": session.origin_sdp},
+            )
         self.node.schedule(
             self.config.timings.cache_lookup_us,
             lambda: session.complete_with(reply),
@@ -337,6 +442,8 @@ class Indiss:
 
     def _deliver_reply(self, reply_stream: list[Event], session: TranslationSession) -> None:
         self.session_manager.record_completed()
+        if self.node.network.obs.on:
+            self._obs_session_done(session, reply_stream)
         origin_unit = self.units.get(session.origin_sdp)
         if not stream_has_result(reply_stream):
             # Discovery protocols stay silent on fruitless multicast

@@ -10,6 +10,7 @@ layer react to protocols appearing and disappearing.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -116,13 +117,47 @@ class MonitorComponent:
         sighting.bytes += len(datagram.payload)
         if newly_detected and self.on_detected is not None:
             self.on_detected(sdp_id)
+        seeded = False
         if self.on_raw is not None:
             # Monitored frames fan out to every co-segment INDISS instance;
             # force the shared decode memo into existence so the first
             # unit parse is visible to all of them.
             if len(datagram.ensure_memo()):
                 sighting.frames_seeded += 1
+                seeded = True
+        obs = self.node.network.obs
+        if obs.on:
+            self._obs_frame(datagram, sdp_id, now, newly_detected, seeded)
+        if self.on_raw is not None:
             self.on_raw(sdp_id, datagram.payload, NetworkMeta.from_datagram(datagram))
+
+    def _obs_frame(
+        self, datagram: Datagram, sdp_id: str, now: int,
+        newly_detected: bool, seeded: bool,
+    ) -> None:
+        """Flight-recorder instants for one monitored frame.
+
+        ``frame`` is the payload crc32 — the identity that links this
+        detection to the translation session the frame opens downstream.
+        """
+        obs = self.node.network.obs
+        pid = self.node.network.partition_of_node(self.node)
+        if newly_detected:
+            obs.trace.instant(
+                "monitor.detect", now, pid, tid=self.node.name, cat="monitor",
+                args={"sdp": sdp_id},
+            )
+        obs.trace.instant(
+            "monitor.rx", now, pid, tid=self.node.name, cat="monitor",
+            args={
+                "sdp": sdp_id,
+                "frame": zlib.crc32(datagram.payload),
+                "seeded": seeded,
+            },
+        )
+        obs.metrics.counter("core.monitor.frames", sdp=sdp_id).inc()
+        if seeded:
+            obs.metrics.counter("core.monitor.seeded", sdp=sdp_id).inc()
 
     # -- queries ---------------------------------------------------------------------
 

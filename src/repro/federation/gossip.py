@@ -133,6 +133,10 @@ class CacheGossiper:
         self._wire_cache: dict[tuple[str, str], tuple[float, dict]] = {}
         self._socket = indiss.node.udp.socket().bind(port, reuse=True)
         self._socket.on_datagram(self._on_datagram)
+        #: Virtual time of the latest digest send (flight recorder only):
+        #: a delta arriving back closes a ``gossip.exchange`` span — the
+        #: digest -> delta round duration.
+        self._obs_digest_sent_us: int | None = None
         # Deterministic per-member stagger keeps fleet rounds out of phase.
         offset = ring_hash(member_id) % period_us
         self._task = indiss.node.every(period_us, self.run_round, initial_delay_us=offset)
@@ -151,8 +155,20 @@ class CacheGossiper:
         self.stats.rounds += 1
         peer = peers[self._peer_cursor % len(peers)]
         self._peer_cursor += 1
-        self._send_raw(peer, self._digest_bytes())
+        payload = self._digest_bytes()
+        self._send_raw(peer, payload)
         self.stats.digests_sent += 1
+        obs = self.indiss.node.network.obs
+        if obs.on:
+            now = self.indiss.node.now_us
+            self._obs_digest_sent_us = now
+            obs.trace.instant(
+                "gossip.round", now, self._obs_district(),
+                tid=self.member_id, cat="gossip",
+                args={"peer": peer, "digest_bytes": len(payload)},
+            )
+            obs.metrics.counter("federation.rounds", member=self.member_id).inc()
+            obs.metrics.histogram("federation.digest_bytes").observe(len(payload))
 
     def _digest_bytes(self) -> bytes:
         """The serialized digest, rebuilt only when the cache changed.
@@ -184,10 +200,19 @@ class CacheGossiper:
         self.stats.digest_encodes += 1
         return payload
 
+    def _obs_district(self) -> int:
+        node = self.indiss.node
+        return node.network.partition_of_node(node)
+
     def _send(self, peer_address: str, message: dict) -> None:
-        self._send_raw(
-            peer_address, json.dumps(message, sort_keys=True).encode("utf-8")
-        )
+        payload = json.dumps(message, sort_keys=True).encode("utf-8")
+        obs = self.indiss.node.network.obs
+        if obs.on and message.get("kind") == "delta":
+            obs.metrics.histogram("federation.delta_bytes").observe(len(payload))
+            obs.metrics.counter(
+                "federation.delta_records", member=self.member_id
+            ).inc(len(message.get("records", ())))
+        self._send_raw(peer_address, payload)
 
     def _send_raw(self, peer_address: str, payload: bytes) -> None:
         self._socket.sendto(payload, Endpoint(peer_address, self.port))
@@ -288,6 +313,18 @@ class CacheGossiper:
 
     def _handle_delta(self, message: dict) -> None:
         self.stats.deltas_received += 1
+        obs = self.indiss.node.network.obs
+        if obs.on:
+            now_us = self.indiss.node.now_us
+            sent = self._obs_digest_sent_us
+            if sent is not None and now_us >= sent:
+                # The digest -> delta round trip this member initiated.
+                obs.trace.span(
+                    "gossip.exchange", sent, now_us - sent,
+                    self._obs_district(), tid=self.member_id, cat="gossip",
+                    args={"peer": str(message.get("from", ""))},
+                )
+                self._obs_digest_sent_us = None
         if "tombstones" in message:
             self._apply_tombstones(message["tombstones"])
         now = self.indiss.node.now_us
@@ -312,6 +349,15 @@ class CacheGossiper:
                 continue
             if self.indiss.cache.merge(record, expires_at_us):
                 self.stats.records_applied += 1
+                if obs.on:
+                    # Last virtual time gossip changed this member's state:
+                    # the convergence-to-quiescence marker the report reads.
+                    obs.metrics.counter(
+                        "federation.records_applied", member=self.member_id
+                    ).inc()
+                    obs.metrics.gauge(
+                        "federation.quiescence_us", member=self.member_id
+                    ).set(now)
             else:
                 self.stats.records_ignored += 1
 

@@ -36,6 +36,7 @@ from .addressing import (
 from .errors import AddressError, NetworkError
 from .latency import LatencyModel, LossModel
 from .node import Node
+from ..obs import NULL_RECORDING
 from .parallel import CROSS_LABEL, CrossFrame
 from .partition import PartitionMap
 from .segment import Bridge, DEFAULT_LINK_LATENCY_US, Link, Router, Segment
@@ -123,6 +124,14 @@ class Network:
         #: Per-district session-id counters (only when the frozen map has
         #: more than one district); see :meth:`session_id_source`.
         self._session_counters: list | None = None
+        #: Instrumentation bundle (:class:`repro.obs.Recording`).  Defaults
+        #: to the shared disabled singleton, so every recording site costs
+        #: one attribute load and a falsy ``obs.on`` check until a builder
+        #: swaps in a live recording (``World.build(record=True)``).
+        self.obs = NULL_RECORDING
+        #: Per-segment (frames, bytes) counter cache for the recorder's
+        #: hottest site; see :meth:`_obs_count_frame`.
+        self._obs_frame_counters: dict = {}
         self.default_segment = self.add_segment(
             self.DEFAULT_SEGMENT, subnet=subnet, latency=self.latency
         )
@@ -521,9 +530,43 @@ class Network:
         else:
             self._deliver_unicast(sender, datagram)
 
+    def _obs_count_frame(self, segment: Segment, nbytes: int) -> None:
+        """Per-segment frame/byte counters (recording enabled only).
+
+        Guarded by district ownership: workload-time sends replay in every
+        forked worker, so only the district that owns the segment counts
+        the frame — which is what makes worker snapshots sum exactly to
+        the single-process totals.
+
+        This is the recorder's hottest site (every frame on every
+        segment), so the ownership check and the labeled-key build run
+        once per segment: the resolved (frames, bytes) counter pair is
+        cached, an unowned segment caches the empty tuple.  Workers clear
+        the cache when they restrict ownership post-fork.
+        """
+        pair = self._obs_frame_counters.get(segment.name)
+        if pair is None:
+            obs = self.obs
+            pmap = self.partition_map
+            pid = pmap.pid_of.get(segment.name, 0) if pmap is not None else 0
+            if obs.owns(pid):
+                metrics = obs.metrics
+                pair = (
+                    metrics.counter("net.segment.frames", segment=segment.name),
+                    metrics.counter("net.segment.bytes", segment=segment.name),
+                )
+            else:
+                pair = ()
+            self._obs_frame_counters[segment.name] = pair
+        if pair:
+            pair[0].inc()
+            pair[1].inc(nbytes)
+
     def _record_on_segment(
         self, segment: Segment, datagram: Datagram, multicast: bool
     ) -> None:
+        if self.obs.on:
+            self._obs_count_frame(segment, len(datagram.payload))
         segment.traffic.record(
             self.scheduler.now_us,
             datagram.destination.port,
@@ -677,6 +720,8 @@ class Network:
         datagram = self._cross_datagram(frame.payload, source, destination)
         final = self.segments.get(frame.final_segment)
         if final is not None:
+            if self.obs.on:
+                self._obs_count_frame(final, len(frame.payload))
             # Books the frame at its (earlier) send time, mirroring what
             # the single-threaded oracle recorded inline.
             final.traffic.record(
@@ -782,10 +827,29 @@ class Network:
 
     def run(self, duration_us: int | None = None) -> None:
         """Run the simulation until idle (or for a bounded window)."""
+        if self.obs.on and self.engine is None:
+            self._obs_sample_wheel()
         if duration_us is None:
             self.scheduler.run_until_idle()
         else:
             self.scheduler.run_until(self.scheduler.now_us + duration_us)
+        if self.obs.on and self.engine is None:
+            self._obs_sample_wheel()
+
+    def _obs_sample_wheel(self) -> None:
+        """Wheel-occupancy gauges for the classic single scheduler.
+
+        Sampled at run boundaries only (the wheel internals stay out of
+        the hot path); the partitioned engine samples its shards at every
+        window barrier instead.
+        """
+        sch = self.scheduler
+        metrics = self.obs.metrics
+        metrics.gauge("net.wheel.pending").set(sch.pending)
+        occ0 = getattr(sch, "_occ0", 0)
+        occ1 = getattr(sch, "_occ1", 0)
+        metrics.gauge("net.wheel.slots_near").set(bin(occ0).count("1"))
+        metrics.gauge("net.wheel.slots_far").set(bin(occ1).count("1"))
 
 
 __all__ = ["Network", "TraceRecord", "LOOPBACK"]

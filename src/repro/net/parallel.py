@@ -121,6 +121,15 @@ class ShardedScheduler:
         """Restrict this engine to one partition (multiprocess worker)."""
         self.local_pids = (pid,)
         self._exchange = exchange
+        if self.network is not None:
+            # A worker replays the full workload script, so recording sites
+            # that can fire outside the event loop must know which
+            # districts' measurements are this process's to make: restrict
+            # the recording to the worker's own partitions.
+            self.network.obs.restrict(self.local_pids)
+            # Ownership changed: drop counter-pair caches resolved under
+            # the parent's (unrestricted) view.
+            self.network._obs_frame_counters.clear()
 
     # -- introspection --------------------------------------------------------
 
@@ -227,6 +236,11 @@ class ShardedScheduler:
         return min(target_us, self._frontier_us + lookahead - 1)
 
     def _run_window(self, edge_us: int) -> None:
+        network = self.network
+        obs = network.obs if network is not None else None
+        if obs is not None and obs.on:
+            self._run_window_traced(edge_us, obs)
+            return
         for pid in self.local_pids:
             shard = self.shards[pid]
             self._current = shard
@@ -234,6 +248,55 @@ class ShardedScheduler:
                 shard.run_until(edge_us)
             finally:
                 self._current = None
+        self.windows += 1
+
+    def _run_window_traced(self, edge_us: int, obs) -> None:
+        """One window with the flight recorder on: per-district timelines.
+
+        Replays :meth:`Scheduler.run_until`'s exact loop (peek/step until
+        the edge, then advance the clock) so the event schedule stays
+        bit-identical to the untraced engine, while tracking the last
+        instant each shard actually fired at — the busy/stall split.  Per
+        district and window this emits an ``engine.window`` span, an
+        ``engine.stall`` span for the idle tail spent waiting on the
+        barrier, and a wheel-occupancy counter sample at the edge.
+        """
+        trace = obs.trace
+        metrics = obs.metrics
+        for pid in self.local_pids:
+            shard = self.shards[pid]
+            self._current = shard
+            start_us = shard._now_us
+            fired_before = shard.events_fired
+            busy_until = start_us
+            try:
+                while True:
+                    head = shard._peek_time()
+                    if head is None or head > edge_us:
+                        break
+                    shard.step()
+                    busy_until = shard._now_us
+                if shard._now_us < edge_us:
+                    shard._now_us = edge_us
+            finally:
+                self._current = None
+            fired = shard.events_fired - fired_before
+            trace.span(
+                "engine.window", start_us, edge_us - start_us, pid,
+                cat="engine", args={"events": fired, "window": self.windows},
+            )
+            if busy_until < edge_us and len(self.shards) > 1:
+                trace.span(
+                    "engine.stall", busy_until, edge_us - busy_until, pid,
+                    cat="engine", args={"window": self.windows},
+                )
+            trace.counter(
+                "engine.occupancy", edge_us, pid,
+                values={"pending": shard.pending},
+            )
+            metrics.counter("engine.windows", district=str(pid)).inc()
+            metrics.counter("engine.window_events", district=str(pid)).inc(fired)
+            metrics.gauge("engine.pending", district=str(pid)).set(shard.pending)
         self.windows += 1
 
     def _barrier(self, edge_us: int) -> None:

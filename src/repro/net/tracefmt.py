@@ -11,10 +11,43 @@ from __future__ import annotations
 from .network import Network, TraceRecord
 
 
+#: Registrar unicast op tags (ports are hardcoded here because ``net``
+#: must not import ``sdp``/``federation`` — they import ``net``).
+_JINI_REGISTRAR_OPS = {
+    0x10: "register",
+    0x11: "lookup",
+    0x12: "unregister",
+    0x13: "renew",
+    0x20: "ok",
+    0x21: "items",
+    0x2F: "error",
+}
+
+
 def classify_payload(record: TraceRecord) -> str:
-    """Best-effort protocol tag for one trace record."""
+    """Best-effort protocol tag for one trace record.
+
+    Port-keyed protocols are matched before first-byte heuristics: a
+    Jini announcement also starts with ``\\x02`` (the SLPv2 version
+    byte), so the SLP check must not see port-4160 traffic.
+    """
     payload = record.payload
     port = record.destination.port
+    if port == 4160:  # Jini multicast discovery (jini-announce/jini-request)
+        if payload[:1] == b"\x01":
+            return "Jini request"
+        if payload[:1] == b"\x02":
+            return "Jini announcement"
+        return "Jini discovery"
+    if port == 4161 or record.source.port == 4161:  # registrar unicast ops
+        op = _JINI_REGISTRAR_OPS.get(payload[0] if payload else -1)
+        return f"Jini {op}" if op is not None else "Jini registrar"
+    if port == 4610:  # federation gossip (JSON, sort_keys)
+        if b'"kind": "digest"' in payload:
+            return "Gossip digest"
+        if b'"kind": "delta"' in payload:
+            return "Gossip delta"
+        return "Gossip"
     if payload[:1] == b"\x02":
         return f"SLP(fn={payload[1]})" if len(payload) > 1 else "SLP"
     if payload.startswith(b"M-SEARCH"):
@@ -27,8 +60,6 @@ def classify_payload(record: TraceRecord) -> str:
         return "HTTP response"
     if payload.startswith((b"GET", b"POST", b"SUBSCRIBE", b"UNSUBSCRIBE")):
         return "HTTP request"
-    if port == 4160:
-        return "Jini discovery"
     return record.transport.upper()
 
 

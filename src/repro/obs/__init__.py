@@ -1,0 +1,83 @@
+"""Observability: the flight recorder and the unified metrics registry.
+
+The package is a dependency leaf — nothing here imports the simulator —
+so any layer (``net``, ``core``, ``federation``, ``world``) can record
+into it without import cycles.  The integration contract:
+
+* every :class:`~repro.net.Network` carries an ``obs`` attribute,
+  defaulting to the shared :data:`NULL_RECORDING` (``obs.on`` is False
+  and every instrument is a no-op, so instrumented hot paths cost one
+  attribute load and a falsy branch);
+* ``World.build(..., record=True)`` swaps in a live :class:`Recording`;
+* forked per-district workers call :meth:`Recording.restrict` with
+  their local districts, and recording sites that can run outside the
+  event loop (workload-time sends, replayed in every worker) guard with
+  :meth:`Recording.owns` — which is what makes worker snapshots merge
+  *exactly* into the single-process timeline.
+
+See :mod:`repro.obs.metrics`, :mod:`repro.obs.trace` and
+:mod:`repro.obs.export` for the instrument, span and exporter details.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    LATENCY_BUCKETS_US,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    split_metric_key,
+)
+from .trace import NULL_TRACE, TraceRecorder, chrome_trace, sort_records
+
+
+class Recording:
+    """One run's instrumentation bundle: a registry plus a recorder."""
+
+    def __init__(self, metrics: bool = True, trace: bool = True):
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.trace = TraceRecorder(enabled=trace) if trace else NULL_TRACE
+        self.on = bool(self.metrics.on or self.trace.on)
+        self._owned: frozenset | None = None
+
+    def owns(self, pid: int) -> bool:
+        """Does this process own district ``pid``'s recordings?"""
+        return self._owned is None or pid in self._owned
+
+    def restrict(self, pids) -> None:
+        """Record only for ``pids`` (called by forked per-district workers)."""
+        self._owned = frozenset(pids)
+
+
+class _NullRecording:
+    """The shared default: recording off, every district owned."""
+
+    on = False
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry(enabled=False)
+        self.trace = NULL_TRACE
+
+    def owns(self, pid: int) -> bool:
+        return True
+
+    def restrict(self, pids) -> None:
+        pass
+
+
+NULL_RECORDING = _NullRecording()
+
+
+__all__ = [
+    "LATENCY_BUCKETS_US",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDING",
+    "NULL_TRACE",
+    "Recording",
+    "TraceRecorder",
+    "chrome_trace",
+    "metric_key",
+    "sort_records",
+    "split_metric_key",
+]

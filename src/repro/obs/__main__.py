@@ -1,0 +1,134 @@
+"""``python -m repro.obs`` — read back exported recordings.
+
+Commands:
+
+* ``report [--metrics FILE] [--trace FILE] [--check]`` — parse a metrics
+  JSONL dump and/or a Chrome trace-event JSON file (as written by
+  ``python -m repro.world run <scenario> --trace --metrics``) and print
+  the text summary.  With ``--check`` the command only validates: it
+  exits non-zero when a given file is missing, empty, or malformed —
+  the CI gate for uploaded observability artifacts.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .export import read_chrome_trace, read_metrics_jsonl, text_summary
+from .metrics import metric_key
+
+
+def _snapshot_from_lines(records: list[dict]) -> dict:
+    """Reassemble a snapshot dict from parsed JSONL records."""
+    snapshot: dict = {"global": {}, "counters": {}, "gauges": {}, "histograms": {}}
+    for record in records:
+        kind = record["kind"]
+        if kind == "meta":
+            continue
+        if kind == "global":
+            snapshot["global"][record["name"]] = record["value"]
+            continue
+        key = metric_key(record["name"], record.get("labels") or {})
+        if kind == "counter":
+            snapshot["counters"][key] = record["value"]
+        elif kind == "gauge":
+            snapshot["gauges"][key] = record["value"]
+        elif kind == "histogram":
+            snapshot["histograms"][key] = {
+                "bounds": record["bounds"], "buckets": record["buckets"],
+                "count": record["count"], "sum": record["sum"],
+                "min": record["min"], "max": record["max"],
+            }
+    return snapshot
+
+
+def _trace_records(trace: dict) -> list[dict]:
+    """Recover summary-ready records from exported trace events."""
+    records = []
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") not in ("X", "i", "C"):
+            continue
+        records.append({
+            "ph": event["ph"], "name": event.get("name", ""),
+            "cat": event.get("cat", ""), "ts": event.get("ts", 0),
+            "dur": event.get("dur", 0), "pid": event.get("pid", 0),
+            "tid": event.get("tid", 0), "seq": 0,
+            "args": event.get("args", {}),
+        })
+    return records
+
+
+def cmd_report(metrics_path: str | None, trace_path: str | None,
+               check: bool) -> int:
+    if metrics_path is None and trace_path is None:
+        print("report: give --metrics FILE and/or --trace FILE", file=sys.stderr)
+        return 2
+    snapshot = None
+    records = None
+    try:
+        if metrics_path is not None:
+            lines = read_metrics_jsonl(metrics_path)
+            snapshot = _snapshot_from_lines(lines)
+        if trace_path is not None:
+            records = _trace_records(read_chrome_trace(trace_path))
+            if check and not records:
+                raise ValueError(f"{trace_path}: no trace events")
+    except (OSError, ValueError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 1
+    if check:
+        parts = []
+        if metrics_path is not None:
+            count = sum(1 for r in lines if r["kind"] != "meta")
+            parts.append(f"{metrics_path}: {count} metrics ok")
+        if trace_path is not None:
+            parts.append(f"{trace_path}: {len(records)} events ok")
+        print("; ".join(parts))
+        return 0
+    print(text_summary(snapshot, records, title="repro.obs report"))
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if len(argv) >= 2 else 2
+    if argv[1] != "report":
+        print(f"unknown command {argv[1]!r}; try report", file=sys.stderr)
+        return 2
+    metrics_path = None
+    trace_path = None
+    check = False
+    args = argv[2:]
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--check":
+            check = True
+        elif arg.startswith("--metrics"):
+            if "=" in arg:
+                metrics_path = arg.split("=", 1)[1]
+            else:
+                index += 1
+                if index >= len(args):
+                    print("--metrics needs a path", file=sys.stderr)
+                    return 2
+                metrics_path = args[index]
+        elif arg.startswith("--trace"):
+            if "=" in arg:
+                trace_path = arg.split("=", 1)[1]
+            else:
+                index += 1
+                if index >= len(args):
+                    print("--trace needs a path", file=sys.stderr)
+                    return 2
+                trace_path = args[index]
+        else:
+            print(f"unknown argument {arg!r}", file=sys.stderr)
+            return 2
+        index += 1
+    return cmd_report(metrics_path, trace_path, check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,192 @@
+"""Exporters and readers for recordings.
+
+Three formats:
+
+* **Chrome trace-event JSON** (:func:`write_chrome_trace`) — load the
+  file in https://ui.perfetto.dev to see per-district timelines with
+  window/stall spans, session spans and counter tracks;
+* **metrics JSONL** (:func:`write_metrics_jsonl`) — one self-describing
+  JSON object per line (``kind`` in ``meta``/``counter``/``gauge``/
+  ``histogram``/``global``), the machine-readable dump CI validates;
+* **text summary** (:func:`text_summary`) — the human-readable digest
+  ``python -m repro.obs report`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import Histogram, split_metric_key
+from .trace import chrome_trace, sort_records
+
+
+def metrics_lines(snapshot: dict, meta: dict | None = None) -> list[dict]:
+    """Flatten a snapshot into JSONL-ready records (meta line first)."""
+    lines: list[dict] = []
+    if meta:
+        lines.append({"kind": "meta", **meta})
+    for key, value in snapshot.get("global", {}).items():
+        lines.append({"kind": "global", "name": key, "value": value})
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = split_metric_key(key)
+        lines.append({"kind": "counter", "name": name, "labels": labels,
+                      "value": value})
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = split_metric_key(key)
+        lines.append({"kind": "gauge", "name": name, "labels": labels,
+                      "value": value})
+    for key, payload in snapshot.get("histograms", {}).items():
+        name, labels = split_metric_key(key)
+        hist = Histogram.from_dict(payload)
+        lines.append({
+            "kind": "histogram", "name": name, "labels": labels,
+            "count": hist.count, "sum": hist.sum,
+            "min": hist.min, "max": hist.max,
+            "bounds": list(hist.bounds), "buckets": list(hist.buckets),
+            "p50": hist.percentile(50), "p95": hist.percentile(95),
+            "p99": hist.percentile(99),
+        })
+    return lines
+
+
+def write_metrics_jsonl(path: str, snapshot: dict, meta: dict | None = None) -> int:
+    """Write the JSONL dump; returns the number of metric lines."""
+    lines = metrics_lines(snapshot, meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return len(lines)
+
+
+_METRIC_KINDS = ("meta", "global", "counter", "gauge", "histogram")
+
+
+def read_metrics_jsonl(path: str) -> list[dict]:
+    """Parse and validate a metrics dump.
+
+    Raises ``ValueError`` when the file is empty, a line is not a JSON
+    object, a record has no recognised ``kind``, or no actual metric
+    line (anything beyond ``meta``) is present — the conditions the CI
+    smoke treats as failure.
+    """
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from None
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: not a JSON object")
+            kind = record.get("kind")
+            if kind not in _METRIC_KINDS:
+                raise ValueError(f"{path}:{lineno}: unknown kind {kind!r}")
+            if kind in ("counter", "gauge", "global") and "value" not in record:
+                raise ValueError(f"{path}:{lineno}: {kind} without value")
+            if kind == "histogram" and "buckets" not in record:
+                raise ValueError(f"{path}:{lineno}: histogram without buckets")
+            records.append(record)
+    if not any(r["kind"] != "meta" for r in records):
+        raise ValueError(f"{path}: no metric records")
+    return records
+
+
+def write_chrome_trace(path: str, records, meta: dict | None = None) -> int:
+    """Write the Perfetto-loadable trace JSON; returns the span count."""
+    trace = chrome_trace(records, meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True)
+    return len(records)
+
+
+def read_chrome_trace(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError(f"{path}: not a Chrome trace-event file")
+    return trace
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def text_summary(snapshot: dict | None = None, records=None,
+                 title: str = "") -> str:
+    """Human-readable digest of a snapshot and/or trace records."""
+    lines: list[str] = []
+    if title:
+        lines.append(f"== {title} ==")
+    if snapshot:
+        global_section = snapshot.get("global", {})
+        if global_section:
+            lines.append("-- run stats --")
+            for key in sorted(global_section):
+                lines.append(f"  {key:<40s} {_fmt(global_section[key])}")
+        counters = snapshot.get("counters", {})
+        if counters:
+            lines.append("-- counters --")
+            for key in sorted(counters):
+                lines.append(f"  {key:<40s} {_fmt(counters[key])}")
+        gauges = snapshot.get("gauges", {})
+        if gauges:
+            lines.append("-- gauges --")
+            for key in sorted(gauges):
+                lines.append(f"  {key:<40s} {_fmt(gauges[key])}")
+        histograms = snapshot.get("histograms", {})
+        if histograms:
+            lines.append("-- histograms (us) --")
+            for key in sorted(histograms):
+                hist = Histogram.from_dict(histograms[key])
+                lines.append(
+                    f"  {key:<40s} n={hist.count} p50={hist.percentile(50)}"
+                    f" p95={hist.percentile(95)} p99={hist.percentile(99)}"
+                    f" max={hist.max}"
+                )
+    if records:
+        ordered = sort_records(records)
+        by_district: dict[int, dict] = {}
+        for record in ordered:
+            row = by_district.setdefault(
+                record["pid"],
+                {"spans": 0, "instants": 0, "stall_us": 0, "last_ts": 0},
+            )
+            if record["ph"] == "X":
+                row["spans"] += 1
+                if record["name"] == "engine.stall":
+                    row["stall_us"] += record["dur"]
+            elif record["ph"] == "i":
+                row["instants"] += 1
+            end = record["ts"] + record.get("dur", 0)
+            if end > row["last_ts"]:
+                row["last_ts"] = end
+        lines.append(f"-- trace: {len(ordered)} records --")
+        for pid in sorted(by_district):
+            row = by_district[pid]
+            lines.append(
+                f"  district {pid}: {row['spans']} spans,"
+                f" {row['instants']} instants,"
+                f" stalled {row['stall_us']} us,"
+                f" horizon {row['last_ts']} us"
+            )
+        names: dict[str, int] = {}
+        for record in ordered:
+            names[record["name"]] = names.get(record["name"], 0) + 1
+        for name in sorted(names):
+            lines.append(f"  {name:<40s} {names[name]}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "metrics_lines",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "write_chrome_trace",
+    "read_chrome_trace",
+    "text_summary",
+]

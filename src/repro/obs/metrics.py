@@ -1,0 +1,289 @@
+"""The unified metrics registry: labeled counters, gauges, histograms.
+
+One registry replaces the scatter of ad-hoc counter objects
+(``parse_stats``, ``GossipStats``, ``SessionStats``, per-scenario dicts)
+with a single namespace the exporters understand.  Three instrument
+kinds:
+
+* :class:`Counter` — a monotonically increasing integer;
+* :class:`Gauge` — a point-in-time sample (last write wins);
+* :class:`Histogram` — fixed-bucket distribution with exact count/sum
+  and deterministic bucket-upper-bound percentiles.
+
+Everything is integer/float arithmetic over virtual time — no wall
+clocks, no randomness — so snapshots from forked per-district workers
+merge *exactly*: counters and histogram buckets sum, and a metric only
+ever written by its owning district appears in exactly one worker's
+snapshot.  When the registry is disabled every accessor returns a shared
+no-op instrument, so instrumented hot paths cost one attribute load and
+a falsy branch.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default histogram bounds for latency-in-microseconds distributions.
+#: Upper-inclusive bucket edges (Prometheus ``le`` style); observations
+#: above the last edge land in the overflow bucket.
+LATENCY_BUCKETS_US = (
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+)
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """Canonical string key: ``name`` or ``name{a=1,b=x}`` (labels sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_metric_key(key: str) -> tuple[str, dict]:
+    """Invert :func:`metric_key` (labels come back as strings)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels = {}
+    for part in inner.split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time sample; the last write wins."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact count/sum/min/max.
+
+    Percentiles are deterministic bucket upper bounds (the smallest edge
+    whose cumulative count reaches the rank), so two runs that observe
+    the same values report the same percentile — and merged snapshots
+    from sharded workers report the same percentiles as a single run.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, bounds=LATENCY_BUCKETS_US) -> None:
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def percentile(self, p: float):
+        """Upper bound of the bucket holding the ``p``-th percentile rank."""
+        if not self.count:
+            return None
+        rank = max(1, -(-self.count * p // 100))  # ceil without float drift
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            cumulative += n
+            if cumulative >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        hist = cls(tuple(payload["bounds"]))
+        hist.buckets = list(payload["buckets"])
+        hist.count = payload["count"]
+        hist.sum = payload["sum"]
+        hist.min = payload["min"]
+        hist.max = payload["max"]
+        return hist
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Labeled instrument registry with canonical snapshots.
+
+    Accessors memoize by ``(name, sorted labels)``, so hot paths may call
+    ``registry.counter(...)`` per event; the steady-state cost is one
+    tuple build and one dict hit.  Disabled registries hand back shared
+    no-op instruments instead.
+    """
+
+    def __init__(self, enabled: bool = True, latency_bounds=LATENCY_BUCKETS_US):
+        self.on = bool(enabled)
+        self.latency_bounds = tuple(latency_bounds)
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        if not self.on:
+            return _NULL_COUNTER
+        key = metric_key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        if not self.on:
+            return _NULL_GAUGE
+        key = metric_key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str, bounds=None, **labels) -> Histogram:
+        if not self.on:
+            return _NULL_HISTOGRAM
+        key = metric_key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(bounds or self.latency_bounds)
+        return inst
+
+    def snapshot(self) -> dict:
+        """Plain-data view: ``{"counters": .., "gauges": .., "histograms": ..}``."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    @staticmethod
+    def merge_snapshots(snapshots) -> dict:
+        """Exact merge of per-worker snapshots (see module docstring).
+
+        Counters and histogram buckets sum; gauges adopt-or-sum, which is
+        exact under the ownership discipline (a gauge is only ever set by
+        the district that owns it, so at most one snapshot carries it).
+        """
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        for snap in snapshots:
+            if not snap:
+                continue
+            for key, value in snap.get("counters", {}).items():
+                counters[key] = counters.get(key, 0) + value
+            for key, value in snap.get("gauges", {}).items():
+                gauges[key] = gauges.get(key, 0) + value
+            for key, payload in snap.get("histograms", {}).items():
+                merged = histograms.get(key)
+                if merged is None:
+                    histograms[key] = {
+                        "bounds": list(payload["bounds"]),
+                        "buckets": list(payload["buckets"]),
+                        "count": payload["count"],
+                        "sum": payload["sum"],
+                        "min": payload["min"],
+                        "max": payload["max"],
+                    }
+                    continue
+                if merged["bounds"] != list(payload["bounds"]):
+                    raise ValueError(f"histogram bounds mismatch for {key}")
+                merged["buckets"] = [
+                    a + b for a, b in zip(merged["buckets"], payload["buckets"])
+                ]
+                merged["count"] += payload["count"]
+                merged["sum"] += payload["sum"]
+                for field, pick in (("min", min), ("max", max)):
+                    ours, theirs = merged[field], payload[field]
+                    if ours is None:
+                        merged[field] = theirs
+                    elif theirs is not None:
+                        merged[field] = pick(ours, theirs)
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+
+__all__ = [
+    "LATENCY_BUCKETS_US",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "split_metric_key",
+]

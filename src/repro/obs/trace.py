@@ -1,0 +1,142 @@
+"""The flight recorder: causal spans over the simulated network.
+
+A :class:`TraceRecorder` collects plain-dict records — complete spans
+(``ph="X"``), instants (``ph="i"``) and counter samples (``ph="C"``),
+mirroring the Chrome trace-event phases — stamped with **virtual** time
+only.  Each record carries:
+
+* ``pid`` — the district (partition id) it happened in, which becomes
+  the Perfetto process row;
+* ``tid`` — the node/component name, which becomes the thread row;
+* ``seq`` — a per-district sequence number.
+
+Per-district sequencing is what makes recording parity-safe under the
+forked multiprocess backend: a worker only records its own districts'
+events (ownership is enforced at the recording sites), every district's
+event order is identical in every backend, and the canonical sort key
+``(ts, pid, seq)`` therefore yields the *same* merged timeline whether
+the districts ran in one process or eight.
+"""
+
+from __future__ import annotations
+
+
+class TraceRecorder:
+    """Append-only span recorder with deterministic per-district ordering."""
+
+    def __init__(self, enabled: bool = True):
+        self.on = bool(enabled)
+        self.records: list[dict] = []
+        self._dseq: dict[int, int] = {}
+
+    def _next_seq(self, pid: int) -> int:
+        seq = self._dseq.get(pid, 0)
+        self._dseq[pid] = seq + 1
+        return seq
+
+    def span(self, name: str, ts_us: int, dur_us: int, pid: int,
+             tid: str = "", cat: str = "", args: dict | None = None) -> None:
+        """A complete span: ``[ts_us, ts_us + dur_us)`` in virtual time."""
+        self.records.append({
+            "ph": "X", "name": name, "cat": cat, "ts": ts_us, "dur": dur_us,
+            "pid": pid, "tid": tid, "seq": self._next_seq(pid),
+            "args": args or {},
+        })
+
+    def instant(self, name: str, ts_us: int, pid: int,
+                tid: str = "", cat: str = "", args: dict | None = None) -> None:
+        self.records.append({
+            "ph": "i", "name": name, "cat": cat, "ts": ts_us, "dur": 0,
+            "pid": pid, "tid": tid, "seq": self._next_seq(pid),
+            "args": args or {},
+        })
+
+    def counter(self, name: str, ts_us: int, pid: int,
+                values: dict | None = None) -> None:
+        """A counter sample (renders as a stacked chart in Perfetto)."""
+        self.records.append({
+            "ph": "C", "name": name, "cat": "counter", "ts": ts_us, "dur": 0,
+            "pid": pid, "tid": "", "seq": self._next_seq(pid),
+            "args": values or {},
+        })
+
+    def extend(self, records) -> None:
+        """Adopt records from another recorder (the mp merge path)."""
+        self.records.extend(records)
+
+    def sorted_records(self) -> list[dict]:
+        return sort_records(self.records)
+
+
+def sort_records(records) -> list[dict]:
+    """The canonical merged-timeline order: ``(ts, pid, seq)``."""
+    return sorted(records, key=lambda r: (r["ts"], r["pid"], r["seq"]))
+
+
+class _NullTraceRecorder:
+    """Shared disabled recorder: every method is a no-op."""
+
+    on = False
+    records: list = []
+
+    def span(self, *args, **kwargs) -> None:
+        pass
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def counter(self, *args, **kwargs) -> None:
+        pass
+
+    def extend(self, records) -> None:
+        pass
+
+    def sorted_records(self) -> list:
+        return []
+
+
+NULL_TRACE = _NullTraceRecorder()
+
+
+def chrome_trace(records, meta: dict | None = None) -> dict:
+    """Render records as a Chrome trace-event JSON object (Perfetto-loadable).
+
+    Districts become processes, node names become threads (mapped to
+    stable small integers, with ``thread_name`` metadata rows).  ``ts``
+    stays in microseconds — the trace-event wire unit — so virtual time
+    reads directly in the UI.
+    """
+    events: list[dict] = []
+    pids = sorted({r["pid"] for r in records})
+    for pid in pids:
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": f"district {pid}"},
+        })
+    tid_of: dict[tuple[int, str], int] = {}
+    for record in sort_records(records):
+        tid_key = (record["pid"], record["tid"])
+        tid = tid_of.get(tid_key)
+        if tid is None:
+            tid = tid_of[tid_key] = len([k for k in tid_of if k[0] == record["pid"]]) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": record["pid"], "tid": tid,
+                "args": {"name": record["tid"] or "engine"},
+            })
+        event = {
+            "ph": record["ph"], "name": record["name"], "cat": record["cat"] or "repro",
+            "ts": record["ts"], "pid": record["pid"], "tid": tid,
+            "args": record["args"],
+        }
+        if record["ph"] == "X":
+            event["dur"] = record["dur"]
+        elif record["ph"] == "i":
+            event["s"] = "t"
+        events.append(event)
+    trace = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if meta:
+        trace["otherData"] = meta
+    return trace
+
+
+__all__ = ["TraceRecorder", "NULL_TRACE", "sort_records", "chrome_trace"]

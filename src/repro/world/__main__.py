@@ -1,4 +1,4 @@
-"""``python -m repro.world`` — validate and inspect the scenario catalog.
+"""``python -m repro.world`` — validate, inspect and run the scenario catalog.
 
 Commands:
 
@@ -9,9 +9,16 @@ Commands:
 * ``validate`` — schema + subnet-budget checks over **every** registered
   spec, exiting non-zero on the first failure.  CI runs this as a fast
   pre-test step: a malformed scenario fails in milliseconds, before any
-  simulation runs.
+  simulation runs;
+* ``run <scenario> [param=value ...] [--seed N] [--engine single|partitioned|mp]
+  [--trace[=PATH]] [--metrics[=PATH]]`` — build the scenario, execute its
+  workload, and print the outcome.  ``--trace`` turns on the flight
+  recorder and writes a Perfetto-loadable Chrome trace-event file
+  (default ``<scenario>.trace.json``); ``--metrics`` writes the metrics
+  registry as JSONL (default ``<scenario>.metrics.jsonl``).  Either flag
+  also prints the ``python -m repro.obs report`` text digest.
 
-No command ever builds a network — validation is pure spec analysis.
+Only ``run`` builds a network — validation is pure spec analysis.
 """
 
 from __future__ import annotations
@@ -85,6 +92,93 @@ def cmd_describe(name: str, params: dict) -> int:
     return 0
 
 
+def _split_run_args(args: list[str]) -> tuple[dict, dict]:
+    """Separate ``param=value`` spec parameters from ``--flag`` options."""
+    options = {"seed": 0, "engine": "single", "trace": None, "metrics": None}
+    plain: list[str] = []
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if not arg.startswith("--"):
+            plain.append(arg)
+            index += 1
+            continue
+        flag, sep, value = arg[2:].partition("=")
+        if flag not in options:
+            raise SystemExit(f"unknown option --{flag}")
+        if flag in ("seed", "engine"):
+            if not sep:
+                index += 1
+                if index >= len(args):
+                    raise SystemExit(f"--{flag} needs a value")
+                value = args[index]
+            options[flag] = int(value) if flag == "seed" else value
+        else:  # --trace / --metrics: optional value, "" means default path
+            options[flag] = value if sep else ""
+        index += 1
+    return _parse_params(plain), options
+
+
+def cmd_run(name: str, args: list[str]) -> int:
+    from ..obs import Recording, sort_records
+    from ..obs.export import text_summary, write_chrome_trace, write_metrics_jsonl
+    from .build import World
+    from .engine import run_world_mp
+
+    params, options = _split_run_args(args)
+    engine = options["engine"]
+    if engine not in ("single", "partitioned", "mp"):
+        raise SystemExit(f"unknown engine {engine!r}; try single, partitioned, mp")
+    trace_path = options["trace"]
+    metrics_path = options["metrics"]
+    if trace_path == "":
+        trace_path = f"{name}.trace.json"
+    if metrics_path == "":
+        metrics_path = f"{name}.metrics.jsonl"
+    recording = None
+    if trace_path is not None or metrics_path is not None:
+        recording = Recording(metrics=True, trace=trace_path is not None)
+    spec = _spec_for(name, params)
+    spec.validate()
+
+    meta = {"scenario": name, "seed": options["seed"], "engine": engine,
+            "params": params}
+    if engine == "mp":
+        result = run_world_mp(
+            spec, seed=options["seed"],
+            record=recording if recording is not None else False,
+        )
+        print(f"{name}: backend={result['backend']} "
+              f"partitions={result['partitions']} "
+              f"events={result['events_fired']} "
+              f"latency_us={result['latency_us']} results={result['results']}")
+        obs = result.get("obs") or {}
+        snapshot = obs.get("metrics") or {}
+        spans = obs.get("spans") or []
+    else:
+        world = World.build(
+            spec, seed=options["seed"], engine=engine,
+            record=recording if recording is not None else False,
+        )
+        world.run_workload()
+        outcome = world.outcome()
+        print(f"{name}: engine={engine} "
+              f"events={world.net.scheduler.events_fired} "
+              f"latency_us={outcome.latency_us} results={outcome.results}")
+        snapshot = outcome.metrics or {}
+        spans = [] if recording is None else sort_records(recording.trace.records)
+
+    if metrics_path is not None:
+        count = write_metrics_jsonl(metrics_path, snapshot, meta)
+        print(f"metrics: {count} lines -> {metrics_path}")
+    if trace_path is not None:
+        count = write_chrome_trace(trace_path, spans, meta)
+        print(f"trace: {count} records -> {trace_path}")
+    if recording is not None:
+        print(text_summary(snapshot, spans, title=name))
+    return 0
+
+
 def cmd_validate() -> int:
     failures = []
     for name, builder in SCENARIO_SPECS.items():
@@ -118,7 +212,15 @@ def main(argv: list[str]) -> int:
         return cmd_describe(argv[2], _parse_params(argv[3:]))
     if command == "validate":
         return cmd_validate()
-    print(f"unknown command {command!r}; try list, describe, validate", file=sys.stderr)
+    if command == "run":
+        if len(argv) < 3:
+            print("usage: python -m repro.world run <scenario> [param=value ...] "
+                  "[--seed N] [--engine single|partitioned|mp] "
+                  "[--trace[=PATH]] [--metrics[=PATH]]", file=sys.stderr)
+            return 2
+        return cmd_run(argv[2], argv[3:])
+    print(f"unknown command {command!r}; try list, describe, validate, run",
+          file=sys.stderr)
     return 2
 
 

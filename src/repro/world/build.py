@@ -25,6 +25,7 @@ from ..core import Indiss, IndissConfig
 from ..net import Endpoint, Network, NetworkError
 from ..net.parallel import ShardedScheduler
 from ..net.partition import network_partition_map
+from ..obs import Recording
 from ..sdp.slp import (
     ServiceAgent,
     ServiceType,
@@ -33,7 +34,7 @@ from ..sdp.slp import (
     UserAgent,
 )
 from ..sdp.upnp import UpnpControlPoint, make_clock_device
-from .observers import COLLECTORS
+from .observers import COLLECTORS, global_metrics, note_row_latency
 from .outcome import ScenarioOutcome
 from .spec import (
     BridgeSpec,
@@ -144,6 +145,9 @@ class World:
         self._observers: dict[str, Callable] = {}
         #: Which execution backend built this world ("single"/"partitioned").
         self.engine_kind = "single"
+        #: The live flight recorder, or ``None`` when recording is off
+        #: (``net.obs`` then stays the shared no-op ``NULL_RECORDING``).
+        self.recording: Optional[Recording] = None
 
     # -- construction -------------------------------------------------------
 
@@ -156,12 +160,19 @@ class World:
         capture: Optional[bool] = None,
         parse_once: Optional[bool] = None,
         engine: str = "single",
+        record=False,
     ) -> "World":
         """Validate ``spec`` and compile its elements into a live world.
 
         The workload has not run yet — call :meth:`run_workload` (or the
         one-shot :func:`run_world`).  ``capture``/``parse_once`` override
         the spec's settings for A/B runs.
+
+        ``record`` turns on the flight recorder: pass ``True`` for a
+        fresh :class:`~repro.obs.Recording` (metrics + trace), or an
+        existing ``Recording`` to control what is captured.  The
+        recording is reachable as ``world.recording`` and its snapshot
+        lands on :attr:`ScenarioOutcome.metrics`.
 
         ``engine`` selects the execution backend:
 
@@ -203,6 +214,10 @@ class World:
                 net.freeze_partitions(pmap)
         world = cls(spec, net, seed, costs)
         world.engine_kind = engine
+        if record:
+            recording = record if isinstance(record, Recording) else Recording()
+            net.obs = recording
+            world.recording = recording
         for element in spec.elements:
             world._apply_element(element)
         if pmap is not None:
@@ -540,14 +555,19 @@ class World:
             self.extras[f"{prefix}_results"] = handle.results
             self.extras[f"{prefix}_latency_us"] = handle.latency_us
         self._pending_probe_extras = []
-        if self._headline is None:
-            return ScenarioOutcome(None, 0, self.net, extras=self.extras)
-        handle = self.probes[self._headline]
-        if handle.latency_us is None:
-            return ScenarioOutcome(None, 0, self.net, extras=self.extras)
-        return ScenarioOutcome(
-            handle.latency_us, handle.results, self.net, extras=self.extras
-        )
+        handle = None if self._headline is None else self.probes[self._headline]
+        if handle is None or handle.latency_us is None:
+            result = ScenarioOutcome(None, 0, self.net, extras=self.extras)
+        else:
+            result = ScenarioOutcome(
+                handle.latency_us, handle.results, self.net, extras=self.extras
+            )
+        if self.recording is not None and self.recording.on:
+            result.metrics = {
+                "global": global_metrics(self),
+                **self.recording.metrics.snapshot(),
+            }
+        return result
 
     # -- workload interpreter -------------------------------------------------
 
@@ -637,13 +657,23 @@ class World:
                 target = step.types[idx % len(step.types)]
                 stats = {"target": target, "issued": 0, "completed": 0, "found": 0}
 
-                def kick(ua=ua, target=target, stats=stats) -> None:
+                def kick(ua=ua, target=target, stats=stats, net=self.net,
+                         group_name=step.group) -> None:
                     stats["issued"] += 1
 
-                    def done(search, stats=stats) -> None:
+                    def done(search, stats=stats, net=net,
+                             group_name=group_name) -> None:
                         stats["completed"] += 1
                         if search.results:
                             stats["found"] += 1
+                        # Completion callbacks fire in event context, so in
+                        # the multiprocess backend only the owner worker
+                        # records — merged rows stay exact.
+                        if net.obs.on and search.first_latency_us is not None:
+                            note_row_latency(stats, search.first_latency_us)
+                            net.obs.metrics.histogram(
+                                "world.search.latency_us", group=group_name
+                            ).observe(search.first_latency_us)
 
                     ua.find_services(f"service:{target}", on_complete=done)
 
@@ -669,13 +699,20 @@ class World:
                 st = f"urn:schemas-upnp-org:device:{target}:1"
                 stats = {"issued": 0, "completed": 0, "found": 0}
 
-                def kick(cp=cp, st=st, stats=stats) -> None:
+                def kick(cp=cp, st=st, stats=stats, net=self.net,
+                         group_name=step.group) -> None:
                     stats["issued"] += 1
 
-                    def done(search, stats=stats) -> None:
+                    def done(search, stats=stats, net=net,
+                             group_name=group_name) -> None:
                         stats["completed"] += 1
                         if search.responses:
                             stats["found"] += 1
+                        if net.obs.on and search.first_latency_us is not None:
+                            note_row_latency(stats, search.first_latency_us)
+                            net.obs.metrics.histogram(
+                                "world.search.latency_us", group=group_name
+                            ).observe(search.first_latency_us)
 
                     cp.search(st, wait_us=step.wait_us, on_complete=done)
 
@@ -825,11 +862,12 @@ def run_world(
     capture: Optional[bool] = None,
     parse_once: Optional[bool] = None,
     engine: str = "single",
+    record=False,
 ) -> ScenarioOutcome:
     """Build ``spec``, run its workload, and return the outcome."""
     world = World.build(
         spec, seed=seed, costs=costs, capture=capture, parse_once=parse_once,
-        engine=engine,
+        engine=engine, record=record,
     )
     world.run_workload()
     return world.outcome()

@@ -35,6 +35,7 @@ import time
 import traceback
 from typing import Optional
 
+from ..obs import MetricsRegistry, sort_records
 from .build import World
 from .observers import chatter_rows_summary, ping_rows_summary
 from .partition import spec_partition_map
@@ -49,7 +50,7 @@ def _worker_result(world: World) -> dict:
     plus the raw load-group rows (merged by :func:`_merge_rows`)."""
     outcome = world.outcome()
     engine = world.net.engine
-    return {
+    payload = {
         "events_by_partition": engine.events_by_partition(),
         "windows": engine.windows,
         "unrouted": world.net.unrouted,
@@ -60,6 +61,18 @@ def _worker_result(world: World) -> dict:
             for name, rows in world.load_groups.items()
         },
     }
+    recording = world.recording
+    if recording is not None and recording.on:
+        # A worker's snapshot covers only its owned districts (the
+        # ``Recording.restrict`` contract), so summing snapshots and
+        # concatenating span streams reconstructs the inline timeline
+        # exactly; canonical (ts, district, seq) order makes the merge
+        # deterministic.
+        payload["obs"] = {
+            "metrics": recording.metrics.snapshot(),
+            "spans": sort_records(recording.trace.records),
+        }
+    return payload
 
 
 def _worker_main(world: World, pid: int, conn) -> None:
@@ -123,6 +136,18 @@ def _summarise(pmap, payloads: list[dict], backend: str, wall_s: float) -> dict:
     latency = next(
         (p["latency_us"] for p in payloads if p["latency_us"] is not None), None
     )
+    obs: Optional[dict] = None
+    obs_payloads = [p["obs"] for p in payloads if p.get("obs")]
+    if obs_payloads:
+        spans: list = []
+        for payload in obs_payloads:
+            spans.extend(payload["spans"])
+        obs = {
+            "metrics": MetricsRegistry.merge_snapshots(
+                [p["metrics"] for p in obs_payloads]
+            ),
+            "spans": sort_records(spans),
+        }
     return {
         "backend": backend,
         "processes": len(payloads),
@@ -136,17 +161,20 @@ def _summarise(pmap, payloads: list[dict], backend: str, wall_s: float) -> dict:
         "results": max(p["results"] for p in payloads),
         "extras": extras,
         "load_groups": groups,
+        "obs": obs,
         "wall_s": round(wall_s, 4),
     }
 
 
 def run_world_partitioned(
-    spec: WorldSpec, seed: int = 0, costs=None
+    spec: WorldSpec, seed: int = 0, costs=None, record=False
 ) -> dict:
     """Inline partitioned run, reported in the same shape as the
     multiprocess result (the A/B row benchmarks put next to it)."""
     start = time.perf_counter()
-    world = World.build(spec, seed=seed, costs=costs, engine="partitioned")
+    world = World.build(
+        spec, seed=seed, costs=costs, engine="partitioned", record=record
+    )
     world.run_workload()
     result = _worker_result(world)
     wall = time.perf_counter() - start
@@ -158,6 +186,7 @@ def run_world_mp(
     seed: int = 0,
     costs=None,
     timeout_s: Optional[float] = BARRIER_TIMEOUT_S,
+    record=False,
 ) -> dict:
     """Build once, fork one worker per district, merge the results.
 
@@ -167,11 +196,13 @@ def run_world_mp(
     """
     pmap, _ = spec_partition_map(spec)
     if pmap.count == 1 or not hasattr(os, "fork"):
-        return run_world_partitioned(spec, seed=seed, costs=costs)
+        return run_world_partitioned(spec, seed=seed, costs=costs, record=record)
 
     ctx = multiprocessing.get_context("fork")
     start = time.perf_counter()
-    world = World.build(spec, seed=seed, costs=costs, engine="partitioned")
+    world = World.build(
+        spec, seed=seed, costs=costs, engine="partitioned", record=record
+    )
     conns = []
     workers = []
     try:

@@ -14,7 +14,10 @@ reports the warmed-up state, not the end-of-run state.
 
 from __future__ import annotations
 
-from typing import Callable
+from bisect import bisect_left
+from typing import Callable, Optional
+
+from ..obs import LATENCY_BUCKETS_US, Histogram
 
 
 def hotpath_stats(world) -> dict:
@@ -62,6 +65,71 @@ def hotpath_stats(world) -> dict:
     return row
 
 
+def note_row_latency(row: dict, latency_us: int) -> None:
+    """Fold one observed latency into a load-group row, as flat fields.
+
+    The fields are plain numeric keys (``lat_b<i>`` per fixed bucket,
+    ``lat_count``, ``lat_sum``) so the multiprocess driver's row merge —
+    which sums numeric fields across workers — reconstructs the combined
+    histogram exactly.  Only called when flight recording is on, so the
+    legacy extras key set is unchanged for unrecorded runs.
+    """
+    index = bisect_left(LATENCY_BUCKETS_US, latency_us)
+    row[f"lat_b{index}"] = row.get(f"lat_b{index}", 0) + 1
+    row["lat_count"] = row.get("lat_count", 0) + 1
+    row["lat_sum"] = row.get("lat_sum", 0) + latency_us
+
+
+def rows_latency_histogram(rows) -> Optional[Histogram]:
+    """Rebuild one :class:`~repro.obs.Histogram` from a group's rows,
+    or ``None`` when no row carries latency fields (recording was off)."""
+    if not any(row.get("lat_count") for row in rows):
+        return None
+    hist = Histogram(LATENCY_BUCKETS_US)
+    for row in rows:
+        count = row.get("lat_count", 0)
+        if not count:
+            continue
+        hist.count += count
+        hist.sum += row.get("lat_sum", 0)
+        for index in range(len(hist.buckets)):
+            hist.buckets[index] += row.get(f"lat_b{index}", 0)
+    return hist
+
+
+def summarize_rows(
+    rows,
+    count_key: str,
+    sums: tuple = (),
+    rates: tuple = (),
+    latency_prefix: Optional[str] = None,
+) -> dict:
+    """One aggregation for every load-group family.
+
+    ``sums`` are ``(out_key, row_field)`` pairs; ``rates`` are
+    ``(out_key, numerator_field, denominator_field)`` triples (0.0 when
+    the denominator is zero).  When ``latency_prefix`` is given and the
+    rows carry the flat latency fields written by :func:`note_row_latency`,
+    p50/p95/p99 percentiles ride along — recorded runs only, so the
+    legacy key set is stable.
+    """
+    out = {count_key: len(rows)}
+    for key, column in sums:
+        out[key] = sum(row.get(column, 0) for row in rows)
+    for key, numerator, denominator in rates:
+        num = sum(row.get(numerator, 0) for row in rows)
+        den = sum(row.get(denominator, 0) for row in rows)
+        out[key] = num / den if den else 0.0
+    if latency_prefix is not None:
+        hist = rows_latency_histogram(rows)
+        if hist is not None:
+            out[f"{latency_prefix}_latency_count"] = hist.count
+            out[f"{latency_prefix}_latency_p50_us"] = hist.percentile(50)
+            out[f"{latency_prefix}_latency_p95_us"] = hist.percentile(95)
+            out[f"{latency_prefix}_latency_p99_us"] = hist.percentile(99)
+    return out
+
+
 def chatter_rows_summary(rows) -> dict:
     """Sums over one chatter group's per-client records.
 
@@ -69,15 +137,16 @@ def chatter_rows_summary(rows) -> dict:
     merged per-worker rows with the same arithmetic the inline collector
     uses — so both backends report comparable fields.
     """
-    issued = sum(c["issued"] for c in rows)
-    completed = sum(c["completed"] for c in rows)
-    found = sum(c["found"] for c in rows)
-    return {
-        "chatter_clients": len(rows),
-        "chatter_searches_issued": issued,
-        "chatter_searches_completed": completed,
-        "chatter_found_rate": found / completed if completed else 0.0,
-    }
+    return summarize_rows(
+        rows,
+        "chatter_clients",
+        sums=(
+            ("chatter_searches_issued", "issued"),
+            ("chatter_searches_completed", "completed"),
+        ),
+        rates=(("chatter_found_rate", "found", "completed"),),
+        latency_prefix="chatter",
+    )
 
 
 def chatter_stats(world, group: str = "chatter") -> dict:
@@ -87,11 +156,11 @@ def chatter_stats(world, group: str = "chatter") -> dict:
 
 def ping_rows_summary(rows) -> dict:
     """Sums over one ping group's per-flow records (see ``Ping``)."""
-    return {
-        "ping_flows": len(rows),
-        "ping_sent": sum(r["sent"] for r in rows),
-        "ping_received": sum(r["received"] for r in rows),
-    }
+    return summarize_rows(
+        rows,
+        "ping_flows",
+        sums=(("ping_sent", "sent"), ("ping_received", "received")),
+    )
 
 
 def ping_stats(world, group: str = "ping") -> dict:
@@ -101,14 +170,13 @@ def ping_stats(world, group: str = "ping") -> dict:
 
 def cp_chatter_stats(world, group: str = "cp") -> dict:
     """Aggregate one control-point chatter group (UPnP M-SEARCH load)."""
-    stats = world.load_groups.get(group, [])
-    completed = sum(c["completed"] for c in stats)
-    found = sum(c["found"] for c in stats)
-    return {
-        "cp_clients": len(stats),
-        "cp_searches_completed": completed,
-        "cp_found_rate": found / completed if completed else 0.0,
-    }
+    return summarize_rows(
+        world.load_groups.get(group, []),
+        "cp_clients",
+        sums=(("cp_searches_completed", "completed"),),
+        rates=(("cp_found_rate", "found", "completed"),),
+        latency_prefix="cp",
+    )
 
 
 def fleet_stats(world, fleet=None) -> dict:
@@ -192,11 +260,31 @@ def partition_stats(world) -> dict:
 def churn_stats(world, group: str = "churn") -> dict:
     """Aggregate the Churn step's per-cycle records."""
     cycles = world.load_groups.get(group, [])
+    row = summarize_rows(
+        cycles, "churn_cycles", sums=(("churn_rejoins", "rejoined"),)
+    )
+    row["churn_members_hit"] = len({c["member"] for c in cycles})
+    row["churn_log"] = list(cycles)
+    return row
+
+
+def global_metrics(world) -> dict:
+    """End-of-run global counters mirrored into ``ScenarioOutcome.metrics``.
+
+    Read once from existing simulator statistics when the outcome is
+    resolved — nothing here touches the event hot path, so the mirror is
+    free even for recorded runs.
+    """
+    net = world.net
+    sched = net.scheduler
     return {
-        "churn_cycles": len(cycles),
-        "churn_members_hit": len({c["member"] for c in cycles}),
-        "churn_rejoins": sum(1 for c in cycles if c.get("rejoined")),
-        "churn_log": list(cycles),
+        "events_fired": sched.events_fired,
+        "nodes": len(net.nodes),
+        "unrouted": net.unrouted,
+        "route_cache_hits": getattr(net, "route_cache_hits", 0),
+        "route_cache_misses": getattr(net, "route_cache_misses", 0),
+        "translations": sum(i.stats.translated for i in world.instances),
+        "cache_answers": sum(i.stats.answered_from_cache for i in world.instances),
     }
 
 
@@ -229,4 +317,8 @@ __all__ = [
     "ping_rows_summary",
     "partition_stats",
     "fleet_stats",
+    "summarize_rows",
+    "note_row_latency",
+    "rows_latency_histogram",
+    "global_metrics",
 ]

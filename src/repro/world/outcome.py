@@ -19,6 +19,10 @@ class ScenarioOutcome:
     #: the world's observer collectors (hot-path counters, fleet and
     #: gossip aggregates, chatter accounting, probe extras).
     extras: dict = field(default_factory=dict)
+    #: Flight-recorder snapshot (``repro.obs``): ``{"global": {...},
+    #: "counters": {...}, "gauges": {...}, "histograms": {...}}``.  Only
+    #: populated when the world was built with recording enabled.
+    metrics: Optional[dict] = None
 
     @property
     def latency_ms(self) -> Optional[float]:

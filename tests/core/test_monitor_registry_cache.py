@@ -135,6 +135,87 @@ class TestMonitor:
         assert monitor.detected_sdps() == []
         assert monitor.ever_detected() == ["upnp"]
 
+    def test_stale_boundary_is_inclusive(self, net):
+        """A sighting exactly ``stale_after_us`` old is still live; one
+        microsecond past, it has expired."""
+        host, sender = net.add_node("indiss"), net.add_node("c")
+        monitor = MonitorComponent(host, stale_after_us=500_000)
+        sender.udp.socket().bind(5000).sendto(b"x", Endpoint("239.255.255.250", 1900))
+        net.run()
+        last_seen = monitor.sightings["upnp"].last_seen_us
+        assert monitor.detected_sdps(now_us=last_seen + 500_000) == ["upnp"]
+        assert monitor.detected_sdps(now_us=last_seen + 500_001) == []
+
+    def test_re_detection_keeps_one_sighting(self, net):
+        """Expiry re-fires ``on_detected`` but extends the original
+        sighting record: ``first_seen_us`` is stable, counters accumulate."""
+        host, sender = net.add_node("indiss"), net.add_node("c")
+        monitor = MonitorComponent(host, stale_after_us=200_000)
+        detected = []
+        monitor.on_detected = detected.append
+        sock = sender.udp.socket().bind(5000)
+        sock.sendto(b"x", Endpoint("239.255.255.250", 1900))
+        net.run(duration_us=100_000)
+        first_seen = monitor.sightings["upnp"].first_seen_us
+        net.run(duration_us=500_000)  # let the sighting go stale
+        sock.sendto(b"y", Endpoint("239.255.255.250", 1900))
+        net.run()
+        assert detected == ["upnp", "upnp"]
+        sighting = monitor.sightings["upnp"]
+        assert sighting.first_seen_us == first_seen
+        assert sighting.messages == 2
+        assert sighting.last_seen_us > first_seen
+
+
+class TestSeededAttribution:
+    """``SdpSighting.frames_seeded``: which monitored frames arrived with a
+    sender-seeded decode memo (the parse-once fast path)."""
+
+    def _run_slp_request(self, parse_once: bool):
+        from repro.sdp.slp import UserAgent
+
+        net = Network(latency=LatencyModel(jitter_us=0), parse_once=parse_once)
+        host, client = net.add_node("indiss"), net.add_node("client")
+        monitor = MonitorComponent(host)
+        # Seeding is only checked on the raw-forwarding path (no INDISS
+        # bridge attached means no memo is forced into existence).
+        monitor.on_raw = lambda sdp, raw, meta: None
+        UserAgent(client).find_services("service:clock")
+        net.run(duration_us=1_000_000)
+        return monitor
+
+    def test_sender_seeded_frames_attributed(self):
+        monitor = self._run_slp_request(parse_once=True)
+        sighting = monitor.sightings["slp"]
+        assert sighting.messages >= 1
+        # The UA encodes once and seeds the frame memo, so every
+        # monitored request counts as pre-decoded.
+        assert sighting.frames_seeded == sighting.messages
+        assert monitor.parse_attribution()["slp"] == {
+            "frames": sighting.messages,
+            "seeded": sighting.frames_seeded,
+        }
+
+    def test_parse_once_off_never_seeds(self):
+        monitor = self._run_slp_request(parse_once=False)
+        sighting = monitor.sightings["slp"]
+        # NULL_MEMO drops decode hints before delivery: same traffic,
+        # zero seeded attribution.
+        assert sighting.messages >= 1
+        assert sighting.frames_seeded == 0
+
+    def test_raw_payload_never_seeds(self):
+        net = Network(latency=LatencyModel(jitter_us=0), parse_once=True)
+        host, sender = net.add_node("indiss"), net.add_node("c")
+        monitor = MonitorComponent(host)
+        monitor.on_raw = lambda sdp, raw, meta: None
+        # A plain sendto carries no decode hint, so even with parse_once
+        # on the frame arrives unseeded.
+        sender.udp.socket().bind(5000).sendto(b"\x02\x01", Endpoint("239.255.255.253", 427))
+        net.run()
+        assert monitor.sightings["slp"].messages == 1
+        assert monitor.sightings["slp"].frames_seeded == 0
+
 
 class TestServiceCache:
     def make_cache(self):

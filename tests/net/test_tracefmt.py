@@ -1,0 +1,79 @@
+"""Protocol classification of captured wire traffic (``net.tracefmt``)."""
+
+import json
+
+from repro.net import Endpoint
+from repro.net.network import TraceRecord
+from repro.net.tracefmt import classify_payload
+
+
+def _record(payload: bytes, dst_port: int, src_port: int = 50000,
+            transport: str = "udp") -> TraceRecord:
+    return TraceRecord(
+        time_us=0,
+        transport=transport,
+        source=Endpoint("192.168.1.2", src_port),
+        destination=Endpoint("192.168.1.3", dst_port),
+        size=len(payload),
+        payload=payload,
+    )
+
+
+class TestJiniDiscoveryTags:
+    def test_multicast_request_tagged(self):
+        from repro.sdp.jini.discovery import MulticastRequest
+
+        payload = MulticastRequest(response_host="192.168.1.2",
+                                   response_port=45000).encode()
+        assert classify_payload(_record(payload, 4160)) == "Jini request"
+
+    def test_announcement_not_mistaken_for_slp(self):
+        # An announcement's first byte is 0x02 — the same as the SLPv2
+        # version byte — so the port-4160 check must win over SLP's.
+        from repro.sdp.jini.discovery import MulticastAnnouncement
+
+        payload = MulticastAnnouncement(
+            host="192.168.1.3", port=4161, service_id="sid-1"
+        ).encode()
+        assert payload[:1] == b"\x02"
+        assert classify_payload(_record(payload, 4160)) == "Jini announcement"
+
+    def test_unknown_discovery_payload_keeps_generic_tag(self):
+        assert classify_payload(_record(b"\x7fgarbage", 4160)) == "Jini discovery"
+
+
+class TestJiniRegistrarTags:
+    def test_request_ops(self):
+        for tag, name in ((0x10, "register"), (0x11, "lookup"),
+                          (0x12, "unregister"), (0x13, "renew")):
+            record = _record(bytes([tag]), 4161, transport="tcp")
+            assert classify_payload(record) == f"Jini {name}"
+
+    def test_response_ops_matched_by_source_port(self):
+        for tag, name in ((0x20, "ok"), (0x21, "items"), (0x2F, "error")):
+            record = _record(bytes([tag]), 45000, src_port=4161,
+                             transport="tcp")
+            assert classify_payload(record) == f"Jini {name}"
+
+    def test_unknown_op_falls_back(self):
+        assert classify_payload(_record(b"\xff", 4161, transport="tcp")) == \
+            "Jini registrar"
+
+
+class TestGossipTags:
+    def test_digest_and_delta(self):
+        digest = json.dumps({"kind": "digest", "from": "gw-a"},
+                            sort_keys=True).encode()
+        delta = json.dumps({"kind": "delta", "from": "gw-a", "records": []},
+                           sort_keys=True).encode()
+        assert classify_payload(_record(digest, 4610)) == "Gossip digest"
+        assert classify_payload(_record(delta, 4610)) == "Gossip delta"
+        assert classify_payload(_record(b"{}", 4610)) == "Gossip"
+
+
+class TestLegacyTagsUnchanged:
+    def test_slp_still_tagged_off_jini_ports(self):
+        assert classify_payload(_record(b"\x02\x01", 427)) == "SLP(fn=1)"
+
+    def test_plain_udp_fallback(self):
+        assert classify_payload(_record(b"ping:x", 9000)) == "UDP"

@@ -1,0 +1,148 @@
+"""Exporter round-trips and the ``python -m repro.obs report`` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, TraceRecorder
+from repro.obs.__main__ import main as obs_main
+from repro.obs.export import (
+    read_chrome_trace,
+    read_metrics_jsonl,
+    text_summary,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+
+
+@pytest.fixture()
+def snapshot():
+    reg = MetricsRegistry()
+    reg.counter("core.monitor.frames", sdp="slp").inc(4)
+    reg.gauge("engine.pending", district="0").set(2)
+    reg.histogram("core.session.latency_us", sdp="slp").observe(80_000)
+    snap = reg.snapshot()
+    snap["global"] = {"events_fired": 21}
+    return snap
+
+
+@pytest.fixture()
+def records():
+    rec = TraceRecorder()
+    rec.span("engine.window", 0, 50_000, pid=0)
+    rec.span("engine.stall", 40_000, 10_000, pid=1, cat="engine")
+    rec.instant("monitor.rx", 7, pid=0, tid="gw-a")
+    return rec.records
+
+
+class TestMetricsJsonl:
+    def test_roundtrip(self, snapshot, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        count = write_metrics_jsonl(path, snapshot, meta={"scenario": "s"})
+        lines = read_metrics_jsonl(path)
+        assert count == len(lines) == 5  # meta + global + 3 metrics
+        kinds = [line["kind"] for line in lines]
+        assert kinds == ["meta", "global", "counter", "gauge", "histogram"]
+        hist = next(line for line in lines if line["kind"] == "histogram")
+        assert hist["p50"] == 100_000 and hist["count"] == 1
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no metric records"):
+            read_metrics_jsonl(str(path))
+
+    def test_meta_only_rejected(self, tmp_path):
+        path = tmp_path / "meta.jsonl"
+        path.write_text(json.dumps({"kind": "meta"}) + "\n")
+        with pytest.raises(ValueError, match="no metric records"):
+            read_metrics_jsonl(str(path))
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "counter"\n')
+        with pytest.raises(ValueError, match="not JSON"):
+            read_metrics_jsonl(str(path))
+
+    def test_counter_without_value_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "counter", "name": "c"}) + "\n")
+        with pytest.raises(ValueError, match="without value"):
+            read_metrics_jsonl(str(path))
+
+
+class TestChromeTraceFile:
+    def test_roundtrip(self, records, tmp_path):
+        path = str(tmp_path / "t.json")
+        assert write_chrome_trace(path, records, meta={"seed": 0}) == 3
+        trace = read_chrome_trace(path)
+        assert trace["otherData"] == {"seed": 0}
+        phases = [e["ph"] for e in trace["traceEvents"]]
+        assert phases.count("X") == 2 and phases.count("i") == 1
+
+    def test_non_trace_json_rejected(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a Chrome trace"):
+            read_chrome_trace(str(path))
+
+
+class TestTextSummary:
+    def test_sections_present(self, snapshot, records):
+        text = text_summary(snapshot, records, title="demo")
+        assert "== demo ==" in text
+        assert "events_fired" in text
+        assert "core.monitor.frames{sdp=slp}" in text
+        assert "p50=100000" in text
+        # Per-district rollup counts district 1's stall span.
+        assert "district 1: 1 spans" in text
+        assert "stalled 10000 us" in text
+
+
+class TestReportCli:
+    def _write_artifacts(self, snapshot, records, tmp_path):
+        metrics = str(tmp_path / "m.jsonl")
+        trace = str(tmp_path / "t.json")
+        write_metrics_jsonl(metrics, snapshot, meta={"scenario": "s"})
+        write_chrome_trace(trace, records)
+        return metrics, trace
+
+    def test_check_passes_on_good_artifacts(self, snapshot, records, tmp_path,
+                                            capsys):
+        metrics, trace = self._write_artifacts(snapshot, records, tmp_path)
+        code = obs_main(["obs", "report", "--metrics", metrics,
+                         "--trace", trace, "--check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 metrics ok" in out and "3 events ok" in out
+
+    def test_report_prints_summary(self, snapshot, records, tmp_path, capsys):
+        metrics, trace = self._write_artifacts(snapshot, records, tmp_path)
+        code = obs_main(["obs", "report", f"--metrics={metrics}",
+                         f"--trace={trace}"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core.monitor.frames{sdp=slp}" in out
+        assert "monitor.rx" in out
+
+    def test_check_fails_on_empty_metrics(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        code = obs_main(["obs", "report", "--metrics", str(path), "--check"])
+        assert code == 1
+        assert "no metric records" in capsys.readouterr().err
+
+    def test_check_fails_on_missing_file(self, tmp_path, capsys):
+        code = obs_main(["obs", "report", "--metrics",
+                         str(tmp_path / "nope.jsonl"), "--check"])
+        assert code == 1
+
+    def test_check_fails_on_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        code = obs_main(["obs", "report", "--trace", str(path), "--check"])
+        assert code == 1
+        assert "no trace events" in capsys.readouterr().err
+
+    def test_no_files_is_usage_error(self, capsys):
+        assert obs_main(["obs", "report"]) == 2

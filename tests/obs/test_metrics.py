@@ -1,0 +1,127 @@
+"""Unit tests for the metrics registry (``repro.obs.metrics``)."""
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS_US,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    split_metric_key,
+)
+
+
+class TestMetricKeys:
+    def test_bare_name(self):
+        assert metric_key("a.b") == "a.b"
+        assert split_metric_key("a.b") == ("a.b", {})
+
+    def test_labels_sorted(self):
+        key = metric_key("net.frames", {"segment": "lan0", "proto": "slp"})
+        assert key == "net.frames{proto=slp,segment=lan0}"
+        assert split_metric_key(key) == (
+            "net.frames", {"proto": "slp", "segment": "lan0"}
+        )
+
+
+class TestInstruments:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("c", x=1).inc()
+        reg.counter("c", x=1).inc(4)
+        reg.gauge("g").set(7)
+        reg.gauge("g").set(3)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c{x=1}": 5}
+        assert snap["gauges"] == {"g": 3}
+
+    def test_histogram_buckets_and_stats(self):
+        hist = Histogram(bounds=(10, 100, 1000))
+        for value in (5, 10, 11, 1001):
+            hist.observe(value)
+        # Upper-inclusive edges: 10 lands in the first bucket, 11 in the
+        # second, 1001 overflows.
+        assert hist.buckets == [2, 1, 0, 1]
+        assert (hist.count, hist.sum, hist.min, hist.max) == (4, 1027, 5, 1001)
+
+    def test_percentiles_are_bucket_upper_bounds(self):
+        hist = Histogram(bounds=(10, 100, 1000))
+        for _ in range(90):
+            hist.observe(1)
+        for _ in range(10):
+            hist.observe(500)
+        assert hist.percentile(50) == 10
+        assert hist.percentile(90) == 10
+        assert hist.percentile(95) == 1000
+        assert hist.percentile(100) == 1000
+
+    def test_percentile_overflow_returns_max(self):
+        hist = Histogram(bounds=(10,))
+        hist.observe(50)
+        hist.observe(70)
+        assert hist.percentile(99) == 70
+
+    def test_empty_histogram_percentile_is_none(self):
+        assert Histogram().percentile(50) is None
+
+    def test_roundtrip(self):
+        hist = Histogram()
+        hist.observe(1234)
+        again = Histogram.from_dict(hist.to_dict())
+        assert again.to_dict() == hist.to_dict()
+        assert again.bounds == LATENCY_BUCKETS_US
+
+
+class TestDisabledRegistry:
+    def test_null_instruments_record_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(2)
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_null_instruments_are_shared(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.histogram("a") is reg.histogram("b")
+
+
+class TestMerge:
+    def test_counters_sum_gauges_adopt(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g.a").set(5)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.counter("only.b").inc()
+        b.gauge("g.b").set(7)
+        merged = MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"] == {"c": 5, "only.b": 1}
+        assert merged["gauges"] == {"g.a": 5, "g.b": 7}
+
+    def test_histogram_merge_matches_single_run(self):
+        """Percentiles over merged shard snapshots equal a single run's."""
+        single = MetricsRegistry()
+        sharded = [MetricsRegistry(), MetricsRegistry()]
+        for i, value in enumerate((100, 900, 1500, 40_000, 2_000_000)):
+            single.histogram("h").observe(value)
+            sharded[i % 2].histogram("h").observe(value)
+        merged = MetricsRegistry.merge_snapshots([r.snapshot() for r in sharded])
+        assert merged["histograms"]["h"] == single.snapshot()["histograms"]["h"]
+        both = Histogram.from_dict(merged["histograms"]["h"])
+        assert both.percentile(50) == 2_000
+        assert both.percentile(99) == both.max
+
+    def test_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", bounds=(1, 2)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("h", bounds=(3, 4)).observe(3)
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_empty_and_missing_snapshots_ignored(self):
+        a = MetricsRegistry()
+        a.counter("c").inc()
+        merged = MetricsRegistry.merge_snapshots([None, {}, a.snapshot()])
+        assert merged["counters"] == {"c": 1}

@@ -1,0 +1,86 @@
+"""Unit tests for the trace recorder and Chrome trace export."""
+
+from repro.obs import NULL_TRACE, Recording, TraceRecorder, chrome_trace, sort_records
+
+
+class TestRecorder:
+    def test_span_instant_counter_shapes(self):
+        rec = TraceRecorder()
+        rec.span("window", 0, 50_000, pid=1, tid="engine", cat="engine",
+                 args={"events": 3})
+        rec.instant("rx", 10, pid=0, tid="gw-a", cat="monitor")
+        rec.counter("occupancy", 50_000, pid=1, values={"pending": 4})
+        phases = [r["ph"] for r in rec.records]
+        assert phases == ["X", "i", "C"]
+        assert rec.records[0]["dur"] == 50_000
+        assert rec.records[2]["args"] == {"pending": 4}
+
+    def test_per_district_sequences_are_independent(self):
+        rec = TraceRecorder()
+        rec.instant("a", 0, pid=0)
+        rec.instant("b", 0, pid=1)
+        rec.instant("c", 0, pid=0)
+        seqs = {(r["pid"], r["seq"]) for r in rec.records}
+        assert seqs == {(0, 0), (1, 0), (0, 1)}
+
+    def test_canonical_sort_merges_district_streams(self):
+        """Two recorders covering disjoint districts sort into the same
+        timeline as one recorder that saw everything — the mp merge."""
+        inline = TraceRecorder()
+        worker0, worker1 = TraceRecorder(), TraceRecorder()
+        for ts, pid in ((5, 1), (5, 0), (10, 0), (10, 1)):
+            inline.instant("e", ts, pid=pid)
+            (worker0 if pid == 0 else worker1).instant("e", ts, pid=pid)
+        merged = sort_records(worker0.records + worker1.records)
+        assert merged == sort_records(inline.records)
+
+    def test_null_recorder_is_inert(self):
+        NULL_TRACE.span("x", 0, 1, pid=0)
+        NULL_TRACE.instant("y", 0, pid=0)
+        assert NULL_TRACE.records == []
+        assert NULL_TRACE.sorted_records() == []
+
+
+class TestRecording:
+    def test_ownership_defaults_open(self):
+        rec = Recording()
+        assert rec.on
+        assert rec.owns(0) and rec.owns(7)
+        rec.restrict([2])
+        assert rec.owns(2) and not rec.owns(0)
+
+    def test_trace_only_and_metrics_only(self):
+        trace_only = Recording(metrics=False, trace=True)
+        assert trace_only.on and not trace_only.metrics.on
+        metrics_only = Recording(metrics=True, trace=False)
+        assert metrics_only.on and not metrics_only.trace.on
+        assert metrics_only.trace is NULL_TRACE
+
+
+class TestChromeExport:
+    def test_export_shape(self):
+        rec = TraceRecorder()
+        rec.span("engine.window", 0, 100, pid=1, tid="", cat="engine")
+        rec.instant("monitor.rx", 5, pid=0, tid="gw-a", cat="monitor")
+        trace = chrome_trace(rec.records, meta={"scenario": "x"})
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["otherData"] == {"scenario": "x"}
+        events = trace["traceEvents"]
+        by_phase = {}
+        for event in events:
+            by_phase.setdefault(event["ph"], []).append(event)
+        # Metadata rows: one process_name per district plus thread_names.
+        names = {e["args"]["name"] for e in by_phase["M"]}
+        assert {"district 0", "district 1", "gw-a", "engine"} <= names
+        assert by_phase["X"][0]["dur"] == 100
+        assert by_phase["i"][0]["s"] == "t"
+
+    def test_tids_are_stable_small_ints(self):
+        rec = TraceRecorder()
+        rec.instant("a", 0, pid=0, tid="node-1")
+        rec.instant("b", 1, pid=0, tid="node-2")
+        rec.instant("c", 2, pid=0, tid="node-1")
+        events = [e for e in chrome_trace(rec.records)["traceEvents"]
+                  if e["ph"] == "i"]
+        assert events[0]["tid"] == events[2]["tid"]
+        assert events[0]["tid"] != events[1]["tid"]
