@@ -29,7 +29,11 @@ import statistics
 import sys
 from pathlib import Path
 
-from repro.bench.scenarios import federated_campus, sharded_backbone
+from repro.bench.scenarios import (
+    federated_campus,
+    partitioned_campus,
+    sharded_backbone,
+)
 
 RESULT_FILE = "BENCH_federation.json"
 
@@ -129,11 +133,127 @@ def run_fleet_sweep(sizes=(4, 6, 8), nodes: int = 500, seed: int = 0) -> dict:
     return sweep
 
 
+# -- adversity tier ---------------------------------------------------------------
+
+
+def _build_lossy_fleet(members: int, loss_rate: float, loss_model: str,
+                       seed: int, gossip_period_us: int, catchup_after: int):
+    """A backbone fleet whose shared segment drops gossip frames at
+    ``loss_rate`` (dedicated per-edge RNG stream, so runs are seeded)."""
+    from repro import Indiss, IndissConfig, Network
+    from repro.federation import GatewayFleet
+    from repro.net import make_loss_model
+
+    net = Network()
+    backbone = net.default_segment
+    instances = []
+    for i in range(members):
+        leaf = net.add_segment(f"leaf{i}")
+        net.link(backbone, leaf)
+        gateway = net.add_node(f"gateway{i}", segment=leaf)
+        net.bridge(gateway, backbone)
+        config = IndissConfig(
+            units=("slp", "upnp"), deployment="gateway",
+            dispatch="shard-ring", seed=seed + i,
+        )
+        instances.append(Indiss(gateway, config))
+    fleet = GatewayFleet(net, backbone, wire_utilization=True)
+    for instance in instances:
+        fleet.join(
+            instance,
+            gossip_period_us=gossip_period_us,
+            catchup_after=catchup_after,
+        )
+    if loss_rate > 0:
+        net.set_segment_loss(
+            backbone,
+            make_loss_model(loss_model, loss_rate, seed, backbone.name),
+        )
+    return net, fleet, instances
+
+
+def run_loss_sweep(loss_rates=(0.0, 0.05, 0.2), members: int = 4, seed: int = 0,
+                   gossip_period_us: int = 100_000, catchup_after: int = 2,
+                   horizon_rounds: int = 400) -> dict:
+    """Gossip rounds-to-convergence and catch-up traffic vs loss rate.
+
+    Each member starts holding one distinct record; the fleet has
+    converged when every cache holds all of them.  The per-edge loss RNG
+    is seeded, so a sweep is reproducible run to run.
+    """
+    from repro import ServiceRecord
+
+    rows: dict[str, dict] = {}
+    for rate in loss_rates:
+        net, fleet, instances = _build_lossy_fleet(
+            members, rate, "bernoulli", seed, gossip_period_us, catchup_after
+        )
+        for i, instance in enumerate(instances):
+            instance.cache.store(ServiceRecord(
+                service_type=f"svc{i}", url=f"http://10.0.{i}.1/ctl",
+                lifetime_s=3600, source_sdp="upnp",
+            ))
+        rounds = None
+        for r in range(1, horizon_rounds + 1):
+            net.run(duration_us=gossip_period_us)
+            if all(len(instance.cache) == members for instance in instances):
+                rounds = r
+                break
+        gossip = fleet.aggregate_gossip_stats()
+        rows[f"{rate:g}"] = {
+            "converged": rounds is not None,
+            "rounds_to_convergence": rounds,
+            "digests_sent": gossip.get("digests_sent", 0),
+            "catchup_escalations": gossip.get("catchup_escalations", 0),
+            "catchup_bytes": gossip.get("catchup_bytes", 0),
+            "frames_dropped": sum(
+                row["dropped"] for row in net.loss_report().values()
+            ),
+            "members": members,
+        }
+    return rows
+
+
+def run_partition_cycle(trials: int = 2, segments: int = 4, nodes: int = 80) -> dict:
+    """Discovery success and election flapping across one scripted
+    partition/heal cycle of the federated campus (every adversity knob
+    on: lossy gossip link, catch-up, wire-carried elections)."""
+    phases = {"pre": [], "during": [], "post": []}
+    catchups, flaps, latencies = [], [], []
+    for seed in range(trials):
+        outcome = partitioned_campus(seed=seed, segments=segments, nodes=nodes)
+        extras = outcome.extras
+        for phase, hits in phases.items():
+            hits.append(extras[f"{phase}_results"] >= 1)
+        catchups.append(extras["gossip"]["catchup_escalations"])
+        flaps.append(extras["election_flaps"])
+        latencies.append(outcome.latency_ms)
+    return {
+        "discovery_success_rate": {
+            phase: sum(hits) / len(hits) for phase, hits in phases.items()
+        },
+        "median_catchup_escalations": _median(catchups),
+        "median_election_flaps": _median(flaps),
+        "median_latency_ms": _median(latencies),
+        "trials": trials,
+        "segments": segments,
+        "nodes": nodes,
+    }
+
+
+def run_adversity(trials: int = 2) -> dict:
+    return {
+        "loss_sweep": run_loss_sweep(),
+        "partition_cycle": run_partition_cycle(trials=trials),
+    }
+
+
 def run(trials: int = 3, nodes: int = 500) -> dict:
     return {
         "campus": run_campus(trials=trials, nodes=nodes),
         "backbone": run_backbone(trials=trials, nodes=max(nodes, 500)),
         "fleet_sweep": run_fleet_sweep(nodes=nodes),
+        "adversity": run_adversity(trials=min(trials, 2)),
     }
 
 
@@ -171,7 +291,66 @@ def test_federation_smoke():
     assert backbone["median_elected_cache_answers"] >= 1
 
 
+def test_adversity_convergence():
+    """Gossip genuinely converges at every tested loss rate, and the
+    partition/heal cycle never loses discovery."""
+    sweep = run_loss_sweep(loss_rates=(0.0, 0.05, 0.2), members=4)
+    for rate, row in sweep.items():
+        assert row["converged"], f"gossip never converged at loss {rate}"
+        assert row["rounds_to_convergence"] >= 1
+    # Loss actually happened at the lossy rates, and the lossless run
+    # never escalated (peers are heard inside the catch-up window).
+    assert sweep["0"]["frames_dropped"] == 0
+    assert sweep["0.2"]["frames_dropped"] > 0
+    assert sweep["0.2"]["catchup_bytes"] >= sweep["0"]["catchup_bytes"]
+
+    cycle = run_partition_cycle(trials=2, segments=4, nodes=60)
+    for phase, rate in cycle["discovery_success_rate"].items():
+        assert rate == 1.0, f"discovery failed in the {phase!r} phase"
+    assert cycle["median_catchup_escalations"] >= 1
+
+
+def test_adversity_determinism():
+    """Same seed + same fault plan => identical ScenarioOutcome, twice."""
+    runs = [
+        partitioned_campus(seed=11, segments=4, nodes=60) for _ in range(2)
+    ]
+    first, second = runs
+    assert first.latency_ms == second.latency_ms
+    assert first.results == second.results
+    assert first.extras == second.extras
+
+
+def chaos_smoke() -> int:
+    """The CI chaos gate: a seeded lossy partition/heal run, twice, must
+    produce byte-identical outcomes."""
+    rows = []
+    for attempt in range(2):
+        outcome = partitioned_campus(seed=3, segments=4, nodes=80)
+        rows.append({
+            "latency_ms": outcome.latency_ms,
+            "results": outcome.results,
+            "extras": outcome.extras,
+        })
+    if rows[0] != rows[1]:
+        print("chaos smoke FAILED: two identically seeded lossy runs diverged")
+        for key in rows[0]:
+            if rows[0][key] != rows[1][key]:
+                print(f"  {key}: {rows[0][key]!r} != {rows[1][key]!r}")
+        return 1
+    extras = rows[0]["extras"]
+    print("chaos smoke: two seeded partition/heal runs are identical")
+    print(f"  pre/during/post results: {extras['pre_results']}/"
+          f"{extras['during_results']}/{extras['post_results']}")
+    print(f"  gossip catch-up escalations: "
+          f"{extras['gossip']['catchup_escalations']}, "
+          f"election flaps: {extras['election_flaps']}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] == "--chaos-smoke":
+        return chaos_smoke()
     try:
         trials = int(argv[1]) if len(argv) > 1 else 3
         nodes = int(argv[2]) if len(argv) > 2 else 500
@@ -215,6 +394,22 @@ def main(argv: list[str]) -> int:
         print(f"  {size:>2s} gateways: {row['query_translations']} translation(s), "
               f"hit rate {row['cache_hit_rate']:.2f}, "
               f"{row['warm_members_after_gossip']} members gossip-warmed")
+
+    adversity = results["adversity"]
+    print("adversity: gossip convergence vs backbone loss rate:")
+    for rate, row in adversity["loss_sweep"].items():
+        rounds = row["rounds_to_convergence"]
+        print(f"  loss {rate:>4s}: "
+              f"{'converged in ' + str(rounds) + ' round(s)' if row['converged'] else 'DID NOT CONVERGE'}, "
+              f"{row['catchup_escalations']} catch-up(s) "
+              f"({row['catchup_bytes']} bytes), "
+              f"{row['frames_dropped']} frame(s) dropped")
+    cycle = adversity["partition_cycle"]
+    success = cycle["discovery_success_rate"]
+    print(f"adversity: partition/heal cycle discovery success "
+          f"pre {success['pre']:.2f} / during {success['during']:.2f} / "
+          f"post {success['post']:.2f}, "
+          f"{_fmt(cycle['median_election_flaps'], '.0f')} election flap(s)")
     print(f"wrote {RESULT_FILE}")
     return 0
 

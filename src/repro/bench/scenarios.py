@@ -34,6 +34,7 @@ from ..world.scenarios import (
     multi_segment_home_spec,
     native_slp_spec,
     native_upnp_spec,
+    partitioned_campus_spec,
     sharded_backbone_spec,
     slp_to_jini_gateway_spec,
     slp_to_upnp_client_side_spec,
@@ -192,6 +193,15 @@ def federated_campus(
     )
 
 
+def partitioned_campus(
+    seed: int = 0, costs: CostModel = PAPER_TESTBED, **params
+) -> ScenarioOutcome:
+    """The federated campus across a scripted partition/heal cycle with
+    every adversity knob on (lossy gossip link, silent-peer catch-up,
+    wire-carried elections, cold-start escalation)."""
+    return run_world(partitioned_campus_spec(**params), seed=seed, costs=costs)
+
+
 def sharded_backbone(
     seed: int = 0,
     costs: CostModel = PAPER_TESTBED,
@@ -338,6 +348,7 @@ def district_grid(
 #: tier-1 stays fast while the benchmarks keep the full-scale defaults.
 SMALL_SCALE_OVERRIDES: dict[str, dict] = {
     "federated_campus": {"nodes": 120},
+    "partitioned_campus": {"segments": 4, "nodes": 80},
     "sharded_backbone": {"nodes": 120},
     "metro_backbone": {
         "districts": 2,
@@ -387,6 +398,7 @@ SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "gateway_chain": gateway_chain,
     "campus_fanout": campus_fanout,
     "federated_campus": federated_campus,
+    "partitioned_campus": partitioned_campus,
     "sharded_backbone": sharded_backbone,
     "metro_backbone": metro_backbone,
     "media_city": media_city,
@@ -412,6 +424,7 @@ __all__ = [
     "gateway_chain",
     "campus_fanout",
     "federated_campus",
+    "partitioned_campus",
     "sharded_backbone",
     "metro_backbone",
     "media_city",

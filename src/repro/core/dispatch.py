@@ -167,6 +167,14 @@ class DispatchPolicy:
         """Hook invoked after a session fans out to ``targets``; the base
         policy does nothing."""
 
+    def escalate_duplicate(
+        self, indiss: "Indiss", classified: ClassifiedStream
+    ) -> list["Unit"]:
+        """Targets for re-translating a *suppressed duplicate* that the
+        cache could not answer, or ``[]`` to stay silent (the default —
+        only the federated shard-ring policy ever escalates)."""
+        return []
+
 
 class FanOutAllPolicy(DispatchPolicy):
     """The default: fan the request out to every non-origin unit."""
@@ -298,6 +306,45 @@ class ShardRingPolicy(GatewayForwardPolicy):
                 federation.note_cache_answer(role)
             return record
         return super().cache_answer(indiss, session)
+
+    def escalate_duplicate(self, indiss, classified):
+        """Cold-start escalation (knob-gated; off by default).
+
+        The ring owner re-issues a request natively on the backbone only
+        when its federated cache could not answer (``cache_answer`` runs
+        before ``select_targets``), so the owner's own re-issue echoing
+        back as a service-type duplicate is a genuine cold-start signal:
+        the record exists in no fleet cache the owner can see.  Normally
+        every non-owner stays silent on that echo; with
+        ``GatewayFleet.cold_start_escalation`` on, a member re-multicasts
+        the request on its own segments with the decremented wire hop
+        budget — so a service hiding behind a cold, partition-lagged edge
+        is still found, and the wave quiesces because the escalated
+        re-issues come from non-owners (members stay silent on those).
+        """
+        from ..sdp.base import normalize_service_type
+
+        federation = getattr(indiss, "federation", None)
+        if federation is None or not federation.fleet.cold_start_escalation:
+            return []
+        meta = classified.meta
+        requester = meta.source if meta is not None else None
+        if requester is None:
+            return []
+        fleet = federation.fleet
+        if requester.host == federation.member_id:
+            return []
+        if requester.host not in fleet.members:
+            return []
+        wanted = normalize_service_type(
+            classified.service_type or classified.raw_type
+        )
+        if fleet.ring.owner(wanted) != requester.host:
+            return []
+        if classified.hops is not None and classified.hops <= 0:
+            return []
+        federation.stats.cold_start_escalations += 1
+        return list(indiss.units.values())
 
 
 DISPATCH_POLICIES: dict[str, type[DispatchPolicy]] = {

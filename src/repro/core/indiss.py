@@ -80,6 +80,13 @@ class IndissConfig:
     #: decremented budget on the wire (defence in depth against forwarding
     #: loops on cyclic topologies, on top of type-scoped dedup).
     hop_budget: int = 4
+    #: Re-dispatch a request whose translation came back empty, up to this
+    #: many times (lossy paths drop native re-issues, so one silent probe
+    #: is not proof of absence).  0 — the default — disables retries and
+    #: keeps the classic single-shot behaviour bit-identical.
+    translate_retries: int = 0
+    #: Backoff before the first retry; doubles on every further attempt.
+    retry_backoff_us: int = 200_000
     timings: IndissTimings = field(default_factory=IndissTimings)
     #: SSDP responder jitter window for the UPnP unit answering remote
     #: requesters (calibration sets this to the CyberLink window).
@@ -349,6 +356,8 @@ class Indiss:
                     if obs.on:
                         self._obs_session_open(session, classified)
                     self._answer_from_cache(session, record)
+                else:
+                    self._escalate_duplicate(origin_sdp, classified, requester)
             return
 
         session = self.session_manager.open(
@@ -394,6 +403,39 @@ class Indiss:
         if not targets:
             session.complete_with([])
             return
+        self.session_manager.record_translated()
+        self.policy.mark_forwarded(self, session, targets)
+        session.pending_targets = len(targets)
+        for target in targets:
+            target.handle_foreign_request(classified.stream, session)
+
+    def _escalate_duplicate(
+        self, origin_sdp: str, classified: ClassifiedStream, requester
+    ) -> None:
+        """Cold-start escalation of a suppressed duplicate the cache could
+        not answer (see :meth:`DispatchPolicy.escalate_duplicate`).  The
+        policy decides whether the duplicate is worth re-translating — the
+        base policy never is, so this is a no-op outside a federation with
+        ``cold_start_escalation`` armed."""
+        targets = self.policy.escalate_duplicate(self, classified)
+        if not targets:
+            return
+        obs = self.node.network.obs
+        session = self.session_manager.open(
+            origin_sdp, requester, classified.stream, on_reply=self._deliver_reply
+        )
+        session.vars["service_type"] = classified.service_type
+        session.vars["st"] = classified.raw_type
+        if classified.xid is not None:
+            session.vars["xid"] = classified.xid
+        hops = classified.hops
+        session.vars["hops"] = hops if hops is not None else self.config.hop_budget
+        session.log("indiss: cold-start escalation of the ring owner's re-issue")
+        if obs.on:
+            self._obs_session_open(session, classified)
+            obs.metrics.counter(
+                "federation.cold_start.escalations", sdp=origin_sdp
+            ).inc()
         self.session_manager.record_translated()
         self.policy.mark_forwarded(self, session, targets)
         session.pending_targets = len(targets)
@@ -446,6 +488,8 @@ class Indiss:
             self._obs_session_done(session, reply_stream)
         origin_unit = self.units.get(session.origin_sdp)
         if not stream_has_result(reply_stream):
+            if self._maybe_retry(session):
+                return
             # Discovery protocols stay silent on fruitless multicast
             # requests; composing an empty answer would be noise.
             self.session_manager.record_timeout()
@@ -461,6 +505,68 @@ class Indiss:
                 self.cache.store(record)
         if origin_unit is not None:
             origin_unit.compose_reply(reply_stream, session)
+
+    # -- lossy-path retries ----------------------------------------------------------
+
+    def _maybe_retry(self, session: TranslationSession) -> bool:
+        """Re-dispatch an empty translation over a possibly-lossy path.
+
+        A fresh session is opened per attempt (so every attempt's lifecycle
+        is individually recorded), the backoff doubles per attempt, and the
+        give-up after the last attempt is counted in
+        :attr:`SessionStats.gave_up`.  Returns True when a retry was
+        scheduled — the caller then skips the usual timeout accounting.
+        """
+        retries = self.config.translate_retries
+        if retries <= 0 or session.answered_from_cache:
+            return False
+        attempt = int(session.vars.get("attempt", 1))
+        if attempt > retries:
+            self.session_manager.record_gave_up()
+            session.log("indiss: retries exhausted; giving up")
+            return False
+        backoff = self.config.retry_backoff_us * (2 ** (attempt - 1))
+        self.session_manager.record_retry()
+        session.log(f"indiss: empty translation; retry {attempt} in {backoff}us")
+        obs = self.node.network.obs
+        if obs.on:
+            obs.metrics.counter(
+                "core.session.retry", sdp=session.origin_sdp
+            ).inc()
+        self.node.schedule(
+            backoff, lambda: self._retry_dispatch(session, attempt + 1)
+        )
+        return True
+
+    def _retry_dispatch(self, failed: TranslationSession, attempt: int) -> None:
+        """One retry attempt: a fresh session carrying the failed one's
+        request, re-run through the cache-then-dispatch pipeline (the cache
+        may have warmed in the meantime — gossip keeps running during the
+        backoff)."""
+        session = self.session_manager.open(
+            failed.origin_sdp,
+            failed.requester,
+            failed.request_stream,
+            on_reply=self._deliver_reply,
+        )
+        for name, value in failed.vars.items():
+            if not name.startswith("_obs"):
+                session.vars[name] = value
+        session.vars["attempt"] = attempt
+        session.log(f"indiss: retry attempt {attempt}")
+        record = self.policy.cache_answer(self, session)
+        if record is not None:
+            self._answer_from_cache(session, record)
+            return
+        targets = self.policy.select_targets(self, session)
+        if not targets:
+            session.complete_with([])
+            return
+        self.session_manager.record_translated()
+        self.policy.mark_forwarded(self, session, targets)
+        session.pending_targets = len(targets)
+        for target in targets:
+            target.handle_foreign_request(session.request_stream, session)
 
     # -- advertisements --------------------------------------------------------------
 

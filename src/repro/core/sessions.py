@@ -38,6 +38,11 @@ class SessionStats:
     translated: int = 0
     #: Requests dropped because their gateway-forward hop budget ran out.
     hop_budget_drops: int = 0
+    #: Probe re-dispatches after an empty translation (lossy-path retry;
+    #: zero unless ``IndissConfig.translate_retries`` is set).
+    retries: int = 0
+    #: Sessions abandoned after every configured retry came back empty.
+    gave_up: int = 0
 
 
 class RequestDeduper:
@@ -173,6 +178,12 @@ class SessionManager:
 
     def record_timeout(self) -> None:
         self.stats.timed_out += 1
+
+    def record_retry(self) -> None:
+        self.stats.retries += 1
+
+    def record_gave_up(self) -> None:
+        self.stats.gave_up += 1
 
     def record_cache_answer(self, session: TranslationSession) -> None:
         session.answered_from_cache = True

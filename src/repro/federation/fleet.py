@@ -47,6 +47,10 @@ class FederationStats:
     #: Cache answers served by the ring owner because the elected
     #: responder's cache could not answer (gossip lag, or no gossip).
     owner_cache_answers: int = 0
+    #: Cold-start escalations: a member re-translated a request the ring
+    #: owner re-issued because the owner's own translation came back empty
+    #: (knob-gated; see ``GatewayFleet.cold_start_escalation``).
+    cold_start_escalations: int = 0
 
 
 @dataclass
@@ -67,6 +71,12 @@ class FederationHandle:
         self.member_id = member_id
         self.stats = FederationStats()
         self.gossiper: Optional[CacheGossiper] = None
+        #: Wire-carried utilization samples, one per peer:
+        #: member_id -> (sampled_at_us, load).  Filled by the gossiper when
+        #: the fleet runs with ``wire_utilization``; the elector then ranks
+        #: from *this member's view* instead of the shared monitors — so a
+        #: partitioned member's elections can genuinely disagree.
+        self.util_samples: dict[str, tuple[int, float]] = {}
 
     # -- request classification ---------------------------------------------
 
@@ -143,7 +153,9 @@ class FederationHandle:
         if self.fleet.ring.owner(wanted) != self.member_id:
             self.stats.shard_suppressed += 1
             return False
-        elected = self.fleet.elector.responder(wanted, exclude=exclude)
+        elected = self.fleet.elector.responder(
+            wanted, exclude=exclude, viewer=self.member_id
+        )
         if (
             elected is not None
             and elected != self.member_id
@@ -168,7 +180,9 @@ class FederationHandle:
         falls back to answering; None — stay silent.
         """
         wanted = normalize_service_type(service_type)
-        elected = self.fleet.elector.responder(wanted, exclude=exclude)
+        elected = self.fleet.elector.responder(
+            wanted, exclude=exclude, viewer=self.member_id
+        )
         if elected == self.member_id:
             return "elected"
         if self.fleet.ring.owner(wanted) == self.member_id and (
@@ -196,6 +210,8 @@ class GatewayFleet:
         vnodes: int = 64,
         election_window_us: int = 1_000_000,
         election_hold_us: int = 1_000_000,
+        wire_utilization: bool = False,
+        cold_start_escalation: bool = False,
     ):
         self.network = network
         self.segment_name = segment if isinstance(segment, str) else segment.name
@@ -203,6 +219,15 @@ class GatewayFleet:
             raise ValueError(f"network has no segment named {self.segment_name!r}")
         self.ring = ShardRing(vnodes=vnodes)
         self.members: dict[str, FederatedMember] = {}
+        #: Elections rank from wire-carried utilization samples (each
+        #: member's own view) instead of the shared traffic monitors.
+        #: Off by default: the shared-monitor path and its goldens are
+        #: untouched unless a spec opts in.
+        self.wire_utilization = wire_utilization
+        #: A member may re-translate a request the ring owner re-issued
+        #: when the owner's own translation found nothing (cold start
+        #: behind a partition).  Off by default.
+        self.cold_start_escalation = cold_start_escalation
         self.elector = GatewayElector(
             self, window_us=election_window_us, hold_us=election_hold_us
         )
@@ -217,11 +242,13 @@ class GatewayFleet:
         indiss: "Indiss",
         gossip_period_us: Optional[int] = 500_000,
         max_delta_records: Optional[int] = None,
+        catchup_after: Optional[int] = None,
     ) -> FederationHandle:
         """Federate one gateway; returns the handle bound to the instance.
 
         ``gossip_period_us=None`` joins without a gossiper (sharding and
-        election only).
+        election only).  ``catchup_after=k`` arms the gossiper's silent-
+        peer escalation (see :class:`~repro.federation.CacheGossiper`).
         """
         member_id = indiss.node.address
         if member_id in self.members:
@@ -236,6 +263,8 @@ class GatewayFleet:
             kwargs = {}
             if max_delta_records is not None:
                 kwargs["max_delta_records"] = max_delta_records
+            if catchup_after is not None:
+                kwargs["catchup_after"] = catchup_after
             gossiper = CacheGossiper(
                 indiss, self, member_id, period_us=gossip_period_us, **kwargs
             )

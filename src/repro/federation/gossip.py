@@ -26,6 +26,29 @@ record whose implied observation time postdates the deletion (a genuine
 re-announcement) still wins.
 
 Rounds are staggered per member so a fleet does not gossip in lockstep.
+
+**Tombstone TTL contract.**  A tombstone lives for
+``ServiceCache.tombstone_ttl_s`` (15 s) of *virtual* time from the
+deletion; ``_evict`` drops it afterwards.  While it lives, the retraction
+is monotone: no digest/delta exchange can re-learn the dead record (only a
+genuine re-announcement observed after the deletion wins).  After it
+expires, the only remaining guard is the record's own absolute expiry — a
+member that was **detached for longer than the TTL** (fleet churn, a
+partition outlasting 15 s) never saw the tombstone, still holds the
+retracted record, and on reattach will advertise it again; peers whose
+tombstones have TTL'd out will re-adopt it until the record's own lifetime
+runs out.  That resurrection window is pinned by
+``tests/federation/test_adversity.py`` — extending the contract (e.g.
+tombstone catch-up on reattach) must move that test deliberately.
+
+**Loss tolerance.**  Every message here is fire-and-forget UDP: a dropped
+digest simply delays convergence one round, a dropped delta leaves the
+digest disagreement in place so the next round retries.  With
+``catchup_after=k`` set, a member escalates on a peer that stayed silent
+for ``k`` consecutive digests it sent them: it pushes a full catch-up
+delta (live records + live tombstones) directly, skipping the
+digest/delta handshake that keeps being dropped.  Off by default — a
+lossless fleet must gossip byte-identically with the knob absent.
 """
 
 from __future__ import annotations
@@ -78,6 +101,13 @@ class GossipStats:
     #: the same freshness reuse the cached form (``records_sent`` counts
     #: every record that travelled).
     record_encodes: int = 0
+    #: Catch-up escalations fired at peers silent for ``catchup_after``
+    #: consecutive digest rounds (0 unless the knob is set).
+    catchup_escalations: int = 0
+    #: Records pushed inside catch-up deltas.
+    catchup_records: int = 0
+    #: Wire bytes spent on catch-up deltas.
+    catchup_bytes: int = 0
 
 
 def _record_to_wire(key: tuple[str, str], entry) -> dict:
@@ -116,15 +146,22 @@ class CacheGossiper:
         period_us: int = 500_000,
         max_delta_records: int = DEFAULT_MAX_DELTA_RECORDS,
         port: int = GOSSIP_PORT,
+        catchup_after: int | None = None,
     ):
         if period_us <= 0:
             raise ValueError(f"period_us must be positive, got {period_us}")
+        if catchup_after is not None and catchup_after < 1:
+            raise ValueError(f"catchup_after must be >= 1, got {catchup_after}")
         self.indiss = indiss
         self.fleet = fleet
         self.member_id = member_id
         self.period_us = period_us
         self.max_delta_records = max_delta_records
         self.port = port
+        self.catchup_after = catchup_after
+        #: Consecutive digests sent to each peer without hearing anything
+        #: back from it (loss-tolerance escalation; see module docstring).
+        self._silent_rounds: dict[str, int] = {}
         self.stats = GossipStats()
         self._peer_cursor = 0
         #: Encode-once digest: (cache version it was built at, payload).
@@ -158,6 +195,12 @@ class CacheGossiper:
         payload = self._digest_bytes()
         self._send_raw(peer, payload)
         self.stats.digests_sent += 1
+        if self.catchup_after is not None:
+            silent = self._silent_rounds.get(peer, 0) + 1
+            if silent >= self.catchup_after:
+                self._catch_up(peer)
+                silent = 0
+            self._silent_rounds[peer] = silent
         obs = self.indiss.node.network.obs
         if obs.on:
             now = self.indiss.node.now_us
@@ -181,8 +224,9 @@ class CacheGossiper:
         """
         cache = self.indiss.cache
         cache.evict_expired()
+        wire_util = self.fleet.wire_utilization
         cached = self._digest_payload
-        if cached is not None and cached[0] == cache.version:
+        if not wire_util and cached is not None and cached[0] == cache.version:
             return cached[1]
         entries = {
             f"{key[0]}|{key[1]}": expires
@@ -195,10 +239,66 @@ class CacheGossiper:
         message = {"kind": "digest", "from": self.member_id, "entries": entries}
         if tombstones:
             message["tombstones"] = tombstones
+        if wire_util:
+            # Piggyback this member's *locally measured* utilization so
+            # peers elect from wire-carried samples, not shared monitors.
+            # The sample changes every round, so the encode-once cache is
+            # bypassed while the knob is on (off keeps it byte-identical).
+            message["util"] = [
+                self.indiss.node.now_us,
+                round(self.fleet.elector.member_load(self.member_id), 6),
+            ]
         payload = json.dumps(message, sort_keys=True).encode("utf-8")
-        self._digest_payload = (cache.version, payload)
+        if not wire_util:
+            self._digest_payload = (cache.version, payload)
         self.stats.digest_encodes += 1
         return payload
+
+    def _catch_up(self, peer: str) -> None:
+        """Escalate at a silent peer: push a full delta unsolicited.
+
+        ``catchup_after`` consecutive digests to this peer produced no
+        reply of any kind — on a lossy path the two-message handshake may
+        keep failing at either leg, so skip it: send every live record
+        (bounded by ``max_delta_records``) plus live tombstones directly.
+        The peer's ordinary merge path applies whatever it lacks; absolute
+        expiries make replayed records harmless.
+        """
+        records = []
+        for key, entry in self.indiss.cache.live_entries():
+            records.append(self._wire_record(key, entry))
+            if len(records) >= self.max_delta_records:
+                break
+        tombstones = {
+            f"{key[0]}|{key[1]}": [deleted, expires]
+            for key, (deleted, expires) in self.indiss.cache.tombstones().items()
+        }
+        if not records and not tombstones:
+            return
+        delta = {"kind": "delta", "from": self.member_id, "records": records}
+        if tombstones:
+            delta["tombstones"] = tombstones
+            self.stats.tombstones_sent += len(tombstones)
+        payload = json.dumps(delta, sort_keys=True).encode("utf-8")
+        self._send_raw(peer, payload)
+        self.stats.deltas_sent += 1
+        self.stats.records_sent += len(records)
+        self.stats.catchup_escalations += 1
+        self.stats.catchup_records += len(records)
+        self.stats.catchup_bytes += len(payload)
+        obs = self.indiss.node.network.obs
+        if obs.on:
+            obs.metrics.counter(
+                "gossip.catchup.escalations", member=self.member_id
+            ).inc()
+            obs.metrics.counter(
+                "gossip.catchup.bytes", member=self.member_id
+            ).inc(len(payload))
+            obs.trace.instant(
+                "gossip.catchup", self.indiss.node.now_us, self._obs_district(),
+                tid=self.member_id, cat="gossip",
+                args={"peer": peer, "records": len(records)},
+            )
 
     def _obs_district(self) -> int:
         node = self.indiss.node
@@ -226,11 +326,29 @@ class CacheGossiper:
             self.stats.decode_errors += 1
             return
         kind = message.get("kind")
+        sender = str(message.get("from", ""))
+        if sender and sender in self.fleet.members:
+            # Any traffic from a member resets its silent-round counter.
+            if self._silent_rounds.get(sender):
+                self._silent_rounds[sender] = 0
+            util = message.get("util")
+            if isinstance(util, (list, tuple)) and len(util) == 2:
+                self._note_util_sample(sender, util)
         if kind == "digest":
             self._handle_digest(message, datagram.source)
         elif kind == "delta":
             self._handle_delta(message)
         else:
+            self.stats.decode_errors += 1
+
+    def _note_util_sample(self, sender: str, util) -> None:
+        """Adopt a piggybacked utilization sample onto our handle's board."""
+        handle = self.indiss.federation
+        if handle is None:
+            return
+        try:
+            handle.util_samples[sender] = (int(util[0]), float(util[1]))
+        except (TypeError, ValueError):
             self.stats.decode_errors += 1
 
     def _apply_tombstones(self, wires) -> None:

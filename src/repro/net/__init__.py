@@ -23,7 +23,14 @@ from .errors import (
     PortInUseError,
     SocketClosedError,
 )
-from .latency import LatencyModel, LossModel
+from .faults import FaultEvent, FaultPlan, execute_fault
+from .latency import (
+    GilbertElliottLoss,
+    LatencyModel,
+    LossModel,
+    edge_seed,
+    make_loss_model,
+)
 from .network import Network, TraceRecord
 from .node import Node
 from .segment import Bridge, DEFAULT_LINK_LATENCY_US, Link, Router, Segment
@@ -71,6 +78,9 @@ __all__ = [
     "shared_decode",
     "Endpoint",
     "EventHandle",
+    "FaultEvent",
+    "FaultPlan",
+    "GilbertElliottLoss",
     "LatencyModel",
     "Link",
     "LossModel",
@@ -94,7 +104,10 @@ __all__ = [
     "UdpSocket",
     "UdpStack",
     "classify_payload",
+    "edge_seed",
+    "execute_fault",
     "format_trace",
+    "make_loss_model",
     "is_multicast",
     "is_valid_ipv4",
     "ms_to_us",

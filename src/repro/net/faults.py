@@ -1,0 +1,151 @@
+"""Scheduled fault injection: cut/heal links, partition segments, degrade
+loss — deterministically, from one declarative plan.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` records.
+Each event names an *action* and the edge it applies to:
+
+===========  =======================  ========================================
+action       applies to               effect
+===========  =======================  ========================================
+``cut``      ``link=(a, b)``          link goes administratively down; routed
+                                      unicast reroutes or drops, frames in
+                                      flight on the link drop at their trunk
+                                      event (never duplicate)
+``heal``     ``link=(a, b)``          link comes back up; plans rebuild
+``isolate``  ``segment="name"``       every incident link cut (partition)
+``restore``  ``segment="name"``       every incident link healed
+``degrade``  ``segment`` or ``link``  install a seeded loss model (``rate``,
+                                      ``model`` = ``bernoulli``/``gilbert``)
+``clear``    ``segment`` or ``link``  remove the loss model
+===========  =======================  ========================================
+
+Determinism contract: executing a plan arms the network's adversity layer
+(:meth:`Network.enable_faults`) *before* any traffic the caller sends, each
+``degrade`` draws from a dedicated per-edge RNG stream seeded by
+``(seed + seed_offset, edge-name)``, and every state flip happens at an
+exact virtual time — so the same seed and the same plan replay the same
+outcome, run after run and engine after engine.
+
+Under the partitioned engine a plan cannot self-schedule (a timed topology
+mutation inside one shard's window would race the other shards): drive
+faults from ``WorldSpec`` ``Fault``/``Heal`` workload steps instead, which
+apply at barrier-synchronized step boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import NetworkError
+from .latency import make_loss_model
+from .network import Network
+
+_ACTIONS = ("cut", "heal", "isolate", "restore", "degrade", "clear")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``action`` applied to an edge at ``at_us``."""
+
+    at_us: int
+    action: str
+    link: tuple[str, str] | None = None
+    segment: str | None = None
+    rate: float = 0.0
+    model: str = "bernoulli"
+    seed_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r} (expected one of {_ACTIONS})"
+            )
+        if self.at_us < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.action in ("cut", "heal"):
+            if self.link is None:
+                raise ValueError(f"{self.action!r} needs link=(a, b)")
+        elif self.action in ("isolate", "restore"):
+            if self.segment is None:
+                raise ValueError(f"{self.action!r} needs segment=...")
+        else:  # degrade / clear
+            if (self.link is None) == (self.segment is None):
+                raise ValueError(
+                    f"{self.action!r} needs exactly one of link=(a, b) or segment=..."
+                )
+        if self.action == "degrade" and not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {self.rate}")
+
+
+def execute_fault(network: Network, event: FaultEvent, seed: int = 0) -> None:
+    """Apply one fault event to the network right now (both engines)."""
+    action = event.action
+    if action == "cut":
+        network.cut_link(*event.link)
+    elif action == "heal":
+        network.heal_link(*event.link)
+    elif action == "isolate":
+        network.isolate_segment(event.segment)
+    elif action == "restore":
+        network.heal_segment(event.segment)
+    elif action == "degrade":
+        if event.link is not None:
+            edge = "-".join(sorted(event.link))
+            model = make_loss_model(
+                event.model, event.rate, seed + event.seed_offset, edge
+            )
+            network.set_link_loss(event.link[0], event.link[1], model)
+        else:
+            model = make_loss_model(
+                event.model, event.rate, seed + event.seed_offset, event.segment
+            )
+            network.set_segment_loss(event.segment, model)
+    else:  # clear
+        if event.link is not None:
+            network.set_link_loss(event.link[0], event.link[1], None)
+        else:
+            network.set_segment_loss(event.segment, None)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of fault events, executable on one network."""
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    executed: list[tuple[int, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = tuple(sorted(self.events, key=lambda e: e.at_us))
+
+    def schedule(self, network: Network) -> None:
+        """Post every event on the single-engine scheduler.
+
+        Arms the adversity layer immediately, so frames sent before the
+        first cut already carry in-flight drop semantics.  Refused under
+        the partitioned engine — use ``Fault``/``Heal`` workload steps,
+        whose step-boundary application is barrier-synchronized.
+        """
+        if network.engine is not None:
+            raise NetworkError(
+                "FaultPlan.schedule is single-engine only: a timed topology "
+                "mutation inside one shard's window would race the others. "
+                "Drive faults from WorldSpec Fault/Heal workload steps, "
+                "which apply at barrier-synchronized step boundaries."
+            )
+        network.enable_faults()
+        now = network.scheduler.now_us
+        for event in self.events:
+            if event.at_us < now:
+                raise NetworkError(
+                    f"fault at t={event.at_us}us is already in the past (now={now}us)"
+                )
+
+            def fire(event: FaultEvent = event) -> None:
+                execute_fault(network, event, seed=self.seed)
+                self.executed.append((event.at_us, event.action))
+
+            network.scheduler.post(event.at_us - now, fire, label="fault")
+
+
+__all__ = ["FaultEvent", "FaultPlan", "execute_fault"]

@@ -10,6 +10,7 @@ asymmetry is exactly what Figures 8 and 9 measure.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 
@@ -115,9 +116,93 @@ class LossModel:
         return drop
 
 
+@dataclass
+class GilbertElliottLoss:
+    """Two-state burst loss (Gilbert-Elliott) for one edge.
+
+    The channel alternates between a *good* state (loss probability
+    ``loss_good``) and a *bad* state (``loss_bad``).  Per frame, the state
+    first transitions (good->bad with ``p_bad``, bad->good with ``p_good``)
+    and then the frame is dropped with the current state's loss
+    probability.  All draws come from this model's own RNG, so two runs
+    with equal seeds see identical loss sequences regardless of what any
+    other model draws.
+    """
+
+    p_bad: float = 0.05
+    p_good: float = 0.5
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("p_bad", "p_good", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._rng = random.Random(self.seed)
+        self.bad = False
+        self.dropped = 0
+        self.delivered = 0
+
+    def reseed(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self.bad = False
+
+    def should_drop(self) -> bool:
+        if self.bad:
+            if self._rng.random() < self.p_good:
+                self.bad = False
+        else:
+            if self._rng.random() < self.p_bad:
+                self.bad = True
+        rate = self.loss_bad if self.bad else self.loss_good
+        drop = rate > 0.0 and self._rng.random() < rate
+        if drop:
+            self.dropped += 1
+        else:
+            self.delivered += 1
+        return drop
+
+
+def edge_seed(seed: int, edge: str) -> int:
+    """Stable per-edge RNG seed: a dedicated stream for each lossy edge.
+
+    Derived by hashing ``seed`` with the edge's name so that (a) the draw
+    sequence on one edge never depends on which other edges are lossy, and
+    (b) the same ``(seed, edge)`` pair yields the same stream on every
+    platform and run (``hash()`` is salted; ``blake2b`` is not).
+    """
+    digest = hashlib.blake2b(
+        f"{seed}|{edge}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def make_loss_model(model: str, rate: float, seed: int, edge: str):
+    """Build a seeded per-edge loss model (``bernoulli`` or ``gilbert``).
+
+    ``gilbert`` maps ``rate`` onto the classic bursty regime: the channel
+    enters a fully-lossy bad state with probability ``rate`` per frame and
+    escapes with probability 0.5, for an average loss near ``rate`` with
+    the drops clustered into bursts.
+    """
+    if model == "bernoulli":
+        return LossModel(rate=rate, seed=edge_seed(seed, edge))
+    if model == "gilbert":
+        return GilbertElliottLoss(
+            p_bad=rate, p_good=0.5, loss_good=0.0, loss_bad=1.0,
+            seed=edge_seed(seed, edge),
+        )
+    raise ValueError(f"unknown loss model {model!r} (expected bernoulli or gilbert)")
+
+
 __all__ = [
     "LatencyModel",
     "LossModel",
+    "GilbertElliottLoss",
+    "edge_seed",
+    "make_loss_model",
     "DEFAULT_BANDWIDTH_BPS",
     "DEFAULT_LAN_LATENCY_US",
     "DEFAULT_LOOPBACK_LATENCY_US",

@@ -132,6 +132,13 @@ class Network:
         #: Per-segment (frames, bytes) counter cache for the recorder's
         #: hottest site; see :meth:`_obs_count_frame`.
         self._obs_frame_counters: dict = {}
+        #: Adversity layer (all off by default; see :meth:`enable_faults`).
+        #: Per-link loss models keyed by canonical segment pair, cut
+        #: timestamps for fault-window spans, and the sticky flag that
+        #: switches multi-hop unicast onto the fault-aware trunk path.
+        self._link_loss: dict[tuple[str, str], object] = {}
+        self._cut_times: dict[tuple[str, str], int] = {}
+        self._adversity = False
         self.default_segment = self.add_segment(
             self.DEFAULT_SEGMENT, subnet=subnet, latency=self.latency
         )
@@ -281,6 +288,165 @@ class Network:
         for segment in targets:
             segment.attach(node)
 
+    # -- adversity: loss models and fault injection ----------------------------
+
+    def enable_faults(self) -> None:
+        """Arm the adversity layer: multi-hop unicast switches to the
+        fault-aware *trunk* delivery event (one event at the pre-final-hop
+        delay that re-checks link state and draws link loss at delivery
+        time), so frames in flight on a cut link drop instead of landing.
+
+        Sticky for the run.  Never armed implicitly: lossless worlds keep
+        the classic send-time scheduling shape and stay bit-identical to
+        the golden traces.  Builders arm it when a spec carries ``Fault``/
+        ``Heal`` steps; direct API users should arm it before sending
+        traffic they want in-flight cut semantics for.
+        """
+        self._adversity = True
+
+    def set_segment_loss(self, segment: Segment | str, model) -> None:
+        """Install (or clear, with ``None``) a per-segment loss model.
+
+        Drops are drawn per receiver at delivery-event time from the
+        model's own RNG stream, so they replay identically on the single,
+        inline, and multiprocess engines.  Loopback copies never drop.
+        """
+        self._resolve_segment(segment).loss = model
+        if model is not None:
+            self._adversity = True
+
+    def set_link_loss(self, a: Segment | str, b: Segment | str, model) -> None:
+        """Install (or clear, with ``None``) a loss model on link ``a``-``b``.
+
+        Link loss draws once per frame (not per receiver) at the trunk
+        delivery event.  Under the partitioned engine only intra-district
+        links may be lossy; see :meth:`attach_engine`.
+        """
+        seg_a, seg_b = self._resolve_segment(a), self._resolve_segment(b)
+        if not any(
+            link.other(seg_a.name) == seg_b.name
+            for link in self.router._adjacency.get(seg_a.name, ())
+        ):
+            raise NetworkError(
+                f"no link between segments {seg_a.name!r} and {seg_b.name!r}"
+            )
+        pair = Router.pair(seg_a.name, seg_b.name)
+        if model is None:
+            self._link_loss.pop(pair, None)
+            return
+        if self.engine is not None:
+            pmap = self.engine.pmap
+            if pmap.pid_of.get(pair[0]) != pmap.pid_of.get(pair[1]):
+                raise NetworkError(
+                    f"cross-district link {pair[0]}-{pair[1]} cannot carry a "
+                    "loss model under the partitioned engine: its drop draws "
+                    "would make one district's RNG depend on another "
+                    "district's traffic"
+                )
+        self._link_loss[pair] = model
+        self._adversity = True
+
+    def cut_link(self, a: Segment | str, b: Segment | str) -> bool:
+        """Administratively cut link ``a``-``b``; True when state changed.
+
+        Routing immediately excludes the link (cached delivery plans
+        expire through ``topology_version``); with faults armed, frames
+        already in flight across it drop at their trunk event.
+        """
+        seg_a, seg_b = self._resolve_segment(a), self._resolve_segment(b)
+        self._adversity = True
+        changed = self.router.set_link_state(seg_a.name, seg_b.name, up=False)
+        if changed:
+            pair = Router.pair(seg_a.name, seg_b.name)
+            self._cut_times[pair] = self.scheduler.now_us
+            self._obs_link_state(pair, up=False)
+        return changed
+
+    def heal_link(self, a: Segment | str, b: Segment | str) -> bool:
+        """Bring link ``a``-``b`` back up; True when state changed."""
+        seg_a, seg_b = self._resolve_segment(a), self._resolve_segment(b)
+        changed = self.router.set_link_state(seg_a.name, seg_b.name, up=True)
+        if changed:
+            pair = Router.pair(seg_a.name, seg_b.name)
+            self._obs_link_state(pair, up=True, cut_at=self._cut_times.pop(pair, None))
+        return changed
+
+    def isolate_segment(self, segment: Segment | str) -> list[tuple[str, str]]:
+        """Cut every up link incident to ``segment`` (network partition).
+
+        Returns the canonical pairs cut, for a later selective heal.
+        Multicast stays segment-scoped as always; this only severs routed
+        unicast in and out of the segment.
+        """
+        seg = self._resolve_segment(segment)
+        cut: list[tuple[str, str]] = []
+        for a, b, _latency in self.router.links():
+            if seg.name in (a, b) and self.router.link_is_up(a, b):
+                self.cut_link(a, b)
+                cut.append(Router.pair(a, b))
+        return cut
+
+    def heal_segment(self, segment: Segment | str) -> None:
+        """Heal every down link incident to ``segment``."""
+        seg = self._resolve_segment(segment)
+        for a, b, _latency in self.router.links():
+            if seg.name in (a, b) and not self.router.link_is_up(a, b):
+                self.heal_link(a, b)
+
+    def loss_report(self) -> dict[str, dict[str, int]]:
+        """Dropped/delivered totals per lossy edge (bench + test probe)."""
+        report: dict[str, dict[str, int]] = {}
+        for name, seg in sorted(self.segments.items()):
+            if seg.loss is not None:
+                report[f"segment:{name}"] = {
+                    "dropped": seg.loss.dropped, "delivered": seg.loss.delivered
+                }
+        for (a, b), model in sorted(self._link_loss.items()):
+            report[f"link:{a}-{b}"] = {
+                "dropped": model.dropped, "delivered": model.delivered
+            }
+        if self.loss is not None:
+            report["global"] = {
+                "dropped": self.loss.dropped, "delivered": self.loss.delivered
+            }
+        return report
+
+    def _obs_loss_drop(self, edge: str, segment_name: str, kind: str = "drops") -> None:
+        """Count one adversity drop, gated by district ownership like
+        :meth:`_obs_count_frame` (drops draw on the owning shard only)."""
+        obs = self.obs
+        if not obs.on:
+            return
+        pmap = self.partition_map
+        pid = pmap.pid_of.get(segment_name, 0) if pmap is not None else 0
+        if obs.owns(pid):
+            obs.metrics.counter(f"net.loss.{kind}", edge=edge).inc()
+
+    def _obs_link_state(
+        self, pair: tuple[str, str], up: bool, cut_at: int | None = None
+    ) -> None:
+        """Gauge + fault-window span for one link state flip."""
+        obs = self.obs
+        if not obs.on:
+            return
+        pmap = self.partition_map
+        pid = pmap.pid_of.get(pair[0], 0) if pmap is not None else 0
+        if not obs.owns(pid):
+            return
+        name = f"{pair[0]}-{pair[1]}"
+        now = self.scheduler.now_us
+        obs.metrics.gauge("net.link.state", link=name).set(1 if up else 0)
+        if up:
+            if cut_at is not None:
+                obs.trace.span(
+                    "net.fault.window", cut_at, now - cut_at, pid,
+                    cat="fault", args={"link": name},
+                )
+        else:
+            obs.trace.instant(
+                "net.link.cut", now, pid, cat="fault", args={"link": name}
+            )
+
     # -- partitions & the parallel engine -------------------------------------
 
     def freeze_partitions(self, pmap: PartitionMap) -> None:
@@ -305,12 +471,29 @@ class Network:
             ]
 
     def attach_engine(self, engine: "ShardedScheduler") -> None:
-        """Bind a partitioned engine (its façade is ``self.scheduler``)."""
+        """Bind a partitioned engine (its façade is ``self.scheduler``).
+
+        Loss is allowed under the engine only where its draws stay inside
+        one district's event order: a *global* loss model (one RNG drawn
+        across districts) and *cross-district* lossy links are rejected;
+        intra-district segment and link loss models are fine because their
+        drops are drawn at delivery-event time on the owning shard.
+        """
         if self.loss is not None:
             raise NetworkError(
-                "the partitioned engine does not support a loss model: "
-                "per-receiver drop draws are not reproducible across shards"
+                "the partitioned engine does not support a global loss "
+                "model: one shared RNG drawn across districts is not "
+                "reproducible across shards — use set_segment_loss or "
+                "set_link_loss on intra-district edges instead"
             )
+        pmap = engine.pmap
+        for a, b in self._link_loss:
+            if pmap.pid_of.get(a) != pmap.pid_of.get(b):
+                raise NetworkError(
+                    f"cross-district link {a}-{b} cannot carry a loss model "
+                    "under the partitioned engine: its drop draws would make "
+                    "one district's RNG depend on another district's traffic"
+                )
         self.engine = engine
         engine.bind(self)
         self.freeze_partitions(engine.pmap)
@@ -399,9 +582,10 @@ class Network:
 
     def _route_segments(
         self, sender: Node, target: Node
-    ) -> Optional[tuple[tuple[Segment, ...], int]]:
-        """Delivery plan for a unicast frame: traversed segments plus the
-        total link latency.  Returns None when no path exists.
+    ) -> Optional[tuple[tuple[Segment, ...], int, tuple[tuple[str, str], ...]]]:
+        """Delivery plan for a unicast frame: traversed segments, total
+        link latency, and the canonical pairs of the links crossed (empty
+        for same-segment delivery).  Returns None when no path exists.
 
         Plans are memoized per (sender, target) address pair — steady-state
         traffic between two hosts costs one dict hit.  The memo is flushed
@@ -426,11 +610,11 @@ class Network:
 
     def _compute_route(
         self, sender: Node, target: Node
-    ) -> Optional[tuple[tuple[Segment, ...], int]]:
+    ) -> Optional[tuple[tuple[Segment, ...], int, tuple[tuple[str, str], ...]]]:
         """Uncached plan assembly: direct delivery or the router's path."""
         for seg in sender.segments:
             if target in seg:
-                return (seg,), 0
+                return (seg,), 0, ()
         best = self.router.route(
             (s.name for s in sender.segments), (s.name for s in target.segments)
         )
@@ -438,13 +622,15 @@ class Network:
             return None
         source_name, hops = best
         traversed = [self.segments[source_name]]
+        link_pairs = []
         cursor = source_name
         link_latency = 0
         for hop in hops:
             cursor = hop.other(cursor)
             traversed.append(self.segments[cursor])
+            link_pairs.append(Router.pair(hop.a, hop.b))
             link_latency += hop.latency_us
-        return tuple(traversed), link_latency
+        return tuple(traversed), link_latency, tuple(link_pairs)
 
     def unicast_delay_us(
         self, sender: Node, remote_host: str, size_bytes: int, loopback: bool = False
@@ -466,7 +652,7 @@ class Network:
         route = self._route_segments(sender, target)
         if route is None:
             return None
-        traversed, link_latency = route
+        traversed, link_latency, _pairs = route
         return sum(seg.delay_us(size_bytes) for seg in traversed) + link_latency
 
     # -- decode accounting -----------------------------------------------------
@@ -599,22 +785,69 @@ class Network:
             self._record_on_segment(sender.segment, datagram, multicast=False)
             self.unrouted += 1
             return
-        traversed, link_latency = route
+        traversed, link_latency, link_pairs = route
         pmap = self.partition_map
         if pmap is not None and len(traversed) > 1:
             src_pid = pmap.pid_of.get(traversed[0].name)
             dst_pid = pmap.pid_of.get(traversed[-1].name)
             if src_pid is not None and dst_pid is not None and src_pid != dst_pid:
+                # Cross-district frames are exempt from per-edge loss in
+                # both engines: a delivery-time draw on the far side would
+                # make the destination district's RNG order depend on the
+                # source district's traffic interleaving.
                 self._deliver_cross(
                     sender, datagram, traversed, link_latency, src_pid, dst_pid
                 )
                 return
         for segment in traversed:
             self._record_on_segment(segment, datagram, multicast=False)
+        if link_pairs and self._adversity:
+            self._deliver_trunk(target, datagram, traversed, link_latency, link_pairs)
+            return
         # Upstream (pre-final-hop) cost is drawn once; the final-segment
         # delay is drawn per receiving socket, like local delivery.
         prefix = sum(s.delay_us(size) for s in traversed[:-1]) + link_latency
         self._schedule_delivery(target, datagram, False, traversed[-1], prefix)
+
+    def _deliver_trunk(
+        self,
+        target: Node,
+        datagram: Datagram,
+        traversed: tuple[Segment, ...],
+        link_latency: int,
+        link_pairs: tuple[tuple[str, str], ...],
+    ) -> None:
+        """Fault-aware multi-hop unicast (faults armed only).
+
+        One *trunk* event fires after the upstream cost; at that moment —
+        not at send time — it re-checks link state (a frame in flight on a
+        freshly cut link drops, never duplicates) and draws each lossy
+        link's model once per frame, then hands off to the normal
+        final-segment per-socket delivery.  All draws happen in delivery
+        event order on the district that owns the path, so seeded fault
+        runs replay identically on every engine backend.
+        """
+        size = len(datagram.payload)
+        prefix = sum(s.delay_us(size) for s in traversed[:-1]) + link_latency
+        final = traversed[-1]
+        router = self.router
+
+        def on_trunk() -> None:
+            if router.any_down(link_pairs):
+                self._obs_loss_drop(
+                    f"{link_pairs[0][0]}-{link_pairs[0][1]}",
+                    final.name,
+                    kind="inflight_dropped",
+                )
+                return
+            for pair in link_pairs:
+                model = self._link_loss.get(pair)
+                if model is not None and model.should_drop():
+                    self._obs_loss_drop(f"{pair[0]}-{pair[1]}", final.name)
+                    return
+            self._schedule_delivery(target, datagram, False, final, 0)
+
+        self.scheduler_for(target).post(prefix, on_trunk, label="udp-trunk")
 
     def _deliver_cross(
         self,
@@ -769,8 +1002,15 @@ class Network:
             def deliver_lan(segment: Segment = segment, drop: bool = drop) -> None:
                 if drop:
                     return
+                # Per-edge loss draws happen here, at delivery-event time
+                # on the owning shard — never at send time, where the
+                # workload replay in forked workers would diverge RNGs.
+                loss = segment.loss
                 for sock in segment.group_members(group, port):
                     if sock.node is sender:
+                        continue
+                    if loss is not None and loss.should_drop():
+                        self._obs_loss_drop(segment.name, segment.name)
                         continue
                     sock.deliver(datagram)
 
@@ -819,6 +1059,18 @@ class Network:
         if self.loss is not None and not loopback and self.loss.should_drop():
             return
         delay = prefix_delay + segment.delay_us(len(datagram.payload), loopback=loopback)
+        loss = segment.loss
+        if loss is not None and not loopback:
+            # Adversity: draw the drop at delivery-event time (owning
+            # shard), not here — send paths replay in forked workers.
+            def deliver_lossy() -> None:
+                if loss.should_drop():
+                    self._obs_loss_drop(segment.name, segment.name)
+                    return
+                sock.deliver(datagram)
+
+            self.scheduler_for(sock.node).post(delay, deliver_lossy, label="udp-delivery")
+            return
         self.scheduler_for(sock.node).post(
             delay, lambda: sock.deliver(datagram), label="udp-delivery"
         )

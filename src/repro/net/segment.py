@@ -64,6 +64,11 @@ class Segment:
         #: Per-segment accounting; the acceptance tests for multicast
         #: confinement read these counters.
         self.traffic = TrafficMonitor(self.latency.bandwidth_bps)
+        #: Optional per-edge loss model (adversity layer).  ``None`` — the
+        #: default — keeps delivery draw-free and bit-identical to the
+        #: lossless golden traces.  Set via ``Network.set_segment_loss``;
+        #: drops are drawn at delivery-event time on the owning shard.
+        self.loss = None
 
     # -- membership ---------------------------------------------------------
 
@@ -180,6 +185,48 @@ class Router:
         self._adjacency: dict[str, list[Link]] = {}
         self._paths: dict[tuple[str, str], Optional[tuple[Link, ...]]] = {}
         self.topology_version = 0
+        #: Administratively-down segment pairs (fault injection).  A pair
+        #: covers every parallel link between its endpoints; empty in any
+        #: fault-free run, so the BFS below never pays for the check.
+        self._down_pairs: set[tuple[str, str]] = set()
+
+    @staticmethod
+    def pair(a: str, b: str) -> tuple[str, str]:
+        """Canonical (sorted) key for the segment pair of one link."""
+        return (a, b) if a <= b else (b, a)
+
+    def set_link_state(self, a: str, b: str, up: bool) -> bool:
+        """Mark the ``a``-``b`` link up or down; True when state changed.
+
+        Routing treats a down link as absent: cached paths are dropped and
+        ``topology_version`` bumps so memoized delivery plans rebuilt from
+        the surviving graph.  Raises when no such link exists.
+        """
+        key = self.pair(a, b)
+        if not any(link.other(a) == b for link in self._adjacency.get(a, ())):
+            raise NetworkError(f"no link between segments {a!r} and {b!r}")
+        if up:
+            changed = key in self._down_pairs
+            self._down_pairs.discard(key)
+        else:
+            changed = key not in self._down_pairs
+            self._down_pairs.add(key)
+        if changed:
+            self._paths.clear()
+            self.topology_version += 1
+        return changed
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        return self.pair(a, b) not in self._down_pairs
+
+    def any_down(self, pairs) -> bool:
+        """True when any of the given canonical pairs is currently down."""
+        if not self._down_pairs:
+            return False
+        return any(p in self._down_pairs for p in pairs)
+
+    def down_pairs(self) -> set[tuple[str, str]]:
+        return set(self._down_pairs)
 
     def connect(self, a: str, b: str, latency_us: int = DEFAULT_LINK_LATENCY_US) -> Link:
         if a == b:
@@ -224,11 +271,14 @@ class Router:
         frontier: deque[str] = deque([source])
         seen = {source}
         found = False
+        down = self._down_pairs
         while frontier and not found:
             current = frontier.popleft()
             for link in self._adjacency.get(current, ()):
                 nxt = link.other(current)
                 if nxt in seen:
+                    continue
+                if down and self.pair(link.a, link.b) in down:
                     continue
                 seen.add(nxt)
                 parents[nxt] = (current, link)

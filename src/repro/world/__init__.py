@@ -37,8 +37,10 @@ from .spec import (
     CpChatter,
     Delta,
     Emit,
+    Fault,
     Fill,
     FleetSpec,
+    Heal,
     GenaFeed,
     GenaSubscriber,
     HostSpec,
@@ -97,6 +99,8 @@ __all__ = [
     "Chatter",
     "CpChatter",
     "Churn",
+    "Fault",
+    "Heal",
     "SetConfig",
     "Snapshot",
     "Delta",

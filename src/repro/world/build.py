@@ -47,8 +47,10 @@ from .spec import (
     CpChatter,
     Delta,
     Emit,
+    Fault,
     Fill,
     FleetSpec,
+    Heal,
     GenaFeed,
     GenaSubscriber,
     HostSpec,
@@ -138,6 +140,9 @@ class World:
         #: load group -> per-client accounting dicts (Chatter/CpChatter/Churn).
         self.load_groups: dict[str, list] = {}
         self.probes: dict[str, ProbeHandle] = {}
+        #: host name -> home segments, for ``Fault(kind="detach")`` /
+        #: ``Heal(kind="attach")`` round trips.
+        self._detached_hosts: dict[str, list] = {}
         self.extras: dict = {}
         self._snapshots: dict[str, dict] = {}
         self._headline: Optional[str] = None
@@ -214,6 +219,10 @@ class World:
                 net.freeze_partitions(pmap)
         world = cls(spec, net, seed, costs)
         world.engine_kind = engine
+        if any(isinstance(s, (Fault, Heal)) for s in spec.workload):
+            # Armed before any traffic, so frames already in flight when a
+            # later Fault cuts their link take the trunk path and drop.
+            net.enable_faults()
         if record:
             recording = record if isinstance(record, Recording) else Recording()
             net.obs = recording
@@ -256,11 +265,17 @@ class World:
         elif isinstance(element, FleetSpec):
             from ..federation import GatewayFleet
 
-            fleet = GatewayFleet(self.net, element.backbone)
+            fleet = GatewayFleet(
+                self.net,
+                element.backbone,
+                wire_utilization=element.wire_utilization,
+                cold_start_escalation=element.cold_start_escalation,
+            )
             for member in element.members:
                 fleet.join(
                     self._app(member, "indiss"),
                     gossip_period_us=element.gossip_period_us,
+                    catchup_after=element.catchup_after,
                 )
             self.fleets[element.name] = fleet
             self._fleet_specs[element.name] = element
@@ -584,6 +599,10 @@ class World:
             self._start_cp_chatter(step)
         elif isinstance(step, Churn):
             self._run_churn(step)
+        elif isinstance(step, Fault):
+            self._apply_fault(step)
+        elif isinstance(step, Heal):
+            self._apply_heal(step)
         elif isinstance(step, SetConfig):
             self._set_config(step)
         elif isinstance(step, Snapshot):
@@ -784,10 +803,72 @@ class World:
             group.append(record)
             self.net.run(duration_us=step.down_us)
             self.net.reattach_node(node, home_segments)
-            fleet.join(instance, gossip_period_us=spec.gossip_period_us)
+            fleet.join(
+                instance,
+                gossip_period_us=spec.gossip_period_us,
+                catchup_after=spec.catchup_after,
+            )
             record["rejoined"] = True
             record["ring_size_up"] = len(fleet.ring)
             self.net.run(duration_us=step.recover_us)
+
+    def _apply_fault(self, step: Fault) -> None:
+        """Inject one adversity condition, effective at the current time."""
+        net = self.net
+        if step.kind == "cut":
+            net.cut_link(*step.link)
+        elif step.kind == "isolate":
+            net.isolate_segment(net.segment(step.segment))
+        elif step.kind == "degrade":
+            from ..net import make_loss_model
+
+            seed = self.seed + step.seed_offset
+            if step.link is not None:
+                edge = "-".join(sorted(step.link))
+                model = make_loss_model(step.model, step.rate, seed, edge)
+                net.set_link_loss(step.link[0], step.link[1], model)
+            else:
+                segment = net.segment(step.segment)
+                model = make_loss_model(step.model, step.rate, seed, segment.name)
+                net.set_segment_loss(segment, model)
+        elif step.kind == "detach":
+            node = self.hosts[step.host]
+            self._detached_hosts[step.host] = list(node.segments)
+            net.detach_node(node)
+        else:
+            raise BuildError(f"unknown fault kind {step.kind!r}")
+
+    def _apply_heal(self, step: Heal) -> None:
+        net = self.net
+        if step.kind == "link":
+            net.heal_link(*step.link)
+        elif step.kind == "segment":
+            net.heal_segment(net.segment(step.segment))
+        elif step.kind == "attach":
+            home = self._detached_hosts.pop(step.host, None)
+            if home is None:
+                raise BuildError(
+                    f"heal attach: host {step.host!r} is not detached"
+                )
+            net.reattach_node(self.hosts[step.host], home)
+        elif step.kind == "clear":
+            if step.link is not None:
+                net.set_link_loss(step.link[0], step.link[1], None)
+            else:
+                net.set_segment_loss(net.segment(step.segment), None)
+        elif step.kind == "all":
+            for pair in sorted(net.router.down_pairs()):
+                net.heal_link(*pair)
+            for pair in sorted(net._link_loss):
+                net.set_link_loss(pair[0], pair[1], None)
+            for segment in net.segments.values():
+                if segment.loss is not None:
+                    net.set_segment_loss(segment, None)
+            for host in sorted(self._detached_hosts):
+                net.reattach_node(self.hosts[host], self._detached_hosts[host])
+            self._detached_hosts.clear()
+        else:
+            raise BuildError(f"unknown heal kind {step.kind!r}")
 
     def _set_config(self, step: SetConfig) -> None:
         targets: list[Indiss] = []

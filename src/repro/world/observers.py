@@ -195,6 +195,9 @@ def fleet_stats(world, fleet=None) -> dict:
     if handle is not None:
         extras["federation"] = handle.aggregate_stats()
         extras["gossip"] = handle.aggregate_gossip_stats()
+        extras["election_flaps"] = handle.elector.flaps
+        extras["session_retries"] = sum(i.stats.retries for i in instances)
+        extras["session_gave_up"] = sum(i.stats.gave_up for i in instances)
     return extras
 
 

@@ -34,8 +34,10 @@ from .spec import (
     CpChatter,
     Delta,
     Emit,
+    Fault,
     Fill,
     FleetSpec,
+    Heal,
     GenaFeed,
     GenaSubscriber,
     HostSpec,
@@ -458,6 +460,91 @@ def federated_campus_spec(
     return WorldSpec(
         name="federated_campus",
         description="The campus backbone with the leaf gateways running as one fleet.",
+        elements=tuple(elements),
+        workload=workload,
+    )
+
+
+def partitioned_campus_spec(
+    segments: int = 6,
+    nodes: int = 500,
+    gossip_period_us: int = 200_000,
+    warmup_us: int = 1_500_000,
+    hold_us: int = 2_000_000,
+    recover_us: int = 2_000_000,
+    catchup_after: int = 2,
+    degrade_rate: float = 0.05,
+) -> WorldSpec:
+    """The federated campus under a scripted partition/heal cycle.
+
+    The fleet runs with every adversity knob on (wire-carried election
+    samples, silent-peer catch-up, cold-start escalation).  After gossip
+    warms the caches, the service-side leaf is partitioned off — its
+    backbone link cut and its gateway detached — while the client-side
+    backbone link degrades to a lossy Bernoulli link; a mid-partition
+    probe must still succeed from the client edge's gossiped cache, and a
+    post-heal probe confirms recovery.
+    """
+    from dataclasses import replace
+
+    elements, leaves, members = _campus_fleet_elements(
+        segments, nodes, gossip_period_us, True,
+        wide_subnets=nodes > 200 * segments,
+    )
+    elements = [
+        replace(
+            el,
+            catchup_after=catchup_after,
+            wire_utilization=True,
+            cold_start_escalation=True,
+        )
+        if isinstance(el, FleetSpec)
+        else el
+        for el in elements
+    ]
+    elements += [
+        HostSpec("client", segment=leaves[0]),
+        HostSpec("service", segment=leaves[-1]),
+        SlpClient(host="client"),
+        ClockDevice(host="service", advertise=True),
+    ]
+    far_leaf, far_gateway = leaves[-1], members[-1]
+    fleet_params = (("fleet", "fleet"),)
+    workload = (
+        Run(warmup_us),
+        Collect("warm_members", key="warm_members_after_gossip", params=fleet_params),
+        SetConfig("answer_from_cache", True, hosts=tuple(members)),
+        Probe(
+            "pre", "service:clock", host="client",
+            horizon_us=1_000_000, headline=True, extras_prefix="pre",
+        ),
+        Snapshot("pre_partition", ("translations",)),
+        # Partition the service leaf; degrade the client leaf's backbone
+        # link so the surviving fleet gossips over a lossy path.
+        Fault("degrade", link=(leaves[0], "lan0"), rate=degrade_rate),
+        Fault("cut", link=(far_leaf, "lan0")),
+        Fault("detach", host=far_gateway),
+        Run(hold_us),
+        Probe(
+            "during", "service:clock", host="client",
+            horizon_us=1_000_000, extras_prefix="during",
+        ),
+        Heal("link", link=(far_leaf, "lan0")),
+        Heal("attach", host=far_gateway),
+        Heal("clear", link=(leaves[0], "lan0")),
+        Run(recover_us),
+        Probe(
+            "post", "service:clock", host="client",
+            horizon_us=1_000_000, extras_prefix="post",
+        ),
+        Delta("cycle_translations", "translations", "pre_partition"),
+        Collect("fleet", params=fleet_params),
+        Emit("partitioned_leaf", far_leaf),
+    )
+    return WorldSpec(
+        name="partitioned_campus",
+        description="The federated campus across one partition/heal cycle "
+        "with lossy backbone gossip and every adversity knob on.",
         elements=tuple(elements),
         workload=workload,
     )
@@ -1117,6 +1204,7 @@ SCENARIO_SPECS: dict[str, Callable[..., WorldSpec]] = {
     "gateway_chain": gateway_chain_spec,
     "campus_fanout": campus_fanout_spec,
     "federated_campus": federated_campus_spec,
+    "partitioned_campus": partitioned_campus_spec,
     "sharded_backbone": sharded_backbone_spec,
     "metro_backbone": metro_backbone_spec,
     "media_city": media_city_spec,

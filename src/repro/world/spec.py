@@ -100,6 +100,16 @@ class FleetSpec:
     backbone: str
     members: tuple[str, ...] = ()
     gossip_period_us: Optional[int] = 500_000
+    #: Arm the gossipers' silent-peer catch-up: after this many rounds
+    #: without hearing a peer, push it a full live-state delta (see
+    #: :class:`~repro.federation.CacheGossiper`).  None — off.
+    catchup_after: Optional[int] = None
+    #: Elections rank from wire-carried utilization samples piggybacked on
+    #: gossip digests instead of the shared traffic monitors.
+    wire_utilization: bool = False
+    #: Members re-translate a request the ring owner re-issued when the
+    #: owner's own translation came back empty (cold start).
+    cold_start_escalation: bool = False
 
 
 @dataclass(frozen=True)
@@ -379,6 +389,58 @@ class Churn:
 
 
 @dataclass(frozen=True)
+class Fault:
+    """Inject one adversity condition, effective immediately.
+
+    Kinds (see :mod:`repro.net.faults` for the underlying semantics):
+
+    * ``"cut"`` — take ``link=(a, b)`` down; unicast reroutes around it
+      (or drops when no path survives) and frames in flight on it are lost;
+    * ``"isolate"`` — cut every up link incident to ``segment``;
+    * ``"degrade"`` — attach a seeded loss model (``model`` is
+      ``"bernoulli"`` or ``"gilbert"``, ``rate`` its loss/burst-entry
+      probability) to exactly one of ``link``/``segment``;
+    * ``"detach"`` — take ``host`` off the network entirely (its route
+      plans and multicast index entries drop), remembering its home
+      segments for a later ``Heal(kind="attach")``.
+
+    ``World.build`` arms the network's adversity machinery whenever the
+    spec carries a Fault step; specs without one stay bit-identical to
+    their goldens.
+    """
+
+    kind: str
+    link: Optional[tuple[str, str]] = None
+    segment: Optional[str] = None
+    host: Optional[str] = None
+    rate: float = 0.0
+    model: str = "bernoulli"
+    seed_offset: int = 0
+
+    KINDS = ("cut", "isolate", "degrade", "detach")
+
+
+@dataclass(frozen=True)
+class Heal:
+    """Undo prior :class:`Fault` conditions, effective immediately.
+
+    Kinds: ``"link"`` — bring ``link=(a, b)`` back up; ``"segment"`` —
+    restore every link incident to ``segment``; ``"attach"`` — re-attach
+    a detached ``host`` onto its remembered home segments; ``"clear"`` —
+    remove the loss model from exactly one of ``link``/``segment``;
+    ``"all"`` — heal every down link, clear every loss model, re-attach
+    every detached host.
+    """
+
+    kind: str = "all"
+    link: Optional[tuple[str, str]] = None
+    segment: Optional[str] = None
+    host: Optional[str] = None
+
+    KINDS = ("link", "segment", "attach", "clear", "all")
+
+
+@dataclass(frozen=True)
 class SetConfig:
     """Flip one config field on a fleet's members (or named hosts)."""
 
@@ -456,6 +518,8 @@ WORKLOAD_STEPS = (
     Chatter,
     CpChatter,
     Churn,
+    Fault,
+    Heal,
     SetConfig,
     Snapshot,
     Delta,
@@ -634,6 +698,8 @@ class WorldSpec:
                 for host in step.hosts:
                     if host not in hosts:
                         problems.append(f"{where}: unknown host {host!r}")
+            elif isinstance(step, (Fault, Heal)):
+                self._check_fault_step(step, segments, hosts, where, problems)
             elif isinstance(step, Check) and step.host is not None:
                 if step.host not in hosts:
                     problems.append(f"{where}: unknown host {step.host!r}")
@@ -651,6 +717,51 @@ class WorldSpec:
             problems.append(f"{where}: bad segment reference {segment!r}")
         elif segment != "lan0" and segment not in segments:
             problems.append(f"{where}: unknown segment {segment!r}")
+
+    @staticmethod
+    def _check_fault_step(step, segments, hosts, where, problems) -> None:
+        is_fault = isinstance(step, Fault)
+        label = "fault" if is_fault else "heal"
+        if step.kind not in type(step).KINDS:
+            problems.append(f"{where}: unknown {label} kind {step.kind!r}")
+            return
+
+        def known_segment(name: str) -> bool:
+            return name == "lan0" or name in segments
+
+        # Which operand each kind requires: exactly that one, nothing else.
+        needs = {
+            "cut": "link",
+            "isolate": "segment",
+            "detach": "host",
+            "link": "link",
+            "segment": "segment",
+            "attach": "host",
+        }.get(step.kind)
+        if step.kind in ("degrade", "clear"):
+            if (step.link is None) == (step.segment is None):
+                problems.append(
+                    f"{where}: {label} {step.kind!r} needs exactly one of "
+                    f"link/segment"
+                )
+        elif needs is not None and getattr(step, needs) is None:
+            problems.append(f"{where}: {label} {step.kind!r} needs {needs}")
+        if step.link is not None:
+            if len(step.link) != 2:
+                problems.append(f"{where}: link must be a (a, b) pair")
+            else:
+                for end in step.link:
+                    if not known_segment(end):
+                        problems.append(f"{where}: link end {end!r} unknown")
+        if step.segment is not None and not known_segment(step.segment):
+            problems.append(f"{where}: unknown segment {step.segment!r}")
+        if step.host is not None and step.host not in hosts:
+            problems.append(f"{where}: unknown host {step.host!r}")
+        if is_fault and step.kind == "degrade":
+            if not (0.0 <= step.rate < 1.0):
+                problems.append(f"{where}: degrade rate {step.rate!r} not in [0, 1)")
+            if step.model not in ("bernoulli", "gilbert"):
+                problems.append(f"{where}: unknown loss model {step.model!r}")
 
     @staticmethod
     def _check_load_step(step, segments, where, problems) -> None:
@@ -791,6 +902,8 @@ __all__ = [
     "Chatter",
     "CpChatter",
     "Churn",
+    "Fault",
+    "Heal",
     "SetConfig",
     "Snapshot",
     "Delta",

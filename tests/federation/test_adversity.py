@@ -1,0 +1,226 @@
+"""Federation under adversity: gossip catch-up over lossy backbones,
+wire-sample elections disagreeing across partitions, cold-start
+escalation, and the tombstone-TTL resurrection contract."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import Indiss, IndissConfig, Network, ServiceRecord
+from repro.federation import GatewayFleet
+from repro.net import Endpoint, make_loss_model
+from repro.sdp.base import normalize_service_type
+
+PERIOD_US = 100_000
+
+
+def build_fleet(
+    member_count=2,
+    gossip_period_us=PERIOD_US,
+    catchup_after=None,
+    wire_utilization=False,
+    cold_start_escalation=False,
+    backbone_loss=0.0,
+    seed=0,
+):
+    """Bridged, federated gateways with the adversity knobs exposed."""
+    net = Network()
+    backbone = net.default_segment
+    instances = []
+    for i in range(member_count):
+        leaf = net.add_segment(f"leaf{i}")
+        net.link(backbone, leaf)
+        gateway = net.add_node(f"gateway{i}", segment=leaf)
+        net.bridge(gateway, backbone)
+        config = IndissConfig(
+            units=("slp", "upnp"), deployment="gateway", dispatch="shard-ring"
+        )
+        instances.append(Indiss(gateway, config))
+    fleet = GatewayFleet(
+        net,
+        backbone,
+        wire_utilization=wire_utilization,
+        cold_start_escalation=cold_start_escalation,
+    )
+    for instance in instances:
+        fleet.join(
+            instance, gossip_period_us=gossip_period_us, catchup_after=catchup_after
+        )
+    if backbone_loss:
+        net.set_segment_loss(
+            backbone, make_loss_model("bernoulli", backbone_loss, seed, backbone.name)
+        )
+    return net, fleet, instances
+
+
+def record(name="clock", url="http://10.9.9.9:4004/control"):
+    return ServiceRecord(
+        service_type=name, url=url, lifetime_s=3600, source_sdp="upnp"
+    )
+
+
+# -- gossip catch-up over lossy paths --------------------------------------------
+
+
+def test_lossless_rounds_never_escalate():
+    # Round-robin digests keep every peer's silent counter at zero, so an
+    # armed catch-up threshold stays dormant on a clean backbone.
+    net, fleet, (a, b) = build_fleet(catchup_after=2)
+    a.cache.store(record())
+    net.run(duration_us=12 * PERIOD_US)
+    stats = fleet.aggregate_gossip_stats()
+    assert stats["catchup_escalations"] == 0
+    assert len(b.cache) == 1
+
+
+def test_catchup_converges_through_heavy_loss():
+    net, fleet, (a, b) = build_fleet(catchup_after=2, backbone_loss=0.5, seed=9)
+    a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+    b.cache.store(record("printer", "http://10.0.0.2/ctl"))
+    net.run(duration_us=100 * PERIOD_US)
+    # Despite half the backbone frames dropping, the silent-peer
+    # escalation pushed full deltas through and both caches converged.
+    assert a.cache.digest() == b.cache.digest()
+    assert len(a.cache) == 2 and len(b.cache) == 2
+    stats = fleet.aggregate_gossip_stats()
+    assert stats["catchup_escalations"] >= 1
+    assert net.loss_report()[f"segment:{net.default_segment.name}"]["dropped"] > 0
+
+
+def test_lossy_gossip_is_deterministic():
+    digests = []
+    for _ in range(2):
+        net, fleet, (a, b) = build_fleet(catchup_after=2, backbone_loss=0.5, seed=9)
+        a.cache.store(record("clock", "http://10.0.0.1/ctl"))
+        net.run(duration_us=40 * PERIOD_US)
+        stats = fleet.aggregate_gossip_stats()
+        digests.append((a.cache.digest(), b.cache.digest(), dict(stats)))
+    assert digests[0] == digests[1]
+
+
+# -- wire-sample elections across a partition ------------------------------------
+
+
+def test_partitioned_members_elect_different_responders():
+    net, fleet, instances = build_fleet(member_count=3, wire_utilization=True)
+    # Partition gateway2 before any samples cross the wire: the two sides
+    # now rank each other from boards that never heard the other side.
+    detached = instances[2].node
+    homes = list(detached.segments)
+    net.detach_node(detached)
+    net.run(duration_us=4 * PERIOD_US)
+    views = fleet.elector.disagreement("clock")
+    assert len(views) == 3
+    assert len(set(views.values())) > 1  # the fleet disagrees
+    # The cut-off member, hearing nobody, elects itself.
+    lone = instances[2].node.address
+    assert views[lone] == lone
+
+    net.reattach_node(detached, homes)
+    # Past the hysteresis hold, fresh wire samples re-unify the view.
+    net.run(duration_us=max(fleet.elector.hold_us, 4 * PERIOD_US) + 4 * PERIOD_US)
+    healed = fleet.elector.disagreement("clock")
+    assert len(set(healed.values())) == 1
+    assert fleet.elector.flaps >= 1  # the re-election was counted
+
+
+# -- cold-start escalation --------------------------------------------------------
+
+
+def echo_from(addr, service_type="clock", hops=None):
+    """The ring owner's own backbone re-issue, as a non-owner sees it."""
+    return SimpleNamespace(
+        meta=SimpleNamespace(source=Endpoint(addr, 427)),
+        service_type=service_type,
+        raw_type=service_type,
+        hops=hops,
+    )
+
+
+def test_cold_start_escalation_targets_all_units():
+    net, fleet, instances = build_fleet(member_count=2, cold_start_escalation=True)
+    owner = fleet.ring.owner(normalize_service_type("clock"))
+    non_owner = next(
+        i for i in instances if i.node.address != owner
+    )
+    before = non_owner.federation.stats.cold_start_escalations
+    targets = non_owner.policy.escalate_duplicate(non_owner, echo_from(owner))
+    assert targets == list(non_owner.units.values())
+    assert non_owner.federation.stats.cold_start_escalations == before + 1
+
+
+def test_cold_start_escalation_stays_silent_when_not_warranted():
+    net, fleet, instances = build_fleet(member_count=2, cold_start_escalation=True)
+    owner = fleet.ring.owner(normalize_service_type("clock"))
+    owner_instance = next(i for i in instances if i.node.address == owner)
+    non_owner = next(i for i in instances if i.node.address != owner)
+    # The owner never escalates its own echo.
+    assert owner_instance.policy.escalate_duplicate(owner_instance, echo_from(owner)) == []
+    # A non-member requester is plain segment chatter.
+    assert non_owner.policy.escalate_duplicate(non_owner, echo_from("10.99.0.1")) == []
+    # A non-owner member's duplicate is the normal dedup path.
+    assert non_owner.policy.escalate_duplicate(
+        non_owner, echo_from(non_owner.node.address)
+    ) == []
+    # An exhausted wire hop budget caps the wave.
+    assert non_owner.policy.escalate_duplicate(
+        non_owner, echo_from(owner, hops=0)
+    ) == []
+
+
+def test_cold_start_escalation_defaults_off():
+    net, fleet, instances = build_fleet(member_count=2)
+    owner = fleet.ring.owner(normalize_service_type("clock"))
+    non_owner = next(i for i in instances if i.node.address != owner)
+    assert non_owner.policy.escalate_duplicate(non_owner, echo_from(owner)) == []
+    assert non_owner.federation.stats.cold_start_escalations == 0
+
+
+# -- tombstone TTL across long detaches (the documented contract) -----------------
+
+
+URL = "http://10.9.9.9:4004/control"
+
+
+def converged_pair():
+    net, fleet, (a, b) = build_fleet(member_count=2)
+    a.cache.store(record("clock", URL))
+    net.run(duration_us=3 * PERIOD_US)
+    assert len(b.cache) == 1
+    return net, fleet, a, b
+
+
+def test_retraction_holds_when_reattach_beats_the_tombstone_ttl():
+    net, fleet, a, b = converged_pair()
+    detached = b.node
+    homes = list(detached.segments)
+    net.detach_node(detached)
+    assert a.cache.remove_url(URL) == 1  # byebye: plants a 15 s tombstone
+    net.run(duration_us=5_000_000)  # well inside the TTL
+    net.reattach_node(detached, homes)
+    net.run(duration_us=6 * PERIOD_US)
+    # The live tombstone reached the returning member: its stale copy
+    # dropped and nothing resurrected on the retracting side.
+    assert a.cache.lookup("clock") == []
+    assert b.cache.lookup("clock") == []
+
+
+def test_reattach_after_tombstone_ttl_resurrects_the_record():
+    """Pin of the documented gossip contract: a member detached past
+    ``ServiceCache.tombstone_ttl_s`` (15 s virtual) never saw the
+    retraction, and once it returns its still-live copy is re-adopted
+    fleet-wide until the record's own lifetime runs out.  Anyone
+    tightening retraction (e.g. tombstone catch-up on reattach) must
+    move this test deliberately."""
+    net, fleet, a, b = converged_pair()
+    detached = b.node
+    homes = list(detached.segments)
+    net.detach_node(detached)
+    assert a.cache.remove_url(URL) == 1
+    net.run(duration_us=16_000_000)  # outlive the 15 s tombstone
+    assert a.cache.lookup("clock") == []
+    net.reattach_node(detached, homes)
+    net.run(duration_us=6 * PERIOD_US)
+    # The lagging copy came back: tombstone expired, record still live.
+    assert len(a.cache.lookup("clock")) == 1
+    assert len(b.cache.lookup("clock")) == 1

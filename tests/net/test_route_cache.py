@@ -30,7 +30,7 @@ class TestRoutePlanCache:
         net = Network()
         a, b = net.add_node("a"), net.add_node("b")
         plan = net._route_segments(a, b)
-        assert plan == ((net.default_segment,), 0)
+        assert plan == ((net.default_segment,), 0, ())
         assert net._route_segments(a, b) is plan
         assert net.route_cache_hits == 1
 
@@ -57,7 +57,7 @@ class TestRoutePlanCache:
         # two-segment plan is stale; delivery is now direct.
         net.bridge(b, net.default_segment)
         direct = net._route_segments(a, b)
-        assert direct == ((net.default_segment,), 0)
+        assert direct == ((net.default_segment,), 0, ())
 
     def test_detach_drops_cached_plans_and_routes(self):
         net, far, a, b = self._two_segment_world()

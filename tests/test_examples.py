@@ -40,6 +40,14 @@ def test_gateway_example_bridges_three_protocols(capsys):
     assert "urn:schemas-upnp-org:device:printer:1" in output  # UPnP -> SLP
 
 
+def test_partition_heal_example_survives_the_cycle(capsys):
+    runpy.run_path(str(EXAMPLES[0].parent / "partition_heal.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "probe during" in output
+    assert "catch-up escalations" in output
+    assert "survived the partition/heal cycle" in output
+
+
 def test_adaptive_example_flips_modes(capsys):
     runpy.run_path(str(EXAMPLES[0].parent / "adaptive_home.py"), run_name="__main__")
     output = capsys.readouterr().out

@@ -565,6 +565,9 @@ def _fleet_extras(instances, fleet) -> dict:
     if fleet is not None:
         extras["federation"] = fleet.aggregate_stats()
         extras["gossip"] = fleet.aggregate_gossip_stats()
+        extras["election_flaps"] = fleet.elector.flaps
+        extras["session_retries"] = sum(i.stats.retries for i in instances)
+        extras["session_gave_up"] = sum(i.stats.gave_up for i in instances)
     return extras
 
 
