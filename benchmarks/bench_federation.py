@@ -12,7 +12,11 @@ gateways on the same topology:
   (warm types answered from the gossiped cache by the elected responder,
   cold types translated exactly once by their owner);
 * a fleet-size sweep showing cache hit rate and translation suppression as
-  the fleet grows.
+  the fleet grows;
+* a chaos tier: a seeded crash/restart schedule over a live fleet, reporting
+  time-to-detect (failure detector), time-to-repair (ring), and discovery
+  availability before / during / after each outage, gated against the
+  ``(suspect_after + dead_after) * gossip_period`` detection bound.
 
 Results are also written to ``BENCH_federation.json`` (CI uploads it so the
 perf trajectory accumulates across commits).
@@ -25,17 +29,20 @@ benchmark suite.
 from __future__ import annotations
 
 import json
+import random
 import statistics
 import sys
 from pathlib import Path
 
 from repro.bench.scenarios import (
+    crash_recovery,
     federated_campus,
     partitioned_campus,
     sharded_backbone,
 )
 
 RESULT_FILE = "BENCH_federation.json"
+CHAOS_RESULT_FILE = "BENCH_chaos_sweep.json"
 
 
 def _median(values) -> float | None:
@@ -248,12 +255,183 @@ def run_adversity(trials: int = 2) -> dict:
     }
 
 
+# -- chaos tier: crash faults and self-healing ------------------------------------
+
+
+def _build_chaos_fleet(members: int, seed: int, gossip_period_us: int,
+                       suspect_after: int | None, dead_after: int | None):
+    """A backbone fleet with the failure detector armed, one SLP client on
+    the first leaf and one UPnP clock device on the last: the probe the
+    sweep repeats to measure discovery availability."""
+    from repro import Indiss, IndissConfig, Network
+    from repro.federation import GatewayFleet
+    from repro.sdp.slp import SlpConfig, UserAgent
+    from repro.sdp.upnp import make_clock_device
+
+    net = Network()
+    backbone = net.default_segment
+    leaves, instances = [], []
+    for i in range(members):
+        leaf = net.add_segment(f"leaf{i}")
+        net.link(backbone, leaf)
+        leaves.append(leaf)
+        gateway = net.add_node(f"gateway{i}", segment=leaf)
+        net.bridge(gateway, backbone)
+        config = IndissConfig(
+            units=("slp", "upnp"), deployment="gateway",
+            dispatch="shard-ring", answer_from_cache=True, seed=seed + i,
+        )
+        instances.append(Indiss(gateway, config))
+    fleet = GatewayFleet(
+        net, backbone, suspect_after=suspect_after, dead_after=dead_after
+    )
+    for instance in instances:
+        fleet.join(instance, gossip_period_us=gossip_period_us)
+    client = UserAgent(
+        net.add_node("client", segment=leaves[0]),
+        config=SlpConfig(wait_us=400_000, retries=0),
+    )
+    make_clock_device(
+        net.add_node("service", segment=leaves[-1]), advertise=True
+    )
+    return net, fleet, instances, client
+
+
+def _probe(client, net, wait_us: int = 600_000) -> int:
+    """One SLP search for the clock; returns how many URLs came back."""
+    searches = []
+    client.find_services("service:clock", on_complete=searches.append)
+    net.run(duration_us=wait_us)
+    return len(searches[0].results) if searches else 0
+
+
+def _chaos_parity(members: int, seed: int, gossip_period_us: int,
+                  warmup_us: int) -> bool:
+    """Armed-but-unfired parity: the detector reads existing gossip traffic
+    and adds nothing to the wire, so a crash-free run with the detector on
+    must match the detector-off run stat for stat."""
+    outcomes = []
+    for armed in (False, True):
+        net, fleet, _, client = _build_chaos_fleet(
+            members, seed, gossip_period_us,
+            suspect_after=6 if armed else None,
+            dead_after=4 if armed else None,
+        )
+        net.run(duration_us=warmup_us)
+        outcomes.append({
+            "results": _probe(client, net),
+            "now_us": net.scheduler.now_us,
+            "gossip": fleet.aggregate_gossip_stats(),
+            "federation": fleet.aggregate_stats(),
+            "transitions": list(fleet.health.transitions),
+        })
+    # The armed run must also have stayed silent (no spurious suspicions).
+    return outcomes[0] == outcomes[1] and not outcomes[1]["transitions"]
+
+
+def run_chaos_sweep(cycles: int = 2, members: int = 4, seed: int = 0,
+                    gossip_period_us: int = 200_000, suspect_after: int = 6,
+                    dead_after: int = 4, warmup_us: int = 1_500_000) -> dict:
+    """Seeded crash/restart schedule over one live fleet.
+
+    ``random.Random(seed)`` draws the schedule only — which gateway dies,
+    how long it stays down, how long the fleet recovers; the simulation
+    itself consumes nothing from this RNG, so one seed is one schedule and
+    the run is bit-reproducible.  Per cycle the sweep records:
+
+    * ``time_to_detect_us`` — crash to the detector's DEAD transition,
+      gated against ``detect_bound_us = (suspect_after + dead_after) *
+      gossip_period``;
+    * ``time_to_repair_us`` — crash to the ring repair that rebalances the
+      dead member's vnodes;
+    * discovery availability — an SLP probe during the outage and after
+      the restart + bootstrap (post-repair availability must return to 1.0).
+    """
+    rng = random.Random(seed)
+    net, fleet, instances, client = _build_chaos_fleet(
+        members, seed, gossip_period_us, suspect_after, dead_after
+    )
+    bound = fleet.health.detect_bound_us(gossip_period_us)
+    net.run(duration_us=warmup_us)
+    pre_results = _probe(client, net)
+
+    rows, during_hits, post_hits = [], [], []
+    for _ in range(cycles):
+        victim = instances[rng.randrange(len(instances))]
+        address = victim.node.address
+        down_us = bound + rng.randrange(500_000, 1_500_000)
+        recover_us = rng.randrange(2_000_000, 3_000_000)
+
+        crash_at = net.scheduler.now_us
+        fleet.crash_member(address)
+        victim.crash()
+        net.crash_node(victim.node)
+        net.run(duration_us=down_us)
+        during_results = _probe(client, net)
+
+        net.restart_node(net.crashed_node(address))
+        victim.restart()
+        handle = fleet.restart_member(
+            victim, gossip_period_us=gossip_period_us, bootstrap=True
+        )
+        restart_at = net.scheduler.now_us
+        net.run(duration_us=recover_us)
+        post_results = _probe(client, net)
+
+        dead_at = next(
+            (t for t, m, s in fleet.health.transitions
+             if m == address and s == "dead" and t >= crash_at), None,
+        )
+        repair_at = next(
+            (t for t, m in fleet.repairs if m == address and t >= crash_at),
+            None,
+        )
+        boot_at = handle.gossiper.bootstrap_completed_at if handle.gossiper else None
+        rows.append({
+            "victim": address,
+            "down_us": down_us,
+            "time_to_detect_us": None if dead_at is None else dead_at - crash_at,
+            "time_to_repair_us": None if repair_at is None else repair_at - crash_at,
+            "bootstrap_after_restart_us":
+                None if boot_at is None else boot_at - restart_at,
+            "during_results": during_results,
+            "post_results": post_results,
+        })
+        during_hits.append(during_results >= 1)
+        post_hits.append(post_results >= 1)
+
+    detects = [row["time_to_detect_us"] for row in rows]
+    return {
+        "cycles": rows,
+        "availability": {
+            "pre": 1.0 if pre_results >= 1 else 0.0,
+            "during": sum(during_hits) / len(during_hits) if during_hits else None,
+            "post": sum(post_hits) / len(post_hits) if post_hits else None,
+        },
+        "median_time_to_detect_us": _median(detects),
+        "median_time_to_repair_us": _median(
+            [row["time_to_repair_us"] for row in rows]
+        ),
+        "detect_bound_us": bound,
+        "detect_within_bound": all(d is not None and d <= bound for d in detects),
+        "parity_armed_vs_off": _chaos_parity(
+            members, seed, gossip_period_us, warmup_us
+        ),
+        "members": members,
+        "seed": seed,
+        "gossip_period_us": gossip_period_us,
+        "suspect_after": suspect_after,
+        "dead_after": dead_after,
+    }
+
+
 def run(trials: int = 3, nodes: int = 500) -> dict:
     return {
         "campus": run_campus(trials=trials, nodes=nodes),
         "backbone": run_backbone(trials=trials, nodes=max(nodes, 500)),
         "fleet_sweep": run_fleet_sweep(nodes=nodes),
         "adversity": run_adversity(trials=min(trials, 2)),
+        "chaos": run_chaos_sweep(cycles=min(trials, 3)),
     }
 
 
@@ -321,9 +499,29 @@ def test_adversity_determinism():
     assert first.extras == second.extras
 
 
+def test_crash_chaos_gates():
+    """The ISSUE's chaos gates: every crash detected within the bound,
+    ring repaired, and post-repair discovery availability back to 1.0."""
+    sweep = run_chaos_sweep(cycles=2, members=4, seed=0)
+    assert sweep["parity_armed_vs_off"], (
+        "armed-but-unfired detector changed a crash-free run"
+    )
+    for cycle in sweep["cycles"]:
+        assert cycle["time_to_detect_us"] is not None, f"undetected: {cycle}"
+        assert cycle["time_to_repair_us"] is not None, f"unrepaired: {cycle}"
+        assert cycle["bootstrap_after_restart_us"] is not None, (
+            f"bootstrap never completed: {cycle}"
+        )
+    assert sweep["detect_within_bound"]
+    assert sweep["availability"]["pre"] == 1.0
+    assert sweep["availability"]["post"] == 1.0
+
+
 def chaos_smoke() -> int:
-    """The CI chaos gate: a seeded lossy partition/heal run, twice, must
-    produce byte-identical outcomes."""
+    """The CI chaos gate: a seeded lossy partition/heal run and a seeded
+    crash/restart schedule, each twice, must produce byte-identical
+    outcomes; the crash sweep must also pass its detection/availability
+    gates.  Writes the sweep to ``BENCH_chaos_sweep.json``."""
     rows = []
     for attempt in range(2):
         outcome = partitioned_campus(seed=3, segments=4, nodes=80)
@@ -345,6 +543,48 @@ def chaos_smoke() -> int:
     print(f"  gossip catch-up escalations: "
           f"{extras['gossip']['catchup_escalations']}, "
           f"election flaps: {extras['election_flaps']}")
+
+    # Crash/restart schedule: same seed, twice, compared byte for byte.
+    sweeps = [
+        json.dumps(run_chaos_sweep(cycles=2, members=4, seed=7),
+                   sort_keys=True)
+        for attempt in range(2)
+    ]
+    if sweeps[0] != sweeps[1]:
+        print("chaos smoke FAILED: two identically seeded crash/restart "
+              "sweeps diverged")
+        return 1
+    scenario_rows = [
+        crash_recovery(seed=5, segments=4, nodes=80).extras for _ in range(2)
+    ]
+    if scenario_rows[0] != scenario_rows[1]:
+        print("chaos smoke FAILED: two identically seeded crash_recovery "
+              "scenario runs diverged")
+        return 1
+    sweep = json.loads(sweeps[0])
+    Path(CHAOS_RESULT_FILE).write_text(json.dumps(sweep, indent=2,
+                                                  sort_keys=True))
+    print("chaos smoke: two seeded crash/restart sweeps are identical")
+    print(f"  median time-to-detect "
+          f"{_fmt(sweep['median_time_to_detect_us'], '.0f', 1 / 1000)} ms "
+          f"(bound {sweep['detect_bound_us'] // 1000} ms), "
+          f"time-to-repair "
+          f"{_fmt(sweep['median_time_to_repair_us'], '.0f', 1 / 1000)} ms")
+    availability = sweep["availability"]
+    print(f"  availability pre {availability['pre']:.2f} / during "
+          f"{availability['during']:.2f} / post {availability['post']:.2f}")
+    if not sweep["detect_within_bound"]:
+        print("chaos smoke FAILED: a crash went undetected within the bound")
+        return 1
+    if availability["post"] != 1.0:
+        print("chaos smoke FAILED: discovery did not return to full "
+              "availability after repair")
+        return 1
+    if not sweep["parity_armed_vs_off"]:
+        print("chaos smoke FAILED: armed-but-unfired detector changed a "
+              "crash-free run")
+        return 1
+    print(f"wrote {CHAOS_RESULT_FILE}")
     return 0
 
 
@@ -410,6 +650,19 @@ def main(argv: list[str]) -> int:
           f"pre {success['pre']:.2f} / during {success['during']:.2f} / "
           f"post {success['post']:.2f}, "
           f"{_fmt(cycle['median_election_flaps'], '.0f')} election flap(s)")
+
+    chaos = results["chaos"]
+    availability = chaos["availability"]
+    print(f"chaos: {len(chaos['cycles'])} seeded crash/restart cycle(s) over "
+          f"{chaos['members']} gateways")
+    print(f"  time-to-detect "
+          f"{_fmt(chaos['median_time_to_detect_us'], '.0f', 1 / 1000)} ms "
+          f"(bound {chaos['detect_bound_us'] // 1000} ms, "
+          f"within: {chaos['detect_within_bound']}), time-to-repair "
+          f"{_fmt(chaos['median_time_to_repair_us'], '.0f', 1 / 1000)} ms")
+    print(f"  availability pre {availability['pre']:.2f} / during "
+          f"{availability['during']:.2f} / post {availability['post']:.2f}, "
+          f"armed-but-unfired parity: {chaos['parity_armed_vs_off']}")
     print(f"wrote {RESULT_FILE}")
     return 0
 

@@ -25,6 +25,7 @@ from ..world import ScenarioOutcome, run_world
 from ..world.scenarios import (
     campus_fanout_spec,
     churn_backbone_spec,
+    crash_recovery_spec,
     district_grid_spec,
     district_sweep_spec,
     federated_campus_spec,
@@ -200,6 +201,15 @@ def partitioned_campus(
     every adversity knob on (lossy gossip link, silent-peer catch-up,
     wire-carried elections, cold-start escalation)."""
     return run_world(partitioned_campus_spec(**params), seed=seed, costs=costs)
+
+
+def crash_recovery(
+    seed: int = 0, costs: CostModel = PAPER_TESTBED, **params
+) -> ScenarioOutcome:
+    """The federated campus through one gateway crash-stop/restart cycle:
+    heartbeat failure detection, automatic ring repair, elector exclusion,
+    and a cold restart bootstrapped by a full cache transfer."""
+    return run_world(crash_recovery_spec(**params), seed=seed, costs=costs)
 
 
 def sharded_backbone(
@@ -399,6 +409,7 @@ SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "campus_fanout": campus_fanout,
     "federated_campus": federated_campus,
     "partitioned_campus": partitioned_campus,
+    "crash_recovery": crash_recovery,
     "sharded_backbone": sharded_backbone,
     "metro_backbone": metro_backbone,
     "media_city": media_city,
@@ -425,6 +436,7 @@ __all__ = [
     "campus_fanout",
     "federated_campus",
     "partitioned_campus",
+    "crash_recovery",
     "sharded_backbone",
     "metro_backbone",
     "media_city",

@@ -137,6 +137,14 @@ class Indiss:
         #: ``shard-ring`` dispatch policy consults it for ownership and
         #: election decisions.  None on stand-alone instances.
         self.federation = None
+        #: Crash-stop state (see :meth:`crash`/:meth:`restart`): while
+        #: True the instance is an inert shell whose stale timers must not
+        #: touch the rebuilt volatile layers.
+        self.crashed = False
+        #: Incarnation counter; pre-crash closures capture it and compare
+        #: on fire, so a timer scheduled by a dead incarnation can never
+        #: act on a restarted one.
+        self._epoch = 0
         self.detections: list[str] = []
         self._factories = dict(unit_factories or {})
         #: Flight-recorder state (only written while recording is on):
@@ -522,6 +530,8 @@ class Indiss:
             return False
         attempt = int(session.vars.get("attempt", 1))
         if attempt > retries:
+            if self._retry_fallback(session):
+                return True
             self.session_manager.record_gave_up()
             session.log("indiss: retries exhausted; giving up")
             return False
@@ -533,16 +543,67 @@ class Indiss:
             obs.metrics.counter(
                 "core.session.retry", sdp=session.origin_sdp
             ).inc()
+        epoch = self._epoch
         self.node.schedule(
-            backoff, lambda: self._retry_dispatch(session, attempt + 1)
+            backoff, lambda: self._retry_dispatch(session, attempt + 1, epoch)
         )
         return True
 
-    def _retry_dispatch(self, failed: TranslationSession, attempt: int) -> None:
+    def _retry_fallback(self, failed: TranslationSession) -> bool:
+        """Last resort after the final retry: dispatch once down the classic
+        gateway-forward path.
+
+        Every ``shard-ring`` retry re-runs the owner gate, so when the ring
+        owner is dead (or unreachable) the re-dispatch is suppressed on
+        every attempt and the request would go silent forever.  Rather
+        than give up, translate locally — exactly once per chain — and
+        count it in :attr:`SessionStats.retry_fallbacks`.
+        """
+        if failed.vars.get("fellback"):
+            return False
+        if getattr(self.policy, "name", "") != "shard-ring":
+            return False  # non-owner-gated policies already fanned out
+        hops = failed.vars.get("hops")
+        if hops is not None and hops <= 0:
+            return False  # budget already exhausted on the wire
+        targets = list(self.units.values())
+        if not targets:
+            return False
+        session = self.session_manager.open(
+            failed.origin_sdp,
+            failed.requester,
+            failed.request_stream,
+            on_reply=self._deliver_reply,
+        )
+        for name, value in failed.vars.items():
+            if not name.startswith("_obs"):
+                session.vars[name] = value
+        session.vars["fellback"] = True
+        session.log("indiss: retries suppressed by the ring owner gate; "
+                    "falling back to gateway-forward dispatch")
+        self.policy.consume_hop_budget(self, session)
+        self.session_manager.record_retry_fallback()
+        obs = self.node.network.obs
+        if obs.on:
+            obs.metrics.counter(
+                "core.session.retry_fallback", sdp=session.origin_sdp
+            ).inc()
+        self.session_manager.record_translated()
+        self.policy.mark_forwarded(self, session, targets)
+        session.pending_targets = len(targets)
+        for target in targets:
+            target.handle_foreign_request(session.request_stream, session)
+        return True
+
+    def _retry_dispatch(
+        self, failed: TranslationSession, attempt: int, epoch: int | None = None
+    ) -> None:
         """One retry attempt: a fresh session carrying the failed one's
         request, re-run through the cache-then-dispatch pipeline (the cache
         may have warmed in the meantime — gossip keeps running during the
         backoff)."""
+        if epoch is not None and epoch != self._epoch:
+            return  # scheduled by a crashed incarnation
         session = self.session_manager.open(
             failed.origin_sdp,
             failed.requester,
@@ -573,6 +634,67 @@ class Indiss:
     def readvertise(self, record: ServiceRecord, exclude: str = "") -> None:
         """Announce a record through every unit except ``exclude``."""
         self.advertisements.readvertise(record, exclude=exclude)
+
+    # -- crash-stop / crash-recovery ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-stop: the process dies and every piece of volatile state
+        dies with it — open sessions, instantiated units, the service
+        cache, the monitor's sockets, the dedup window.
+
+        The object survives only as an inert shell :meth:`restart` can
+        revive (the simulator's stand-in for restarting the process on the
+        same host).  Call *before* :meth:`Network.crash_node`, which tears
+        down the remaining transport state; stale timers scheduled by the
+        dead incarnation are fenced by the epoch counter and by the
+        completed flag forced onto every open session.
+        """
+        if self.crashed:
+            raise RuntimeError(f"INDISS@{self.node.address} is already crashed")
+        self.crashed = True
+        self._epoch += 1
+        self.monitor.close()
+        for session in self.session_manager.active():
+            # A completed session swallows complete_with() from any unit
+            # timer still in flight, so nothing composes a reply on behalf
+            # of a dead process.
+            session.completed = True
+        self.units.clear()
+        self.cache = ServiceCache(lambda: self.node.now_us)
+        self.detections.clear()
+
+    def restart(self) -> None:
+        """Crash-recovery: rebuild the volatile layers exactly as
+        ``__init__`` wired them, on the node's *restarted* stacks.
+
+        The node must already be back on the network
+        (:meth:`Network.restart_node`), because the rebuilt monitor and
+        units bind fresh sockets and index fresh multicast memberships.
+        The new session manager draws ids from the restart block the
+        network minted, so no pre-crash session id is ever reused.
+        Config, registry, policy, and unit factories are deployment-time
+        state and survive the crash (they live on disk in a real
+        deployment).
+        """
+        if not self.crashed:
+            raise RuntimeError(f"INDISS@{self.node.address} is not crashed")
+        self.crashed = False
+        node = self.node
+        self.monitor = MonitorComponent(node, self.registry, scan=self.config.units)
+        self.monitor.on_raw = self._on_raw
+        self.monitor.on_detected = self._on_detected
+        self.cache = ServiceCache(lambda: node.now_us)
+        self.classifier = StreamClassifier()
+        self.session_manager = SessionManager(
+            clock=lambda: node.now_us,
+            dedup_window_us=self.config.dedup_window_us,
+            dedup_scope=self.policy.dedup_scope,
+            session_id_source=node.network.session_id_source(node),
+        )
+        self.advertisements = AdvertisementPipeline(self)
+        if self.config.instantiate == "eager":
+            for sdp_id in self.config.units:
+                self._ensure_unit(sdp_id)
 
     # -- introspection -----------------------------------------------------------------
 

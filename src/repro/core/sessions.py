@@ -43,6 +43,11 @@ class SessionStats:
     retries: int = 0
     #: Sessions abandoned after every configured retry came back empty.
     gave_up: int = 0
+    #: Final-retry fallbacks: the shard-ring owner gate suppressed every
+    #: retry (dead or unreachable owner), so the last attempt was
+    #: re-dispatched down the classic gateway-forward path instead of
+    #: giving up silently.
+    retry_fallbacks: int = 0
 
 
 class RequestDeduper:
@@ -184,6 +189,9 @@ class SessionManager:
 
     def record_gave_up(self) -> None:
         self.stats.gave_up += 1
+
+    def record_retry_fallback(self) -> None:
+        self.stats.retry_fallbacks += 1
 
     def record_cache_answer(self, session: TranslationSession) -> None:
         session.answered_from_cache = True

@@ -15,7 +15,10 @@ of N independent translators:
   responder that answers backbone requests from the gossiped cache
   (extends the Fig. 6 adaptation manager's traffic threshold);
 * :class:`GatewayFleet` — membership, join/leave rebalancing, aggregate
-  statistics.
+  statistics;
+* :class:`FailureDetector` — crash detection piggybacked on gossip
+  heartbeats (``alive -> suspect -> dead`` in missed rounds), driving
+  automatic ring repair and elector exclusion so the fleet self-heals.
 
 See ARCHITECTURE.md ("Federation layer") for the composite picture and
 ``examples/federated_fleet.py`` for a runnable tour.
@@ -34,11 +37,15 @@ from .fleet import (
     FederationStats,
     GatewayFleet,
 )
+from .health import ALIVE, DEAD, SUSPECT, FailureDetector
 from .shard import ShardRing, ring_hash
 
 __all__ = [
+    "ALIVE",
     "CacheGossiper",
+    "DEAD",
     "DEFAULT_MAX_DELTA_RECORDS",
+    "FailureDetector",
     "FederatedMember",
     "FederationHandle",
     "FederationStats",
@@ -46,6 +53,7 @@ __all__ = [
     "GatewayElector",
     "GatewayFleet",
     "GossipStats",
+    "SUSPECT",
     "ShardRing",
     "ring_hash",
 ]

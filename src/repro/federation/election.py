@@ -117,7 +117,16 @@ class GatewayElector:
         ``viewer`` is ignored and the classic shared-monitor election is
         byte-identical to before.
         """
-        candidates = [m for m in self.fleet.members if m not in exclude]
+        # Electability filters the board: a detached member (Fault-step
+        # victim whose segments are gone) or a crashed/suspect/dead one
+        # cannot hear the request it would be elected to answer, so
+        # electing it guarantees silence.  Detector off + no churn leaves
+        # every member electable — the classic board, byte-identical.
+        candidates = [
+            m
+            for m in self.fleet.members
+            if m not in exclude and self.fleet.is_electable(m)
+        ]
         if not candidates:
             return None
         wire = self.fleet.wire_utilization and viewer is not None

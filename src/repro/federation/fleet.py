@@ -27,6 +27,7 @@ from ..net import Network, Segment
 from ..sdp.base import normalize_service_type
 from .election import GatewayElector
 from .gossip import CacheGossiper
+from .health import FailureDetector
 from .shard import ShardRing
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,6 +52,12 @@ class FederationStats:
     #: owner re-issued because the owner's own translation came back empty
     #: (knob-gated; see ``GatewayFleet.cold_start_escalation``).
     cold_start_escalations: int = 0
+    #: Owner-gated dispatch degraded to gateway-forward because the
+    #: failure detector holds the ring owner suspect or dead: rather than
+    #: stall the request on a corpse, every live member translates (the
+    #: classic pre-sharding behavior) until ring repair installs a live
+    #: owner.  Zero without the detector.
+    owner_down_fallbacks: int = 0
 
 
 @dataclass
@@ -150,7 +157,18 @@ class FederationHandle:
         most once fleet-wide.
         """
         wanted = normalize_service_type(service_type)
-        if self.fleet.ring.owner(wanted) != self.member_id:
+        owner = self.fleet.ring.owner(wanted)
+        if owner != self.member_id:
+            if owner is not None and self.fleet.health.is_down(owner):
+                # The owner crashed (or is suspected): degrade to
+                # gateway-forward rather than stall the request on a
+                # corpse — every live member translates until the
+                # detector's ring repair installs a live owner.  Requests
+                # arriving *before* suspicion still stall; that window is
+                # the availability dip the chaos sweep measures.
+                self.stats.owner_down_fallbacks += 1
+                self.stats.owner_translations += 1
+                return True
             self.stats.shard_suppressed += 1
             return False
         elected = self.fleet.elector.responder(
@@ -212,6 +230,8 @@ class GatewayFleet:
         election_hold_us: int = 1_000_000,
         wire_utilization: bool = False,
         cold_start_escalation: bool = False,
+        suspect_after: Optional[int] = None,
+        dead_after: Optional[int] = None,
     ):
         self.network = network
         self.segment_name = segment if isinstance(segment, str) else segment.name
@@ -219,6 +239,15 @@ class GatewayFleet:
             raise ValueError(f"network has no segment named {self.segment_name!r}")
         self.ring = ShardRing(vnodes=vnodes)
         self.members: dict[str, FederatedMember] = {}
+        #: Heartbeat failure detection piggybacked on gossip traffic;
+        #: inert (never counts, never transitions) unless ``suspect_after``
+        #: is set.  See :mod:`repro.federation.health`.
+        self.health = FailureDetector(
+            self, suspect_after=suspect_after, dead_after=dead_after
+        )
+        #: Completed ring repairs: (virtual time, dead member) — the chaos
+        #: bench reads time-to-repair off these.
+        self.repairs: list[tuple[int, str]] = []
         #: Elections rank from wire-carried utilization samples (each
         #: member's own view) instead of the shared traffic monitors.
         #: Off by default: the shared-monitor path and its goldens are
@@ -284,7 +313,97 @@ class GatewayFleet:
         if member.gossiper is not None:
             member.gossiper.stop()
         member.indiss.federation = None
+        self.health.reset(member_id)
         self.elector.invalidate()
+
+    # -- crash faults and self-healing ----------------------------------------
+
+    def crash_member(self, member_id: str) -> None:
+        """Note a member's process crash (the world's ``Crash`` step).
+
+        Deliberately *asymmetric* with :meth:`leave`: the membership record
+        and the ring points stay — peers must not learn of the death
+        synchronously; only the failure detector (or an operator-driven
+        restart) may repair the ring.  What does stop is the member's own
+        machinery: its gossiper's timer dies with the process, and its
+        handle is unbound so a restarted instance cannot alias stale state.
+        """
+        member = self.members.get(member_id)
+        if member is None:
+            raise KeyError(f"{member_id} is not a fleet member")
+        if member.gossiper is not None:
+            member.gossiper.stop()
+            member.gossiper = None
+            member.handle.gossiper = None
+        member.indiss.federation = None
+        self.elector.invalidate()
+
+    def restart_member(
+        self,
+        indiss: "Indiss",
+        gossip_period_us: Optional[int] = 500_000,
+        max_delta_records: Optional[int] = None,
+        catchup_after: Optional[int] = None,
+        bootstrap: bool = False,
+    ) -> FederationHandle:
+        """Re-federate a restarted (or replacement) gateway.
+
+        Drops whatever membership record survives from before the crash —
+        whether the detector already declared it dead and repaired the ring
+        or not (``ShardRing.remove`` is idempotent) — clears the detector's
+        verdict, and joins fresh.  With ``bootstrap=True`` the new gossiper
+        immediately requests a full cache transfer from one live peer
+        instead of waiting for anti-entropy to converge.
+        """
+        member_id = indiss.node.address
+        self.members.pop(member_id, None)
+        self.ring.remove(member_id)
+        self.health.reset(member_id)
+        handle = self.join(
+            indiss,
+            gossip_period_us=gossip_period_us,
+            max_delta_records=max_delta_records,
+            catchup_after=catchup_after,
+        )
+        if bootstrap and handle.gossiper is not None:
+            handle.gossiper.request_bootstrap()
+        return handle
+
+    def _on_member_dead(self, member_id: str, now_us: int) -> None:
+        """Self-heal after the detector's ``dead`` verdict: release the
+        dead member's ring points (only *its* keys rebalance to ring
+        successors) and invalidate held elections so no request is routed
+        at a corpse.  The membership record stays for the bench's
+        post-mortem reads; a restart replaces it wholesale."""
+        if member_id in self.ring:
+            self.ring.remove(member_id)
+            self.repairs.append((now_us, member_id))
+            obs = self.network.obs
+            if obs.on:
+                obs.metrics.counter("ring.repair", member=member_id).inc()
+                obs.trace.instant(
+                    "ring.repair", now_us, 0, tid=member_id, cat="fleet",
+                    args={"member": member_id},
+                )
+        self.elector.invalidate()
+
+    def is_electable(self, member_id: str) -> bool:
+        """Whether a member may win elections (and serve bootstraps).
+
+        Excludes the dead and the suspected (detector verdict), the
+        crashed (local knowledge: our own process observed the crash), and
+        the detached (a member with no attached segments cannot hear the
+        request it would be elected to answer — the churn bug where a
+        ``Fault(detach)`` victim stayed on the candidate board).
+        """
+        member = self.members.get(member_id)
+        if member is None:
+            return False
+        if not self.health.is_alive(member_id):
+            return False
+        if getattr(member.indiss, "crashed", False):
+            return False
+        return bool(member.indiss.node.segments)
 
     def peer_addresses(self, member_id: str) -> list[str]:
         """Every other member's address, in stable order (gossip targets)."""

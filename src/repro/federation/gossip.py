@@ -108,6 +108,17 @@ class GossipStats:
     catchup_records: int = 0
     #: Wire bytes spent on catch-up deltas.
     catchup_bytes: int = 0
+    #: State-transfer bootstraps this member requested (restart path).
+    bootstrap_requests: int = 0
+    #: Bootstrap requests this member answered as the donor.
+    bootstrap_served: int = 0
+    #: Live records shipped inside served bootstraps (uncapped — a
+    #: bootstrap is one full cache transfer, not a paced delta).
+    bootstrap_records_sent: int = 0
+    #: Wire bytes spent serving bootstraps.
+    bootstrap_bytes: int = 0
+    #: Records this member adopted from a received bootstrap.
+    bootstrap_records_applied: int = 0
 
 
 def _record_to_wire(key: tuple[str, str], entry) -> dict:
@@ -170,6 +181,10 @@ class CacheGossiper:
         self._wire_cache: dict[tuple[str, str], tuple[float, dict]] = {}
         self._socket = indiss.node.udp.socket().bind(port, reuse=True)
         self._socket.on_datagram(self._on_datagram)
+        #: Virtual time this member finished applying a requested
+        #: bootstrap (state transfer complete); None until then.  The
+        #: chaos bench reads time-to-recover off this.
+        self.bootstrap_completed_at: int | None = None
         #: Virtual time of the latest digest send (flight recorder only):
         #: a delta arriving back closes a ``gossip.exchange`` span — the
         #: digest -> delta round duration.
@@ -190,6 +205,10 @@ class CacheGossiper:
         if not peers:
             return
         self.stats.rounds += 1
+        # Each round doubles as a heartbeat tick: the fleet's failure
+        # detector ages every peer this member has not heard from (a
+        # no-op unless the detector is armed).
+        self.fleet.health.note_round(self.member_id, self.indiss.node.now_us)
         peer = peers[self._peer_cursor % len(peers)]
         self._peer_cursor += 1
         payload = self._digest_bytes()
@@ -300,6 +319,39 @@ class CacheGossiper:
                 args={"peer": peer, "records": len(records)},
             )
 
+    def request_bootstrap(self) -> None:
+        """Ask one live peer for a full cache transfer (the restart path).
+
+        A gateway that just restarted (or replaced a dead one) holds an
+        empty cache; waiting for anti-entropy to refill it takes one
+        digest/delta round trip per ``max_delta_records`` batch.  The
+        bootstrap handshake collapses that to a single exchange: pick the
+        first *electable* peer in stable order (a suspect or detached
+        donor would serve silence) and request its entire live cache,
+        tombstones included.  Fire-and-forget like all gossip — if the
+        request or the reply drops, ordinary anti-entropy still converges;
+        bootstrap is an accelerator, not a correctness mechanism.
+        """
+        for peer in self.fleet.peer_addresses(self.member_id):
+            if not self.fleet.is_electable(peer):
+                continue
+            message = {"kind": "bootstrap_req", "from": self.member_id}
+            self._send_raw(
+                peer, json.dumps(message, sort_keys=True).encode("utf-8")
+            )
+            self.stats.bootstrap_requests += 1
+            obs = self.indiss.node.network.obs
+            if obs.on:
+                obs.metrics.counter(
+                    "cache.bootstrap.requests", member=self.member_id
+                ).inc()
+                obs.trace.instant(
+                    "cache.bootstrap.request", self.indiss.node.now_us,
+                    self._obs_district(), tid=self.member_id, cat="gossip",
+                    args={"donor": peer},
+                )
+            return
+
     def _obs_district(self) -> int:
         node = self.indiss.node
         return node.network.partition_of_node(node)
@@ -328,9 +380,13 @@ class CacheGossiper:
         kind = message.get("kind")
         sender = str(message.get("from", ""))
         if sender and sender in self.fleet.members:
-            # Any traffic from a member resets its silent-round counter.
+            # Any traffic from a member resets its silent-round counter
+            # and feeds the failure detector's heartbeat accounting.
             if self._silent_rounds.get(sender):
                 self._silent_rounds[sender] = 0
+            self.fleet.health.note_heard(
+                self.member_id, sender, self.indiss.node.now_us
+            )
             util = message.get("util")
             if isinstance(util, (list, tuple)) and len(util) == 2:
                 self._note_util_sample(sender, util)
@@ -338,6 +394,10 @@ class CacheGossiper:
             self._handle_digest(message, datagram.source)
         elif kind == "delta":
             self._handle_delta(message)
+        elif kind == "bootstrap_req":
+            self._handle_bootstrap_request(message, datagram.source)
+        elif kind == "bootstrap":
+            self._handle_bootstrap(message)
         else:
             self.stats.decode_errors += 1
 
@@ -478,6 +538,95 @@ class CacheGossiper:
                     ).set(now)
             else:
                 self.stats.records_ignored += 1
+
+    def _handle_bootstrap_request(self, message: dict, source: Endpoint) -> None:
+        """Serve a full state transfer: every live record (uncapped — this
+        is one cache handoff, not a paced delta) plus every live
+        tombstone, so the requester inherits retractions as well as
+        discoveries and the tombstone TTL contract survives the restart.
+        Absolute expiries travel as always: a bootstrapped record keeps
+        exactly the lifetime its original advertisement promised."""
+        peer = str(message.get("from", ""))
+        if peer not in self.fleet.members:
+            peer = source.host
+        if peer == self.member_id:
+            self.stats.decode_errors += 1
+            return
+        records = [
+            self._wire_record(key, entry)
+            for key, entry in self.indiss.cache.live_entries()
+        ]
+        tombstones = {
+            f"{key[0]}|{key[1]}": [deleted, expires]
+            for key, (deleted, expires) in self.indiss.cache.tombstones().items()
+        }
+        reply = {"kind": "bootstrap", "from": self.member_id, "records": records}
+        if tombstones:
+            reply["tombstones"] = tombstones
+            self.stats.tombstones_sent += len(tombstones)
+        payload = json.dumps(reply, sort_keys=True).encode("utf-8")
+        self._send_raw(peer, payload)
+        self.stats.bootstrap_served += 1
+        self.stats.bootstrap_records_sent += len(records)
+        self.stats.bootstrap_bytes += len(payload)
+        obs = self.indiss.node.network.obs
+        if obs.on:
+            obs.metrics.counter(
+                "cache.bootstrap.served", member=self.member_id
+            ).inc()
+            obs.metrics.counter(
+                "cache.bootstrap.bytes", member=self.member_id
+            ).inc(len(payload))
+            obs.trace.instant(
+                "cache.bootstrap.serve", self.indiss.node.now_us,
+                self._obs_district(), tid=self.member_id, cat="gossip",
+                args={"peer": peer, "records": len(records)},
+            )
+
+    def _handle_bootstrap(self, message: dict) -> None:
+        """Adopt a donor's full cache transfer through the ordinary merge
+        path (absolute expiries, provenance, tombstone precedence all
+        enforced by :meth:`ServiceCache.merge`), then stamp
+        ``bootstrap_completed_at`` — the bench's recovery marker."""
+        if "tombstones" in message:
+            self._apply_tombstones(message["tombstones"])
+        now = self.indiss.node.now_us
+        records = message.get("records", ())
+        if not isinstance(records, (list, tuple)):
+            self.stats.decode_errors += 1
+            return
+        applied = 0
+        for wire in records:
+            if not isinstance(wire, dict):
+                self.stats.decode_errors += 1
+                continue
+            try:
+                record, expires_at_us = _record_from_wire(wire)
+            except (TypeError, ValueError):
+                self.stats.decode_errors += 1
+                continue
+            if not record.url:
+                self.stats.decode_errors += 1
+                continue
+            if expires_at_us <= now:
+                self.stats.records_expired += 1
+                continue
+            if self.indiss.cache.merge(record, expires_at_us):
+                applied += 1
+            else:
+                self.stats.records_ignored += 1
+        self.stats.bootstrap_records_applied += applied
+        self.bootstrap_completed_at = now
+        obs = self.indiss.node.network.obs
+        if obs.on:
+            obs.metrics.counter(
+                "cache.bootstrap.applied", member=self.member_id
+            ).inc(applied)
+            obs.trace.instant(
+                "cache.bootstrap.complete", now, self._obs_district(),
+                tid=self.member_id, cat="gossip",
+                args={"donor": str(message.get("from", "")), "applied": applied},
+            )
 
 
 __all__ = [

@@ -1,0 +1,172 @@
+"""Heartbeat failure detection for a gateway fleet (crash-stop model).
+
+A crashed gateway is the one fault the paper's architecture cannot hide:
+the gateway is the only bridge between its SDP islands, so its death
+silently blinds whole segments.  The fleet therefore watches itself — and
+it does so **without one extra wire message**: gossip digests already flow
+peer-to-peer every round (see :class:`~repro.federation.CacheGossiper`),
+so each digest doubles as a heartbeat and the detector merely counts.
+
+State machine, per member, evaluated fleet-wide::
+
+    alive --k missed rounds--> suspect --m more missed--> dead
+      ^                           |
+      +------ any traffic --------+          (dead is terminal until
+                                              an explicit restart/reset)
+
+"Missed rounds" are counted per *observer*: every live member's gossiper
+reports its own round ticks (:meth:`FailureDetector.note_round`) and every
+datagram it hears from a peer (:meth:`FailureDetector.note_heard`).  The
+first observer whose count crosses a threshold drives the fleet-level
+transition.  All counting happens at gossip-round events in virtual time
+and draws no randomness, so detection latency is deterministic and bounded
+by ``(suspect_after + dead_after) * gossip_period`` from the crash.
+
+Because gossip targets rotate round-robin, an observer in a fleet of
+``n`` members normally hears any given peer at least every ``n - 1`` of
+its own rounds; ``suspect_after`` must exceed that gap or a healthy fleet
+would suspect itself.  :meth:`GatewayFleet.__init__` validates nothing —
+the world spec does — but the chaos scenarios use ``suspect_after >= n``.
+
+On ``dead`` the fleet self-heals (see
+:meth:`~repro.federation.GatewayFleet._on_member_dead`): the dead
+member's ring points are released (only *its* keys rebalance — the
+consistent-hash property the shard tests pin), held elections are
+invalidated, and the repair is recorded for the chaos bench's
+time-to-repair metric.
+
+Both thresholds default to ``None`` — a fleet without them never counts,
+never transitions, and gossips byte-identically to one built before this
+module existed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fleet import GatewayFleet
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+class FailureDetector:
+    """Piggybacked heartbeat counting for one fleet; see module docstring."""
+
+    def __init__(
+        self,
+        fleet: "GatewayFleet",
+        suspect_after: Optional[int] = None,
+        dead_after: Optional[int] = None,
+    ):
+        if suspect_after is not None and suspect_after < 1:
+            raise ValueError(f"suspect_after must be >= 1, got {suspect_after}")
+        if dead_after is not None and dead_after < 1:
+            raise ValueError(f"dead_after must be >= 1, got {dead_after}")
+        if dead_after is not None and suspect_after is None:
+            raise ValueError("dead_after needs suspect_after")
+        self.fleet = fleet
+        self.suspect_after = suspect_after
+        #: Additional missed rounds (beyond ``suspect_after``) before a
+        #: suspect is declared dead; defaults to ``suspect_after``.
+        self.dead_after = (
+            dead_after if dead_after is not None else suspect_after
+        )
+        #: (observer, peer) -> consecutive observer rounds without traffic.
+        self._missed: dict[tuple[str, str], int] = {}
+        #: member -> status; members absent from the dict are alive.
+        self.status: dict[str, str] = {}
+        #: Every state transition: (virtual time, member, new status).
+        #: The chaos bench reads time-to-detect off the ``dead`` entries.
+        self.transitions: list[tuple[int, str, str]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.suspect_after is not None
+
+    # -- queries -------------------------------------------------------------
+
+    def status_of(self, member_id: str) -> str:
+        return self.status.get(member_id, ALIVE)
+
+    def is_alive(self, member_id: str) -> bool:
+        return self.status_of(member_id) == ALIVE
+
+    def is_down(self, member_id: str) -> bool:
+        """Suspect or dead — the states owner-gated dispatch degrades on."""
+        return self.status_of(member_id) != ALIVE
+
+    def detect_bound_us(self, gossip_period_us: int) -> int:
+        """The guaranteed worst-case crash-to-``dead`` latency."""
+        if not self.enabled:
+            return 0
+        return (self.suspect_after + self.dead_after) * gossip_period_us
+
+    # -- event feed (called by each member's gossiper) -----------------------
+
+    def note_heard(self, observer: str, peer: str, now_us: int) -> None:
+        """Any datagram from ``peer`` resets the observer's count for it.
+
+        A suspect that speaks again is retracted to alive; ``dead`` is
+        terminal under the crash-stop model — only an explicit
+        :meth:`reset` (the restart path) revives it.
+        """
+        if not self.enabled:
+            return
+        self._missed[(observer, peer)] = 0
+        if self.status.get(peer) == SUSPECT:
+            self._set_status(peer, ALIVE, now_us)
+
+    def note_round(self, observer: str, now_us: int) -> None:
+        """One of ``observer``'s gossip rounds fired: age every peer."""
+        if not self.enabled:
+            return
+        for peer in self.fleet.members:
+            if peer == observer:
+                continue
+            count = self._missed.get((observer, peer), 0) + 1
+            self._missed[(observer, peer)] = count
+            status = self.status.get(peer, ALIVE)
+            if status == DEAD:
+                continue
+            if status == ALIVE and count >= self.suspect_after:
+                self._set_status(peer, SUSPECT, now_us)
+                status = SUSPECT
+            if status == SUSPECT and count >= self.suspect_after + self.dead_after:
+                self._set_status(peer, DEAD, now_us)
+
+    def reset(self, member_id: str) -> None:
+        """Forget everything about a member (the restart/rejoin path)."""
+        self.status.pop(member_id, None)
+        for key in [k for k in self._missed if member_id in k]:
+            del self._missed[key]
+
+    # -- transitions ---------------------------------------------------------
+
+    def _set_status(self, member_id: str, status: str, now_us: int) -> None:
+        if status == ALIVE:
+            self.status.pop(member_id, None)
+        else:
+            self.status[member_id] = status
+        self.transitions.append((now_us, member_id, status))
+        self._obs_transition(member_id, status, now_us)
+        if status == DEAD:
+            self.fleet._on_member_dead(member_id, now_us)
+
+    def _obs_transition(self, member_id: str, status: str, now_us: int) -> None:
+        obs = self.fleet.network.obs
+        if not obs.on:
+            return
+        obs.trace.instant(
+            "fleet.member.state", now_us, 0, tid=member_id, cat="fleet",
+            args={"member": member_id, "status": status},
+        )
+        if status == SUSPECT:
+            obs.metrics.counter("fleet.suspect", member=member_id).inc()
+        elif status == DEAD:
+            obs.metrics.counter("fleet.dead", member=member_id).inc()
+
+
+__all__ = ["FailureDetector", "ALIVE", "SUSPECT", "DEAD"]

@@ -17,7 +17,19 @@ action       applies to               effect
 ``degrade``  ``segment`` or ``link``  install a seeded loss model (``rate``,
                                       ``model`` = ``bernoulli``/``gilbert``)
 ``clear``    ``segment`` or ``link``  remove the loss model
+``crash``    ``host="address"``       crash-stop the host: in-flight frames
+                                      addressed to it drop exactly once and
+                                      its transport state dies (see
+                                      :meth:`Network.crash_node`)
+``restart``  ``host="address"``       bring a crashed host back with empty
+                                      stacks and a fresh session-id block
 ===========  =======================  ========================================
+
+``crash``/``restart`` act on the *network* level only — a plan restores
+transport, not application state.  World-level ``Crash``/``Restart``
+workload steps additionally rebuild the INDISS instance and re-federate
+it; the chaos sweep drives those for gateways and this plan for plain
+hosts.
 
 Determinism contract: executing a plan arms the network's adversity layer
 (:meth:`Network.enable_faults`) *before* any traffic the caller sends, each
@@ -40,17 +52,19 @@ from .errors import NetworkError
 from .latency import make_loss_model
 from .network import Network
 
-_ACTIONS = ("cut", "heal", "isolate", "restore", "degrade", "clear")
+_ACTIONS = ("cut", "heal", "isolate", "restore", "degrade", "clear", "crash", "restart")
 
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled fault: ``action`` applied to an edge at ``at_us``."""
+    """One scheduled fault: ``action`` applied to an edge (or host) at
+    ``at_us``."""
 
     at_us: int
     action: str
     link: tuple[str, str] | None = None
     segment: str | None = None
+    host: str | None = None
     rate: float = 0.0
     model: str = "bernoulli"
     seed_offset: int = 0
@@ -68,6 +82,9 @@ class FaultEvent:
         elif self.action in ("isolate", "restore"):
             if self.segment is None:
                 raise ValueError(f"{self.action!r} needs segment=...")
+        elif self.action in ("crash", "restart"):
+            if self.host is None:
+                raise ValueError(f"{self.action!r} needs host=\"address\"")
         else:  # degrade / clear
             if (self.link is None) == (self.segment is None):
                 raise ValueError(
@@ -100,6 +117,16 @@ def execute_fault(network: Network, event: FaultEvent, seed: int = 0) -> None:
                 event.model, event.rate, seed + event.seed_offset, event.segment
             )
             network.set_segment_loss(event.segment, model)
+    elif action == "crash":
+        node = network.node_at(event.host)
+        if node is None:
+            raise NetworkError(f"cannot crash {event.host!r}: no such attached host")
+        network.crash_node(node)
+    elif action == "restart":
+        node = network.crashed_node(event.host)
+        if node is None:
+            raise NetworkError(f"cannot restart {event.host!r}: not crashed")
+        network.restart_node(node)
     else:  # clear
         if event.link is not None:
             network.set_link_loss(event.link[0], event.link[1], None)

@@ -51,6 +51,12 @@ if TYPE_CHECKING:  # pragma: no cover
 #: district ``p`` allocates ids from ``(p + 1) * SESSION_ID_BLOCK``.
 SESSION_ID_BLOCK = 10**8
 
+#: Block index the first crash-recovery restart mints session ids from
+#: (the n-th restart fleet-wide uses ``RESTART_SESSION_BLOCK + n``).  Far
+#: above any realistic district count, so restarted instances can never
+#: collide with a district block *or* with their own pre-crash ids.
+RESTART_SESSION_BLOCK = 1000
+
 
 @dataclass
 class TraceRecord:
@@ -139,6 +145,17 @@ class Network:
         self._link_loss: dict[tuple[str, str], object] = {}
         self._cut_times: dict[tuple[str, str], int] = {}
         self._adversity = False
+        #: Crash-stopped hosts: address -> (node, home segments at crash
+        #: time).  Entries live from :meth:`crash_node` to
+        #: :meth:`restart_node`.
+        self._crash_info: dict[str, tuple[Node, list[Segment]]] = {}
+        #: Per-node session-id counters minted by :meth:`restart_node`
+        #: (a restarted instance allocates from a fresh block so it can
+        #: never reuse a pre-crash session id).
+        self._node_session_counters: dict = {}
+        #: Fleet-wide restart ordinal; grows in workload-step order, which
+        #: is identical on every engine, so restart blocks are deterministic.
+        self._restart_count = 0
         self.default_segment = self.add_segment(
             self.DEFAULT_SEGMENT, subnet=subnet, latency=self.latency
         )
@@ -287,6 +304,121 @@ class Network:
         self._nodes[node.address] = node
         for segment in targets:
             segment.attach(node)
+
+    # -- crash faults (crash-stop / crash-recovery) -----------------------------
+
+    def is_crashed(self, node_or_address) -> bool:
+        address = (
+            node_or_address
+            if isinstance(node_or_address, str)
+            else node_or_address.address
+        )
+        return address in self._crash_info
+
+    def crashed_node(self, address: str) -> Optional[Node]:
+        """The crash-stopped node at ``address`` (it left ``node_at``'s
+        table when it crashed), or None."""
+        info = self._crash_info.get(address)
+        return info[0] if info is not None else None
+
+    def crash_node(self, node: Node) -> None:
+        """Crash-stop a host: the process dies mid-flight.
+
+        Differs from :meth:`detach_node` (NIC down) in exactly the ways a
+        dead process differs from an unplugged cable:
+
+        * **in-flight frames addressed to the host drop exactly once** —
+          its sockets close, so deliveries already scheduled are swallowed
+          by the closed-socket guard and can never land on a post-restart
+          successor socket;
+        * **volatile transport state is lost** — the UDP port table and
+          every TCP connection die (no FIN: peers only notice through
+          their own timeouts), and the stacks are reset so a restart
+          starts from nothing;
+        * sends from stale timers that still hold a dead socket vanish
+          silently instead of raising into the surviving event loop.
+
+        Like detach, a crashed host keeps its home district: its (now
+        inert) timers stay on the same wheel, so the partitioned engines
+        schedule identically.  No RNG is drawn anywhere on this path — a
+        crash armed but never fired stays bit-identical to a crash-free
+        run.
+        """
+        address = node.address
+        if address in self._crash_info:
+            raise NetworkError(f"node {node.name!r} is already crashed")
+        home = list(node.segments)
+        # Close sockets while still attached so multicast memberships
+        # unindex from the segments that indexed them.
+        if node._udp is not None:
+            node._udp.crash()
+        if node._tcp is not None:
+            node._tcp.crash()
+        node._udp = None
+        node._tcp = None
+        for segment in home:
+            segment.detach(node)
+        self._nodes.pop(address, None)
+        self._crash_info[address] = (node, home)
+        self._note_topology_change()
+        obs = self.obs
+        if obs.on:
+            pid = self.partition_of_node(node)
+            pmap = self.partition_map
+            if pmap is None or obs.owns(pid):
+                obs.trace.instant(
+                    "net.node.crash", self.scheduler_for(node).now_us, pid,
+                    cat="fault", args={"host": node.name},
+                )
+                obs.metrics.counter("net.node.crashes", host=node.name).inc()
+
+    def restart_node(self, node: Node, segments=None) -> None:
+        """Crash-recovery: bring a crashed host back with empty stacks.
+
+        ``segments`` defaults to the host's crash-time placement.  The
+        same district guard as :meth:`reattach_node` applies — a restarted
+        host's timers still live on its home wheel.  The restarted
+        instance mints session ids from a fresh block
+        (``(RESTART_SESSION_BLOCK + n) * SESSION_ID_BLOCK`` for the n-th
+        restart), so no session id is ever reused across the crash; the
+        ordinal grows in workload-step order, identical on every engine.
+        """
+        info = self._crash_info.get(node.address)
+        if info is None:
+            raise NetworkError(f"node {node.name!r} is not crashed")
+        _, home = info
+        targets = [
+            self._resolve_segment(s) for s in (segments if segments else home)
+        ]
+        if not targets:
+            targets = [self.default_segment]
+        if self.engine is not None and node._pid is not None:
+            pmap = self.engine.pmap
+            for segment in targets:
+                pid = pmap.pid_of.get(segment.name)
+                if pid is not None and pid != node._pid:
+                    raise NetworkError(
+                        f"cannot restart {node.name!r} on district {pid}: its "
+                        f"timers live on district {node._pid}'s wheel"
+                    )
+        del self._crash_info[node.address]
+        self._nodes[node.address] = node
+        for segment in targets:
+            segment.attach(node)
+        self._restart_count += 1
+        base = (RESTART_SESSION_BLOCK + self._restart_count) * SESSION_ID_BLOCK
+        self._node_session_counters[node.address] = itertools.count(base)
+        self._note_topology_change()
+        obs = self.obs
+        if obs.on:
+            pid = self.partition_of_node(node)
+            pmap = self.partition_map
+            if pmap is None or obs.owns(pid):
+                obs.trace.instant(
+                    "net.node.restart", self.scheduler_for(node).now_us, pid,
+                    cat="fault", args={"host": node.name},
+                )
+                obs.metrics.counter("net.node.restarts", host=node.name).inc()
 
     # -- adversity: loss models and fault injection ----------------------------
 
@@ -529,7 +661,15 @@ class Network:
 
     def session_id_source(self, node: Node) -> Callable[[], int] | None:
         """Per-district session-id allocator, or ``None`` for the classic
-        global counter (single-district topologies are unchanged)."""
+        global counter (single-district topologies are unchanged).
+
+        A host that came back through :meth:`restart_node` allocates from
+        its own fresh restart block instead — on any topology — so a
+        restarted instance can never mint a pre-crash session id.
+        """
+        override = self._node_session_counters.get(node.address)
+        if override is not None:
+            return lambda: next(override)
         counters = self._session_counters
         if counters is None:
             return None

@@ -40,6 +40,11 @@ class TcpConnection:
         self._data_handler: Optional[DataHandler] = None
         self._close_handler: Optional[CloseHandler] = None
         self._closed = False
+        #: Set by :meth:`TcpStack.crash`: the owning process crash-stopped,
+        #: so sends from stale timers drop silently (no FIN ever went out —
+        #: the peer only notices through its own timeouts).
+        self._crashed = False
+        node.tcp._connections.append(self)
         self._recv_buffer: list[tuple[bytes, object]] = []
         #: Decode memo attached to the chunk currently being delivered to
         #: the data handler (``None`` outside delivery).  This is the TCP
@@ -95,6 +100,8 @@ class TcpConnection:
         with the structured form of an encoded message so no receiver of
         the fan-out pays the decode (see ``repro.sdp.upnp.gena``).
         """
+        if self._crashed:
+            return
         if self._closed:
             raise SocketClosedError("send on closed TCP connection")
         if self._peer is None:
@@ -198,6 +205,9 @@ class TcpStack:
     def __init__(self, node: "Node"):
         self._node = node
         self._listeners: dict[int, TcpListener] = {}
+        #: Every connection this node has ever opened or accepted, for
+        #: crash-stop teardown (see :meth:`crash`).
+        self._connections: list[TcpConnection] = []
         self._next_ephemeral = self.EPHEMERAL_BASE
 
     def listen(self, port: int, on_connection: ConnectHandler) -> TcpListener:
@@ -210,6 +220,20 @@ class TcpStack:
 
     def unregister(self, port: int) -> None:
         self._listeners.pop(port, None)
+
+    def crash(self) -> None:
+        """Crash-stop teardown: listeners stop accepting and every
+        connection dies *without a FIN* — unlike :meth:`TcpConnection.close`
+        the peer is never told, so in-flight chunks addressed to this node
+        are swallowed by the receive-side closed guard and the survivor
+        only learns through its own application-level timeouts (the real
+        crash-stop failure signature)."""
+        for listener in list(self._listeners.values()):
+            listener.close()
+        for connection in self._connections:
+            connection._crashed = True
+            connection._closed = True
+        self._connections.clear()
 
     def listener_for(self, port: int) -> TcpListener | None:
         listener = self._listeners.get(port)

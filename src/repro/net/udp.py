@@ -210,6 +210,11 @@ class UdpSocket:
         self._port: int | None = None
         self._groups: set[str] = set()
         self._closed = False
+        #: Set by :meth:`repro.net.udp.UdpStack.crash`: the owning process
+        #: crash-stopped, so sends from stale timers that still hold this
+        #: socket silently vanish instead of raising (a dead process cannot
+        #: raise into a survivor's event loop).
+        self._crashed = False
         self._handler: Optional[DatagramHandler] = None
         #: Datagrams delivered before a handler was attached (tests read this).
         self.inbox: list[Datagram] = []
@@ -295,6 +300,8 @@ class UdpSocket:
         frame's :class:`FrameMemo` with it, so no receiver ever pays the
         decode (parse-once carried to the producer side).
         """
+        if self._crashed:
+            return
         self._ensure_open()
         if self._port is None:
             # Match OS behaviour: sending auto-binds to an ephemeral port.
@@ -390,6 +397,22 @@ class UdpStack:
 
     def bound_ports(self) -> list[int]:
         return sorted(self._ports)
+
+    def crash(self) -> None:
+        """Crash-stop teardown: every bound socket closes *as crashed*.
+
+        Closing unregisters ports and unindexes multicast memberships, so
+        frames already scheduled for delivery to these sockets are
+        swallowed by :meth:`UdpSocket.deliver`'s closed guard — dropped
+        exactly once, never delivered to a post-restart successor.  The
+        crashed flag additionally makes sends from stale timers that still
+        hold a dead socket vanish silently: a crashed process cannot raise
+        into the surviving event loop.
+        """
+        for holders in list(self._ports.values()):
+            for sock in list(holders):
+                sock._crashed = True
+                sock.close()
 
 
 __all__ = [

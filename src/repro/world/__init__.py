@@ -35,6 +35,7 @@ from .spec import (
     Collect,
     ControlPoint,
     CpChatter,
+    Crash,
     Delta,
     Emit,
     Fault,
@@ -50,6 +51,7 @@ from .spec import (
     JiniRegistrar,
     Ping,
     Probe,
+    Restart,
     RingOwnerLeaf,
     Run,
     SegmentSpec,
@@ -101,6 +103,8 @@ __all__ = [
     "Churn",
     "Fault",
     "Heal",
+    "Crash",
+    "Restart",
     "SetConfig",
     "Snapshot",
     "Delta",

@@ -45,12 +45,14 @@ from .spec import (
     Collect,
     ControlPoint,
     CpChatter,
+    Crash,
     Delta,
     Emit,
     Fault,
     Fill,
     FleetSpec,
     Heal,
+    Restart,
     GenaFeed,
     GenaSubscriber,
     HostSpec,
@@ -219,7 +221,7 @@ class World:
                 net.freeze_partitions(pmap)
         world = cls(spec, net, seed, costs)
         world.engine_kind = engine
-        if any(isinstance(s, (Fault, Heal)) for s in spec.workload):
+        if any(isinstance(s, (Fault, Heal, Crash, Restart)) for s in spec.workload):
             # Armed before any traffic, so frames already in flight when a
             # later Fault cuts their link take the trunk path and drop.
             net.enable_faults()
@@ -270,6 +272,8 @@ class World:
                 element.backbone,
                 wire_utilization=element.wire_utilization,
                 cold_start_escalation=element.cold_start_escalation,
+                suspect_after=element.suspect_after,
+                dead_after=element.dead_after,
             )
             for member in element.members:
                 fleet.join(
@@ -603,6 +607,10 @@ class World:
             self._apply_fault(step)
         elif isinstance(step, Heal):
             self._apply_heal(step)
+        elif isinstance(step, Crash):
+            self._apply_crash(step)
+        elif isinstance(step, Restart):
+            self._apply_restart(step)
         elif isinstance(step, SetConfig):
             self._set_config(step)
         elif isinstance(step, Snapshot):
@@ -869,6 +877,59 @@ class World:
             self._detached_hosts.clear()
         else:
             raise BuildError(f"unknown heal kind {step.kind!r}")
+
+    def _member_fleet(self, host: str) -> Optional[str]:
+        """The fleet a host's address is (still) a member of, if any."""
+        address = self.hosts[host].address
+        for name in sorted(self.fleets):
+            if address in self.fleets[name].members:
+                return name
+        return None
+
+    def _apply_crash(self, step: Crash) -> None:
+        """Crash-stop one host, teardown ordered from the top down:
+
+        1. fleet bookkeeping (the member's gossiper timer dies with the
+           process; membership record and ring points deliberately stay —
+           peers learn of the death only via the failure detector);
+        2. INDISS volatile state (the monitor's sockets close while the
+           node's stacks are still live, open sessions are fenced so
+           pre-crash unit timers cannot complete into the restarted
+           instance);
+        3. the transport (sockets crash-closed, in-flight frames to the
+           host drop exactly once, segments detach).
+        """
+        node = self.hosts[step.host]
+        address = node.address
+        fleet_name = self._member_fleet(step.host)
+        if fleet_name is not None:
+            self.fleets[fleet_name].crash_member(address)
+        indiss = self._apps.get((step.host, "indiss"))
+        if indiss is not None:
+            indiss.crash()
+        self.net.crash_node(node)
+
+    def _apply_restart(self, step: Restart) -> None:
+        """Bring a crashed host back, rebuild ordered bottom-up: transport
+        reattaches first (the monitor's multicast sockets need live
+        segments to index under), then the INDISS cold rebuild, then
+        fleet re-join (plus the bootstrap handshake when asked)."""
+        node = self.net.crashed_node(self.hosts[step.host].address)
+        if node is None:
+            raise BuildError(f"restart: host {step.host!r} is not crashed")
+        self.net.restart_node(node)
+        indiss = self._apps.get((step.host, "indiss"))
+        if indiss is not None:
+            indiss.restart()
+            fleet_name = self._member_fleet(step.host)
+            if fleet_name is not None:
+                fleet_spec = self._fleet_specs[fleet_name]
+                self.fleets[fleet_name].restart_member(
+                    indiss,
+                    gossip_period_us=fleet_spec.gossip_period_us,
+                    catchup_after=fleet_spec.catchup_after,
+                    bootstrap=step.bootstrap,
+                )
 
     def _set_config(self, step: SetConfig) -> None:
         targets: list[Indiss] = []

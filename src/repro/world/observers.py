@@ -201,6 +201,31 @@ def fleet_stats(world, fleet=None) -> dict:
     return extras
 
 
+def fleet_health(world, fleet=None) -> dict:
+    """Failure-detector and self-healing extras for one named fleet:
+    every detector transition, completed ring repairs, the current
+    suspect/dead boards, and the crash-path session/bootstrap counters."""
+    handle = world.fleets[fleet]
+    health = handle.health
+    row = {
+        "detector_transitions": [list(t) for t in health.transitions],
+        "ring_repairs": [list(r) for r in handle.repairs],
+        "suspects_now": sorted(m for m, s in health.status.items() if s == "suspect"),
+        "dead_now": sorted(m for m, s in health.status.items() if s == "dead"),
+        "session_retry_fallbacks": sum(
+            i.stats.retry_fallbacks for i in world.instances
+        ),
+        "owner_down_fallbacks": handle.aggregate_stats()["owner_down_fallbacks"],
+        "bootstrap_completed_at": {
+            member_id: member.gossiper.bootstrap_completed_at
+            for member_id, member in sorted(handle.members.items())
+            if member.gossiper is not None
+            and member.gossiper.bootstrap_completed_at is not None
+        },
+    }
+    return row
+
+
 def warm_members(world, fleet=None) -> dict:
     """How many gateways hold at least one cached record (fleet members
     when a fleet is named, every INDISS instance otherwise)."""
@@ -297,6 +322,7 @@ COLLECTORS: dict[str, Callable[..., dict]] = {
     "chatter": chatter_stats,
     "cp_chatter": cp_chatter_stats,
     "fleet": fleet_stats,
+    "fleet_health": fleet_health,
     "warm_members": warm_members,
     "gateway_count": gateway_count,
     "node_count": node_count,

@@ -32,6 +32,7 @@ from .spec import (
     Collect,
     ControlPoint,
     CpChatter,
+    Crash,
     Delta,
     Emit,
     Fault,
@@ -47,6 +48,7 @@ from .spec import (
     JiniRegistrar,
     Ping,
     Probe,
+    Restart,
     RingOwnerLeaf,
     Run,
     SegmentSpec,
@@ -545,6 +547,91 @@ def partitioned_campus_spec(
         name="partitioned_campus",
         description="The federated campus across one partition/heal cycle "
         "with lossy backbone gossip and every adversity knob on.",
+        elements=tuple(elements),
+        workload=workload,
+    )
+
+
+def crash_recovery_spec(
+    segments: int = 5,
+    nodes: int = 120,
+    gossip_period_us: int = 200_000,
+    warmup_us: int = 1_500_000,
+    suspect_after: int = 6,
+    dead_after: int = 4,
+    down_us: int = 4_000_000,
+    recover_us: int = 2_500_000,
+) -> WorldSpec:
+    """The federated campus through one crash/restart cycle.
+
+    The fleet runs with the heartbeat failure detector armed.  After
+    gossip warms every cache, the service-side gateway crash-stops: its
+    volatile state dies, in-flight frames to it drop, and — crucially —
+    no peer is told.  The detector must notice from missed gossip rounds
+    (``suspect`` then ``dead``, within ``(suspect_after + dead_after)``
+    rounds), repair the ring, and exclude the corpse from elections; a
+    mid-outage probe is answered from the surviving members' gossiped
+    caches.  The gateway then restarts cold with ``bootstrap=True``, so
+    one state-transfer exchange — not slow anti-entropy — refills its
+    cache, and a post-recovery probe confirms the fleet is whole again.
+
+    ``suspect_after`` must exceed the round-robin hearing gap (a fleet of
+    n members hears any given peer about every n-1 rounds), or a healthy
+    fleet would suspect itself.
+    """
+    from dataclasses import replace
+
+    elements, leaves, members = _campus_fleet_elements(
+        segments, nodes, gossip_period_us, True,
+        wide_subnets=nodes > 200 * segments,
+    )
+    elements = [
+        replace(el, suspect_after=suspect_after, dead_after=dead_after)
+        if isinstance(el, FleetSpec)
+        else el
+        for el in elements
+    ]
+    elements += [
+        HostSpec("client", segment=leaves[0]),
+        HostSpec("service", segment=leaves[-1]),
+        SlpClient(host="client"),
+        ClockDevice(host="service", advertise=True),
+    ]
+    victim = members[-1]
+    fleet_params = (("fleet", "fleet"),)
+    workload = (
+        Run(warmup_us),
+        Collect("warm_members", key="warm_members_after_gossip", params=fleet_params),
+        SetConfig("answer_from_cache", True, hosts=tuple(members)),
+        Probe(
+            "pre", "service:clock", host="client",
+            horizon_us=1_000_000, headline=True, extras_prefix="pre",
+        ),
+        Snapshot("pre_crash", ("translations",)),
+        Crash(victim),
+        Run(down_us),
+        Probe(
+            "during", "service:clock", host="client",
+            horizon_us=1_000_000, extras_prefix="during",
+        ),
+        Restart(victim, bootstrap=True),
+        Run(recover_us),
+        Probe(
+            "post", "service:clock", host="client",
+            horizon_us=1_000_000, extras_prefix="post",
+        ),
+        Delta("cycle_translations", "translations", "pre_crash"),
+        Collect("fleet", params=fleet_params),
+        Collect("fleet_health", key="health", params=fleet_params),
+        Emit("crashed_member", victim),
+        Emit("gossip_period_us", gossip_period_us),
+        Emit("detect_bound_us", (suspect_after + dead_after) * gossip_period_us),
+    )
+    return WorldSpec(
+        name="crash_recovery",
+        description="The federated campus through one gateway crash-stop: "
+        "heartbeat detection, ring repair, cold restart with a cache "
+        "bootstrap handshake.",
         elements=tuple(elements),
         workload=workload,
     )
@@ -1205,6 +1292,7 @@ SCENARIO_SPECS: dict[str, Callable[..., WorldSpec]] = {
     "campus_fanout": campus_fanout_spec,
     "federated_campus": federated_campus_spec,
     "partitioned_campus": partitioned_campus_spec,
+    "crash_recovery": crash_recovery_spec,
     "sharded_backbone": sharded_backbone_spec,
     "metro_backbone": metro_backbone_spec,
     "media_city": media_city_spec,

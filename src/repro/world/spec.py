@@ -110,6 +110,14 @@ class FleetSpec:
     #: Members re-translate a request the ring owner re-issued when the
     #: owner's own translation came back empty (cold start).
     cold_start_escalation: bool = False
+    #: Arm the fleet's heartbeat failure detector: a member unheard for
+    #: this many of an observer's gossip rounds is suspected (see
+    #: :class:`~repro.federation.FailureDetector`).  None — off, and the
+    #: fleet is byte-identical to one built before the detector existed.
+    suspect_after: Optional[int] = None
+    #: Missed rounds beyond ``suspect_after`` before a suspect is declared
+    #: dead (ring repair fires).  Defaults to ``suspect_after``.
+    dead_after: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -441,6 +449,43 @@ class Heal:
 
 
 @dataclass(frozen=True)
+class Crash:
+    """Crash-stop ``host``, effective immediately.
+
+    Harsher than ``Fault(detach)`` in every observable way: frames in
+    flight to the host drop exactly once (detach lands them), its open TCP
+    connections die without a FIN, and all volatile application state —
+    INDISS units, sessions, cache, session-id counter — is lost.  If the
+    host is a fleet member, its gossiper dies with it while its membership
+    record and ring points *stay*: peers learn of the death only through
+    the fleet's failure detector (or never, if the detector is unarmed).
+
+    Applied at a barrier-synchronized step boundary, so it is legal under
+    the partitioned engine (unlike ``FaultPlan`` self-scheduling).
+    """
+
+    host: str
+
+
+@dataclass(frozen=True)
+class Restart:
+    """Bring a crashed ``host`` back, effective immediately.
+
+    The transport reattaches to its crash-time home segments, and the
+    node's future sessions mint ids from a fresh restart block (see
+    ``RESTART_SESSION_BLOCK``) so pre- and post-crash sessions can never
+    collide.  A host that carried an INDISS instance gets a cold rebuild:
+    empty cache, fresh session manager, re-created units.  A fleet member
+    additionally re-joins its fleet; with ``bootstrap=True`` its new
+    gossiper immediately requests a full cache transfer from one live
+    peer instead of waiting for anti-entropy.
+    """
+
+    host: str
+    bootstrap: bool = False
+
+
+@dataclass(frozen=True)
 class SetConfig:
     """Flip one config field on a fleet's members (or named hosts)."""
 
@@ -520,6 +565,8 @@ WORKLOAD_STEPS = (
     Churn,
     Fault,
     Heal,
+    Crash,
+    Restart,
     SetConfig,
     Snapshot,
     Delta,
@@ -652,6 +699,12 @@ class WorldSpec:
                         problems.append(
                             f"{where}: fleet member {member!r} has no INDISS app"
                         )
+                for knob in ("suspect_after", "dead_after"):
+                    value = getattr(element, knob)
+                    if value is not None and value < 1:
+                        problems.append(f"{where}: {knob} must be >= 1")
+                if element.dead_after is not None and element.suspect_after is None:
+                    problems.append(f"{where}: dead_after needs suspect_after")
                 fleets[element.name] = element
             elif isinstance(element, Fill):
                 if element.total_nodes < 0:
@@ -700,6 +753,9 @@ class WorldSpec:
                         problems.append(f"{where}: unknown host {host!r}")
             elif isinstance(step, (Fault, Heal)):
                 self._check_fault_step(step, segments, hosts, where, problems)
+            elif isinstance(step, (Crash, Restart)):
+                if step.host not in hosts:
+                    problems.append(f"{where}: unknown host {step.host!r}")
             elif isinstance(step, Check) and step.host is not None:
                 if step.host not in hosts:
                     problems.append(f"{where}: unknown host {step.host!r}")
@@ -904,6 +960,8 @@ __all__ = [
     "Churn",
     "Fault",
     "Heal",
+    "Crash",
+    "Restart",
     "SetConfig",
     "Snapshot",
     "Delta",

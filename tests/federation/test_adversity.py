@@ -112,9 +112,12 @@ def test_partitioned_members_elect_different_responders():
     views = fleet.elector.disagreement("clock")
     assert len(views) == 3
     assert len(set(views.values())) > 1  # the fleet disagrees
-    # The cut-off member, hearing nobody, elects itself.
+    # The cut-off member is off every candidate board — its own included:
+    # a detached gateway cannot hear the request it would be elected to
+    # answer, so even hearing nobody it must not elect itself.
     lone = instances[2].node.address
-    assert views[lone] == lone
+    assert views[lone] != lone
+    assert lone not in views.values()
 
     net.reattach_node(detached, homes)
     # Past the hysteresis hold, fresh wire samples re-unify the view.

@@ -1,0 +1,377 @@
+"""Failure detection, ring repair, degraded dispatch, and cache bootstrap.
+
+The crash-stop robustness contract: gossip digests double as heartbeats
+(zero extra wire messages), a dead member's ring points rebalance without
+moving anyone else's keys, dispatch degrades to gateway-forward while the
+owner is down, elections never pick a corpse, and a restarted gateway can
+refill its cache from one live peer with the TTL contract intact.
+"""
+
+import pytest
+
+from repro import Indiss, IndissConfig, Network, ServiceRecord
+from repro.federation import ALIVE, DEAD, SUSPECT, FailureDetector, GatewayFleet
+
+
+def build_world(member_count=3, suspect_after=None, dead_after=None,
+                gossip_period_us=None, catchup_after=None,
+                election_hold_us=0, **config_kwargs):
+    net = Network()
+    backbone = net.default_segment
+    instances, leaves = [], []
+    for i in range(member_count):
+        leaf = net.add_segment(f"leaf{i}")
+        net.link(backbone, leaf)
+        leaves.append(leaf)
+        gateway = net.add_node(f"gateway{i}", segment=leaf)
+        net.bridge(gateway, backbone)
+        config = IndissConfig(
+            units=("slp", "upnp"), deployment="gateway", dispatch="shard-ring",
+            **config_kwargs,
+        )
+        instances.append(Indiss(gateway, config))
+    fleet = GatewayFleet(
+        net, backbone, election_hold_us=election_hold_us,
+        suspect_after=suspect_after, dead_after=dead_after,
+    )
+    for instance in instances:
+        fleet.join(
+            instance,
+            gossip_period_us=gossip_period_us,
+            catchup_after=catchup_after,
+        )
+    return net, fleet, instances, leaves
+
+
+def record(i: int) -> ServiceRecord:
+    return ServiceRecord(
+        service_type=f"svc{i}", url=f"http://10.0.{i}.1/ctl",
+        lifetime_s=3600, source_sdp="upnp",
+    )
+
+
+# -- the detector state machine ---------------------------------------------------
+
+
+def test_detector_defaults_off():
+    net, fleet, instances, _ = build_world()
+    assert not fleet.health.enabled
+    assert fleet.health.detect_bound_us(100_000) == 0
+    # Feeding a disabled detector counts nothing and transitions nobody.
+    fleet.health.note_round(instances[0].node.address, 1_000)
+    fleet.health.note_round(instances[0].node.address, 2_000)
+    assert fleet.health.transitions == [] and fleet.health.status == {}
+
+
+def test_detector_knob_validation():
+    net = Network()
+    with pytest.raises(ValueError):
+        GatewayFleet(net, net.default_segment, suspect_after=0)
+    with pytest.raises(ValueError):
+        GatewayFleet(net, net.default_segment, dead_after=2)  # needs suspect_after
+    fleet = GatewayFleet(net, net.default_segment, suspect_after=3)
+    assert fleet.health.dead_after == 3  # defaults to suspect_after
+    assert fleet.health.detect_bound_us(100_000) == 600_000
+
+
+def test_suspect_then_dead_repairs_only_the_dead_vnodes():
+    net, fleet, instances, _ = build_world(suspect_after=2, dead_after=1)
+    observer = instances[0].node.address
+    victim = instances[1].node.address
+    chatty = instances[2].node.address
+    before = {f"svc{i}": fleet.ring.owner(f"svc{i}") for i in range(100)}
+
+    fleet.health.note_round(observer, 1_000)
+    fleet.health.note_heard(observer, chatty, 1_001)  # only the victim is silent
+    assert fleet.health.status_of(victim) == ALIVE
+    fleet.health.note_round(observer, 2_000)
+    fleet.health.note_heard(observer, chatty, 2_001)
+    assert fleet.health.status_of(victim) == SUSPECT
+    assert fleet.health.is_down(victim) and not fleet.health.is_alive(victim)
+    fleet.health.note_round(observer, 3_000)
+    fleet.health.note_heard(observer, chatty, 3_001)
+    assert fleet.health.status_of(victim) == DEAD
+    assert (3_000, victim, DEAD) in fleet.health.transitions
+
+    # Self-healing: the dead member's ring points are gone, the repair is
+    # recorded, and ONLY keys the corpse owned moved (consistent hashing).
+    assert victim not in fleet.ring
+    assert fleet.repairs == [(3_000, victim)]
+    for key, owner in before.items():
+        if owner != victim:
+            assert fleet.ring.owner(key) == owner, key
+        else:
+            assert fleet.ring.owner(key) != victim, key
+
+
+def test_any_traffic_retracts_a_suspect():
+    net, fleet, instances, _ = build_world(suspect_after=2, dead_after=2)
+    observer = instances[0].node.address
+    peer = instances[1].node.address
+    fleet.health.note_round(observer, 1_000)
+    fleet.health.note_round(observer, 2_000)
+    assert fleet.health.status_of(peer) == SUSPECT
+    fleet.health.note_heard(observer, peer, 2_500)
+    assert fleet.health.status_of(peer) == ALIVE
+    assert (2_500, peer, ALIVE) in fleet.health.transitions
+    # The count restarted from zero: two more silent rounds re-suspect.
+    fleet.health.note_round(observer, 3_000)
+    assert fleet.health.status_of(peer) == ALIVE
+    fleet.health.note_round(observer, 4_000)
+    assert fleet.health.status_of(peer) == SUSPECT
+
+
+def test_dead_is_terminal_until_reset():
+    net, fleet, instances, _ = build_world(suspect_after=1, dead_after=1)
+    observer = instances[0].node.address
+    victim = instances[1].node.address
+    fleet.health.note_round(observer, 1_000)
+    fleet.health.note_round(observer, 2_000)
+    assert fleet.health.status_of(victim) == DEAD
+    # Crash-stop model: a ghost datagram cannot revive the dead ...
+    fleet.health.note_heard(observer, victim, 3_000)
+    assert fleet.health.status_of(victim) == DEAD
+    # ... only the explicit restart path may.
+    fleet.health.reset(victim)
+    assert fleet.health.status_of(victim) == ALIVE
+    assert not [k for k in fleet.health._missed if victim in k]
+
+
+def test_live_gossip_detects_a_crash_within_the_bound():
+    """End to end over real gossip traffic: the piggybacked heartbeats
+    drive suspect -> dead within ``(k + m) * gossip_period`` of the crash,
+    with the detector reading existing digests only."""
+    period = 100_000
+    net, fleet, instances, _ = build_world(
+        member_count=3, suspect_after=4, dead_after=2, gossip_period_us=period
+    )
+    net.run(duration_us=1_000_000)  # steady state, nobody suspected
+    assert fleet.health.transitions == []
+    victim = instances[1]
+    address = victim.node.address
+    crash_at = net.scheduler.now_us
+    fleet.crash_member(address)
+    victim.crash()
+    net.crash_node(victim.node)
+    bound = fleet.health.detect_bound_us(period)
+    net.run(duration_us=bound + period)
+    dead_at = next(
+        t for t, m, s in fleet.health.transitions if m == address and s == DEAD
+    )
+    assert dead_at - crash_at <= bound
+    assert address not in fleet.ring and fleet.repairs
+
+
+# -- degraded dispatch while the owner is down ------------------------------------
+
+
+def test_owner_down_degrades_to_gateway_forward():
+    net, fleet, instances, _ = build_world(suspect_after=1, dead_after=1)
+    owner = fleet.ring.owner("clock")
+    non_owner = next(
+        i for i in instances if i.node.address != owner
+    ).federation
+    # Owner alive: the ring suppresses every non-owner.
+    assert not non_owner.should_translate("service:clock", "slp")
+    assert non_owner.stats.shard_suppressed == 1
+    # Mark the owner suspected: translating through a corpse would stall,
+    # so the non-owner degrades to gateway-forward and translates itself.
+    observer = non_owner.member_id
+    fleet.health.note_round(observer, 1_000)
+    assert fleet.health.is_down(owner)
+    assert non_owner.should_translate("service:clock", "slp")
+    assert non_owner.stats.owner_down_fallbacks == 1
+    assert non_owner.stats.owner_translations == 1
+
+
+# -- retry exhaustion falls back to gateway-forward -------------------------------
+
+
+def test_exhausted_retries_fall_back_to_gateway_forward():
+    """With the detector off, a crashed ring owner suppresses every
+    non-owner's dispatch on every retry — the request would go silent
+    forever.  After the final retry the non-owner dispatches once down the
+    classic gateway-forward path instead, counted in
+    ``SessionStats.retry_fallbacks``, and the request is answered."""
+    from repro.sdp.slp import SlpConfig, UserAgent
+    from repro.sdp.upnp import make_clock_device
+
+    net, fleet, instances, leaves = build_world(
+        member_count=3,
+        translate_retries=1, retry_backoff_us=100_000,
+    )
+    owner_address = fleet.ring.owner("clock")
+    owner = next(i for i in instances if i.node.address == owner_address)
+    edge = next(i for i in instances if i.node.address != owner_address)
+    edge_leaf = leaves[instances.index(edge)]
+    # The only copy of the service lives behind a *non-owner* gateway.
+    make_clock_device(
+        net.add_node("device", segment=edge_leaf), advertise=False
+    )
+    client = UserAgent(
+        net.add_node("client", segment=net.default_segment),
+        config=SlpConfig(wait_us=2_500_000, retries=0),
+    )
+    # Kill the owner without arming the detector: the ring keeps routing
+    # ownership at the corpse and nothing ever repairs it.
+    fleet.crash_member(owner_address)
+    owner.crash()
+    net.crash_node(owner.node)
+
+    searches = []
+    client.find_services("service:clock", on_complete=searches.append)
+    net.run(duration_us=3_000_000)
+
+    assert edge.stats.retry_fallbacks >= 1
+    assert edge.stats.retries >= 1
+    assert len(searches[0].results) == 1
+    # The owner, being dead, translated nothing.
+    assert owner.stats.translated == 0
+
+
+# -- electability (the corpse must never win an election) -------------------------
+
+
+def test_is_electable_excludes_detached_crashed_and_suspected():
+    net, fleet, instances, _ = build_world(suspect_after=1, dead_after=1)
+    a, b, c = (i.node.address for i in instances)
+    assert all(fleet.is_electable(m) for m in (a, b, c))
+    assert not fleet.is_electable("192.0.2.99")  # not a member
+    # Detached: a member with no segments cannot hear the request it
+    # would be elected to answer (the Fault(detach) churn regression).
+    net.detach_node(instances[0].node)
+    assert not fleet.is_electable(a)
+    net.reattach_node(instances[0].node)
+    assert fleet.is_electable(a)
+    # Crashed: local knowledge, independent of the detector's verdict.
+    instances[1].crash()
+    assert not fleet.is_electable(b)
+    # Suspected: the detector's verdict.
+    fleet.health.note_round(a, 1_000)
+    assert not fleet.is_electable(c)
+
+
+def test_elector_never_picks_a_detached_member():
+    """Satellite regression: after a Fault(detach) on a member, the
+    responder election must exclude it — a detached gateway cannot hear
+    the request it would be elected to answer."""
+    net, fleet, instances, _ = build_world(member_count=3)
+    for wanted in ("clock", "printer", "light", "media", "scan"):
+        victim_address = fleet.elector.responder(wanted)
+        if victim_address is not None:
+            break
+    assert victim_address is not None
+    victim = next(i for i in instances if i.node.address == victim_address)
+    net.detach_node(victim.node)
+    fleet.elector.invalidate()
+    elected = fleet.elector.responder(wanted)
+    assert elected != victim_address
+    # Reattach restores the original (deterministic) board.
+    net.reattach_node(victim.node)
+    fleet.elector.invalidate()
+    assert fleet.elector.responder(wanted) == victim_address
+
+
+# -- bootstrap handshake (cache handoff on restart) -------------------------------
+
+
+def test_bootstrap_transfers_live_entries_and_tombstones():
+    """One request, one reply: the donor ships its full live cache plus
+    tombstones; absolute expiries survive the copy (TTL contract) and a
+    tombstoned key cannot sneak back in through the transfer."""
+    # A huge gossip period keeps anti-entropy out of the way: everything
+    # the receiver learns must have come through the bootstrap reply.
+    net, fleet, instances, _ = build_world(
+        member_count=2, gossip_period_us=60_000_000
+    )
+    donor, receiver = instances
+    for i in range(3):
+        donor.cache.store(record(i))
+    removed = donor.cache.remove_url("http://10.0.2.1/ctl")
+    assert removed == 1 and len(donor.cache) == 2
+    donor_digest = donor.cache.digest()
+
+    receiver.federation.gossiper.request_bootstrap()
+    net.run(duration_us=100_000)
+
+    assert receiver.cache.digest() == donor_digest  # same keys, same expiry
+    assert set(receiver.cache.tombstones()) == set(donor.cache.tombstones())
+    donor_stats = fleet.members[donor.node.address].gossiper.stats
+    receiver_stats = fleet.members[receiver.node.address].gossiper.stats
+    assert receiver_stats.bootstrap_requests == 1
+    assert donor_stats.bootstrap_served == 1
+    assert donor_stats.bootstrap_records_sent == 2
+    assert donor_stats.bootstrap_bytes > 0
+    assert receiver_stats.bootstrap_records_applied == 2
+    assert receiver.federation.gossiper.bootstrap_completed_at is not None
+
+
+def test_bootstrap_picks_a_live_donor():
+    """The requester skips dead/crashed peers when choosing its donor."""
+    net, fleet, instances, _ = build_world(
+        member_count=3, suspect_after=1, dead_after=1,
+        gossip_period_us=60_000_000,
+    )
+    a, b, c = instances
+    for source in (b, c):
+        source.cache.store(record(0))
+    # Kill b (the would-be first donor in peer order, if it is): whoever
+    # is electable serves; the transfer still completes.
+    b.crash()
+    a.federation.gossiper.request_bootstrap()
+    net.run(duration_us=100_000)
+    assert len(a.cache) == 1
+    assert fleet.members[c.node.address].gossiper.stats.bootstrap_served + \
+        fleet.members[b.node.address].gossiper.stats.bootstrap_served == 1
+    assert fleet.members[b.node.address].gossiper.stats.bootstrap_served == 0
+
+
+# -- catch-up x restart (anti-entropy refill without bootstrap) -------------------
+
+
+def test_restart_refills_through_catchup_anti_entropy():
+    """A restarted member that skips the bootstrap handshake still
+    reconverges: its empty digests advertise nothing, peers' ordinary
+    delta replies and catch-up escalations rebuild the cache from live
+    entries at send time — never from a digest computed pre-crash."""
+    period = 100_000
+    net, fleet, instances, _ = build_world(
+        member_count=3, gossip_period_us=period, catchup_after=2
+    )
+    for i in range(3):
+        instances[0].cache.store(record(i))
+    net.run(duration_us=12 * period)
+    assert all(len(i.cache) == 3 for i in instances)
+
+    victim = instances[1]
+    address = victim.node.address
+    fleet.crash_member(address)
+    victim.crash()
+    net.crash_node(victim.node)
+    # The fleet's state moves on while the victim is down: one record is
+    # retracted (tombstoned) and a new one appears.  Any escalated delta
+    # built against the victim's *pre-crash* digest would resurrect svc0
+    # or miss svc9 — the push must be built from live entries at send
+    # time, which this pins.
+    survivor = instances[0]
+    assert survivor.cache.remove_url("http://10.0.0.1/ctl") == 1
+    survivor.cache.store(record(9))
+    net.run(duration_us=4 * period)
+
+    net.restart_node(net.crashed_node(address))
+    victim.restart()
+    handle = fleet.restart_member(
+        victim, gossip_period_us=period, catchup_after=2, bootstrap=False
+    )
+    assert len(victim.cache) == 0  # volatile state genuinely died
+    net.run(duration_us=20 * period)
+    # Anti-entropy (deltas + catch-up escalation) rebuilt the *current*
+    # live set: the mid-outage retraction stayed dead, the mid-outage
+    # addition arrived.
+    assert len(victim.cache) == 3
+    assert victim.cache.lookup("svc0") == []
+    assert len(victim.cache.lookup("svc9")) == 1
+    assert handle.gossiper.stats.records_applied >= 3
+    # The refill came through gossip, not the bootstrap handshake.
+    assert handle.gossiper.stats.bootstrap_requests == 0
+    assert handle.gossiper.bootstrap_completed_at is None
