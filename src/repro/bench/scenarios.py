@@ -36,6 +36,8 @@ from ..world.scenarios import (
     native_slp_spec,
     native_upnp_spec,
     partitioned_campus_spec,
+    serving_backbone_spec,
+    serving_grid_spec,
     sharded_backbone_spec,
     slp_to_jini_gateway_spec,
     slp_to_upnp_client_side_spec,
@@ -353,6 +355,29 @@ def district_grid(
                      engine=engine, record=record)
 
 
+def serving_backbone(
+    seed: int = 0, costs: CostModel = PAPER_TESTBED, record=False, **params
+) -> ScenarioOutcome:
+    """Serving tier over the federated campus: gossip-warmed types plus a
+    cold fallback tail under an open-loop ``QueryLoad``."""
+    return run_world(serving_backbone_spec(**params), seed=seed, costs=costs,
+                     record=record)
+
+
+def serving_grid(
+    seed: int = 0,
+    costs: CostModel = PAPER_TESTBED,
+    engine: str = "single",
+    record=False,
+    **params,
+) -> ScenarioOutcome:
+    """Serving tier on the unbridged district grid: per-district frontends
+    plus cross-district query rings that cross lookahead windows under
+    the partitioned engines."""
+    return run_world(serving_grid_spec(**params), seed=seed, costs=costs,
+                     engine=engine, record=record)
+
+
 #: Reduced parameters for scenarios whose defaults are sized for the perf
 #: benchmarks, not the test suite; the behavioural tests apply these so
 #: tier-1 stays fast while the benchmarks keep the full-scale defaults.
@@ -391,6 +416,19 @@ SMALL_SCALE_OVERRIDES: dict[str, dict] = {
         "leaves_per_district": 2,
         "run_us": 2_000_000,
     },
+    "serving_backbone": {
+        "members": 3,
+        "nodes": 60,
+        "service_types": 3,
+        "queries_per_client": 12,
+        "run_us": 2_500_000,
+    },
+    "serving_grid": {
+        "districts": 2,
+        "leaves_per_district": 1,
+        "queries_per_client": 6,
+        "run_us": 2_000_000,
+    },
 }
 
 
@@ -416,6 +454,8 @@ SCENARIOS: dict[str, Callable[..., ScenarioOutcome]] = {
     "churn_backbone": churn_backbone,
     "district_sweep": district_sweep,
     "district_grid": district_grid,
+    "serving_backbone": serving_backbone,
+    "serving_grid": serving_grid,
 }
 
 
@@ -443,4 +483,6 @@ __all__ = [
     "churn_backbone",
     "district_sweep",
     "district_grid",
+    "serving_backbone",
+    "serving_grid",
 ]

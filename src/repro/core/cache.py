@@ -52,6 +52,33 @@ class ServiceCache:
         #: expensive from the contents — the gossiper's serialized digest —
         #: reuse their result while the version stands still.
         self.version = 0
+        #: Attached secondary indexes (``repro.serving.index.CacheIndex``).
+        #: Every path that inserts or drops an entry notifies them, so an
+        #: index never holds a key the per-type dict no longer does.
+        self._indexes: list = []
+
+    def attach_index(self, index) -> None:
+        """Register a secondary index for incremental maintenance.
+
+        ``index`` must expose ``on_store(key, entry)`` and
+        ``on_remove(key)``; both are invoked synchronously from every
+        mutation path (store / merge / byebye removal / remote tombstone /
+        TTL eviction) *before* ``version`` is bumped for that mutation.
+        """
+        if index not in self._indexes:
+            self._indexes.append(index)
+
+    def detach_index(self, index) -> None:
+        if index in self._indexes:
+            self._indexes.remove(index)
+
+    def _note_store(self, key: tuple[str, str], entry: CacheEntry) -> None:
+        for index in self._indexes:
+            index.on_store(key, entry)
+
+    def _note_remove(self, key: tuple[str, str]) -> None:
+        for index in self._indexes:
+            index.on_remove(key)
 
     def __len__(self) -> int:
         self._evict()
@@ -64,9 +91,9 @@ class ServiceCache:
         # A locally observed (re-)announcement is authoritative: the
         # service is demonstrably back, so any retraction tombstone dies.
         self._tombstones.pop(key, None)
-        self._entries[key] = CacheEntry(
-            record=record, stored_at_us=now, expires_at_us=expires
-        )
+        entry = CacheEntry(record=record, stored_at_us=now, expires_at_us=expires)
+        self._entries[key] = entry
+        self._note_store(key, entry)
         self.version += 1
 
     def merge(self, record: ServiceRecord, expires_at_us: float) -> bool:
@@ -97,11 +124,36 @@ class ServiceCache:
         # Only an *adopted* record clears the tombstone — a copy rejected
         # as staler than what we hold must not erase retraction protection.
         self._tombstones.pop(key, None)
-        self._entries[key] = CacheEntry(
+        entry = CacheEntry(
             record=record, stored_at_us=now, expires_at_us=expires_at_us
         )
+        self._entries[key] = entry
+        self._note_store(key, entry)
         self.version += 1
         return True
+
+    def refresh_location(self, location: str) -> int:
+        """A device re-announced an already-resolved description: every
+        live record resolved from that ``location`` was just observed
+        alive, so its TTL restarts now (UPnP max-age semantics).  Returns
+        the number of entries refreshed — one version bump covers them
+        all, and no index notification is needed because neither the keys
+        nor the records change, only their freshness.
+        """
+        if not location:
+            return 0
+        self._evict()
+        now = self._clock()
+        refreshed = 0
+        for entry in self._entries.values():
+            if entry.record.location != location:
+                continue
+            entry.stored_at_us = now
+            entry.expires_at_us = now + entry.record.lifetime_s * 1_000_000
+            refreshed += 1
+        if refreshed:
+            self.version += 1
+        return refreshed
 
     def digest(self) -> dict[tuple[str, str], float]:
         """Anti-entropy summary: every live key with its absolute expiry.
@@ -122,7 +174,11 @@ class ServiceCache:
 
         Each removed key gets a tombstone for ``tombstone_ttl_s``, so
         gossip retracts the record fleet-wide instead of resurrecting it.
+        Entries already past their TTL are swept first (one version bump)
+        rather than counted and tombstoned as retractions — a record that
+        died naturally needs no resurrection protection.
         """
+        self._evict()
         keys = [key for key in self._entries if key[1] == url]
         self._remove_keys(keys)
         return len(keys)
@@ -130,7 +186,9 @@ class ServiceCache:
     def remove_type(self, service_type: str, source_sdp: str = "") -> int:
         """Drop records of one normalized type (SSDP byebye names only the
         NT, never a service URL); returns count.  Tombstoned like
-        :meth:`remove_url`."""
+        :meth:`remove_url` (and, like it, sweeps TTL-expired entries first
+        so they are neither counted nor tombstoned)."""
+        self._evict()
         wanted = normalize_service_type(service_type)
         keys = [
             key
@@ -149,6 +207,7 @@ class ServiceCache:
         for key in keys:
             del self._entries[key]
             self._tombstones[key] = (now, expires)
+            self._note_remove(key)
         self.version += 1
 
     # -- tombstones ---------------------------------------------------------
@@ -178,6 +237,7 @@ class ServiceCache:
         entry = self._entries.get(key)
         if entry is not None and entry.stored_at_us <= deleted_at_us:
             del self._entries[key]
+            self._note_remove(key)
         self.version += 1
         return True
 
@@ -214,10 +274,13 @@ class ServiceCache:
         self._evict()
 
     def _evict(self) -> None:
+        # One sweep bumps ``version`` exactly once, however many entries
+        # and tombstones fall out of it together.
         now = self._clock()
         expired = [key for key, entry in self._entries.items() if entry.expires_at_us <= now]
         for key in expired:
             del self._entries[key]
+            self._note_remove(key)
         dead_tombstones = [
             key for key, (_, expires) in self._tombstones.items() if expires <= now
         ]

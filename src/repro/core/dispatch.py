@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Optional
 from ..sdp.base import ServiceRecord
 from .events import (
     Event,
+    SDP_DEVICE_URL_DESC,
     SDP_REQ_HOPS,
     SDP_REQ_ID,
     SDP_SERVICE_ALIVE,
@@ -380,11 +381,26 @@ class AdvertisementPipeline:
 
         record = record_from_stream(stream, source_sdp=origin_sdp)
         if record is None:
+            # A NOTIFY names only the description document.  When earlier
+            # resolution already produced records from that location, the
+            # re-announcement just restarts their TTL (UPnP max-age
+            # semantics) — only a genuinely new location is worth the
+            # recursive description fetch.
+            if self.indiss.config.cache_discoveries and self._refresh_alive(stream):
+                return
             unit = self.indiss.units.get(origin_sdp)
             if unit is not None:
                 unit.resolve_advertisement(stream, self.resolved)
             return
         self.resolved(record)
+
+    def _refresh_alive(self, stream: list[Event]) -> bool:
+        for event in stream:
+            if event.type is SDP_DEVICE_URL_DESC:
+                url = str(event.get("url", ""))
+                if url:
+                    return self.indiss.cache.refresh_location(url) > 0
+        return False
 
     def resolved(self, record: ServiceRecord) -> None:
         if self.indiss.config.cache_discoveries:

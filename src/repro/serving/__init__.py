@@ -1,0 +1,26 @@
+"""Discovery-as-a-service: the query serving tier over the federated cache.
+
+INDISS makes heterogeneous discovery protocols interoperate; this package
+makes the *result* of that interoperation cheap to read at scale.  Each
+gateway's gossiped :class:`~repro.core.cache.ServiceCache` gains a
+secondary index (:mod:`repro.serving.index`) and a UDP RPC endpoint
+(:mod:`repro.serving.frontend`, wire format in
+:mod:`repro.serving.wire`): lookups by type / prefix / attribute / URL,
+district-scoped and batched queries, and "which districts have X" — all
+answered locally with a per-query staleness stamp, falling back to the
+gateway's translation pipeline on miss.
+"""
+
+from .frontend import FALLBACK_ORIGIN, QueryFrontend, ServingStats
+from .index import CacheIndex, IndexSnapshot, staleness_us
+from .wire import SERVING_PORT
+
+__all__ = [
+    "QueryFrontend",
+    "ServingStats",
+    "CacheIndex",
+    "IndexSnapshot",
+    "staleness_us",
+    "SERVING_PORT",
+    "FALLBACK_ORIGIN",
+]

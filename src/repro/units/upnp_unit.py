@@ -636,6 +636,11 @@ class UpnpUnit(Unit):
                 enriched.append(
                     Event.of(SDP_SERVICE_TYPE, type=service_type, normalized=service_type)
                 )
+            # Stamp the description URL on the record: later alive NOTIFYs
+            # for the same location refresh the cached entries' TTL
+            # without re-fetching the description.
+            if not any(event.type is SDP_DEVICE_URL_DESC for event in enriched):
+                enriched.append(Event.of(SDP_DEVICE_URL_DESC, url=location))
             enriched.append(Event.of(SDP_RES_TTL, seconds=ttl))
             record = record_from_stream(enriched, source_sdp="upnp")
             if record is not None:

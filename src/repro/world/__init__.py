@@ -51,6 +51,8 @@ from .spec import (
     JiniRegistrar,
     Ping,
     Probe,
+    QueryFrontendApp,
+    QueryLoad,
     Restart,
     RingOwnerLeaf,
     Run,
@@ -95,6 +97,8 @@ __all__ = [
     "JiniItem",
     "GenaSubscriber",
     "GenaFeed",
+    "QueryFrontendApp",
+    "QueryLoad",
     "Run",
     "Probe",
     "Ping",

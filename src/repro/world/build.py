@@ -19,6 +19,8 @@ The returned :class:`World` is the run-control surface:
 
 from __future__ import annotations
 
+import math
+import random
 from typing import Callable, Optional
 
 from ..core import Indiss, IndissConfig
@@ -61,6 +63,8 @@ from .spec import (
     JiniRegistrar,
     Ping,
     Probe,
+    QueryFrontendApp,
+    QueryLoad,
     RingOwnerLeaf,
     Run,
     SegmentSpec,
@@ -134,6 +138,8 @@ class World:
         #: Every UPnP device, in creation order.
         self.devices: list = []
         self.gena_subscribers: list = []
+        #: Every serving-tier query frontend, in creation order.
+        self.serving_frontends: list = []
         #: fleet name -> GatewayFleet.
         self.fleets: dict = {}
         self._fleet_specs: dict[str, FleetSpec] = {}
@@ -287,7 +293,7 @@ class World:
             self._fill(element.total_nodes)
         elif isinstance(element, Ping):
             self._start_ping(element)
-        elif isinstance(element, (Chatter, CpChatter)):
+        elif isinstance(element, (Chatter, CpChatter, QueryLoad)):
             self._apply_step(element)
         else:  # a standalone app spec carrying its own host reference
             host = getattr(element, "host", None)
@@ -422,6 +428,18 @@ class World:
             instance = Indiss(node, self._indiss_config(app))
             self.instances.append(instance)
             self._apps[(host, "indiss")] = instance
+        elif isinstance(app, QueryFrontendApp):
+            from ..serving import QueryFrontend
+
+            frontend = QueryFrontend(
+                self._app(host, "indiss"),
+                port=app.port,
+                stale_after_us=app.stale_after_us,
+                fallback=app.fallback,
+                fallback_window_us=app.fallback_window_us,
+            )
+            self.serving_frontends.append(frontend)
+            self._apps[(host, "frontend")] = frontend
         elif isinstance(app, JiniRegistrar):
             from ..sdp.jini import JiniTimings, LookupService, ServiceItem
 
@@ -601,6 +619,8 @@ class World:
             self._start_chatter(step)
         elif isinstance(step, CpChatter):
             self._start_cp_chatter(step)
+        elif isinstance(step, QueryLoad):
+            self._start_query_load(step)
         elif isinstance(step, Churn):
             self._run_churn(step)
         elif isinstance(step, Fault):
@@ -779,6 +799,110 @@ class World:
 
         src.every(step.period_us, kick, initial_delay_us=step.start_delay_us)
         group.append(stats)
+
+    def _start_query_load(self, step: QueryLoad) -> None:
+        """Open-loop clients against the serving tier's query frontends.
+
+        Every client's full arrival schedule is drawn *now* from a seeded
+        RNG — build and step application run identically in every
+        multiprocess worker, so the schedule (and the query byte stream it
+        produces) is the same under all three engines.  Sends never wait
+        for responses; per-client accounting is event-driven, so only the
+        owning worker's counters move and merged rows stay exact.
+        """
+        group = self.load_groups.setdefault(step.group, [])
+        frontends = [(name, self.hosts[name]) for name in step.frontends]
+        client_index = 0
+        for seg_name in step.segments:
+            segment = self.net.segment(seg_name)
+            for j in range(step.clients_per_segment):
+                node = self.net.add_node(
+                    f"q{step.seed_offset}-{segment.name}-{j}", segment=segment
+                )
+                fe_name, fe_node = frontends[client_index % len(frontends)]
+                rng = random.Random(
+                    (self.seed + step.seed_offset) * 1_000_003 + client_index
+                )
+                stats = {
+                    "client": node.name,
+                    "frontend": fe_name,
+                    "sent": 0,
+                    "responses": 0,
+                    "hits": 0,
+                    "misses": 0,
+                    "stale": 0,
+                    "staleness_max_us": 0,
+                    "batch_sent": 0,
+                    "districts_sent": 0,
+                    "url_sent": 0,
+                    "decode_errors": 0,
+                }
+                self._start_query_client(
+                    step,
+                    node,
+                    Endpoint(fe_node.address, step.port),
+                    _arrival_offsets(step, rng),
+                    stats,
+                )
+                group.append(stats)
+                client_index += 1
+
+    def _start_query_client(self, step, node, target, times, stats) -> None:
+        """One client: its socket, response handler, and send chain.
+
+        A factory method so every closure binds *this* client's state —
+        a loop-local ``def`` would rebind the recursive ``fire`` name.
+        """
+        from ..serving import wire as serving_wire
+
+        net = self.net
+        state = {"inflight": {}, "last_url": None}
+        sock = node.udp.socket()
+
+        def on_response(datagram) -> None:
+            reply = serving_wire.decode(datagram.payload)
+            if reply is None or reply.get("kind") != "resp":
+                stats["decode_errors"] += 1
+                return
+            sent_at = state["inflight"].pop(reply.get("rid"), None)
+            stats["responses"] += 1
+            if reply.get("status") == "ok":
+                stats["hits"] += 1
+                records = reply.get("records") or []
+                if records:
+                    state["last_url"] = records[0].get("u")
+            else:
+                stats["misses"] += 1
+            if reply.get("stale"):
+                stats["stale"] += 1
+            stamp = int(reply.get("staleness_us", 0))
+            if stamp > stats["staleness_max_us"]:
+                stats["staleness_max_us"] = stamp
+            if sent_at is not None and net.obs.on:
+                latency = node.now_us - sent_at
+                note_row_latency(stats, latency)
+                net.obs.metrics.histogram(
+                    "serving.query.latency_us", group=step.group
+                ).observe(latency)
+
+        sock.on_datagram(on_response)
+
+        def fire(i: int) -> None:
+            message = _build_query(step, i, state)
+            state["inflight"][i] = node.now_us
+            stats["sent"] += 1
+            kind = message["kind"]
+            if kind == "batch":
+                stats["batch_sent"] += 1
+            elif kind == "districts":
+                stats["districts_sent"] += 1
+            elif kind == "url":
+                stats["url_sent"] += 1
+            sock.sendto(serving_wire.encode(message), target)
+            if i + 1 < len(times):
+                node.schedule(times[i + 1] - times[i], lambda: fire(i + 1))
+
+        node.schedule(step.start_delay_us + times[0], lambda: fire(0))
 
     def _run_churn(self, step: Churn) -> None:
         """Sustained membership churn over one fleet.
@@ -965,6 +1089,59 @@ class World:
                 "latency_us": handle.latency_us,
             }
         self.extras[step.key] = report
+
+
+def _arrival_offsets(step: QueryLoad, rng: random.Random) -> list[int]:
+    """The client's send offsets (µs after its start delay), one per query.
+
+    Drawn entirely up front from the caller's seeded RNG — no draw ever
+    happens in event context, which is what keeps the open-loop schedule
+    byte-identical across engines.
+    """
+    mean = step.mean_interval_us
+    times: list[int] = []
+    t = 0
+    if step.process == "poisson":
+        for _ in range(step.queries_per_client):
+            t += max(1, int(rng.expovariate(1.0 / mean)))
+            times.append(t)
+    elif step.process == "bursty":
+        # Trains of ``burst`` near-back-to-back queries, train gaps scaled
+        # so the long-run rate matches the poisson process.
+        intra = max(1, mean // 10)
+        while len(times) < step.queries_per_client:
+            t += max(1, int(rng.expovariate(1.0 / (mean * step.burst))))
+            for _ in range(step.burst):
+                if len(times) >= step.queries_per_client:
+                    break
+                times.append(t)
+                t += intra
+    else:  # diurnal: the mean gap sweeps 0.5x..1.5x over one period
+        period = step.diurnal_period_us
+        for _ in range(step.queries_per_client):
+            phase = math.sin((2.0 * math.pi * t) / period)
+            local_mean = max(1.0, mean * (1.0 + 0.5 * phase))
+            t += max(1, int(rng.expovariate(1.0 / local_mean)))
+            times.append(t)
+    return times
+
+
+def _build_query(step: QueryLoad, i: int, state: dict) -> dict:
+    """The i-th query in the step's mix (see :class:`QueryLoad`)."""
+    from ..serving import wire as serving_wire
+
+    if step.url_every and (i + 1) % step.url_every == 0 and state["last_url"]:
+        return serving_wire.request("url", i, url=state["last_url"])
+    if step.batch_every and (i + 1) % step.batch_every == 0:
+        return serving_wire.request("batch", i, targets=list(step.types))
+    if step.districts_every and (i + 1) % step.districts_every == 0:
+        return serving_wire.request(
+            "districts", i, st=step.types[i % len(step.types)]
+        )
+    message = serving_wire.request("type", i, st=step.types[i % len(step.types)])
+    if step.scope_districts:
+        message["scope"] = {"districts": list(step.scope_districts)}
+    return message
 
 
 def _make_typed_device(node, type_name: str, costs, seed: int, advertise: bool,

@@ -37,7 +37,7 @@ from typing import Optional
 
 from ..obs import MetricsRegistry, sort_records
 from .build import World
-from .observers import chatter_rows_summary, ping_rows_summary
+from .observers import chatter_rows_summary, ping_rows_summary, query_rows_summary
 from .partition import spec_partition_map
 from .spec import WorldSpec
 
@@ -133,6 +133,8 @@ def _summarise(pmap, payloads: list[dict], backend: str, wall_s: float) -> dict:
         extras.update(ping_rows_summary(groups["ping"]))
     if "chatter" in groups:
         extras.update(chatter_rows_summary(groups["chatter"]))
+    if "query" in groups:
+        extras.update(query_rows_summary(groups["query"]))
     latency = next(
         (p["latency_us"] for p in payloads if p["latency_us"] is not None), None
     )

@@ -179,6 +179,66 @@ def cp_chatter_stats(world, group: str = "cp") -> dict:
     )
 
 
+def query_rows_summary(rows) -> dict:
+    """Sums over one query-load group's per-client records (``QueryLoad``).
+
+    Shared with the multiprocess partition driver so both backends report
+    identical serving extras: counters sum, the hit rate is recomputed
+    from the summed counters, the staleness bound is the max over rows
+    (each row is owned by exactly one worker, so merged rows carry the
+    owner's value and zeros elsewhere).
+    """
+    out = summarize_rows(
+        rows,
+        "query_clients",
+        sums=(
+            ("queries_sent", "sent"),
+            ("query_responses", "responses"),
+            ("query_hits", "hits"),
+            ("query_misses", "misses"),
+            ("query_stale", "stale"),
+            ("query_batch_sent", "batch_sent"),
+            ("query_districts_sent", "districts_sent"),
+            ("query_url_sent", "url_sent"),
+            ("query_decode_errors", "decode_errors"),
+        ),
+        rates=(("query_hit_rate", "hits", "responses"),),
+        latency_prefix="query",
+    )
+    out["query_staleness_max_us"] = max(
+        (row.get("staleness_max_us", 0) for row in rows), default=0
+    )
+    return out
+
+
+def serving_stats(world, group: str = "query") -> dict:
+    """The serving tier's extras block: client-side query accounting plus
+    the frontends' own endpoint counters and staleness aggregates."""
+    extras = query_rows_summary(world.load_groups.get(group, []))
+    frontends = getattr(world, "serving_frontends", [])
+    extras["serving_frontends"] = len(frontends)
+    if frontends:
+        extras["serving_queries"] = sum(f.stats.queries for f in frontends)
+        extras["serving_hits"] = sum(f.stats.hits for f in frontends)
+        extras["serving_misses"] = sum(f.stats.misses for f in frontends)
+        extras["serving_stale_answers"] = sum(
+            f.stats.stale_answers for f in frontends
+        )
+        extras["serving_fallbacks"] = sum(f.stats.fallbacks for f in frontends)
+        extras["serving_staleness_max_us"] = max(
+            f.stats.staleness_max_us for f in frontends
+        )
+        answered = sum(f.stats.hits for f in frontends)
+        stamped = sum(f.stats.staleness_sum_us for f in frontends)
+        extras["serving_staleness_mean_us"] = (
+            stamped // answered if answered else 0
+        )
+        extras["serving_index_rebuilds"] = sum(
+            f.index.rebuilds for f in frontends
+        )
+    return extras
+
+
 def fleet_stats(world, fleet=None) -> dict:
     """The federation family's shared extras block: instance-level cache
     and translation counters over every INDISS in the world, plus the
@@ -333,6 +393,7 @@ COLLECTORS: dict[str, Callable[..., dict]] = {
     "parse_once": parse_once_flag,
     "churn": churn_stats,
     "ping": ping_stats,
+    "serving": serving_stats,
     "partitions": partition_stats,
 }
 
@@ -344,6 +405,8 @@ __all__ = [
     "chatter_rows_summary",
     "ping_stats",
     "ping_rows_summary",
+    "query_rows_summary",
+    "serving_stats",
     "partition_stats",
     "fleet_stats",
     "summarize_rows",

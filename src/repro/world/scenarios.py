@@ -48,6 +48,8 @@ from .spec import (
     JiniRegistrar,
     Ping,
     Probe,
+    QueryFrontendApp,
+    QueryLoad,
     Restart,
     RingOwnerLeaf,
     Run,
@@ -1277,6 +1279,226 @@ def district_grid_spec(
     )
 
 
+# -- Serving tier (discovery-as-a-service) -----------------------------------------
+
+
+def serving_backbone_spec(
+    members: int = 4,
+    nodes: int = 200,
+    service_types: int = 4,
+    cold_types: int = 1,
+    gossip_period_us: int = 200_000,
+    warmup_us: int = 1_500_000,
+    clients_per_leaf: int = 2,
+    queries_per_client: int = 40,
+    mean_interval_us: int = 25_000,
+    process: str = "poisson",
+    run_us: int = 4_000_000,
+    batch_every: int = 16,
+    url_every: int = 8,
+    districts_every: int = 24,
+    stale_after_us: int = 2_000_000,
+    notify_period_us: int = 800_000,
+) -> WorldSpec:
+    """The serving tier's headline world: a federated campus whose gateway
+    caches are warmed by gossip, a :class:`QueryFrontend` on every
+    gateway, and an open-loop query population on every leaf.
+
+    Advertised ``TypedDevice``s announce during warmup and the fleet
+    gossips the records to every member, so by the time the ``QueryLoad``
+    opens fire each frontend answers nearly every type lookup from its
+    own cache — the warm hit rate the serving bench gates on.  The
+    ``cold_types`` tail is deliberately *not* advertised: first touch
+    misses, the frontend's fallback re-issues the query through the
+    translation units, and the answer then gossips fleet-wide — keeping
+    the miss, fallback, and staleness paths honest under load.
+    """
+    if members < 2:
+        raise ValueError("serving_backbone needs at least two fleet members")
+    if service_types < 1:
+        raise ValueError("serving_backbone needs at least one service type")
+    if cold_types < 0 or cold_types > service_types:
+        raise ValueError("cold_types must be within the service type count")
+    elements, leaves, gateways = _campus_fleet_elements(
+        members + 1, 0, gossip_period_us, True,
+        wide_subnets=nodes > 200 * (members + 1),
+    )
+    type_names = [f"svc{i}" for i in range(service_types)]
+    for i, type_name in enumerate(type_names):
+        warm = i < service_types - cold_types
+        elements += [
+            HostSpec(f"device-{type_name}", segment=leaves[i % len(leaves)]),
+            # Warm devices re-NOTIFY periodically, so their gossiped
+            # records keep a fresh implied-observation time and the
+            # honesty stamps stay near announcement period + gossip lag.
+            TypedDevice(
+                type_name,
+                host=f"device-{type_name}",
+                advertise=warm,
+                notify_period_us=notify_period_us if warm else None,
+            ),
+        ]
+    for gateway in gateways:
+        elements.append(
+            QueryFrontendApp(host=gateway, stale_after_us=stale_after_us)
+        )
+    elements.append(Fill(nodes))
+    load = QueryLoad(
+        frontends=tuple(gateways),
+        types=tuple(f"service:{name}" for name in type_names),
+        segments=tuple(leaves),
+        clients_per_segment=clients_per_leaf,
+        queries_per_client=queries_per_client,
+        mean_interval_us=mean_interval_us,
+        process=process,
+        batch_every=batch_every,
+        url_every=url_every,
+        districts_every=districts_every,
+    )
+    fleet_params = (("fleet", "fleet"),)
+    workload = (
+        Run(warmup_us),
+        Collect("warm_members", key="warm_members_after_gossip", params=fleet_params),
+        load,
+        Run(run_us),
+        Collect("serving"),
+        Collect("fleet", params=fleet_params),
+        Collect("node_count", key="total_nodes"),
+        Emit("service_types", service_types),
+        Emit("cold_types", cold_types),
+        Emit(
+            "queries_offered",
+            clients_per_leaf * len(leaves) * queries_per_client,
+        ),
+    )
+    return WorldSpec(
+        name="serving_backbone",
+        description="Federated campus gateways serving open-loop discovery "
+        "queries from their gossip-warmed caches.",
+        elements=tuple(elements),
+        workload=workload,
+    )
+
+
+def serving_grid_spec(
+    districts: int = 3,
+    leaves_per_district: int = 2,
+    nodes: int = 0,
+    clients_per_leaf: int = 1,
+    queries_per_client: int = 12,
+    mean_interval_us: int = 60_000,
+    link_latency_us: int = 30_000,
+    warmup_us: int = 800_000,
+    run_us: int = 3_000_000,
+) -> WorldSpec:
+    """``district_grid``'s serving twin: unbridged chained backbones (one
+    district each), a frontend gateway per district, and both intra- and
+    cross-district query populations.
+
+    Intra-district clients query their own district's frontend for the
+    type advertised on that district's first leaf; a cross-district ring
+    of clients on each backbone queries the *next* district's frontend
+    over the router links, so query datagrams transit the conservative
+    lookahead exactly like ``district_grid``'s ping ring.  Everything a
+    client or frontend draws is scheduled from build-time randomness, so
+    the single-threaded, inline-partitioned, and multiprocess engines
+    produce byte-identical query and response streams — the serving
+    parity suite pins this.
+    """
+    if districts < 1 or leaves_per_district < 1:
+        raise ValueError("serving_grid needs at least one district and leaf")
+    _guard_metro_shape("serving_grid", districts, leaves_per_district)
+    backbones = ["lan0"]
+    elements: list = []
+    for d in range(1, districts):
+        name = f"grid{d}"
+        elements.append(
+            SegmentSpec(
+                name, subnet=f"10.{200 + d}", seed_offset=10 + d,
+                link_to=backbones[d - 1], link_latency_us=link_latency_us,
+            )
+        )
+        backbones.append(name)
+    district_leaves: list[list[str]] = []
+    for d, backbone in enumerate(backbones):
+        own_leaves = []
+        for l in range(leaves_per_district):
+            leaf = f"g{d}l{l}"
+            own_leaves.append(leaf)
+            elements += [
+                SegmentSpec(
+                    leaf,
+                    subnet=f"10.{d * leaves_per_district + l + 1}",
+                    seed_offset=100 * d + l + 20,
+                    link_to=backbone,
+                ),
+                HostSpec(f"gw-{leaf}", segment=leaf),
+                BridgeSpec(f"gw-{leaf}", (backbone,)),
+            ]
+        district_leaves.append(own_leaves)
+        # One INDISS + frontend per district, on the first leaf's gateway;
+        # the district's own device advertises on that same leaf, so the
+        # frontend's cache warms from the announcement it observes.
+        front = f"gw-g{d}l0"
+        elements += [
+            IndissApp(host=front, profile="chain", seed_offset=d),
+            QueryFrontendApp(host=front),
+            HostSpec(f"svc-g{d}l0", segment=f"g{d}l0"),
+            TypedDevice(f"grid{d}", host=f"svc-g{d}l0", advertise=True),
+        ]
+    loads: list = []
+    for d in range(districts):
+        loads.append(
+            QueryLoad(
+                frontends=(f"gw-g{d}l0",),
+                types=(f"service:grid{d}",),
+                segments=tuple(district_leaves[d]),
+                clients_per_segment=clients_per_leaf,
+                queries_per_client=queries_per_client,
+                mean_interval_us=mean_interval_us,
+                seed_offset=d,
+            )
+        )
+    for d in range(districts):
+        if districts < 2:
+            break
+        # The ring's wrap flow transits every intermediate district, so
+        # cross-district query datagrams cross the lookahead windows.
+        dst = (d + 1) % districts
+        loads.append(
+            QueryLoad(
+                frontends=(f"gw-g{dst}l0",),
+                types=(f"service:grid{dst}",),
+                segments=(backbones[d],),
+                clients_per_segment=1,
+                queries_per_client=queries_per_client,
+                mean_interval_us=mean_interval_us * 2,
+                start_delay_us=150_000 + 10_000 * d,
+                seed_offset=50 + d,
+            )
+        )
+    workload: list = [
+        Fill(nodes),
+        Run(warmup_us),
+    ]
+    workload += loads
+    workload += [
+        Run(run_us),
+        Collect("serving"),
+        Emit("districts", districts),
+        Collect("node_count", key="total_nodes"),
+    ]
+    return WorldSpec(
+        name="serving_grid",
+        description="Unbridged chained backbones with one query frontend "
+        "per district under intra- and cross-district open-loop query load.",
+        subnet="10.200",
+        partitioned=True,
+        elements=tuple(elements),
+        workload=tuple(workload),
+    )
+
+
 #: scenario name -> parameterized spec builder.
 SCENARIO_SPECS: dict[str, Callable[..., WorldSpec]] = {
     "native_slp": native_slp_spec,
@@ -1299,6 +1521,8 @@ SCENARIO_SPECS: dict[str, Callable[..., WorldSpec]] = {
     "churn_backbone": churn_backbone_spec,
     "district_sweep": district_sweep_spec,
     "district_grid": district_grid_spec,
+    "serving_backbone": serving_backbone_spec,
+    "serving_grid": serving_grid_spec,
 }
 
 

@@ -289,6 +289,27 @@ class GenaFeed:
     initial_delay_us: int = 0
 
 
+@dataclass(frozen=True)
+class QueryFrontendApp:
+    """A discovery query endpoint (:class:`repro.serving.QueryFrontend`)
+    riding on the same host's INDISS instance.
+
+    Serves lookup-by-type / lookup-by-url / batched / district queries
+    from the gateway's gossiped service cache over UDP ``port``, stamping
+    every answer with its staleness (µs since the answering records'
+    implied observation).  Answers stamped beyond ``stale_after_us``
+    still ship but are counted stale; a type miss re-issues the request
+    through the gateway's translation units when ``fallback`` is set
+    (at most once per type per ``fallback_window_us``).
+    """
+
+    host: Optional[str] = None
+    port: int = 4620
+    stale_after_us: int = 2_000_000
+    fallback: bool = True
+    fallback_window_us: int = 500_000
+
+
 #: App spec classes, for validation and HostSpec.apps checking.
 APP_SPECS = (
     SlpClient,
@@ -301,6 +322,7 @@ APP_SPECS = (
     JiniListener,
     GenaSubscriber,
     GenaFeed,
+    QueryFrontendApp,
 )
 
 
@@ -375,6 +397,59 @@ class CpChatter:
     index0: int = 0
     total: int = 1
     group: str = "cp"
+
+
+@dataclass(frozen=True)
+class QueryLoad:
+    """An open-loop query workload against :class:`QueryFrontendApp`s.
+
+    ``clients_per_segment`` fresh client nodes are created on each of
+    ``segments``; each client fires ``queries_per_client`` requests at the
+    frontends (round-robin over ``frontends``) following a **seeded
+    arrival process** — every inter-arrival gap is drawn at build time
+    from ``random.Random(seed + seed_offset + client_index)``, so the
+    schedule (and therefore the whole query/response byte stream) is
+    identical under the single, partitioned, and multiprocess engines.
+
+    Processes: ``"poisson"`` (exponential gaps of mean
+    ``mean_interval_us``), ``"bursty"`` (trains of ``burst`` back-to-back
+    queries separated by ``burst × mean`` gaps — same long-run rate,
+    bursty arrivals), ``"diurnal"`` (sinusoidal rate modulation with
+    period ``diurnal_period_us``: the mean gap sweeps between
+    0.5× and 1.5× of ``mean_interval_us``).
+
+    Query mix: lookup-by-type over ``types`` (round-robin) by default;
+    every ``batch_every``-th query instead batches *all* the types in one
+    request, every ``districts_every``-th asks "which districts have X",
+    and every ``url_every``-th re-looks-up the last URL the client saw
+    (skipped until a response delivered one).  Zero disables a mix arm.
+
+    Open loop: sends never wait for responses.  Per-client accounting
+    (sent / responses / hits / stale / latency histogram) aggregates
+    under ``group`` (see ``Collect("serving")``).
+    """
+
+    frontends: tuple[str, ...]
+    types: tuple[str, ...]
+    segments: tuple[str, ...]
+    clients_per_segment: int
+    queries_per_client: int
+    mean_interval_us: int
+    process: str = "poisson"
+    burst: int = 4
+    diurnal_period_us: int = 1_000_000
+    batch_every: int = 0
+    districts_every: int = 0
+    url_every: int = 0
+    #: When set, type lookups carry a district-scope bound: answers are
+    #: filtered to records resolving into these districts.
+    scope_districts: tuple[int, ...] = ()
+    port: int = 4620
+    start_delay_us: int = 100_000
+    seed_offset: int = 0
+    group: str = "query"
+
+    PROCESSES = ("poisson", "bursty", "diurnal")
 
 
 @dataclass(frozen=True)
@@ -562,6 +637,7 @@ WORKLOAD_STEPS = (
     Probe,
     Chatter,
     CpChatter,
+    QueryLoad,
     Churn,
     Fault,
     Heal,
@@ -581,6 +657,7 @@ WORKLOAD_STEPS = (
 ELEMENT_SPECS = (SegmentSpec, HostSpec, BridgeSpec, FleetSpec, Fill, Ping) + APP_SPECS + (
     Chatter,
     CpChatter,
+    QueryLoad,
 )
 
 
@@ -624,6 +701,8 @@ class WorldSpec:
         hosts: dict[str, HostSpec] = {}
         fleets: dict[str, FleetSpec] = {}
         host_apps: dict[str, list] = {}
+        #: (where, QueryLoad) pairs, validated after host_apps is complete.
+        query_loads: list[tuple[str, QueryLoad]] = []
         default_name = "lan0"
 
         def check_subnet(subnet: Optional[str], where: str) -> None:
@@ -717,6 +796,8 @@ class WorldSpec:
                     problems.append(f"{where}: bad ping sizing")
             elif isinstance(element, (Chatter, CpChatter)):
                 self._check_load_step(element, segments, where, problems)
+            elif isinstance(element, QueryLoad):
+                query_loads.append((where, element))
             elif isinstance(element, APP_SPECS):
                 note_app(element, None, where)
             else:
@@ -742,6 +823,8 @@ class WorldSpec:
                     problems.append(f"{where}: probe segment {step.segment!r} unknown")
             elif isinstance(step, (Chatter, CpChatter)):
                 self._check_load_step(step, segments, where, problems)
+            elif isinstance(step, QueryLoad):
+                query_loads.append((where, step))
             elif isinstance(step, (Churn, TypeSweepReport)):
                 if step.fleet not in fleets:
                     problems.append(f"{where}: unknown fleet {step.fleet!r}")
@@ -760,8 +843,50 @@ class WorldSpec:
                 if step.host not in hosts:
                     problems.append(f"{where}: unknown host {step.host!r}")
 
+        for host_name, apps in host_apps.items():
+            if any(isinstance(a, QueryFrontendApp) for a in apps) and not any(
+                isinstance(a, IndissApp) for a in apps
+            ):
+                problems.append(
+                    f"host {host_name!r}: QueryFrontendApp needs an IndissApp "
+                    f"on the same host"
+                )
+        for where, step in query_loads:
+            self._check_query_load(step, segments, hosts, host_apps, where, problems)
+
         problems.extend(self._subnet_budget_problems(segments, hosts))
         return problems
+
+    @staticmethod
+    def _check_query_load(step, segments, hosts, host_apps, where, problems) -> None:
+        if not step.frontends:
+            problems.append(f"{where}: QueryLoad names no frontends")
+        for host in step.frontends:
+            if host not in hosts:
+                problems.append(f"{where}: QueryLoad frontend host {host!r} unknown")
+            elif not any(
+                isinstance(a, QueryFrontendApp) for a in host_apps.get(host, ())
+            ):
+                problems.append(
+                    f"{where}: QueryLoad frontend {host!r} has no QueryFrontendApp"
+                )
+        for segment in step.segments:
+            if segment != "lan0" and segment not in segments:
+                problems.append(f"{where}: QueryLoad segment {segment!r} unknown")
+        if not step.types:
+            problems.append(f"{where}: QueryLoad has no target types")
+        if (
+            step.clients_per_segment <= 0
+            or step.queries_per_client <= 0
+            or step.mean_interval_us <= 0
+        ):
+            problems.append(f"{where}: bad QueryLoad sizing")
+        if step.process not in QueryLoad.PROCESSES:
+            problems.append(f"{where}: unknown arrival process {step.process!r}")
+        if step.process == "bursty" and step.burst <= 0:
+            problems.append(f"{where}: bursty process needs burst >= 1")
+        if step.process == "diurnal" and step.diurnal_period_us <= 0:
+            problems.append(f"{where}: diurnal process needs a positive period")
 
     @staticmethod
     def _check_segment_ref(segment, segments, fleets, where, problems) -> None:
@@ -953,10 +1078,12 @@ __all__ = [
     "JiniItem",
     "GenaSubscriber",
     "GenaFeed",
+    "QueryFrontendApp",
     "Run",
     "Probe",
     "Chatter",
     "CpChatter",
+    "QueryLoad",
     "Churn",
     "Fault",
     "Heal",

@@ -1,0 +1,174 @@
+"""The serving scenarios end to end: open-loop query worlds are
+byte-reproducible per seed, the ``serving`` collector reports the tier's
+extras, the arrival processes validate and differ, and the new spec
+vocabulary rejects malformed worlds."""
+
+import json
+
+import pytest
+
+from repro.world import (
+    HostSpec,
+    IndissApp,
+    QueryFrontendApp,
+    QueryLoad,
+    Run,
+    SegmentSpec,
+    SpecError,
+    World,
+    WorldSpec,
+)
+from repro.world.scenarios import serving_backbone_spec, serving_grid_spec
+
+SMALL = dict(
+    members=3, nodes=30, service_types=3, cold_types=1,
+    clients_per_leaf=1, queries_per_client=12, mean_interval_us=20_000,
+    run_us=2_500_000,
+)
+
+
+def run_small(seed=0, **overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    world = World.build(serving_backbone_spec(**params), seed=seed)
+    world.run_workload()
+    return world
+
+
+def rows_of(world):
+    return json.dumps(world.load_groups.get("query", []), sort_keys=True)
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        first = run_small(seed=42)
+        second = run_small(seed=42)
+        assert rows_of(first) == rows_of(second)
+        keys = [k for k in first.extras if k.startswith(("query", "serving"))]
+        assert keys
+        for key in keys:
+            assert first.extras[key] == second.extras[key], key
+
+    def test_other_processes_are_deterministic_too(self):
+        for process in ("bursty", "diurnal"):
+            first = run_small(seed=7, process=process)
+            second = run_small(seed=7, process=process)
+            assert rows_of(first) == rows_of(second), process
+
+    def test_seeds_actually_steer_arrivals(self):
+        assert rows_of(run_small(seed=1)) != rows_of(run_small(seed=2))
+
+
+class TestServingCollector:
+    def test_extras_shape_and_sanity(self):
+        world = run_small(seed=0)
+        extras = world.extras
+        offered = SMALL["clients_per_leaf"] * SMALL["members"] * \
+            SMALL["queries_per_client"]
+        assert extras["queries_offered"] == offered
+        assert extras["queries_sent"] == offered
+        assert extras["query_responses"] == offered  # open loop, no loss
+        assert extras["serving_frontends"] == SMALL["members"]
+        assert extras["serving_queries"] == offered
+        assert extras["query_hit_rate"] > 0.6
+        assert extras["serving_hits"] == extras["query_hits"]
+        assert extras["serving_misses"] == extras["query_misses"]
+        assert extras["serving_staleness_max_us"] >= \
+            extras["serving_staleness_mean_us"] >= 0
+        # The cold type forced at least one fallback translation.
+        assert extras["serving_fallbacks"] >= 1
+        assert extras["warm_members_after_gossip"] == SMALL["members"]
+
+    def test_grid_scenario_runs_partitioned_inline(self):
+        spec = serving_grid_spec(
+            districts=2, leaves_per_district=1, clients_per_leaf=1,
+            queries_per_client=5, run_us=1_500_000,
+        )
+        world = World.build(spec, seed=0, engine="partitioned")
+        world.run_workload()
+        rows = world.load_groups["query"]
+        assert sum(r["responses"] for r in rows) > 0
+
+
+class TestSpecValidation:
+    def base_elements(self):
+        return [
+            SegmentSpec("leaf0", link_to="lan0"),
+            HostSpec("gw", segment="leaf0"),
+            IndissApp(host="gw", profile="chain"),
+            QueryFrontendApp(host="gw"),
+        ]
+
+    def spec_with(self, load, elements=None):
+        return WorldSpec(
+            name="bad",
+            elements=tuple(elements if elements is not None else
+                           self.base_elements()),
+            workload=(Run(100_000), load),
+        )
+
+    def ok_load(self, **overrides):
+        fields = dict(frontends=("gw",), types=("service:x",),
+                      segments=("leaf0",), clients_per_segment=1,
+                      queries_per_client=1, mean_interval_us=1000)
+        fields.update(overrides)
+        return QueryLoad(**fields)
+
+    def test_well_formed_load_validates(self):
+        self.spec_with(self.ok_load()).validate()
+
+    def test_frontend_without_indiss_rejected(self):
+        elements = [
+            SegmentSpec("leaf0", link_to="lan0"),
+            HostSpec("gw", segment="leaf0"),
+            QueryFrontendApp(host="gw"),
+        ]
+        with pytest.raises(SpecError, match="needs an IndissApp"):
+            self.spec_with(self.ok_load(), elements=elements).validate()
+
+    def test_unknown_frontend_host_rejected(self):
+        with pytest.raises(SpecError, match="frontend host 'ghost' unknown"):
+            self.spec_with(self.ok_load(frontends=("ghost",))).validate()
+
+    def test_frontend_host_without_app_rejected(self):
+        elements = self.base_elements() + [
+            HostSpec("plain", segment="leaf0"),
+        ]
+        with pytest.raises(SpecError, match="no QueryFrontendApp"):
+            self.spec_with(
+                self.ok_load(frontends=("plain",)), elements=elements
+            ).validate()
+
+    def test_unknown_segment_rejected(self):
+        with pytest.raises(SpecError, match="segment 'nowhere' unknown"):
+            self.spec_with(self.ok_load(segments=("nowhere",))).validate()
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(SpecError, match="no target types"):
+            self.spec_with(self.ok_load(types=())).validate()
+
+    def test_bad_sizing_rejected(self):
+        with pytest.raises(SpecError, match="bad QueryLoad sizing"):
+            self.spec_with(self.ok_load(clients_per_segment=0)).validate()
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(SpecError, match="unknown arrival process"):
+            self.spec_with(self.ok_load(process="sawtooth")).validate()
+
+    def test_bursty_needs_burst(self):
+        with pytest.raises(SpecError, match="burst >= 1"):
+            self.spec_with(
+                self.ok_load(process="bursty", burst=0)
+            ).validate()
+
+    def test_queryload_as_element_validates_too(self):
+        spec = WorldSpec(
+            name="elemental",
+            elements=tuple(self.base_elements()) + (self.ok_load(),),
+            workload=(Run(100_000),),
+        )
+        spec.validate()
+
+    def test_registered_serving_scenarios_validate(self):
+        serving_backbone_spec().validate()
+        serving_grid_spec().validate()

@@ -48,6 +48,15 @@ def test_partition_heal_example_survives_the_cycle(capsys):
     assert "survived the partition/heal cycle" in output
 
 
+def test_query_service_example_shows_staleness_honesty(capsys):
+    runpy.run_path(str(EXAMPLES[0].parent / "query_service.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "lookup service:thermostat at gateway0 -> ok" in output
+    assert "repeat lookup service:printer -> ok" in output
+    assert "mid-partition staleness stamp" in output
+    assert "collapsed after the heal" in output
+
+
 def test_adaptive_example_flips_modes(capsys):
     runpy.run_path(str(EXAMPLES[0].parent / "adaptive_home.py"), run_name="__main__")
     output = capsys.readouterr().out

@@ -22,6 +22,7 @@ from repro.world.scenarios import (
     district_grid_spec,
     media_city_spec,
     metro_backbone_spec,
+    serving_grid_spec,
 )
 
 #: Small-scale parameters (mirroring SMALL_SCALE_OVERRIDES) so tier-1 stays fast.
@@ -43,6 +44,11 @@ SCALE = {
     "district_grid": (
         district_grid_spec,
         {"districts": 3, "leaves_per_district": 2, "run_us": 2_000_000},
+    ),
+    "serving_grid": (
+        serving_grid_spec,
+        {"districts": 3, "leaves_per_district": 2, "clients_per_leaf": 1,
+         "queries_per_client": 8, "run_us": 2_000_000},
     ),
 }
 
@@ -112,6 +118,28 @@ def test_multiprocess_backend_matches_inline():
         assert mp[key] == inline[key], key
     assert mp["extras"]["ping_received"] > 0
     assert mp["extras"]["chatter_found_rate"] > 0.8
+
+
+def test_multiprocess_backend_matches_inline_for_serving():
+    """The serving tier's query/response streams are byte-identical under
+    the forked backend: every client row (sent, hits, staleness, latency
+    buckets) merges back to exactly the inline run's values."""
+    spec = serving_grid_spec(districts=3, leaves_per_district=2,
+                             clients_per_leaf=1, queries_per_client=8,
+                             run_us=2_000_000)
+    session_module._session_ids = itertools.count(1)
+    inline = run_world_partitioned(spec, seed=0)
+    session_module._session_ids = itertools.count(1)
+    mp = run_world_mp(spec, seed=0)
+    assert mp["backend"] == "multiprocess"
+    assert mp["processes"] == 3
+    for key in ("partitions", "lookahead_us", "events_fired",
+                "events_by_partition", "windows", "unrouted", "extras",
+                "latency_us", "results"):
+        assert mp[key] == inline[key], key
+    assert mp["load_groups"]["query"] == inline["load_groups"]["query"]
+    assert mp["extras"]["query_responses"] > 0
+    assert mp["extras"]["query_hit_rate"] == 1.0
 
 
 def test_mp_driver_falls_back_inline_for_single_district():
